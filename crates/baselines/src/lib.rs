@@ -1,0 +1,59 @@
+//! # bedom-baselines
+//!
+//! The comparison algorithms the paper's experiments measure against or that
+//! its theorems compose with:
+//!
+//! * [`greedy`] — the classical sequential greedy (`ln n` factor), re-exported
+//!   from `bedom-graph` together with the exact solver and the packing lower
+//!   bound, so that the experiment harness has a single import surface;
+//! * [`dvorak`] — a Dvořák-2013-style `c(r)²`-approximation, the algorithm
+//!   Theorem 5 improves on;
+//! * [`lenzen_planar`] — the Lenzen–Pignolet–Wattenhofer constant-round LOCAL
+//!   planar MDS approximation, the algorithm Theorem 17 composes with;
+//! * [`kutten_peleg`] — an `O(n/r)`-size distance-`r` dominating set with no
+//!   relation to OPT;
+//! * [`arboricity`] — a bucketed-greedy dominating set in the style of the
+//!   bounded-arboricity algorithms of Lenzen–Wattenhofer.
+
+pub mod arboricity;
+pub mod dvorak;
+pub mod greedy;
+pub mod kutten_peleg;
+pub mod lenzen_planar;
+
+pub use arboricity::bucketed_greedy_dominating_set;
+pub use dvorak::{dvorak_style_domination, dvorak_style_domination_default};
+pub use kutten_peleg::kutten_peleg_dominating_set;
+pub use lenzen_planar::{lenzen_planar_dominating_set, LENZEN_PLANAR_ROUNDS};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use bedom_graph::domset::is_distance_dominating_set;
+    use bedom_graph::generators::{gnp, random_tree, stacked_triangulation};
+    use bedom_graph::Graph;
+    use proptest::prelude::*;
+
+    fn arb_graph() -> impl Strategy<Value = Graph> {
+        prop_oneof![
+            (5usize..60, 0u64..100).prop_map(|(n, s)| random_tree(n, s)),
+            (5usize..60, 0u64..100).prop_map(|(n, s)| stacked_triangulation(n, s)),
+            (5usize..50, 0u64..100).prop_map(|(n, s)| gnp(n, 0.15, s)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn every_baseline_dominates(g in arb_graph(), r in 1u32..3, seed in 0u64..20) {
+            prop_assert!(is_distance_dominating_set(&g, &greedy::greedy_baseline(&g, r), r));
+            prop_assert!(is_distance_dominating_set(&g, &dvorak_style_domination_default(&g, r), r));
+            prop_assert!(is_distance_dominating_set(&g, &kutten_peleg_dominating_set(&g, r), r));
+            prop_assert!(is_distance_dominating_set(&g, &bucketed_greedy_dominating_set(&g, r), r));
+            let ids = bedom_distsim::IdAssignment::Shuffled(seed).assign(&g);
+            // Lenzen et al. solves the r = 1 problem.
+            prop_assert!(is_distance_dominating_set(&g, &lenzen_planar_dominating_set(&g, &ids), 1));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion bench for experiment T4's engine: the CONGEST_BC connected
+//! domination pipeline of Theorem 10.
+
+use bedom_bench::connected_instance;
+use bedom_core::{distributed_connected_domination, DistConnectedConfig};
+use bedom_graph::generators::Family;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_connected(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connected_domset");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    for family in [Family::Grid, Family::PlanarTriangulation] {
+        let graph = connected_instance(family, 3_000, 9);
+        group.bench_with_input(
+            BenchmarkId::new("thm10", family.name()),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    let result =
+                        distributed_connected_domination(g, DistConnectedConfig::new(1)).unwrap();
+                    black_box(result.connected_dominating_set.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_connected);
+criterion_main!(benches);

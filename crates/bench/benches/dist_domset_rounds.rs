@@ -1,0 +1,28 @@
+//! Criterion bench for experiment F1's engine: the full CONGEST_BC pipeline
+//! of Theorem 9 across instance sizes.
+
+use bedom_bench::connected_instance;
+use bedom_core::{distributed_distance_domination, DistDomSetConfig};
+use bedom_graph::generators::Family;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_dist_domset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist_domset_rounds");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    for n in [2_000usize, 8_000] {
+        let graph = connected_instance(Family::PlanarTriangulation, n, 3);
+        group.bench_with_input(BenchmarkId::new("thm9/planar-tri", n), &graph, |b, g| {
+            b.iter(|| {
+                let result = distributed_distance_domination(g, DistDomSetConfig::new(2)).unwrap();
+                black_box((result.total_rounds(), result.dominating_set.len()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dist_domset);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for experiment T5's engine: the LOCAL connector of
+//! Theorem 17 applied to the Lenzen et al. planar dominating set.
+
+use bedom_bench::connected_instance;
+use bedom_distsim::IdAssignment;
+use bedom_graph::generators::Family;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_local_connect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_connect");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    for family in [Family::Grid, Family::PlanarTriangulation] {
+        let graph = connected_instance(family, 4_000, 1);
+        let ids = IdAssignment::Shuffled(5).assign(&graph);
+        let base = bedom_baselines::lenzen_planar_dominating_set(&graph, &ids);
+        group.bench_with_input(
+            BenchmarkId::new("thm17", family.name()),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    let result = bedom_core::local_connect(g, &ids, &base, 1);
+                    black_box(result.connected_dominating_set.len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lenzen_mds", family.name()),
+            &graph,
+            |b, g| {
+                b.iter(|| black_box(bedom_baselines::lenzen_planar_dominating_set(g, &ids).len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_connect);
+criterion_main!(benches);

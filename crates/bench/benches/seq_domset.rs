@@ -1,0 +1,51 @@
+//! Criterion bench for experiment T1's engine: the sequential Theorem 5
+//! algorithm against the greedy and Dvořák-style baselines on fixed
+//! bounded-expansion instances.
+
+use bedom_bench::connected_instance;
+use bedom_graph::generators::Family;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_seq_domset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seq_domset");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    for family in [Family::PlanarTriangulation, Family::ConfigurationModel] {
+        let graph = connected_instance(family, 20_000, 7);
+        for r in [1u32, 2] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("thm5/{}", family.name()), r),
+                &r,
+                |b, &r| {
+                    b.iter(|| {
+                        black_box(bedom_core::approximate_distance_domination(&graph, r).dominating_set.len())
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("greedy/{}", family.name()), r),
+                &r,
+                |b, &r| {
+                    b.iter(|| {
+                        black_box(bedom_graph::domset::greedy_distance_dominating_set(&graph, r).len())
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("dvorak/{}", family.name()), r),
+                &r,
+                |b, &r| {
+                    b.iter(|| {
+                        black_box(bedom_baselines::dvorak_style_domination_default(&graph, r).len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seq_domset);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for experiment F3's engine: linear-time scaling of the
+//! sequential Theorem 5 algorithm with the instance size.
+
+use bedom_bench::connected_instance;
+use bedom_graph::generators::Family;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seq_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    for n in [20_000usize, 80_000, 320_000] {
+        let graph = connected_instance(Family::PlanarTriangulation, n, 3);
+        group.throughput(Throughput::Elements(graph.num_vertices() as u64));
+        group.bench_with_input(BenchmarkId::new("thm5/planar-tri", n), &graph, |b, g| {
+            b.iter(|| {
+                black_box(bedom_core::approximate_distance_domination(g, 2).dominating_set.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

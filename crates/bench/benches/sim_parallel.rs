@@ -1,0 +1,40 @@
+//! Criterion bench for experiment F4's engine: sequential vs rayon-parallel
+//! round execution of the CONGEST_BC simulator.
+
+use bedom_bench::connected_instance;
+use bedom_core::{distributed_distance_domination, DistDomSetConfig};
+use bedom_graph::generators::Family;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_sim_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_parallel");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    let graph = connected_instance(Family::PlanarTriangulation, 16_000, 3);
+    for parallel in [false, true] {
+        let config = DistDomSetConfig {
+            parallel,
+            ..DistDomSetConfig::new(2)
+        };
+        group.bench_with_input(
+            BenchmarkId::new("thm9_rounds", if parallel { "parallel" } else { "sequential" }),
+            &config,
+            |b, cfg| {
+                b.iter(|| {
+                    black_box(
+                        distributed_distance_domination(&graph, *cfg)
+                            .unwrap()
+                            .dominating_set
+                            .len(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_parallel);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for experiment T2's engine: ordering heuristics and the
+//! weak-colouring constants they witness.
+
+use bedom_bench::connected_instance;
+use bedom_graph::generators::Family;
+use bedom_wcol::{compute_order, wcol_of_order, OrderingStrategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wcol_orders");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    let graph = connected_instance(Family::PlanarTriangulation, 20_000, 3);
+    for strategy in [OrderingStrategy::Degeneracy, OrderingStrategy::Degree] {
+        group.bench_with_input(
+            BenchmarkId::new("compute_order", strategy.name()),
+            &strategy,
+            |b, &s| b.iter(|| black_box(compute_order(&graph, 4, s).len())),
+        );
+    }
+    let order = compute_order(&graph, 4, OrderingStrategy::Degeneracy);
+    for r in [2u32, 4] {
+        group.bench_with_input(BenchmarkId::new("wcol_of_order", r), &r, |b, &r| {
+            b.iter(|| black_box(wcol_of_order(&graph, &order, r)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orders);
+criterion_main!(benches);

@@ -1,0 +1,387 @@
+//! Table/figure generator for the bedom reproduction.
+//!
+//! Each sub-command regenerates one experiment of EXPERIMENTS.md (the paper
+//! has no empirical section, so the experiments operationalise its theorems;
+//! see DESIGN.md §3 for the mapping):
+//!
+//! ```text
+//! cargo run --release -p bedom-bench --bin experiments -- [t1|t2|t3|t4|t5|t6|f1|f2|f3|f4|all] [--quick]
+//! ```
+//!
+//! `--quick` shrinks instance sizes so the full suite finishes in a couple of
+//! minutes; the default sizes are the ones EXPERIMENTS.md reports.
+
+use bedom_bench::{compared_algorithms, connected_instance, format_quality_table, QualityRow};
+use bedom_core::{
+    approximate_distance_domination, distributed_connected_domination,
+    distributed_distance_domination, distributed_neighborhood_cover, local_connect,
+    DistConnectedConfig, DistCoverConfig, DistDomSetConfig,
+};
+use bedom_distsim::{log2_ceil, IdAssignment};
+use bedom_graph::domset::{exact_distance_dominating_set, packing_lower_bound};
+use bedom_graph::generators::Family;
+use bedom_graph::metrics::shallow_minor_density_estimate;
+use bedom_wcol::{neighborhood_cover, wcol_of_order, OrderingStrategy};
+use std::time::Instant;
+
+struct Scale {
+    quick: bool,
+}
+
+impl Scale {
+    fn n(&self, full: usize) -> usize {
+        if self.quick {
+            (full / 8).max(120)
+        } else {
+            full
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let which = if which.is_empty() { vec!["all"] } else { which };
+    let scale = Scale { quick };
+
+    let run_all = which.contains(&"all");
+    let wants = |name: &str| run_all || which.contains(&name);
+
+    if wants("t1") {
+        table_t1(&scale);
+    }
+    if wants("t2") {
+        table_t2(&scale);
+    }
+    if wants("t3") {
+        table_t3(&scale);
+    }
+    if wants("t4") {
+        table_t4(&scale);
+    }
+    if wants("t5") {
+        table_t5(&scale);
+    }
+    if wants("t6") {
+        table_t6(&scale);
+    }
+    if wants("f1") {
+        figure_f1(&scale);
+    }
+    if wants("f2") {
+        figure_f2(&scale);
+    }
+    if wants("f3") {
+        figure_f3(&scale);
+    }
+    if wants("f4") {
+        figure_f4(&scale);
+    }
+}
+
+/// T1 — approximation quality vs exact OPT on small instances (Theorem 5).
+fn table_t1(scale: &Scale) {
+    println!("\n===== T1: approximation ratios against the exact optimum (Theorem 5) =====");
+    let families = [
+        Family::Grid,
+        Family::RandomTree,
+        Family::PlanarTriangulation,
+        Family::Outerplanar,
+        Family::TwoTree,
+        Family::ConfigurationModel,
+    ];
+    let mut rows = Vec::new();
+    for family in families {
+        for r in [1u32, 2] {
+            let graph = connected_instance(family, scale.n(240).min(240), 7);
+            let n = graph.num_vertices();
+            let reference = exact_distance_dominating_set(&graph, r, 4_000_000);
+            let (opt, exact) = match &reference {
+                Some(set) => (set.len(), true),
+                None => (packing_lower_bound(&graph, r), false),
+            };
+            for (name, algorithm) in compared_algorithms() {
+                let size = algorithm(&graph, r).len();
+                rows.push(QualityRow::new(family.name(), n, r, name, size, opt, exact));
+            }
+        }
+    }
+    print!("{}", format_quality_table(&rows));
+}
+
+/// T2 — witnessed constants and cover quality across sizes (Theorems 1/2/4).
+fn table_t2(scale: &Scale) {
+    println!("\n===== T2: witnessed wcol constants and cover quality (Theorems 2/4) =====");
+    println!(
+        "{:<14} {:>8} {:>3} {:<14} {:>8} {:>10} {:>12} {:>10}",
+        "family", "n", "r", "strategy", "c(2r)", "cov-degree", "cov-radius", "avg-size"
+    );
+    let families = [
+        Family::Grid,
+        Family::PlanarTriangulation,
+        Family::ConfigurationModel,
+        Family::ChungLu,
+    ];
+    for family in families {
+        for target in [scale.n(2_000), scale.n(16_000)] {
+            let graph = connected_instance(family, target, 3);
+            let r = 2u32;
+            for strategy in [OrderingStrategy::Degeneracy, OrderingStrategy::Degree] {
+                let order = bedom_wcol::compute_order(&graph, 2 * r, strategy);
+                let c = wcol_of_order(&graph, &order, 2 * r);
+                let cover = neighborhood_cover(&graph, &order, r);
+                println!(
+                    "{:<14} {:>8} {:>3} {:<14} {:>8} {:>10} {:>12} {:>10.1}",
+                    family.name(),
+                    graph.num_vertices(),
+                    r,
+                    strategy.name(),
+                    c,
+                    cover.degree(),
+                    cover
+                        .max_cluster_radius(&graph)
+                        .map(|x| x.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                    cover.average_cluster_size()
+                );
+            }
+        }
+    }
+}
+
+/// T3 — distributed covers equal sequential covers (Theorem 8).
+fn table_t3(scale: &Scale) {
+    println!("\n===== T3: distributed neighbourhood covers (Theorem 8) =====");
+    println!(
+        "{:<14} {:>8} {:>3} {:>7} {:>10} {:>12} {:>10} {:>8}",
+        "family", "n", "r", "rounds", "cov-degree", "cov-radius", "covers-ok", "same-seq"
+    );
+    for family in [Family::PlanarTriangulation, Family::ThreeTree, Family::ConfigurationModel] {
+        for r in [1u32, 2] {
+            let graph = connected_instance(family, scale.n(6_000), 5);
+            let dist = distributed_neighborhood_cover(&graph, DistCoverConfig::new(r)).unwrap();
+            let collected = dist.to_neighborhood_cover(&graph);
+            let seq = neighborhood_cover(&graph, &dist.order, r);
+            println!(
+                "{:<14} {:>8} {:>3} {:>7} {:>10} {:>12} {:>10} {:>8}",
+                family.name(),
+                graph.num_vertices(),
+                r,
+                dist.total_rounds(),
+                collected.degree(),
+                collected
+                    .max_cluster_radius(&graph)
+                    .map(|x| x.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                collected.covers_all_r_neighborhoods(&graph),
+                seq.clusters == collected.clusters,
+            );
+        }
+    }
+}
+
+/// T4 — connected distance-r dominating sets in CONGEST_BC (Theorem 10).
+fn table_t4(scale: &Scale) {
+    println!("\n===== T4: connected distance-r domination in CONGEST_BC (Theorem 10) =====");
+    println!(
+        "{:<14} {:>8} {:>3} {:>8} {:>8} {:>8} {:>10} {:>8}",
+        "family", "n", "r", "|D|", "|D'|", "blowup", "bound", "rounds"
+    );
+    for family in [Family::Grid, Family::PlanarTriangulation, Family::TwoTree, Family::ConfigurationModel] {
+        for r in [1u32, 2] {
+            let graph = connected_instance(family, scale.n(4_000), 9);
+            let result = distributed_connected_domination(&graph, DistConnectedConfig::new(r)).unwrap();
+            println!(
+                "{:<14} {:>8} {:>3} {:>8} {:>8} {:>8.2} {:>10} {:>8}",
+                family.name(),
+                graph.num_vertices(),
+                r,
+                result.dominating_set.len(),
+                result.connected_dominating_set.len(),
+                result.blowup,
+                result.proven_blowup_bound(r),
+                result.total_rounds()
+            );
+        }
+    }
+}
+
+/// T5 — the LOCAL connector over Lenzen et al. on planar graphs (Theorem 17).
+fn table_t5(scale: &Scale) {
+    println!("\n===== T5: LOCAL connector over Lenzen et al. on planar graphs (Theorem 17) =====");
+    println!(
+        "{:<14} {:>8} {:>3} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "family", "n", "r", "|D|", "|D'|", "blowup", "bound", "rounds"
+    );
+    for family in [Family::Grid, Family::PlanarTriangulation, Family::Outerplanar] {
+        for r in [1u32, 2] {
+            let graph = connected_instance(family, scale.n(8_000), 1);
+            let ids = IdAssignment::Shuffled(5).assign(&graph);
+            let base = if r == 1 {
+                bedom_baselines::lenzen_planar_dominating_set(&graph, &ids)
+            } else {
+                approximate_distance_domination(&graph, r).dominating_set
+            };
+            let result = local_connect(&graph, &ids, &base, r);
+            // Planar depth-r minors have density < 3, so the Theorem 17 factor
+            // is 2r·3.
+            let bound = 1 + 2 * r as usize * 3;
+            println!(
+                "{:<14} {:>8} {:>3} {:>8} {:>8} {:>8.2} {:>8} {:>8}",
+                family.name(),
+                graph.num_vertices(),
+                r,
+                base.len(),
+                result.connected_dominating_set.len(),
+                result.blowup,
+                bound,
+                result.rounds
+            );
+        }
+    }
+}
+
+/// T6 — head-to-head quality comparison including the G(n,p) control.
+fn table_t6(scale: &Scale) {
+    println!("\n===== T6: method comparison incl. the non-bounded-expansion control =====");
+    let mut rows = Vec::new();
+    for family in [Family::PlanarTriangulation, Family::ChungLu, Family::BoundedDegree, Family::Gnp] {
+        for r in [1u32, 2] {
+            let graph = connected_instance(family, scale.n(3_000), 13);
+            let n = graph.num_vertices();
+            let lb = packing_lower_bound(&graph, r);
+            for (name, algorithm) in compared_algorithms() {
+                let size = algorithm(&graph, r).len();
+                rows.push(QualityRow::new(family.name(), n, r, name, size, lb, false));
+            }
+        }
+    }
+    print!("{}", format_quality_table(&rows));
+    println!("shallow-minor density estimates (depth 2): planar-tri = {:.2}, gnp = {:.2}",
+        shallow_minor_density_estimate(&connected_instance(Family::PlanarTriangulation, scale.n(3_000), 13), 2, 1),
+        shallow_minor_density_estimate(&connected_instance(Family::Gnp, scale.n(3_000), 13), 2, 1));
+}
+
+/// F1 — round complexity vs n and vs r (Theorem 9).
+fn figure_f1(scale: &Scale) {
+    println!("\n===== F1: CONGEST_BC rounds vs n and vs r (Theorem 9) =====");
+    println!("{:<14} {:>8} {:>3} {:>8} {:>8} {:>9} {:>10}", "family", "n", "r", "rounds", "order", "wreach", "election");
+    for family in [Family::Grid, Family::PlanarTriangulation, Family::ChungLu] {
+        for n in [scale.n(1_000), scale.n(4_000), scale.n(16_000), scale.n(64_000)] {
+            let graph = connected_instance(family, n, 3);
+            let r = 2;
+            let result = distributed_distance_domination(&graph, DistDomSetConfig::new(r)).unwrap();
+            println!(
+                "{:<14} {:>8} {:>3} {:>8} {:>8} {:>9} {:>10}",
+                family.name(),
+                graph.num_vertices(),
+                r,
+                result.total_rounds(),
+                result.order_rounds,
+                result.wreach_rounds,
+                result.election_rounds
+            );
+        }
+    }
+    println!("--- fixed n, varying r ---");
+    let graph = connected_instance(Family::PlanarTriangulation, scale.n(8_000), 3);
+    for r in 1..=4u32 {
+        let result = distributed_distance_domination(&graph, DistDomSetConfig::new(r)).unwrap();
+        println!(
+            "{:<14} {:>8} {:>3} {:>8} {:>8} {:>9} {:>10}",
+            "planar-tri",
+            graph.num_vertices(),
+            r,
+            result.total_rounds(),
+            result.order_rounds,
+            result.wreach_rounds,
+            result.election_rounds
+        );
+    }
+}
+
+/// F2 — message sizes vs the Lemma 7 budget.
+fn figure_f2(scale: &Scale) {
+    println!("\n===== F2: message sizes vs the O(c²·r·log n) budget (Lemma 7 / Theorem 9) =====");
+    println!(
+        "{:<14} {:>8} {:>3} {:>5} {:>16} {:>16} {:>14}",
+        "family", "n", "r", "c", "max-msg-bits", "max-vertex-bits", "budget-bits"
+    );
+    for family in [Family::Grid, Family::PlanarTriangulation, Family::ChungLu] {
+        for n in [scale.n(2_000), scale.n(16_000)] {
+            let graph = connected_instance(family, n, 3);
+            let r = 2;
+            let result = distributed_distance_domination(&graph, DistDomSetConfig::new(r)).unwrap();
+            let c = result.measured_constant.max(1);
+            let budget = 8 * c * c * (2 * r as usize + 1) * log2_ceil(graph.num_vertices());
+            let max_vertex_bits = result
+                .phase_stats
+                .iter()
+                .map(|s| s.max_vertex_round_bits)
+                .max()
+                .unwrap_or(0);
+            println!(
+                "{:<14} {:>8} {:>3} {:>5} {:>16} {:>16} {:>14}",
+                family.name(),
+                graph.num_vertices(),
+                r,
+                c,
+                result.max_message_bits(),
+                max_vertex_bits,
+                budget
+            );
+        }
+    }
+}
+
+/// F3 — sequential running-time scaling (Contribution 1: linear time).
+fn figure_f3(scale: &Scale) {
+    println!("\n===== F3: sequential running time vs n (Theorem 5, linear-time claim) =====");
+    println!("{:<14} {:>9} {:>12} {:>14}", "family", "n", "millis", "ns-per-vertex");
+    for family in [Family::PlanarTriangulation, Family::ConfigurationModel] {
+        for n in [scale.n(20_000), scale.n(80_000), scale.n(320_000)] {
+            let graph = connected_instance(family, n, 3);
+            let start = Instant::now();
+            let result = approximate_distance_domination(&graph, 2);
+            let elapsed = start.elapsed();
+            std::hint::black_box(&result.dominating_set);
+            println!(
+                "{:<14} {:>9} {:>12.1} {:>14.0}",
+                family.name(),
+                graph.num_vertices(),
+                elapsed.as_secs_f64() * 1e3,
+                elapsed.as_nanos() as f64 / graph.num_vertices() as f64
+            );
+        }
+    }
+}
+
+/// F4 — simulator throughput: sequential vs rayon-parallel round execution.
+fn figure_f4(scale: &Scale) {
+    println!("\n===== F4: simulator throughput, sequential vs parallel rounds =====");
+    let graph = connected_instance(Family::PlanarTriangulation, scale.n(64_000), 3);
+    let r = 2;
+    for parallel in [false, true] {
+        let config = DistDomSetConfig {
+            parallel,
+            ..DistDomSetConfig::new(r)
+        };
+        let start = Instant::now();
+        let result = distributed_distance_domination(&graph, config).unwrap();
+        let elapsed = start.elapsed();
+        println!(
+            "n = {:>7}, parallel = {:>5}: {:>8.1} ms total, {} rounds, |D| = {}",
+            graph.num_vertices(),
+            parallel,
+            elapsed.as_secs_f64() * 1e3,
+            result.total_rounds(),
+            result.dominating_set.len()
+        );
+    }
+    println!("(threads: {})", rayon::current_num_threads());
+}

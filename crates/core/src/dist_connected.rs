@@ -1,0 +1,327 @@
+//! Distributed constant-factor approximation of the minimum *connected*
+//! distance-`r` dominating set in CONGEST_BC — Theorem 10 of the paper.
+//!
+//! The construction (Lemmas 11–13): compute an order for `wcol_{2r+1}`, run
+//! the weak-reachability protocol with reach radius `ρ = 2r + 1`, elect the
+//! dominating set `D = { min WReach_r[w] }` exactly as in Theorem 9, and then
+//! let every vertex `v ∈ D` add, for each `w ∈ WReach_{2r+1}[v]`, the vertex
+//! set of its stored path from `w` to `v`. By Lemma 12 the `L`-minimum of any
+//! short path between two dominators is weakly `(2r+1)`-reachable from both,
+//! so these added paths glue `D` together (Corollary 13), and by Lemma 11 the
+//! result is connected whenever `G` is.
+//!
+//! Distributedly, the extra phase is a path-flooding protocol: every `v ∈ D`
+//! broadcasts its stored paths; a vertex that sees itself on a received path
+//! joins `D'` and forwards the path once. Every path a vertex forwards starts
+//! at a member of its own weak reachability set, which bounds the number of
+//! simultaneously forwarded paths by `c' = c(2r+1)` — the same bookkeeping as
+//! in the proof of Theorem 10.
+
+use crate::dist_domset::{DistDomSetConfig, DistDomSetResult};
+use crate::dist_wreach::PathSetMessage;
+use bedom_distsim::{
+    IdAssignment, Incoming, Model, ModelViolation, Network, NodeAlgorithm, NodeContext, Outgoing,
+    RunStats,
+};
+use bedom_graph::{Graph, Vertex};
+use std::collections::BTreeSet;
+
+/// Per-vertex state of the path-flooding phase.
+pub struct PathFloodNode {
+    sid: u64,
+    id_bits: usize,
+    /// Paths this vertex still has to announce (initially: the stored paths of
+    /// a dominating-set member; afterwards: paths it discovered itself on).
+    pending: Vec<Vec<u64>>,
+    /// Paths already forwarded (dedup key: the full path).
+    forwarded: BTreeSet<Vec<u64>>,
+    /// Whether this vertex belongs to `D'`.
+    in_connected_set: bool,
+}
+
+impl PathFloodNode {
+    /// Initial state. `seed_paths` are the stored paths of a dominating-set
+    /// member (empty for non-members); `in_d` marks membership in `D`.
+    pub fn new(sid: u64, id_bits: usize, in_d: bool, seed_paths: Vec<Vec<u64>>) -> Self {
+        PathFloodNode {
+            sid,
+            id_bits,
+            pending: seed_paths,
+            forwarded: BTreeSet::new(),
+            in_connected_set: in_d,
+        }
+    }
+
+    fn broadcast_pending(&mut self) -> Outgoing<PathSetMessage> {
+        if self.pending.is_empty() {
+            return Outgoing::Silent;
+        }
+        self.pending.sort();
+        self.pending.dedup();
+        let paths = std::mem::take(&mut self.pending);
+        for p in &paths {
+            self.forwarded.insert(p.clone());
+        }
+        Outgoing::Broadcast(PathSetMessage {
+            paths,
+            id_bits: self.id_bits,
+        })
+    }
+}
+
+impl NodeAlgorithm for PathFloodNode {
+    type Message = PathSetMessage;
+    type Output = bool;
+
+    fn init(&mut self, _ctx: &NodeContext) -> Outgoing<PathSetMessage> {
+        self.broadcast_pending()
+    }
+
+    fn round(
+        &mut self,
+        _ctx: &NodeContext,
+        _round: usize,
+        inbox: &[Incoming<PathSetMessage>],
+    ) -> Outgoing<PathSetMessage> {
+        for message in inbox {
+            for path in &message.payload.paths {
+                if path.contains(&self.sid) && !self.forwarded.contains(path) {
+                    self.in_connected_set = true;
+                    self.pending.push(path.clone());
+                }
+            }
+        }
+        self.broadcast_pending()
+    }
+
+    fn output(&self, _ctx: &NodeContext) -> bool {
+        self.in_connected_set
+    }
+}
+
+/// Result of the Theorem 10 pipeline.
+#[derive(Clone, Debug)]
+pub struct DistConnectedResult {
+    /// The plain distance-`r` dominating set `D` computed first.
+    pub dominating_set: Vec<Vertex>,
+    /// The connected distance-`r` dominating set `D' ⊇ D`.
+    pub connected_dominating_set: Vec<Vertex>,
+    /// Blow-up factor `|D'| / |D|` (1.0 when `D` is empty).
+    pub blowup: f64,
+    /// The Theorem 9 sub-result (order, per-phase stats, constants).
+    pub domset: DistDomSetResult,
+    /// Rounds used by the path-flooding phase.
+    pub flood_rounds: usize,
+    /// Statistics of the flooding phase.
+    pub flood_stats: RunStats,
+    /// The measured constant `c' = max_w |WReach_{2r+1}[w]|`.
+    pub measured_constant: usize,
+}
+
+impl DistConnectedResult {
+    /// Total communication rounds across all phases.
+    pub fn total_rounds(&self) -> usize {
+        self.domset.total_rounds() + self.flood_rounds
+    }
+
+    /// The bound of Theorem 10 on `|D'| / |D|`, namely `c'·(2r + 1)`.
+    pub fn proven_blowup_bound(&self, r: u32) -> usize {
+        self.measured_constant * (2 * r as usize + 1)
+    }
+}
+
+/// Configuration of the connected distributed algorithm (same knobs as the
+/// plain one).
+pub type DistConnectedConfig = DistDomSetConfig;
+
+/// Runs the full Theorem 10 pipeline.
+pub fn distributed_connected_domination(
+    graph: &Graph,
+    config: DistConnectedConfig,
+) -> Result<DistConnectedResult, ModelViolation> {
+    let n = graph.num_vertices();
+    let r = config.r;
+
+    // Phases 1–3 of Theorem 9, but with reach radius 2r + 1 as Theorem 10
+    // requires. We reuse the dominating-set pipeline and simply ask the
+    // weak-reachability phase for the larger radius by running it through the
+    // same entry point with a custom rho: the dominating-set election only
+    // uses paths of length ≤ r, so electing from a (2r+1)-radius run yields
+    // the same D (|WReach_2r| ≤ |WReach_{2r+1}|, as the paper notes).
+    let domset = distributed_distance_domination_with_rho(graph, config, 2 * r + 1)?;
+
+    if n == 0 {
+        return Ok(DistConnectedResult {
+            dominating_set: Vec::new(),
+            connected_dominating_set: Vec::new(),
+            blowup: 1.0,
+            domset,
+            flood_rounds: 0,
+            flood_stats: RunStats::default(),
+            measured_constant: 0,
+        });
+    }
+
+    // Phase 4: path flooding from the members of D.
+    let id_bits = bedom_distsim::log2_ceil(n.max(2).pow(2)) + 8;
+    let model = match config.bandwidth_logs {
+        Some(k) => Model::congest_bc_scaled(k),
+        None => Model::Local,
+    };
+    let in_d: Vec<bool> = {
+        let mut flags = vec![false; n];
+        for &v in &domset.dominating_set {
+            flags[v as usize] = true;
+        }
+        flags
+    };
+    let wreach_info = &domset.wreach.info;
+    let mut flood = Network::new(graph, model, IdAssignment::Natural, |v, _ctx| {
+        let info = &wreach_info[v as usize];
+        let seed_paths = if in_d[v as usize] {
+            info.paths.values().cloned().collect()
+        } else {
+            Vec::new()
+        };
+        PathFloodNode::new(info.sid, id_bits, in_d[v as usize], seed_paths)
+    });
+    flood.set_parallel(config.parallel);
+    // Paths have at most 2r + 2 vertices, so 2r + 2 rounds let every path
+    // reach all of its vertices.
+    flood.run(2 * r as usize + 2)?;
+    let in_dprime = flood.outputs();
+    let flood_stats = flood.stats().clone();
+
+    let connected_dominating_set: Vec<Vertex> = graph
+        .vertices()
+        .filter(|&v| in_dprime[v as usize])
+        .collect();
+    let blowup = if domset.dominating_set.is_empty() {
+        1.0
+    } else {
+        connected_dominating_set.len() as f64 / domset.dominating_set.len() as f64
+    };
+    let measured_constant = domset.measured_constant;
+    Ok(DistConnectedResult {
+        dominating_set: domset.dominating_set.clone(),
+        connected_dominating_set,
+        blowup,
+        flood_rounds: flood_stats.rounds,
+        flood_stats,
+        measured_constant,
+        domset,
+    })
+}
+
+/// Internal variant of the Theorem 9 pipeline that allows a custom reach
+/// radius for the weak-reachability phase (Theorem 10 needs `2r + 1`).
+fn distributed_distance_domination_with_rho(
+    graph: &Graph,
+    config: DistDomSetConfig,
+    rho: u32,
+) -> Result<DistDomSetResult, ModelViolation> {
+    // The public pipeline hard-codes rho = 2r; re-run its phases here with
+    // the larger radius by temporarily inflating r for the reachability phase
+    // only. Election still uses paths of ≤ r edges.
+    crate::dist_domset::distributed_distance_domination_inner(graph, config, rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bedom_graph::components::is_induced_connected;
+    use bedom_graph::domset::{is_distance_dominating_set, packing_lower_bound};
+    use bedom_graph::generators::{
+        configuration_model_power_law, cycle, grid, maximal_outerplanar, path, random_ktree,
+        random_tree, stacked_triangulation,
+    };
+    use bedom_graph::components::largest_component;
+
+    fn check(graph: &Graph, r: u32) -> DistConnectedResult {
+        let result =
+            distributed_connected_domination(graph, DistConnectedConfig::new(r)).unwrap();
+        // D' dominates, contains D, and is connected (G is connected in all
+        // test instances).
+        assert!(is_distance_dominating_set(graph, &result.connected_dominating_set, r));
+        for v in &result.dominating_set {
+            assert!(result.connected_dominating_set.contains(v));
+        }
+        assert!(
+            is_induced_connected(graph, &result.connected_dominating_set),
+            "D' is not connected"
+        );
+        // Blow-up within the proven bound c'·(2r+1).
+        assert!(
+            result.connected_dominating_set.len()
+                <= result.proven_blowup_bound(r) * result.dominating_set.len().max(1),
+            "blow-up {} exceeds proven bound {}",
+            result.blowup,
+            result.proven_blowup_bound(r)
+        );
+        // Overall size bound against OPT of the *unconnected* problem (which
+        // lower-bounds the connected optimum): c'²·(2r+1)·lb.
+        let lb = packing_lower_bound(graph, r).max(1);
+        let c = result.measured_constant;
+        assert!(
+            result.connected_dominating_set.len() <= c * c * (2 * r as usize + 1) * lb,
+            "size {} > c'²(2r+1)·lb = {}",
+            result.connected_dominating_set.len(),
+            c * c * (2 * r as usize + 1) * lb
+        );
+        result
+    }
+
+    #[test]
+    fn connected_domination_on_structured_graphs() {
+        for r in 1..=2u32 {
+            check(&path(40), r);
+            check(&cycle(31), r);
+            check(&grid(8, 8), r);
+            check(&random_tree(90, 3), r);
+        }
+    }
+
+    #[test]
+    fn connected_domination_on_planar_and_sparse_families() {
+        check(&stacked_triangulation(150, 1), 1);
+        check(&stacked_triangulation(150, 1), 2);
+        check(&maximal_outerplanar(100), 1);
+        check(&random_ktree(120, 2, 4), 1);
+        let cm = configuration_model_power_law(250, 2.5, 2, 8, 9);
+        let (core, _) = cm.induced_subgraph(&largest_component(&cm));
+        check(&core, 1);
+    }
+
+    #[test]
+    fn blowup_is_modest_in_practice() {
+        // The proven bound is c'·(2r+1); in practice the blow-up should be far
+        // smaller (a handful), which is what experiment T4 reports.
+        let g = stacked_triangulation(300, 5);
+        let result = check(&g, 1);
+        assert!(result.blowup <= 8.0, "blow-up {}", result.blowup);
+    }
+
+    #[test]
+    fn round_complexity_stays_logarithmic() {
+        let mut rounds = Vec::new();
+        for n in [200usize, 800, 3200] {
+            let g = random_tree(n, 5);
+            let result = check(&g, 1);
+            rounds.push(result.total_rounds());
+        }
+        assert!(rounds[2] <= rounds[0] + 8, "rounds grew too fast: {rounds:?}");
+    }
+
+    #[test]
+    fn single_vertex_and_single_edge() {
+        let single = Graph::empty(1);
+        let result =
+            distributed_connected_domination(&single, DistConnectedConfig::new(1)).unwrap();
+        assert_eq!(result.connected_dominating_set, vec![0]);
+
+        let edge = bedom_graph::graph_from_edges(2, &[(0, 1)]);
+        let result = distributed_connected_domination(&edge, DistConnectedConfig::new(1)).unwrap();
+        assert!(is_distance_dominating_set(&edge, &result.connected_dominating_set, 1));
+        assert!(is_induced_connected(&edge, &result.connected_dominating_set));
+    }
+}

@@ -1,0 +1,246 @@
+//! Distributed sparse `r`-neighbourhood covers in CONGEST_BC — Theorem 8 of
+//! the paper.
+//!
+//! Theorem 8 states that the cover of Theorem 4 can be *represented*
+//! distributedly: after the order phase and the weak-reachability phase
+//! (Lemma 7), every vertex `w` knows, for each `v ∈ WReach_2r[w]`, that it
+//! belongs to the cluster `X_v`, together with a routing path of length at
+//! most `2r` towards the cluster centre `v`. That per-vertex knowledge *is*
+//! the distributed cover representation; this module packages it, offers the
+//! global (collected) view used by the experiments, and verifies that it
+//! coincides with the sequential cover built from the same order.
+
+use crate::dist_wreach::{distributed_weak_reachability, DistributedWReach, WReachConfig};
+use bedom_distsim::{IdAssignment, ModelViolation, RunStats};
+use bedom_graph::{Graph, Vertex};
+use bedom_wcol::{default_threshold, distributed_wcol_order, LinearOrder, NeighborhoodCover};
+use std::collections::HashMap;
+
+/// Distributed representation of an `r`-neighbourhood cover.
+#[derive(Clone, Debug)]
+pub struct DistributedCover {
+    /// The covering radius parameter `r`.
+    pub r: u32,
+    /// The linear order induced by the distributed super-ids.
+    pub order: LinearOrder,
+    /// Per-vertex cluster memberships: `memberships[w]` lists the centres `v`
+    /// (as graph vertices) with `w ∈ X_v`, together with the routing path
+    /// (as graph vertices, from the centre to `w`).
+    pub memberships: Vec<Vec<(Vertex, Vec<Vertex>)>>,
+    /// Rounds used by the order phase.
+    pub order_rounds: usize,
+    /// Rounds used by the weak-reachability phase.
+    pub wreach_rounds: usize,
+    /// Statistics of both phases.
+    pub phase_stats: Vec<RunStats>,
+    /// The measured degree bound `max_w |WReach_2r[w]|`.
+    pub measured_constant: usize,
+}
+
+impl DistributedCover {
+    /// Total communication rounds.
+    pub fn total_rounds(&self) -> usize {
+        self.order_rounds + self.wreach_rounds
+    }
+
+    /// Collects the distributed representation into explicit clusters
+    /// (`clusters[v]` = sorted members of `X_v`), the form the sequential
+    /// cover uses. A coordinator — not a network round — does this; it exists
+    /// for verification and experiments only.
+    pub fn collect_clusters(&self, n: usize) -> Vec<Vec<Vertex>> {
+        let mut clusters: Vec<Vec<Vertex>> = vec![Vec::new(); n];
+        for (w, entries) in self.memberships.iter().enumerate() {
+            for (center, _path) in entries {
+                clusters[*center as usize].push(w as Vertex);
+            }
+        }
+        for cluster in &mut clusters {
+            cluster.sort_unstable();
+        }
+        clusters
+    }
+
+    /// Converts to the sequential [`NeighborhoodCover`] form (same clusters,
+    /// plus the per-vertex home-cluster pointers) for reuse of its
+    /// verification methods.
+    pub fn to_neighborhood_cover(&self, graph: &Graph) -> NeighborhoodCover {
+        let clusters = self.collect_clusters(graph.num_vertices());
+        let home = bedom_wcol::min_wreach(graph, &self.order, self.r);
+        NeighborhoodCover {
+            r: self.r,
+            clusters,
+            home,
+        }
+    }
+}
+
+/// Configuration for the distributed cover computation.
+#[derive(Clone, Copy, Debug)]
+pub struct DistCoverConfig {
+    /// Covering radius `r` (clusters have radius ≤ 2r).
+    pub r: u32,
+    /// Identifier assignment for the order phase.
+    pub assignment: IdAssignment,
+    /// Bandwidth multiplier (see [`WReachConfig::bandwidth_logs`]).
+    pub bandwidth_logs: Option<usize>,
+    /// Parallel round evaluation.
+    pub parallel: bool,
+}
+
+impl DistCoverConfig {
+    /// Defaults: shuffled ids, unenforced bandwidth, parallel execution.
+    pub fn new(r: u32) -> Self {
+        DistCoverConfig {
+            r,
+            assignment: IdAssignment::Shuffled(0xc0fe),
+            bandwidth_logs: None,
+            parallel: true,
+        }
+    }
+}
+
+/// Runs the Theorem 8 pipeline: order phase + weak reachability with
+/// `ρ = 2r`, and packages the per-vertex cover representation.
+pub fn distributed_neighborhood_cover(
+    graph: &Graph,
+    config: DistCoverConfig,
+) -> Result<DistributedCover, ModelViolation> {
+    let n = graph.num_vertices();
+    let order_phase = distributed_wcol_order(graph, default_threshold(graph), config.assignment)?;
+    if n == 0 {
+        return Ok(DistributedCover {
+            r: config.r,
+            order: LinearOrder::identity(0),
+            memberships: Vec::new(),
+            order_rounds: 0,
+            wreach_rounds: 0,
+            phase_stats: Vec::new(),
+            measured_constant: 0,
+        });
+    }
+    let wreach: DistributedWReach = distributed_weak_reachability(
+        graph,
+        &order_phase.super_ids,
+        WReachConfig {
+            rho: 2 * config.r,
+            bandwidth_logs: config.bandwidth_logs,
+            parallel: config.parallel,
+        },
+    )?;
+
+    let sid_lookup: HashMap<u64, Vertex> = graph
+        .vertices()
+        .map(|v| (order_phase.super_ids[v as usize], v))
+        .collect();
+    let memberships: Vec<Vec<(Vertex, Vec<Vertex>)>> = wreach
+        .info
+        .iter()
+        .map(|info| {
+            info.paths
+                .iter()
+                .map(|(&center_sid, path)| {
+                    let center = sid_lookup[&center_sid];
+                    let path_vertices: Vec<Vertex> =
+                        path.iter().map(|sid| sid_lookup[sid]).collect();
+                    (center, path_vertices)
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut rank_keys: Vec<(u64, Vertex)> = graph
+        .vertices()
+        .map(|v| (order_phase.super_ids[v as usize], v))
+        .collect();
+    rank_keys.sort_unstable();
+    let order = LinearOrder::from_order(rank_keys.into_iter().map(|(_, v)| v).collect());
+
+    Ok(DistributedCover {
+        r: config.r,
+        order,
+        memberships,
+        order_rounds: order_phase.rounds,
+        wreach_rounds: wreach.rounds,
+        measured_constant: wreach.measured_constant(),
+        phase_stats: vec![order_phase.stats, wreach.stats],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bedom_graph::generators::{
+        configuration_model_power_law, grid, maximal_outerplanar, random_ktree, random_tree,
+        stacked_triangulation,
+    };
+    use bedom_wcol::neighborhood_cover;
+
+    fn check(graph: &Graph, r: u32) -> DistributedCover {
+        let cover = distributed_neighborhood_cover(graph, DistCoverConfig::new(r)).unwrap();
+        let as_seq = cover.to_neighborhood_cover(graph);
+        // Covering property, radius bound and degree bound of Theorem 8.
+        assert!(as_seq.covers_all_r_neighborhoods(graph));
+        let radius = as_seq.max_cluster_radius(graph).expect("disconnected cluster");
+        assert!(radius <= 2 * r, "radius {radius} > {}", 2 * r);
+        assert!(as_seq.degree() <= cover.measured_constant);
+        // The distributed clusters are exactly the sequential clusters built
+        // from the same order (Theorem 8 computes the Theorem 4 cover).
+        let seq = neighborhood_cover(graph, &cover.order, r);
+        assert_eq!(seq.clusters, as_seq.clusters);
+        cover
+    }
+
+    #[test]
+    fn covers_on_planar_and_ktree_and_random_families() {
+        check(&grid(8, 8), 1);
+        check(&grid(8, 8), 2);
+        check(&stacked_triangulation(150, 3), 1);
+        check(&stacked_triangulation(150, 3), 2);
+        check(&maximal_outerplanar(100), 2);
+        check(&random_ktree(120, 3, 5), 1);
+        check(&random_tree(150, 5), 3);
+        check(&configuration_model_power_law(200, 2.5, 2, 8, 5), 1);
+    }
+
+    #[test]
+    fn routing_paths_lead_to_cluster_centers() {
+        let g = stacked_triangulation(80, 7);
+        let cover = check(&g, 2);
+        for (w, entries) in cover.memberships.iter().enumerate() {
+            for (center, path) in entries {
+                assert_eq!(path.first(), Some(center));
+                assert_eq!(*path.last().unwrap(), w as Vertex);
+                assert!(path.len() <= 2 * 2 + 1, "path longer than 2r: {path:?}");
+                for pair in path.windows(2) {
+                    assert!(g.has_edge(pair[0], pair[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_vertex_is_in_its_own_cluster() {
+        let g = random_tree(60, 1);
+        let cover = check(&g, 1);
+        for (w, entries) in cover.memberships.iter().enumerate() {
+            assert!(entries.iter().any(|(c, _)| *c == w as Vertex));
+        }
+    }
+
+    #[test]
+    fn round_budget_matches_phases() {
+        let g = grid(10, 10);
+        let cover = check(&g, 3);
+        assert_eq!(cover.wreach_rounds, 6);
+        assert!(cover.order_rounds <= bedom_distsim::log2_ceil(100) + 3);
+        assert_eq!(cover.total_rounds(), cover.order_rounds + cover.wreach_rounds);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(0);
+        let cover = distributed_neighborhood_cover(&g, DistCoverConfig::new(2)).unwrap();
+        assert!(cover.memberships.is_empty());
+        assert_eq!(cover.total_rounds(), 0);
+    }
+}

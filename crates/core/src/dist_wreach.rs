@@ -1,0 +1,411 @@
+//! Distributed computation of weak reachability sets with routing paths —
+//! Algorithm 4 / Lemma 7 of the paper.
+//!
+//! After the distributed order computation has equipped every vertex with a
+//! locally-computable *super-id* (the paper's class-id + identifier pair,
+//! here produced by [`bedom_wcol::distributed_wcol_order`]), every vertex `w`
+//! learns, in `ρ` further CONGEST_BC rounds,
+//!
+//! * the set `WReach_ρ[G, L, w]` (as super-ids), and
+//! * for each `v` in it, a path of length at most `ρ` from `v` to `w` that is
+//!   a shortest path inside the cluster `X_v`.
+//!
+//! The protocol is the paper's parallel restricted BFS: each vertex maintains
+//! at most one path per known start vertex, keeps only starts smaller than
+//! itself, prefers shorter paths and breaks ties lexicographically by
+//! super-id sequence, and re-broadcasts a path only when it is new or
+//! improved. Every vertex therefore forwards information only about vertices
+//! in its own weak reachability set, which is what keeps the per-round
+//! broadcast at `O(c(ρ)²·ρ·log n)` bits (Lemma 7).
+
+use bedom_distsim::{
+    IdAssignment, Incoming, MessageSize, Model, ModelViolation, Network, NodeAlgorithm,
+    NodeContext, Outgoing, RunStats,
+};
+use bedom_graph::{Graph, Vertex};
+use std::collections::BTreeMap;
+
+/// A set of routing paths, the broadcast payload of the protocol.
+///
+/// Each path is a sequence of super-ids from its start vertex to the sender.
+/// For bandwidth accounting every super-id is charged at `id_bits` bits
+/// (super-ids are bounded by `O(n log n)`, i.e. `O(log n)` bits).
+#[derive(Clone, Debug, Default)]
+pub struct PathSetMessage {
+    /// The paths, each a super-id sequence of length ≥ 1.
+    pub paths: Vec<Vec<u64>>,
+    /// Bits charged per super-id.
+    pub id_bits: usize,
+}
+
+impl MessageSize for PathSetMessage {
+    fn size_bits(&self) -> usize {
+        // Length prefix per message and per path, plus the ids themselves.
+        16 + self
+            .paths
+            .iter()
+            .map(|p| 8 + p.len() * self.id_bits)
+            .sum::<usize>()
+    }
+}
+
+/// Per-vertex output of the protocol.
+#[derive(Clone, Debug)]
+pub struct WReachInfo {
+    /// This vertex's super-id.
+    pub sid: u64,
+    /// For every known start `v` (with `sid(v) < sid(self)`): the stored path
+    /// from `v`'s super-id to this vertex's super-id. The entry for the vertex
+    /// itself (`sid → [sid]`) is included, mirroring `v ∈ WReach_ρ[v]`.
+    pub paths: BTreeMap<u64, Vec<u64>>,
+}
+
+impl WReachInfo {
+    /// Super-ids of `WReach_ρ[w]` (including `w` itself), sorted.
+    pub fn wreach_sids(&self) -> Vec<u64> {
+        self.paths.keys().copied().collect()
+    }
+
+    /// The `L`-minimum super-id reachable by a stored path of at most
+    /// `max_len` edges — used by Theorem 9 to elect `min WReach_r[w]` from an
+    /// order computed for a larger radius.
+    pub fn min_reachable_within(&self, max_len: usize) -> u64 {
+        self.paths
+            .iter()
+            .filter(|(_, path)| path.len().saturating_sub(1) <= max_len)
+            .map(|(&sid, _)| sid)
+            .min()
+            .unwrap_or(self.sid)
+    }
+}
+
+/// Node state of the parallel restricted-BFS protocol (paper's Algorithm 4).
+pub struct WReachNode {
+    sid: u64,
+    rho: u32,
+    id_bits: usize,
+    paths: BTreeMap<u64, Vec<u64>>,
+    to_send: Vec<Vec<u64>>,
+}
+
+impl WReachNode {
+    /// Creates the initial state for a vertex with super-id `sid`, reach
+    /// radius `rho`, charging `id_bits` bits per transmitted super-id.
+    pub fn new(sid: u64, rho: u32, id_bits: usize) -> Self {
+        WReachNode {
+            sid,
+            rho,
+            id_bits,
+            paths: BTreeMap::new(),
+            to_send: Vec::new(),
+        }
+    }
+
+    /// Offers a candidate path ending at this vertex; stores and schedules it
+    /// for broadcast if it is new or better than the stored one.
+    fn offer(&mut self, candidate: Vec<u64>) {
+        let start = candidate[0];
+        if start >= self.sid {
+            return;
+        }
+        let better = match self.paths.get(&start) {
+            None => true,
+            Some(existing) => {
+                candidate.len() < existing.len()
+                    || (candidate.len() == existing.len() && candidate < *existing)
+            }
+        };
+        if better {
+            // Re-broadcast only paths that can still be usefully extended.
+            if candidate.len().saturating_sub(1) < self.rho as usize {
+                self.to_send.push(candidate.clone());
+            }
+            self.paths.insert(start, candidate);
+        }
+    }
+}
+
+impl NodeAlgorithm for WReachNode {
+    type Message = PathSetMessage;
+    type Output = WReachInfo;
+
+    fn init(&mut self, _ctx: &NodeContext) -> Outgoing<PathSetMessage> {
+        self.paths.insert(self.sid, vec![self.sid]);
+        Outgoing::Broadcast(PathSetMessage {
+            paths: vec![vec![self.sid]],
+            id_bits: self.id_bits,
+        })
+    }
+
+    fn round(
+        &mut self,
+        _ctx: &NodeContext,
+        round: usize,
+        inbox: &[Incoming<PathSetMessage>],
+    ) -> Outgoing<PathSetMessage> {
+        if round > self.rho as usize {
+            return Outgoing::Silent;
+        }
+        self.to_send.clear();
+        for message in inbox {
+            for path in &message.payload.paths {
+                if path.contains(&self.sid) {
+                    continue;
+                }
+                if path.len() > self.rho as usize {
+                    // Extending would exceed the reach radius.
+                    continue;
+                }
+                let mut extended = path.clone();
+                extended.push(self.sid);
+                self.offer(extended);
+            }
+        }
+        if self.to_send.is_empty() {
+            Outgoing::Silent
+        } else {
+            // Deterministic broadcast order.
+            self.to_send.sort();
+            Outgoing::Broadcast(PathSetMessage {
+                paths: std::mem::take(&mut self.to_send),
+                id_bits: self.id_bits,
+            })
+        }
+    }
+
+    fn output(&self, _ctx: &NodeContext) -> WReachInfo {
+        WReachInfo {
+            sid: self.sid,
+            paths: self.paths.clone(),
+        }
+    }
+}
+
+/// Result of running the weak reachability protocol.
+#[derive(Clone, Debug)]
+pub struct DistributedWReach {
+    /// Per-vertex outputs, indexed by graph vertex.
+    pub info: Vec<WReachInfo>,
+    /// Super-id of every graph vertex (copied from the order phase).
+    pub super_ids: Vec<u64>,
+    /// Communication rounds used by this phase.
+    pub rounds: usize,
+    /// Executor statistics for this phase.
+    pub stats: RunStats,
+}
+
+impl DistributedWReach {
+    /// Maps a super-id back to the graph vertex carrying it.
+    pub fn vertex_of_sid(&self, sid: u64) -> Option<Vertex> {
+        self.super_ids
+            .iter()
+            .position(|&s| s == sid)
+            .map(|v| v as Vertex)
+    }
+
+    /// The measured constant: `max_w |WReach_ρ[w]|` over all vertices.
+    pub fn measured_constant(&self) -> usize {
+        self.info.iter().map(|i| i.paths.len()).max().unwrap_or(0)
+    }
+}
+
+/// Configuration of the weak reachability phase.
+#[derive(Clone, Copy, Debug)]
+pub struct WReachConfig {
+    /// Reach radius ρ (the protocol runs ρ communication rounds). The paper
+    /// uses ρ = 2r for Theorem 9 and ρ = 2r + 1 for Theorem 10.
+    pub rho: u32,
+    /// Bandwidth multiplier (in units of `⌈log₂ n⌉` bits) for the CONGEST_BC
+    /// model check, or `None` to run without bandwidth enforcement (LOCAL)
+    /// and only *measure* message sizes. The paper's Lemma 7 bound corresponds
+    /// to a multiplier of `Θ(c(ρ)²·ρ)`, a class constant it assumes known.
+    pub bandwidth_logs: Option<usize>,
+    /// Run rounds in parallel with rayon.
+    pub parallel: bool,
+}
+
+impl WReachConfig {
+    /// Convenience constructor with enforcement disabled.
+    pub fn measuring(rho: u32) -> Self {
+        WReachConfig {
+            rho,
+            bandwidth_logs: None,
+            parallel: true,
+        }
+    }
+}
+
+/// Runs the weak reachability protocol of Lemma 7 on `graph` using the given
+/// per-vertex super-ids (from the distributed order phase).
+pub fn distributed_weak_reachability(
+    graph: &Graph,
+    super_ids: &[u64],
+    config: WReachConfig,
+) -> Result<DistributedWReach, ModelViolation> {
+    assert_eq!(super_ids.len(), graph.num_vertices());
+    let n = graph.num_vertices();
+    // Super-ids fit in O(log n) bits: they are bounded by (phases+1)·n.
+    let id_bits = bedom_distsim::log2_ceil(n.max(2).pow(2)) + 8;
+    let model = match config.bandwidth_logs {
+        Some(k) => Model::congest_bc_scaled(k),
+        None => Model::Local,
+    };
+    let mut network = Network::new(graph, model, IdAssignment::Natural, |v, _ctx| {
+        WReachNode::new(super_ids[v as usize], config.rho, id_bits)
+    });
+    network.set_parallel(config.parallel);
+    network.run(config.rho as usize)?;
+    let info = network.outputs();
+    let stats = network.stats().clone();
+    Ok(DistributedWReach {
+        info,
+        super_ids: super_ids.to_vec(),
+        rounds: stats.rounds,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bedom_graph::generators::{cycle, grid, path, random_tree, stacked_triangulation};
+    use bedom_wcol::{weak_reachability_sets, LinearOrder};
+
+    /// Runs the protocol with super-ids equal to ranks of the given order and
+    /// cross-checks the computed sets against the sequential computation.
+    fn check_against_sequential(graph: &Graph, order: &LinearOrder, rho: u32) {
+        let super_ids: Vec<u64> = graph
+            .vertices()
+            .map(|v| order.rank(v) as u64)
+            .collect();
+        let result =
+            distributed_weak_reachability(graph, &super_ids, WReachConfig::measuring(rho)).unwrap();
+        let expected = weak_reachability_sets(graph, order, rho);
+        for w in graph.vertices() {
+            let mut got: Vec<Vertex> = result.info[w as usize]
+                .paths
+                .keys()
+                .map(|&sid| order.vertex_at(sid as usize))
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, expected[w as usize], "vertex {w}, rho {rho}");
+        }
+        assert_eq!(result.rounds, rho as usize);
+    }
+
+    #[test]
+    fn matches_sequential_on_structured_graphs() {
+        for rho in 1..=4u32 {
+            check_against_sequential(&path(20), &LinearOrder::identity(20), rho);
+            check_against_sequential(&cycle(15), &LinearOrder::from_order((0..15).rev().collect()), rho);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_sparse_classes_with_heuristic_order() {
+        for (g, rho) in [
+            (grid(7, 7), 2u32),
+            (grid(7, 7), 4),
+            (random_tree(80, 3), 3),
+            (stacked_triangulation(90, 5), 2),
+            (stacked_triangulation(90, 5), 4),
+        ] {
+            let order = bedom_wcol::degeneracy_based_order(&g);
+            check_against_sequential(&g, &order, rho);
+        }
+    }
+
+    #[test]
+    fn stored_paths_are_valid_and_short() {
+        let g = stacked_triangulation(70, 2);
+        let order = bedom_wcol::degeneracy_based_order(&g);
+        let rho = 4u32;
+        let super_ids: Vec<u64> = g.vertices().map(|v| order.rank(v) as u64).collect();
+        let result =
+            distributed_weak_reachability(&g, &super_ids, WReachConfig::measuring(rho)).unwrap();
+        for w in g.vertices() {
+            for (&start_sid, path) in &result.info[w as usize].paths {
+                assert_eq!(*path.first().unwrap(), start_sid);
+                assert_eq!(*path.last().unwrap(), super_ids[w as usize]);
+                assert!(path.len() <= rho as usize + 1, "path too long: {path:?}");
+                // Consecutive path vertices must be adjacent in G.
+                let as_vertices: Vec<Vertex> = path
+                    .iter()
+                    .map(|&sid| order.vertex_at(sid as usize))
+                    .collect();
+                for pair in as_vertices.windows(2) {
+                    assert!(g.has_edge(pair[0], pair[1]), "non-edge on path {path:?}");
+                }
+                // The start is the L-minimum of the path (weak reachability).
+                for &sid in path.iter() {
+                    assert!(sid >= start_sid);
+                }
+                // The stored path is a shortest v-w path within the cluster
+                // X_v; in particular its length is at least the G-distance.
+                let d = bedom_graph::bfs::distance(&g, as_vertices[0], w).unwrap();
+                assert!(path.len() as u32 - 1 >= d);
+            }
+        }
+    }
+
+    #[test]
+    fn min_reachable_within_smaller_radius() {
+        // With ρ = 2r the election for radius r must only use paths of ≤ r
+        // edges; check it against the sequential min over WReach_r.
+        let g = grid(6, 8);
+        let order = bedom_wcol::degeneracy_based_order(&g);
+        let r = 2u32;
+        let super_ids: Vec<u64> = g.vertices().map(|v| order.rank(v) as u64).collect();
+        let result =
+            distributed_weak_reachability(&g, &super_ids, WReachConfig::measuring(2 * r)).unwrap();
+        let seq_min = bedom_wcol::min_wreach(&g, &order, r);
+        for w in g.vertices() {
+            let elected_sid = result.info[w as usize].min_reachable_within(r as usize);
+            let elected = order.vertex_at(elected_sid as usize);
+            // The distributed election may find a path of length ≤ r that the
+            // restricted BFS also finds; both must agree because both minimise
+            // over the same set WReach_r[w].
+            assert_eq!(elected, seq_min[w as usize], "vertex {w}");
+        }
+    }
+
+    #[test]
+    fn bandwidth_enforcement_within_paper_bound() {
+        // Enforce the CONGEST_BC bandwidth at the Lemma 7 bound
+        // Θ(c²·ρ·log n) and verify the protocol fits within it.
+        let g = stacked_triangulation(150, 8);
+        let order = bedom_wcol::degeneracy_based_order(&g);
+        let rho = 4u32;
+        let c = bedom_wcol::wcol_of_order(&g, &order, rho);
+        let super_ids: Vec<u64> = g.vertices().map(|v| order.rank(v) as u64).collect();
+        let config = WReachConfig {
+            rho,
+            bandwidth_logs: Some(4 * c * c * (rho as usize + 1)),
+            parallel: false,
+        };
+        let result = distributed_weak_reachability(&g, &super_ids, config).unwrap();
+        assert_eq!(result.measured_constant(), c);
+    }
+
+    #[test]
+    fn tiny_bandwidth_is_rejected() {
+        let g = grid(8, 8);
+        let super_ids: Vec<u64> = (0..64u64).collect();
+        let config = WReachConfig {
+            rho: 4,
+            bandwidth_logs: Some(1),
+            parallel: false,
+        };
+        let err = distributed_weak_reachability(&g, &super_ids, config).unwrap_err();
+        assert!(matches!(err, ModelViolation::MessageTooLarge { .. }));
+    }
+
+    #[test]
+    fn message_size_accounting() {
+        let m = PathSetMessage {
+            paths: vec![vec![1, 2, 3], vec![4]],
+            id_bits: 10,
+        };
+        assert_eq!(m.size_bits(), 16 + (8 + 30) + (8 + 10));
+    }
+}

@@ -1,0 +1,106 @@
+//! # bedom-core
+//!
+//! The algorithms of *"Distributed Domination on Graph Classes of Bounded
+//! Expansion"* (SPAA 2018):
+//!
+//! | Paper result | Module | Entry point |
+//! |---|---|---|
+//! | Theorem 5 (sequential `c(r)`-approximation, Algorithms 1–3) | [`seq_domset`] | [`seq_domset::approximate_distance_domination`] |
+//! | Lemma 7 / Algorithm 4 (distributed weak reachability + routing paths) | [`dist_wreach`] | [`dist_wreach::distributed_weak_reachability`] |
+//! | Theorem 8 (distributed sparse `r`-neighbourhood covers) | [`dist_cover`] | [`dist_cover::distributed_neighborhood_cover`] |
+//! | Theorem 9 (distributed `c(r)`-approximation in CONGEST_BC) | [`dist_domset`] | [`dist_domset::distributed_distance_domination`] |
+//! | Theorem 10 (distributed *connected* approximation in CONGEST_BC) | [`dist_connected`] | [`dist_connected::distributed_connected_domination`] |
+//! | Lemmas 14–16, Theorem 17 (LOCAL connector, factor `2r·d`) | [`local_connect`] | [`local_connect::local_connect`] |
+//!
+//! The substrates live in sibling crates: graphs and generators in
+//! `bedom-graph`, the LOCAL/CONGEST/CONGEST_BC simulator in `bedom-distsim`,
+//! orders/weak-reachability/covers in `bedom-wcol`, and the comparison
+//! algorithms in `bedom-baselines`.
+
+pub mod dist_connected;
+pub mod dist_cover;
+pub mod dist_domset;
+pub mod dist_wreach;
+pub mod local_connect;
+pub mod pipeline;
+pub mod seq_domset;
+
+pub use dist_connected::{
+    distributed_connected_domination, DistConnectedConfig, DistConnectedResult,
+};
+pub use dist_cover::{distributed_neighborhood_cover, DistCoverConfig, DistributedCover};
+pub use dist_domset::{distributed_distance_domination, DistDomSetConfig, DistDomSetResult};
+pub use dist_wreach::{
+    distributed_weak_reachability, DistributedWReach, WReachConfig, WReachInfo,
+};
+pub use local_connect::{local_connect, LocalConnectResult};
+pub use pipeline::{solve_checked, DominationPipeline, DominationReport, Mode};
+pub use seq_domset::{
+    approximate_distance_domination, domset_algorithm1, domset_via_min_wreach, SeqDomSetResult,
+};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use bedom_distsim::IdAssignment;
+    use bedom_graph::components::{is_induced_connected, largest_component};
+    use bedom_graph::domset::is_distance_dominating_set;
+    use bedom_graph::generators::{random_ktree, random_tree, stacked_triangulation};
+    use bedom_graph::Graph;
+    use proptest::prelude::*;
+
+    fn arb_connected_sparse_graph() -> impl Strategy<Value = Graph> {
+        prop_oneof![
+            (5usize..70, 0u64..100).prop_map(|(n, s)| random_tree(n, s)),
+            (5usize..70, 0u64..100).prop_map(|(n, s)| stacked_triangulation(n, s)),
+            (6usize..70, 0u64..100).prop_map(|(n, s)| random_ktree(n, 2, s)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn sequential_and_algorithm1_agree_and_dominate(
+            g in arb_connected_sparse_graph(), r in 1u32..4
+        ) {
+            let order = bedom_wcol::degeneracy_based_order(&g);
+            let direct = domset_via_min_wreach(&g, &order, r);
+            let faithful = domset_algorithm1(&g, &order, r);
+            prop_assert_eq!(&faithful, &direct.dominating_set);
+            prop_assert!(is_distance_dominating_set(&g, &direct.dominating_set, r));
+        }
+
+        #[test]
+        fn distributed_matches_sequential_given_its_own_order(
+            g in arb_connected_sparse_graph(), r in 1u32..3
+        ) {
+            let result = distributed_distance_domination(&g, DistDomSetConfig::new(r)).unwrap();
+            prop_assert!(is_distance_dominating_set(&g, &result.dominating_set, r));
+            let seq = domset_via_min_wreach(&g, &result.order, r);
+            prop_assert_eq!(seq.dominating_set, result.dominating_set);
+        }
+
+        #[test]
+        fn connected_variant_is_connected_and_dominating(
+            g in arb_connected_sparse_graph(), r in 1u32..3
+        ) {
+            let core_vertices = largest_component(&g);
+            let (core, _) = g.induced_subgraph(&core_vertices);
+            let result = distributed_connected_domination(&core, DistConnectedConfig::new(r)).unwrap();
+            prop_assert!(is_distance_dominating_set(&core, &result.connected_dominating_set, r));
+            prop_assert!(is_induced_connected(&core, &result.connected_dominating_set));
+        }
+
+        #[test]
+        fn local_connector_preserves_domination_and_connects(
+            g in arb_connected_sparse_graph(), r in 1u32..3, seed in 0u64..50
+        ) {
+            let ids = IdAssignment::Shuffled(seed).assign(&g);
+            let d = bedom_graph::domset::greedy_distance_dominating_set(&g, r);
+            let result = local_connect(&g, &ids, &d, r);
+            prop_assert!(is_distance_dominating_set(&g, &result.connected_dominating_set, r));
+            prop_assert!(is_induced_connected(&g, &result.connected_dominating_set));
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! High-level convenience API: one call per paper result, sensible defaults,
+//! and a single report struct that bundles the quantities the experiments
+//! (and a downstream user) care about.
+//!
+//! The lower-level entry points in the sibling modules expose every knob
+//! (orders, id assignments, bandwidth enforcement); this module is the
+//! "just solve my instance" layer used by the examples and by the quickstart
+//! in the README.
+
+use crate::dist_connected::{distributed_connected_domination, DistConnectedConfig};
+use crate::dist_domset::{distributed_distance_domination, DistDomSetConfig};
+use crate::local_connect::local_connect;
+use crate::seq_domset::domset_via_min_wreach;
+use bedom_distsim::{IdAssignment, ModelViolation};
+use bedom_graph::domset::{is_distance_dominating_set, packing_lower_bound};
+use bedom_graph::{Graph, Vertex};
+use bedom_wcol::{compute_order, wcol_of_order, OrderingStrategy};
+
+/// Which execution mode to use for solving an instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// The sequential linear-time algorithm of Theorem 5.
+    Sequential,
+    /// The CONGEST_BC protocol of Theorem 9 (simulated).
+    Distributed,
+}
+
+/// A solved instance, with the measured quantities attached.
+#[derive(Clone, Debug)]
+pub struct DominationReport {
+    /// Radius parameter.
+    pub r: u32,
+    /// Execution mode used.
+    pub mode: Mode,
+    /// The distance-`r` dominating set.
+    pub dominating_set: Vec<Vertex>,
+    /// The connected distance-`r` dominating set, if one was requested.
+    pub connected_dominating_set: Option<Vec<Vertex>>,
+    /// The constant `c` witnessed by the order that was used — the proven
+    /// approximation-ratio bound for this run.
+    pub witnessed_constant: usize,
+    /// A lower bound on the optimum (2r-packing), for ratio reporting.
+    pub optimum_lower_bound: usize,
+    /// Communication rounds used (0 in sequential mode).
+    pub rounds: usize,
+}
+
+impl DominationReport {
+    /// `|D| / lower bound` — an upper bound on the true approximation ratio.
+    pub fn ratio_upper_bound(&self) -> f64 {
+        self.dominating_set.len() as f64 / self.optimum_lower_bound.max(1) as f64
+    }
+}
+
+/// Builder-style solver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DominationPipeline {
+    r: u32,
+    mode: Mode,
+    connected: bool,
+    strategy: OrderingStrategy,
+    seed: u64,
+}
+
+impl DominationPipeline {
+    /// A pipeline for distance-`r` domination with the project defaults
+    /// (sequential mode, degeneracy order, no connection step).
+    pub fn new(r: u32) -> Self {
+        DominationPipeline {
+            r,
+            mode: Mode::Sequential,
+            connected: false,
+            strategy: OrderingStrategy::Degeneracy,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Selects sequential or distributed execution.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Also computes a connected distance-`r` dominating set (Theorem 10 in
+    /// distributed mode, Theorem 17's LOCAL connector in sequential mode).
+    pub fn connected(mut self, connected: bool) -> Self {
+        self.connected = connected;
+        self
+    }
+
+    /// Ordering heuristic for sequential mode.
+    pub fn ordering(mut self, strategy: OrderingStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Seed for identifier assignment in distributed mode.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Solves the instance.
+    pub fn solve(&self, graph: &Graph) -> Result<DominationReport, ModelViolation> {
+        let r = self.r;
+        let lower_bound = packing_lower_bound(graph, r);
+        match self.mode {
+            Mode::Sequential => {
+                let order = compute_order(graph, 2 * r, self.strategy);
+                let result = domset_via_min_wreach(graph, &order, r);
+                let connected = if self.connected {
+                    let ids = IdAssignment::Shuffled(self.seed).assign(graph);
+                    Some(
+                        local_connect(graph, &ids, &result.dominating_set, r)
+                            .connected_dominating_set,
+                    )
+                } else {
+                    None
+                };
+                Ok(DominationReport {
+                    r,
+                    mode: Mode::Sequential,
+                    dominating_set: result.dominating_set,
+                    connected_dominating_set: connected,
+                    witnessed_constant: result.witnessed_constant,
+                    optimum_lower_bound: lower_bound,
+                    rounds: 0,
+                })
+            }
+            Mode::Distributed => {
+                let config = DistDomSetConfig {
+                    assignment: IdAssignment::Shuffled(self.seed),
+                    ..DistDomSetConfig::new(r)
+                };
+                if self.connected {
+                    let result = distributed_connected_domination(
+                        graph,
+                        DistConnectedConfig { ..config },
+                    )?;
+                    Ok(DominationReport {
+                        r,
+                        mode: Mode::Distributed,
+                        dominating_set: result.dominating_set.clone(),
+                        connected_dominating_set: Some(result.connected_dominating_set.clone()),
+                        witnessed_constant: result.measured_constant,
+                        optimum_lower_bound: lower_bound,
+                        rounds: result.total_rounds(),
+                    })
+                } else {
+                    let result = distributed_distance_domination(graph, config)?;
+                    Ok(DominationReport {
+                        r,
+                        mode: Mode::Distributed,
+                        dominating_set: result.dominating_set.clone(),
+                        connected_dominating_set: None,
+                        witnessed_constant: result.measured_constant,
+                        optimum_lower_bound: lower_bound,
+                        rounds: result.total_rounds(),
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// One-call convenience: sequential Theorem 5 with defaults, plus validity
+/// checking (returns `None` if the produced set fails validation, which would
+/// indicate a bug — exposed this way for defensive callers).
+pub fn solve_checked(graph: &Graph, r: u32) -> Option<DominationReport> {
+    let report = DominationPipeline::new(r).solve(graph).ok()?;
+    if is_distance_dominating_set(graph, &report.dominating_set, r) {
+        Some(report)
+    } else {
+        None
+    }
+}
+
+/// Computes, for reporting, the constant witnessed by a given strategy on a
+/// given instance (used by the ablation in EXPERIMENTS.md).
+pub fn witnessed_constant_for(graph: &Graph, r: u32, strategy: OrderingStrategy) -> usize {
+    let order = compute_order(graph, 2 * r, strategy);
+    wcol_of_order(graph, &order, 2 * r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bedom_graph::components::is_induced_connected;
+    use bedom_graph::generators::{grid, random_tree, stacked_triangulation};
+
+    #[test]
+    fn sequential_pipeline_with_defaults() {
+        let g = stacked_triangulation(200, 3);
+        let report = DominationPipeline::new(2).solve(&g).unwrap();
+        assert_eq!(report.mode, Mode::Sequential);
+        assert!(is_distance_dominating_set(&g, &report.dominating_set, 2));
+        assert!(report.connected_dominating_set.is_none());
+        assert!(report.ratio_upper_bound() >= 1.0);
+        assert_eq!(report.rounds, 0);
+    }
+
+    #[test]
+    fn distributed_pipeline_reports_rounds() {
+        let g = grid(12, 12);
+        let report = DominationPipeline::new(1)
+            .mode(Mode::Distributed)
+            .solve(&g)
+            .unwrap();
+        assert!(is_distance_dominating_set(&g, &report.dominating_set, 1));
+        assert!(report.rounds > 0);
+    }
+
+    #[test]
+    fn connected_variants_in_both_modes() {
+        let g = stacked_triangulation(150, 9);
+        for mode in [Mode::Sequential, Mode::Distributed] {
+            let report = DominationPipeline::new(1)
+                .mode(mode)
+                .connected(true)
+                .solve(&g)
+                .unwrap();
+            let connected = report.connected_dominating_set.as_ref().unwrap();
+            assert!(is_distance_dominating_set(&g, connected, 1), "{mode:?}");
+            assert!(is_induced_connected(&g, connected), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn ordering_strategy_is_honoured() {
+        let g = random_tree(120, 5);
+        for strategy in OrderingStrategy::ALL {
+            let report = DominationPipeline::new(2).ordering(strategy).solve(&g).unwrap();
+            assert!(is_distance_dominating_set(&g, &report.dominating_set, 2));
+            assert!(report.witnessed_constant >= 1);
+        }
+        assert!(witnessed_constant_for(&g, 2, OrderingStrategy::Degeneracy) >= 1);
+    }
+
+    #[test]
+    fn solve_checked_validates() {
+        let g = grid(8, 8);
+        let report = solve_checked(&g, 1).unwrap();
+        assert!(is_distance_dominating_set(&g, &report.dominating_set, 1));
+    }
+}

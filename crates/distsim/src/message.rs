@@ -1,0 +1,114 @@
+//! Message payloads and bit-size accounting.
+//!
+//! Every payload type used by a distributed algorithm implements
+//! [`MessageSize`], reporting how many bits it would occupy on the wire. The
+//! executor uses this to enforce CONGEST / CONGEST_BC bandwidth limits and to
+//! collect the per-round bandwidth statistics that experiment F2 reports
+//! against the paper's `O(c(2r)²·r·log n)` bound.
+
+/// On-the-wire size of a message payload in bits.
+pub trait MessageSize {
+    /// Number of bits this payload occupies.
+    fn size_bits(&self) -> usize;
+}
+
+/// Unit messages ("I am present" beacons) are counted as a single bit.
+impl MessageSize for () {
+    fn size_bits(&self) -> usize {
+        1
+    }
+}
+
+impl MessageSize for bool {
+    fn size_bits(&self) -> usize {
+        1
+    }
+}
+
+impl MessageSize for u32 {
+    fn size_bits(&self) -> usize {
+        32
+    }
+}
+
+impl MessageSize for u64 {
+    fn size_bits(&self) -> usize {
+        64
+    }
+}
+
+impl<T: MessageSize> MessageSize for Option<T> {
+    fn size_bits(&self) -> usize {
+        1 + self.as_ref().map_or(0, MessageSize::size_bits)
+    }
+}
+
+impl<T: MessageSize> MessageSize for Vec<T> {
+    fn size_bits(&self) -> usize {
+        // Length prefix (32 bits is generous and n-independent) + payloads.
+        32 + self.iter().map(MessageSize::size_bits).sum::<usize>()
+    }
+}
+
+impl<A: MessageSize, B: MessageSize> MessageSize for (A, B) {
+    fn size_bits(&self) -> usize {
+        self.0.size_bits() + self.1.size_bits()
+    }
+}
+
+/// An identifier transmitted with exactly `⌈log₂ n⌉` bits. Wrapping ids in
+/// this type lets algorithms express "this field costs one id width" without
+/// hard-coding `n`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WireId {
+    /// The identifier value.
+    pub value: u64,
+    /// Width in bits this identifier is charged at.
+    pub bits: u16,
+}
+
+impl WireId {
+    /// Wraps `value` as an id of a graph with `n` vertices.
+    pub fn new(value: u64, n: usize) -> Self {
+        WireId {
+            value,
+            bits: crate::model::id_bits(n) as u16,
+        }
+    }
+}
+
+impl MessageSize for WireId {
+    fn size_bits(&self) -> usize {
+        self.bits as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(().size_bits(), 1);
+        assert_eq!(true.size_bits(), 1);
+        assert_eq!(7u32.size_bits(), 32);
+        assert_eq!(7u64.size_bits(), 64);
+    }
+
+    #[test]
+    fn container_sizes() {
+        assert_eq!(Some(3u32).size_bits(), 33);
+        assert_eq!(None::<u32>.size_bits(), 1);
+        let v = vec![1u32, 2, 3];
+        assert_eq!(v.size_bits(), 32 + 96);
+        assert_eq!((1u32, true).size_bits(), 33);
+    }
+
+    #[test]
+    fn wire_id_charged_at_log_n() {
+        let id = WireId::new(5, 1024);
+        assert_eq!(id.size_bits(), 10);
+        let id = WireId::new(5, 1_000_000);
+        assert_eq!(id.size_bits(), 20);
+    }
+}

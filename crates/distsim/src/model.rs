@@ -1,0 +1,214 @@
+//! Distributed computing models: LOCAL, CONGEST and CONGEST_BC.
+//!
+//! The paper (Section 2, "Distributed system model") considers synchronous,
+//! reliable message passing on the network graph:
+//!
+//! * **LOCAL** — per-neighbour messages of arbitrary size;
+//! * **CONGEST** — per-neighbour messages of `O(log n)` bits;
+//! * **CONGEST_BC** — every vertex *broadcasts* one message of `O(log n)` bits
+//!   to all its neighbours.
+//!
+//! The simulator enforces these restrictions at run time: an algorithm that
+//! unicasts in CONGEST_BC, or whose message exceeds the bandwidth, produces a
+//! [`ModelViolation`] instead of silently "working". The bandwidth is
+//! expressed as a multiple of `⌈log₂ n⌉` because that is how the paper states
+//! every bound (e.g. Lemma 7's messages of size `O(c(2r)²·r·log n)`).
+
+use serde::Serialize;
+
+/// Number of bits needed to write an identifier in `0..n` (at least 1).
+pub fn id_bits(n: usize) -> usize {
+    log2_ceil(n)
+}
+
+/// `⌈log₂ n⌉` with a minimum of 1; the unit in which bandwidths are expressed.
+pub fn log2_ceil(n: usize) -> usize {
+    if n <= 2 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// The communication model an execution runs under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Model {
+    /// Arbitrary message sizes, per-neighbour messages allowed.
+    Local,
+    /// Per-neighbour messages of at most `bandwidth_logs · ⌈log₂ n⌉` bits.
+    Congest {
+        /// Bandwidth in units of `⌈log₂ n⌉` bits.
+        bandwidth_logs: usize,
+    },
+    /// One broadcast message per vertex per round of at most
+    /// `bandwidth_logs · ⌈log₂ n⌉` bits.
+    CongestBc {
+        /// Bandwidth in units of `⌈log₂ n⌉` bits.
+        bandwidth_logs: usize,
+    },
+}
+
+impl Model {
+    /// The classical CONGEST model with messages of exactly one id-width.
+    pub fn congest() -> Model {
+        Model::Congest { bandwidth_logs: 1 }
+    }
+
+    /// The classical broadcast CONGEST model with messages of one id-width.
+    pub fn congest_bc() -> Model {
+        Model::CongestBc { bandwidth_logs: 1 }
+    }
+
+    /// CONGEST_BC with a bandwidth of `k · ⌈log₂ n⌉` bits, the form in which
+    /// the paper's algorithms state their message sizes (the constant `k`
+    /// depends on the class constant `c(r)` and on `r`, not on `n`).
+    pub fn congest_bc_scaled(bandwidth_logs: usize) -> Model {
+        Model::CongestBc { bandwidth_logs }
+    }
+
+    /// Maximum number of bits a single message may carry on a graph of order
+    /// `n`, or `None` if unbounded (LOCAL).
+    pub fn max_message_bits(&self, n: usize) -> Option<usize> {
+        match *self {
+            Model::Local => None,
+            Model::Congest { bandwidth_logs } | Model::CongestBc { bandwidth_logs } => {
+                Some(bandwidth_logs.max(1) * log2_ceil(n))
+            }
+        }
+    }
+
+    /// Whether the model restricts vertices to a single broadcast per round.
+    pub fn broadcast_only(&self) -> bool {
+        matches!(self, Model::CongestBc { .. })
+    }
+
+    /// Short display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Model::Local => "LOCAL",
+            Model::Congest { .. } => "CONGEST",
+            Model::CongestBc { .. } => "CONGEST_BC",
+        }
+    }
+}
+
+/// A violation of the communication model detected by the executor.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub enum ModelViolation {
+    /// A vertex attempted per-neighbour (unicast) messages in a
+    /// broadcast-only model.
+    UnicastInBroadcastModel {
+        /// Offending vertex (network id).
+        vertex: u64,
+        /// Round in which the violation occurred.
+        round: usize,
+    },
+    /// A message exceeded the model's bandwidth.
+    MessageTooLarge {
+        /// Offending vertex (network id).
+        vertex: u64,
+        /// Round in which the violation occurred.
+        round: usize,
+        /// Size of the offending message in bits.
+        bits: usize,
+        /// Maximum allowed size in bits.
+        limit: usize,
+    },
+    /// A vertex addressed a message to a non-neighbour.
+    NotANeighbor {
+        /// Offending vertex (network id).
+        vertex: u64,
+        /// The invalid destination (network id).
+        target: u64,
+        /// Round in which the violation occurred.
+        round: usize,
+    },
+}
+
+impl std::fmt::Display for ModelViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelViolation::UnicastInBroadcastModel { vertex, round } => write!(
+                f,
+                "vertex {vertex} sent per-neighbour messages in a broadcast-only model (round {round})"
+            ),
+            ModelViolation::MessageTooLarge {
+                vertex,
+                round,
+                bits,
+                limit,
+            } => write!(
+                f,
+                "vertex {vertex} sent a {bits}-bit message, exceeding the {limit}-bit limit (round {round})"
+            ),
+            ModelViolation::NotANeighbor {
+                vertex,
+                target,
+                round,
+            } => write!(
+                f,
+                "vertex {vertex} addressed non-neighbour {target} (round {round})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 1);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+    }
+
+    #[test]
+    fn model_bandwidths() {
+        assert_eq!(Model::Local.max_message_bits(1000), None);
+        assert_eq!(Model::congest().max_message_bits(1024), Some(10));
+        assert_eq!(Model::congest_bc().max_message_bits(1024), Some(10));
+        assert_eq!(
+            Model::congest_bc_scaled(5).max_message_bits(1024),
+            Some(50)
+        );
+        // Bandwidth multiplier 0 is clamped to 1.
+        assert_eq!(
+            Model::CongestBc { bandwidth_logs: 0 }.max_message_bits(16),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn broadcast_only_flag() {
+        assert!(Model::congest_bc().broadcast_only());
+        assert!(!Model::congest().broadcast_only());
+        assert!(!Model::Local.broadcast_only());
+    }
+
+    #[test]
+    fn violation_display_mentions_vertex_and_round() {
+        let v = ModelViolation::MessageTooLarge {
+            vertex: 7,
+            round: 3,
+            bits: 100,
+            limit: 10,
+        };
+        let text = v.to_string();
+        assert!(text.contains('7') && text.contains('3') && text.contains("100"));
+    }
+
+    #[test]
+    fn model_names() {
+        assert_eq!(Model::Local.name(), "LOCAL");
+        assert_eq!(Model::congest().name(), "CONGEST");
+        assert_eq!(Model::congest_bc().name(), "CONGEST_BC");
+    }
+}

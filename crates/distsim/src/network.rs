@@ -1,0 +1,524 @@
+//! The synchronous executor: drives one [`NodeAlgorithm`] instance per vertex
+//! in lockstep rounds, enforces the communication model, and collects
+//! statistics.
+//!
+//! Each round is embarrassingly parallel across vertices — every vertex's
+//! transition depends only on its own state and inbox — so the executor
+//! evaluates rounds with rayon when [`Network::set_parallel`] is enabled.
+//! Sequential and parallel execution produce bit-identical results; this is
+//! exercised by tests and by the F4 throughput experiment.
+
+use crate::ids::IdAssignment;
+use crate::message::MessageSize;
+use crate::model::{Model, ModelViolation};
+use crate::node::{Incoming, NodeAlgorithm, NodeContext, Outgoing};
+use crate::trace::{RoundStats, RunStats};
+use bedom_graph::{Graph, Vertex};
+use rayon::prelude::*;
+
+/// A configured network: the input graph, a communication model, an id
+/// assignment and one algorithm instance per vertex.
+pub struct Network<'g, A: NodeAlgorithm> {
+    graph: &'g Graph,
+    model: Model,
+    ids: Vec<u64>,
+    contexts: Vec<NodeContext>,
+    nodes: Vec<A>,
+    outboxes: Vec<Outgoing<A::Message>>,
+    stats: RunStats,
+    parallel: bool,
+    initialized: bool,
+}
+
+impl<'g, A: NodeAlgorithm> Network<'g, A> {
+    /// Builds a network over `graph` where vertex `v` runs the instance
+    /// produced by `factory(v, &context_of_v)`.
+    pub fn new(
+        graph: &'g Graph,
+        model: Model,
+        assignment: IdAssignment,
+        mut factory: impl FnMut(Vertex, &NodeContext) -> A,
+    ) -> Self {
+        let n = graph.num_vertices();
+        let ids = assignment.assign(graph);
+        let contexts: Vec<NodeContext> = (0..n)
+            .map(|v| {
+                let mut neighbor_ids: Vec<u64> = graph
+                    .neighbors(v as Vertex)
+                    .iter()
+                    .map(|&w| ids[w as usize])
+                    .collect();
+                neighbor_ids.sort_unstable();
+                NodeContext {
+                    id: ids[v],
+                    n,
+                    neighbor_ids,
+                }
+            })
+            .collect();
+        let nodes: Vec<A> = (0..n)
+            .map(|v| factory(v as Vertex, &contexts[v]))
+            .collect();
+        Network {
+            graph,
+            model,
+            ids,
+            contexts,
+            nodes,
+            outboxes: Vec::new(),
+            stats: RunStats::default(),
+            parallel: false,
+            initialized: false,
+        }
+    }
+
+    /// Enables or disables rayon-parallel round evaluation.
+    pub fn set_parallel(&mut self, parallel: bool) -> &mut Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// The communication model in force.
+    pub fn model(&self) -> Model {
+        self.model
+    }
+
+    /// The network id assigned to graph vertex `v`.
+    pub fn id_of(&self, v: Vertex) -> u64 {
+        self.ids[v as usize]
+    }
+
+    /// Statistics of the execution so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Runs the initialisation step (round 0) if it has not run yet.
+    pub fn init(&mut self) -> Result<(), ModelViolation> {
+        if self.initialized {
+            return Ok(());
+        }
+        let contexts = &self.contexts;
+        let outboxes: Vec<Outgoing<A::Message>> = if self.parallel {
+            self.nodes
+                .par_iter_mut()
+                .zip(contexts.par_iter())
+                .map(|(node, ctx)| node.init(ctx))
+                .collect()
+        } else {
+            self.nodes
+                .iter_mut()
+                .zip(contexts.iter())
+                .map(|(node, ctx)| node.init(ctx))
+                .collect()
+        };
+        self.validate(&outboxes, 0)?;
+        self.outboxes = outboxes;
+        self.initialized = true;
+        Ok(())
+    }
+
+    /// Executes exactly `rounds` communication rounds (after an implicit
+    /// [`Network::init`] if necessary).
+    pub fn run(&mut self, rounds: usize) -> Result<(), ModelViolation> {
+        self.init()?;
+        for _ in 0..rounds {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Runs until a round in which no vertex sends anything (the messages of
+    /// that quiet round are still delivered), or until `max_rounds` rounds
+    /// have been executed. Returns the number of rounds executed.
+    pub fn run_until_quiet(&mut self, max_rounds: usize) -> Result<usize, ModelViolation> {
+        self.init()?;
+        let mut executed = 0;
+        while executed < max_rounds {
+            if self.outboxes.iter().all(Outgoing::is_silent) {
+                break;
+            }
+            self.step()?;
+            executed += 1;
+        }
+        Ok(executed)
+    }
+
+    /// Executes a single communication round: delivers the current outboxes
+    /// and computes the next ones.
+    pub fn step(&mut self) -> Result<(), ModelViolation> {
+        self.init()?;
+        let n = self.graph.num_vertices();
+        let round_index = self.stats.rounds + 1;
+
+        // Account for what is about to be delivered.
+        let mut round_stats = RoundStats {
+            round: round_index,
+            ..RoundStats::default()
+        };
+        for (v, out) in self.outboxes.iter().enumerate() {
+            match out {
+                Outgoing::Silent => {}
+                Outgoing::Broadcast(m) => {
+                    let bits = m.size_bits();
+                    round_stats.senders += 1;
+                    round_stats.deliveries += self.graph.degree(v as Vertex);
+                    round_stats.bits_sent += bits;
+                    round_stats.max_message_bits = round_stats.max_message_bits.max(bits);
+                    self.stats.max_vertex_round_bits =
+                        self.stats.max_vertex_round_bits.max(bits);
+                }
+                Outgoing::Unicast(messages) => {
+                    if !messages.is_empty() {
+                        round_stats.senders += 1;
+                    }
+                    let mut vertex_bits = 0;
+                    for (_, m) in messages {
+                        let bits = m.size_bits();
+                        round_stats.deliveries += 1;
+                        round_stats.bits_sent += bits;
+                        vertex_bits += bits;
+                        round_stats.max_message_bits = round_stats.max_message_bits.max(bits);
+                    }
+                    self.stats.max_vertex_round_bits =
+                        self.stats.max_vertex_round_bits.max(vertex_bits);
+                }
+            }
+        }
+
+        // Deliver: build each vertex's inbox by scanning its neighbours'
+        // outboxes (gather form, embarrassingly parallel over receivers).
+        let graph = self.graph;
+        let ids = &self.ids;
+        let outboxes = &self.outboxes;
+        let build_inbox = |w: usize| -> Vec<Incoming<A::Message>> {
+            let mut inbox = Vec::new();
+            for &u in graph.neighbors(w as Vertex) {
+                match &outboxes[u as usize] {
+                    Outgoing::Silent => {}
+                    Outgoing::Broadcast(m) => inbox.push(Incoming {
+                        from: ids[u as usize],
+                        payload: m.clone(),
+                    }),
+                    Outgoing::Unicast(messages) => {
+                        for (target, m) in messages {
+                            if *target == ids[w] {
+                                inbox.push(Incoming {
+                                    from: ids[u as usize],
+                                    payload: m.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            // Deterministic delivery order regardless of adjacency layout.
+            inbox.sort_by_key(|msg| msg.from);
+            inbox
+        };
+
+        let contexts = &self.contexts;
+        let new_outboxes: Vec<Outgoing<A::Message>> = if self.parallel {
+            self.nodes
+                .par_iter_mut()
+                .enumerate()
+                .map(|(w, node)| {
+                    let inbox = build_inbox(w);
+                    node.round(&contexts[w], round_index, &inbox)
+                })
+                .collect()
+        } else {
+            let mut result = Vec::with_capacity(n);
+            for (w, node) in self.nodes.iter_mut().enumerate() {
+                let inbox = build_inbox(w);
+                result.push(node.round(&contexts[w], round_index, &inbox));
+            }
+            result
+        };
+        self.validate(&new_outboxes, round_index)?;
+        self.outboxes = new_outboxes;
+        self.stats.push_round(round_stats);
+        Ok(())
+    }
+
+    /// Collects every vertex's output, indexed by graph vertex.
+    pub fn outputs(&self) -> Vec<A::Output> {
+        self.nodes
+            .iter()
+            .zip(self.contexts.iter())
+            .map(|(node, ctx)| node.output(ctx))
+            .collect()
+    }
+
+    /// Immutable access to a vertex's algorithm instance (for white-box
+    /// assertions in tests).
+    pub fn node(&self, v: Vertex) -> &A {
+        &self.nodes[v as usize]
+    }
+
+    /// Checks every outbox against the communication model.
+    fn validate(
+        &self,
+        outboxes: &[Outgoing<A::Message>],
+        round: usize,
+    ) -> Result<(), ModelViolation> {
+        let limit = self.model.max_message_bits(self.graph.num_vertices());
+        for (v, out) in outboxes.iter().enumerate() {
+            let vertex = self.ids[v];
+            match out {
+                Outgoing::Silent => {}
+                Outgoing::Broadcast(m) => {
+                    if let Some(limit) = limit {
+                        let bits = m.size_bits();
+                        if bits > limit {
+                            return Err(ModelViolation::MessageTooLarge {
+                                vertex,
+                                round,
+                                bits,
+                                limit,
+                            });
+                        }
+                    }
+                }
+                Outgoing::Unicast(messages) => {
+                    if self.model.broadcast_only() {
+                        return Err(ModelViolation::UnicastInBroadcastModel { vertex, round });
+                    }
+                    for (target, m) in messages {
+                        if !self.contexts[v].is_neighbor(*target) {
+                            return Err(ModelViolation::NotANeighbor {
+                                vertex,
+                                target: *target,
+                                round,
+                            });
+                        }
+                        if let Some(limit) = limit {
+                            let bits = m.size_bits();
+                            if bits > limit {
+                                return Err(ModelViolation::MessageTooLarge {
+                                    vertex,
+                                    round,
+                                    bits,
+                                    limit,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+    use bedom_graph::generators::{cycle, grid, path, star};
+
+    /// Flood the maximum id through the network: each vertex repeatedly
+    /// broadcasts the largest id it has heard of. After `diameter` rounds
+    /// every vertex knows the global maximum — a classic smoke-test protocol.
+    struct MaxIdFlood {
+        best: u64,
+        changed: bool,
+    }
+
+    impl NodeAlgorithm for MaxIdFlood {
+        type Message = u64;
+        type Output = u64;
+
+        fn init(&mut self, ctx: &NodeContext) -> Outgoing<u64> {
+            self.best = ctx.id;
+            self.changed = true;
+            Outgoing::Broadcast(self.best)
+        }
+
+        fn round(&mut self, _ctx: &NodeContext, _round: usize, inbox: &[Incoming<u64>]) -> Outgoing<u64> {
+            let incoming_best = inbox.iter().map(|m| m.payload).max().unwrap_or(0);
+            if incoming_best > self.best {
+                self.best = incoming_best;
+                self.changed = true;
+            } else {
+                self.changed = false;
+            }
+            if self.changed {
+                Outgoing::Broadcast(self.best)
+            } else {
+                Outgoing::Silent
+            }
+        }
+
+        fn output(&self, _ctx: &NodeContext) -> u64 {
+            self.best
+        }
+    }
+
+    fn new_flood(graph: &Graph, model: Model) -> Network<'_, MaxIdFlood> {
+        Network::new(graph, model, IdAssignment::Natural, |_, _| MaxIdFlood {
+            best: 0,
+            changed: false,
+        })
+    }
+
+    #[test]
+    fn max_id_flood_converges_in_diameter_rounds() {
+        let g = path(10);
+        let mut net = new_flood(&g, Model::congest_bc_scaled(32));
+        net.run(9).unwrap();
+        let outputs = net.outputs();
+        assert!(outputs.iter().all(|&b| b == 9));
+        assert_eq!(net.stats().rounds, 9);
+    }
+
+    #[test]
+    fn insufficient_rounds_leave_far_vertices_unaware() {
+        let g = path(10);
+        let mut net = new_flood(&g, Model::congest_bc_scaled(32));
+        net.run(3).unwrap();
+        let outputs = net.outputs();
+        assert_eq!(outputs[0], 3); // vertex 0 has only heard up to id 3
+        assert_eq!(outputs[9], 9);
+    }
+
+    #[test]
+    fn run_until_quiet_stops_early() {
+        let g = star(20);
+        let mut net = new_flood(&g, Model::congest_bc_scaled(32));
+        let rounds = net.run_until_quiet(100).unwrap();
+        assert!(rounds <= 4, "star should converge fast, took {rounds}");
+        assert!(net.outputs().iter().all(|&b| b == 19));
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let g = grid(12, 12);
+        let mut seq = new_flood(&g, Model::congest_bc_scaled(32));
+        seq.set_parallel(false);
+        seq.run(30).unwrap();
+        let mut par = new_flood(&g, Model::congest_bc_scaled(32));
+        par.set_parallel(true);
+        par.run(30).unwrap();
+        assert_eq!(seq.outputs(), par.outputs());
+        assert_eq!(seq.stats().total_bits, par.stats().total_bits);
+        assert_eq!(seq.stats().total_deliveries, par.stats().total_deliveries);
+    }
+
+    #[test]
+    fn stats_account_broadcasts() {
+        let g = cycle(6);
+        let mut net = new_flood(&g, Model::congest_bc_scaled(32));
+        net.run(1).unwrap();
+        let stats = net.stats();
+        assert_eq!(stats.rounds, 1);
+        // Round 1 delivers the init-round broadcasts of all 6 vertices.
+        assert_eq!(stats.per_round[0].senders, 6);
+        assert_eq!(stats.per_round[0].deliveries, 12);
+        assert_eq!(stats.max_message_bits, 64);
+    }
+
+    /// An algorithm that (incorrectly) unicasts, to exercise model checking.
+    struct BadUnicaster;
+
+    impl NodeAlgorithm for BadUnicaster {
+        type Message = u64;
+        type Output = ();
+
+        fn init(&mut self, ctx: &NodeContext) -> Outgoing<u64> {
+            match ctx.neighbor_ids.first() {
+                Some(&t) => Outgoing::Unicast(vec![(t, ctx.id)]),
+                None => Outgoing::Silent,
+            }
+        }
+
+        fn round(&mut self, _: &NodeContext, _: usize, _: &[Incoming<u64>]) -> Outgoing<u64> {
+            Outgoing::Silent
+        }
+
+        fn output(&self, _: &NodeContext) {}
+    }
+
+    #[test]
+    fn unicast_rejected_in_broadcast_model_but_allowed_in_congest() {
+        let g = path(5);
+        let mut net = Network::new(&g, Model::congest_bc(), IdAssignment::Natural, |_, _| BadUnicaster);
+        let err = net.run(1).unwrap_err();
+        assert!(matches!(err, ModelViolation::UnicastInBroadcastModel { .. }));
+
+        let mut net = Network::new(
+            &g,
+            Model::Congest { bandwidth_logs: 64 },
+            IdAssignment::Natural,
+            |_, _| BadUnicaster,
+        );
+        net.run(1).unwrap();
+    }
+
+    /// An algorithm whose message grows past any bandwidth limit.
+    struct Bloater;
+
+    impl NodeAlgorithm for Bloater {
+        type Message = Vec<u64>;
+        type Output = ();
+
+        fn init(&mut self, _ctx: &NodeContext) -> Outgoing<Vec<u64>> {
+            Outgoing::Broadcast(vec![0; 64])
+        }
+
+        fn round(&mut self, _: &NodeContext, _: usize, _: &[Incoming<Vec<u64>>]) -> Outgoing<Vec<u64>> {
+            Outgoing::Silent
+        }
+
+        fn output(&self, _: &NodeContext) {}
+    }
+
+    #[test]
+    fn oversized_message_rejected_in_congest_but_fine_in_local() {
+        let g = path(8);
+        let mut net = Network::new(&g, Model::congest_bc(), IdAssignment::Natural, |_, _| Bloater);
+        let err = net.run(1).unwrap_err();
+        assert!(matches!(err, ModelViolation::MessageTooLarge { .. }));
+
+        let mut net = Network::new(&g, Model::Local, IdAssignment::Natural, |_, _| Bloater);
+        net.run(1).unwrap();
+    }
+
+    #[test]
+    fn addressing_non_neighbor_is_rejected() {
+        struct WrongTarget;
+        impl NodeAlgorithm for WrongTarget {
+            type Message = u64;
+            type Output = ();
+            fn init(&mut self, ctx: &NodeContext) -> Outgoing<u64> {
+                // Vertex 0 addresses id 4, which is not adjacent on a path of 5.
+                if ctx.id == 0 {
+                    Outgoing::Unicast(vec![(4, 1)])
+                } else {
+                    Outgoing::Silent
+                }
+            }
+            fn round(&mut self, _: &NodeContext, _: usize, _: &[Incoming<u64>]) -> Outgoing<u64> {
+                Outgoing::Silent
+            }
+            fn output(&self, _: &NodeContext) {}
+        }
+        let g = path(5);
+        let mut net = Network::new(&g, Model::Local, IdAssignment::Natural, |_, _| WrongTarget);
+        let err = net.run(1).unwrap_err();
+        assert!(matches!(err, ModelViolation::NotANeighbor { target: 4, .. }));
+    }
+
+    #[test]
+    fn shuffled_ids_still_converge_to_global_max() {
+        let g = grid(8, 8);
+        let mut net = Network::new(
+            &g,
+            Model::congest_bc_scaled(32),
+            IdAssignment::Shuffled(5),
+            |_, _| MaxIdFlood { best: 0, changed: false },
+        );
+        net.run(20).unwrap();
+        assert!(net.outputs().iter().all(|&b| b == 63));
+    }
+}

@@ -1,0 +1,122 @@
+//! The per-vertex algorithm interface.
+//!
+//! A distributed algorithm is a state machine replicated at every vertex. In
+//! each synchronous round it receives the messages its neighbours sent in the
+//! previous round and decides what to send next (Section 2 of the paper:
+//! "In each round, each vertex may send a (different) message to each of its
+//! neighbors … and receives all messages from its neighbors. After sending
+//! and receiving messages, every client may perform arbitrary finite
+//! computations.").
+
+use crate::message::MessageSize;
+
+/// Static, locally known information of a vertex.
+///
+/// Per the paper's model every vertex knows its own unique `O(log n)`-bit
+/// identifier, the order `n` of the graph, and (after one implicit round) the
+/// identifiers of its neighbours.
+#[derive(Clone, Debug)]
+pub struct NodeContext {
+    /// This vertex's unique network identifier.
+    pub id: u64,
+    /// Number of vertices of the network graph, known to all vertices.
+    pub n: usize,
+    /// Identifiers of the neighbours, sorted increasingly.
+    pub neighbor_ids: Vec<u64>,
+}
+
+impl NodeContext {
+    /// Degree of this vertex.
+    pub fn degree(&self) -> usize {
+        self.neighbor_ids.len()
+    }
+
+    /// Whether `id` is a neighbour of this vertex.
+    pub fn is_neighbor(&self, id: u64) -> bool {
+        self.neighbor_ids.binary_search(&id).is_ok()
+    }
+}
+
+/// What a vertex sends at the end of a round.
+#[derive(Clone, Debug)]
+pub enum Outgoing<M> {
+    /// Send nothing this round.
+    Silent,
+    /// Broadcast the same message to every neighbour (the only option besides
+    /// silence in CONGEST_BC).
+    Broadcast(M),
+    /// Send individual messages to selected neighbours, addressed by their
+    /// network identifier. Only valid in LOCAL and CONGEST.
+    Unicast(Vec<(u64, M)>),
+}
+
+impl<M> Outgoing<M> {
+    /// Whether nothing is sent.
+    pub fn is_silent(&self) -> bool {
+        matches!(self, Outgoing::Silent)
+    }
+}
+
+/// A message received from a neighbour.
+#[derive(Clone, Debug)]
+pub struct Incoming<M> {
+    /// Network identifier of the sender.
+    pub from: u64,
+    /// The payload.
+    pub payload: M,
+}
+
+/// A distributed algorithm, instantiated once per vertex.
+///
+/// The executor drives all instances in lockstep:
+/// 1. round 0: [`NodeAlgorithm::init`] is called with no inbox;
+/// 2. round `t ≥ 1`: [`NodeAlgorithm::round`] is called with the messages sent
+///    in round `t − 1`;
+/// 3. after the final round, [`NodeAlgorithm::output`] extracts the vertex's
+///    local output (e.g. "am I in the dominating set?").
+pub trait NodeAlgorithm: Send {
+    /// Message payload exchanged between vertices.
+    type Message: MessageSize + Clone + Send + Sync;
+    /// Per-vertex output produced at termination.
+    type Output: Send;
+
+    /// Called once before the first communication round.
+    fn init(&mut self, ctx: &NodeContext) -> Outgoing<Self::Message>;
+
+    /// Called once per communication round with all messages received from
+    /// neighbours (sent by them in the previous round). `round` starts at 1.
+    fn round(
+        &mut self,
+        ctx: &NodeContext,
+        round: usize,
+        inbox: &[Incoming<Self::Message>],
+    ) -> Outgoing<Self::Message>;
+
+    /// Extracts the vertex's output once the executor stops.
+    fn output(&self, ctx: &NodeContext) -> Self::Output;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_helpers() {
+        let ctx = NodeContext {
+            id: 10,
+            n: 100,
+            neighbor_ids: vec![2, 5, 11],
+        };
+        assert_eq!(ctx.degree(), 3);
+        assert!(ctx.is_neighbor(5));
+        assert!(!ctx.is_neighbor(7));
+    }
+
+    #[test]
+    fn outgoing_silence() {
+        let s: Outgoing<u32> = Outgoing::Silent;
+        assert!(s.is_silent());
+        assert!(!Outgoing::Broadcast(3u32).is_silent());
+        assert!(!Outgoing::Unicast(vec![(1, 2u32)]).is_silent());
+    }
+}

@@ -1,0 +1,104 @@
+//! Execution statistics collected by the synchronous executor.
+//!
+//! These are the raw measurements behind experiments F1 (round counts) and F2
+//! (message sizes / forwarded-message counts): the paper's Theorem 9 bounds
+//! the number of rounds by `O(r² log n)` and Lemma 7 bounds every vertex's
+//! per-round broadcast by `O(c(2r)²·r·log n)` bits, and the executor records
+//! exactly those quantities.
+
+use serde::Serialize;
+
+/// Statistics of a single communication round.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct RoundStats {
+    /// Round index (1-based; round 0 is local initialisation and sends the
+    /// first messages but is not itself a communication round).
+    pub round: usize,
+    /// Number of vertices that sent anything (a broadcast counts once).
+    pub senders: usize,
+    /// Number of point-to-point deliveries (a broadcast to `d` neighbours
+    /// counts `d`).
+    pub deliveries: usize,
+    /// Total bits put on the wire this round (a broadcast's payload is counted
+    /// once per sending vertex, as in the CONGEST_BC accounting).
+    pub bits_sent: usize,
+    /// Largest single message in bits this round.
+    pub max_message_bits: usize,
+}
+
+/// Aggregate statistics of a full execution.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct RunStats {
+    /// Number of communication rounds executed.
+    pub rounds: usize,
+    /// Sum of per-round sender counts.
+    pub total_sends: usize,
+    /// Sum of per-round delivery counts.
+    pub total_deliveries: usize,
+    /// Total bits sent over the whole execution.
+    pub total_bits: usize,
+    /// Largest single message observed, in bits.
+    pub max_message_bits: usize,
+    /// Largest number of bits any single vertex sent in any single round.
+    pub max_vertex_round_bits: usize,
+    /// Per-round breakdown.
+    pub per_round: Vec<RoundStats>,
+}
+
+impl RunStats {
+    /// Records one finished round.
+    pub fn push_round(&mut self, round: RoundStats) {
+        self.rounds += 1;
+        self.total_sends += round.senders;
+        self.total_deliveries += round.deliveries;
+        self.total_bits += round.bits_sent;
+        self.max_message_bits = self.max_message_bits.max(round.max_message_bits);
+        self.per_round.push(round);
+    }
+
+    /// Average bits per round (0 if no rounds ran).
+    pub fn average_bits_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.total_bits as f64 / self.rounds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation() {
+        let mut stats = RunStats::default();
+        stats.push_round(RoundStats {
+            round: 1,
+            senders: 10,
+            deliveries: 30,
+            bits_sent: 100,
+            max_message_bits: 12,
+        });
+        stats.push_round(RoundStats {
+            round: 2,
+            senders: 5,
+            deliveries: 15,
+            bits_sent: 60,
+            max_message_bits: 20,
+        });
+        assert_eq!(stats.rounds, 2);
+        assert_eq!(stats.total_sends, 15);
+        assert_eq!(stats.total_deliveries, 45);
+        assert_eq!(stats.total_bits, 160);
+        assert_eq!(stats.max_message_bits, 20);
+        assert!((stats.average_bits_per_round() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let stats = RunStats::default();
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(stats.average_bits_per_round(), 0.0);
+    }
+}

@@ -1,0 +1,366 @@
+//! Breadth-first search utilities: single- and multi-source distances, bounded
+//! (depth-`r`) searches, eccentricities and radii of (sub)graphs.
+//!
+//! These back the definitions of Section 2 of the paper: closed
+//! `r`-neighbourhoods `N_r[v]`, graph distance, and the radius used to state
+//! the quality of neighbourhood covers (radius ≤ 2r, Theorem 4).
+
+use crate::graph::{Graph, Vertex};
+use std::collections::VecDeque;
+
+/// Distance value used for "unreachable".
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances from `source`. `UNREACHABLE` marks vertices in
+/// other components.
+pub fn bfs_distances(graph: &Graph, source: Vertex) -> Vec<u32> {
+    multi_source_distances(graph, std::slice::from_ref(&source))
+}
+
+/// Multi-source BFS: distance from the nearest vertex of `sources`.
+pub fn multi_source_distances(graph: &Graph, sources: &[Vertex]) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s as usize] != 0 || !queue.contains(&s) {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &w in graph.neighbors(v) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Distance between `u` and `v`, or `None` if they are disconnected.
+pub fn distance(graph: &Graph, u: Vertex, v: Vertex) -> Option<u32> {
+    // Early exit BFS.
+    if u == v {
+        return Some(0);
+    }
+    let n = graph.num_vertices();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = VecDeque::new();
+    dist[u as usize] = 0;
+    queue.push_back(u);
+    while let Some(x) = queue.pop_front() {
+        let d = dist[x as usize];
+        for &w in graph.neighbors(x) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = d + 1;
+                if w == v {
+                    return Some(d + 1);
+                }
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// The closed `r`-neighbourhood `N_r[v]` (always contains `v`, per the paper's
+/// convention that paths of length 0 are allowed), sorted by vertex id.
+pub fn closed_neighborhood(graph: &Graph, v: Vertex, r: u32) -> Vec<Vertex> {
+    let mut result = Vec::new();
+    let mut dist = vec![UNREACHABLE; graph.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[v as usize] = 0;
+    queue.push_back(v);
+    result.push(v);
+    while let Some(x) = queue.pop_front() {
+        let d = dist[x as usize];
+        if d >= r {
+            continue;
+        }
+        for &w in graph.neighbors(x) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = d + 1;
+                result.push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    result.sort_unstable();
+    result
+}
+
+/// Closed `r`-neighbourhood of a set: `N_r[A] = ∪_{v∈A} N_r[v]`, sorted.
+pub fn closed_set_neighborhood(graph: &Graph, set: &[Vertex], r: u32) -> Vec<Vertex> {
+    let dist = multi_source_distances(graph, set);
+    let mut result: Vec<Vertex> = (0..graph.num_vertices() as Vertex)
+        .filter(|&v| dist[v as usize] <= r)
+        .collect();
+    result.sort_unstable();
+    result
+}
+
+/// Eccentricity of `v` within its connected component (max distance to a
+/// reachable vertex).
+pub fn eccentricity(graph: &Graph, v: Vertex) -> u32 {
+    bfs_distances(graph, v)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Radius of a connected graph: `min_v ecc(v)`.
+///
+/// Returns `None` if the graph is empty or disconnected. This is the quantity
+/// bounded by `2r` for every cluster of the paper's neighbourhood covers.
+pub fn radius(graph: &Graph) -> Option<u32> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return None;
+    }
+    // Check connectivity once.
+    let d0 = bfs_distances(graph, 0);
+    if d0.iter().any(|&d| d == UNREACHABLE) {
+        return None;
+    }
+    // Exact radius by n BFS runs would be O(nm); use the standard refinement:
+    // start from a vertex of maximum distance ordering and prune with lower
+    // bounds. For the moderate cluster sizes we measure, a direct scan with an
+    // early-stopping lower bound is sufficient and exact.
+    let mut best = u32::MAX;
+    for v in graph.vertices() {
+        let ecc = bounded_eccentricity(graph, v, best);
+        if ecc < best {
+            best = ecc;
+        }
+        if best == 0 {
+            break;
+        }
+    }
+    Some(best)
+}
+
+/// Eccentricity of `v`, but abandons early (returning `cutoff`) as soon as the
+/// eccentricity is known to be ≥ `cutoff`. Used by [`radius`].
+fn bounded_eccentricity(graph: &Graph, v: Vertex, cutoff: u32) -> u32 {
+    let n = graph.num_vertices();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = VecDeque::new();
+    dist[v as usize] = 0;
+    queue.push_back(v);
+    let mut ecc = 0;
+    while let Some(x) = queue.pop_front() {
+        let d = dist[x as usize];
+        ecc = ecc.max(d);
+        if ecc >= cutoff {
+            return cutoff;
+        }
+        for &w in graph.neighbors(x) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    ecc
+}
+
+/// Radius of the subgraph of `graph` induced by `cluster` (duplicates allowed
+/// and ignored). `None` if the induced subgraph is empty or disconnected.
+///
+/// This is the measurement used to verify the radius bound of Theorem 4 /
+/// Theorem 8 for every cluster `X_v`.
+pub fn induced_radius(graph: &Graph, cluster: &[Vertex]) -> Option<u32> {
+    let (sub, _) = graph.induced_subgraph(cluster);
+    radius(&sub)
+}
+
+/// Diameter of a connected graph (max eccentricity); `None` if disconnected or
+/// empty.
+pub fn diameter(graph: &Graph) -> Option<u32> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return None;
+    }
+    let d0 = bfs_distances(graph, 0);
+    if d0.iter().any(|&d| d == UNREACHABLE) {
+        return None;
+    }
+    let mut best = 0;
+    for v in graph.vertices() {
+        best = best.max(eccentricity(graph, v));
+    }
+    Some(best)
+}
+
+/// All-pairs shortest path distances via repeated BFS. Quadratic memory — only
+/// for small validation graphs.
+pub fn all_pairs_distances(graph: &Graph) -> Vec<Vec<u32>> {
+    graph.vertices().map(|v| bfs_distances(graph, v)).collect()
+}
+
+/// A shortest path from `u` to `v` as a vertex sequence (inclusive of both
+/// endpoints), or `None` if disconnected. Ties are broken towards smaller
+/// predecessor ids so the result is deterministic.
+pub fn shortest_path(graph: &Graph, u: Vertex, v: Vertex) -> Option<Vec<Vertex>> {
+    let n = graph.num_vertices();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[u as usize] = 0;
+    queue.push_back(u);
+    while let Some(x) = queue.pop_front() {
+        if x == v {
+            break;
+        }
+        let d = dist[x as usize];
+        for &w in graph.neighbors(x) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = d + 1;
+                parent[w as usize] = x;
+                queue.push_back(w);
+            }
+        }
+    }
+    if dist[v as usize] == UNREACHABLE {
+        return None;
+    }
+    let mut path = vec![v];
+    let mut cur = v;
+    while cur != u {
+        cur = parent[cur as usize];
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::graph_from_edges;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        graph_from_edges(n, &edges)
+    }
+
+    fn cycle_graph(n: usize) -> Graph {
+        let mut edges: Vec<_> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n as u32 - 1, 0));
+        graph_from_edges(n, &edges)
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path_graph(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let d = bfs_distances(&g, 2);
+        assert_eq!(d, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_marks_unreachable() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn multi_source_takes_nearest() {
+        let g = path_graph(7);
+        let d = multi_source_distances(&g, &[0, 6]);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn distance_pairwise() {
+        let g = cycle_graph(6);
+        assert_eq!(distance(&g, 0, 3), Some(3));
+        assert_eq!(distance(&g, 0, 5), Some(1));
+        assert_eq!(distance(&g, 2, 2), Some(0));
+        let g2 = graph_from_edges(3, &[(0, 1)]);
+        assert_eq!(distance(&g2, 0, 2), None);
+    }
+
+    #[test]
+    fn closed_neighborhood_contains_self_and_respects_radius() {
+        let g = path_graph(7);
+        assert_eq!(closed_neighborhood(&g, 3, 0), vec![3]);
+        assert_eq!(closed_neighborhood(&g, 3, 1), vec![2, 3, 4]);
+        assert_eq!(closed_neighborhood(&g, 3, 2), vec![1, 2, 3, 4, 5]);
+        assert_eq!(closed_neighborhood(&g, 0, 2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn closed_set_neighborhood_is_union() {
+        let g = path_graph(9);
+        let nbh = closed_set_neighborhood(&g, &[0, 8], 1);
+        assert_eq!(nbh, vec![0, 1, 7, 8]);
+    }
+
+    #[test]
+    fn radius_and_diameter_of_path_and_cycle() {
+        let p = path_graph(7);
+        assert_eq!(radius(&p), Some(3));
+        assert_eq!(diameter(&p), Some(6));
+        let c = cycle_graph(8);
+        assert_eq!(radius(&c), Some(4));
+        assert_eq!(diameter(&c), Some(4));
+    }
+
+    #[test]
+    fn radius_none_for_disconnected_or_empty() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(radius(&g), None);
+        assert_eq!(diameter(&g), None);
+        let e = Graph::empty(0);
+        assert_eq!(radius(&e), None);
+    }
+
+    #[test]
+    fn induced_radius_of_cluster() {
+        let g = path_graph(10);
+        assert_eq!(induced_radius(&g, &[2, 3, 4, 5, 6]), Some(2));
+        assert_eq!(induced_radius(&g, &[2, 4]), None); // disconnected inside cluster
+        assert_eq!(induced_radius(&g, &[7]), Some(0));
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let g = cycle_graph(6);
+        let p = shortest_path(&g, 0, 3).unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p[0], 0);
+        assert_eq!(*p.last().unwrap(), 3);
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+        assert_eq!(shortest_path(&g, 2, 2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn all_pairs_symmetric() {
+        let g = cycle_graph(5);
+        let d = all_pairs_distances(&g);
+        for u in 0..5 {
+            for v in 0..5 {
+                assert_eq!(d[u][v], d[v][u]);
+            }
+        }
+    }
+
+    #[test]
+    fn eccentricity_of_center_and_leaf() {
+        let g = path_graph(5);
+        assert_eq!(eccentricity(&g, 2), 2);
+        assert_eq!(eccentricity(&g, 0), 4);
+    }
+}

@@ -1,0 +1,222 @@
+//! Planar and bounded-treewidth generators: stacked triangulations
+//! (Apollonian-style), maximal outerplanar graphs, triangulated grids and
+//! random `k`-trees.
+//!
+//! Planar graphs are the paper's flagship bounded-expansion class (the
+//! LOCAL-model Theorem 17 is instantiated on them with the factor-6 claim);
+//! `k`-trees give bounded treewidth, hence excluded-minor, families with a
+//! tunable density knob.
+
+use super::rng_from_seed;
+use crate::graph::{Graph, GraphBuilder, Vertex};
+use rand::Rng;
+
+/// Stacked planar triangulation on `n ≥ 3` vertices (an Apollonian-network
+/// style construction): start from a triangle and repeatedly place a new
+/// vertex inside a uniformly chosen existing face, connecting it to the
+/// face's three vertices. The result is a maximal planar graph
+/// (`3n − 6` edges) that is also a 3-tree.
+pub fn stacked_triangulation(n: usize, seed: u64) -> Graph {
+    let n = n.max(3);
+    let mut rng = rng_from_seed(seed);
+    let mut b = GraphBuilder::new(n);
+    b.add_edge(0, 1);
+    b.add_edge(1, 2);
+    b.add_edge(0, 2);
+    // Faces as vertex triples; the outer face is kept too so the construction
+    // stays a simple stacked triangulation.
+    let mut faces: Vec<[Vertex; 3]> = vec![[0, 1, 2], [0, 1, 2]];
+    for v in 3..n as Vertex {
+        let face_idx = rng.gen_range(0..faces.len());
+        let [a, bb, c] = faces[face_idx];
+        b.add_edge(v, a);
+        b.add_edge(v, bb);
+        b.add_edge(v, c);
+        // Replace the chosen face with the three new faces.
+        faces[face_idx] = [a, bb, v];
+        faces.push([a, c, v]);
+        faces.push([bb, c, v]);
+    }
+    b.build()
+}
+
+/// Maximal outerplanar graph on `n ≥ 3` vertices: a cycle `0,…,n−1` together
+/// with a fan triangulation of its interior from vertex 0. Outerplanar graphs
+/// exclude `K_4` and `K_{2,3}` as minors.
+pub fn maximal_outerplanar(n: usize) -> Graph {
+    let n = n.max(3);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i as Vertex, ((i + 1) % n) as Vertex);
+    }
+    for i in 2..n - 1 {
+        b.add_edge(0, i as Vertex);
+    }
+    b.build()
+}
+
+/// Triangulated `rows × cols` grid: the grid plus one diagonal per unit
+/// square. Planar, degeneracy 3, a convenient "dense planar" family whose
+/// distance structure is still grid-like.
+pub fn triangulated_grid(rows: usize, cols: usize) -> Graph {
+    let rows = rows.max(1);
+    let cols = cols.max(1);
+    let idx = |r: usize, c: usize| (r * cols + c) as Vertex;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c));
+            }
+            if r + 1 < rows && c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r + 1, c + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random `k`-tree on `n ≥ k + 1` vertices: start from a `(k+1)`-clique and
+/// repeatedly attach a new vertex to a uniformly chosen existing `k`-clique.
+/// `k`-trees have treewidth exactly `k`; for `k = 2` they are planar
+/// (series-parallel), for `k = 3` they coincide with stacked triangulations
+/// when the chosen cliques are faces.
+pub fn random_ktree(n: usize, k: usize, seed: u64) -> Graph {
+    let k = k.max(1);
+    let n = n.max(k + 1);
+    let mut rng = rng_from_seed(seed);
+    let mut b = GraphBuilder::new(n);
+    // Initial (k+1)-clique.
+    for u in 0..=k {
+        for v in (u + 1)..=k {
+            b.add_edge(u as Vertex, v as Vertex);
+        }
+    }
+    // Maintain the list of k-cliques available for attachment.
+    let mut cliques: Vec<Vec<Vertex>> = Vec::new();
+    let base: Vec<Vertex> = (0..=k as Vertex).collect();
+    for skip in 0..=k {
+        let mut c = base.clone();
+        c.remove(skip);
+        cliques.push(c);
+    }
+    for v in (k + 1)..n {
+        let pick = rng.gen_range(0..cliques.len());
+        let clique = cliques[pick].clone();
+        for &u in &clique {
+            b.add_edge(u, v as Vertex);
+        }
+        // New k-cliques: the chosen clique with one vertex swapped for v.
+        for skip in 0..k {
+            let mut c = clique.clone();
+            c[skip] = v as Vertex;
+            cliques.push(c);
+        }
+    }
+    b.build()
+}
+
+/// A planar "road-network-like" graph: a jittered grid where a random subset
+/// of edges is removed (keeping connectivity via a spanning structure) and a
+/// few diagonals are added. Stays planar by construction and mimics sparse
+/// geometric networks, one of the motivations the paper cites for bounded
+/// expansion classes arising in practice.
+pub fn road_network(rows: usize, cols: usize, removal_prob: f64, seed: u64) -> Graph {
+    let rows = rows.max(2);
+    let cols = cols.max(2);
+    let mut rng = rng_from_seed(seed);
+    let idx = |r: usize, c: usize| (r * cols + c) as Vertex;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            // Backbone: every vertical "avenue" is kept in full and so is the
+            // first row, which guarantees connectivity; the remaining
+            // horizontal "streets" are kept with probability 1 - removal_prob.
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c));
+            }
+            if c + 1 < cols {
+                let keep = r == 0 || rng.gen::<f64>() >= removal_prob;
+                if keep {
+                    b.add_edge(idx(r, c), idx(r, c + 1));
+                }
+            }
+            // Occasional diagonal shortcut (consistent orientation keeps it planar).
+            if r + 1 < rows && c + 1 < cols && rng.gen::<f64>() < 0.15 {
+                b.add_edge(idx(r, c), idx(r + 1, c + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+    use crate::degeneracy::degeneracy;
+
+    #[test]
+    fn stacked_triangulation_is_maximal_planar() {
+        for n in [3usize, 4, 10, 100] {
+            let g = stacked_triangulation(n, 1);
+            assert_eq!(g.num_vertices(), n);
+            assert_eq!(g.num_edges(), 3 * n - 6, "n = {n}");
+            assert!(is_connected(&g));
+            assert!(degeneracy(&g) <= 3);
+        }
+    }
+
+    #[test]
+    fn outerplanar_edge_count() {
+        // Maximal outerplanar graphs have 2n - 3 edges.
+        for n in [3usize, 5, 20] {
+            let g = maximal_outerplanar(n);
+            assert_eq!(g.num_edges(), 2 * n - 3, "n = {n}");
+            assert!(is_connected(&g));
+            assert!(degeneracy(&g) <= 2);
+        }
+    }
+
+    #[test]
+    fn triangulated_grid_degeneracy() {
+        let g = triangulated_grid(8, 8);
+        assert_eq!(g.num_vertices(), 64);
+        assert!(is_connected(&g));
+        assert!(degeneracy(&g) <= 3);
+        // edges: horizontal 8*7 + vertical 7*8 + diagonals 7*7
+        assert_eq!(g.num_edges(), 56 + 56 + 49);
+    }
+
+    #[test]
+    fn ktree_edge_count_and_degeneracy() {
+        for k in [1usize, 2, 3, 4] {
+            let n = 60;
+            let g = random_ktree(n, k, 9);
+            // k-tree edge count: C(k+1,2) + (n - k - 1) * k
+            let expected = k * (k + 1) / 2 + (n - k - 1) * k;
+            assert_eq!(g.num_edges(), expected, "k = {k}");
+            assert_eq!(degeneracy(&g) as usize, k);
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn road_network_connected_and_sparse() {
+        let g = road_network(20, 20, 0.3, 17);
+        assert_eq!(g.num_vertices(), 400);
+        assert!(is_connected(&g));
+        assert!(g.average_degree() < 6.0);
+        assert!(degeneracy(&g) <= 4);
+    }
+
+    #[test]
+    fn generators_clamp_tiny_sizes() {
+        assert_eq!(stacked_triangulation(1, 0).num_vertices(), 3);
+        assert_eq!(maximal_outerplanar(2).num_vertices(), 3);
+        assert_eq!(random_ktree(2, 3, 0).num_vertices(), 4);
+    }
+}

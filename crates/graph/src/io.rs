@@ -1,0 +1,293 @@
+//! Reading and writing graphs in simple interchange formats.
+//!
+//! Two formats are supported, enough to exchange instances with other
+//! dominating-set / sparsity tools and to snapshot generated experiment
+//! instances:
+//!
+//! * **edge list** — one `u v` pair per line, `#` comments, vertex count
+//!   inferred (or given by an optional `n m` header line);
+//! * **DIMACS** — `c` comment lines, one `p edge <n> <m>` problem line,
+//!   `e <u> <v>` edge lines with 1-based vertex ids.
+
+use crate::graph::{Graph, GraphBuilder, Vertex};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Errors produced by the parsers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line could not be parsed.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// An edge referenced a vertex outside the declared range.
+    VertexOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending vertex id as written in the file.
+        vertex: u64,
+    },
+    /// The DIMACS problem line is missing.
+    MissingHeader,
+    /// An underlying I/O error (file reading).
+    Io(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Malformed { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::VertexOutOfRange { line, vertex } => {
+                write!(f, "line {line}: vertex {vertex} out of range")
+            }
+            ParseError::MissingHeader => write!(f, "missing DIMACS 'p edge n m' line"),
+            ParseError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an edge-list document. Lines are `u v` (whitespace separated,
+/// 0-based ids); empty lines and lines starting with `#` are ignored. An
+/// optional first non-comment line `n` or `n m` fixes the vertex count;
+/// otherwise it is `max id + 1`.
+pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
+    let mut declared_n: Option<usize> = None;
+    let mut edges: Vec<(u64, u64, usize)> = Vec::new();
+    let mut max_id = 0u64;
+    let mut saw_header_candidate = false;
+
+    for (index, raw) in text.lines().enumerate() {
+        let line_no = index + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let numbers: Result<Vec<u64>, _> = fields.iter().map(|f| f.parse::<u64>()).collect();
+        let numbers = numbers.map_err(|_| ParseError::Malformed {
+            line: line_no,
+            message: format!("expected integers, got {line:?}"),
+        })?;
+        match (saw_header_candidate, numbers.len()) {
+            (false, 1) => {
+                declared_n = Some(numbers[0] as usize);
+                saw_header_candidate = true;
+            }
+            (false, 2) | (true, 2) => {
+                saw_header_candidate = true;
+                edges.push((numbers[0], numbers[1], line_no));
+                max_id = max_id.max(numbers[0]).max(numbers[1]);
+            }
+            (false, 3) => {
+                // "n m <ignored>"-style headers are rejected as ambiguous.
+                return Err(ParseError::Malformed {
+                    line: line_no,
+                    message: "expected 'u v' or a single 'n' header".into(),
+                });
+            }
+            _ => {
+                return Err(ParseError::Malformed {
+                    line: line_no,
+                    message: format!("expected 'u v', got {} fields", numbers.len()),
+                })
+            }
+        }
+    }
+    let n = declared_n.unwrap_or_else(|| {
+        if edges.is_empty() {
+            0
+        } else {
+            max_id as usize + 1
+        }
+    });
+    let mut builder = GraphBuilder::new(n);
+    for (u, v, line) in edges {
+        if u as usize >= n || v as usize >= n {
+            return Err(ParseError::VertexOutOfRange {
+                line,
+                vertex: u.max(v),
+            });
+        }
+        builder.add_edge(u as Vertex, v as Vertex);
+    }
+    Ok(builder.build())
+}
+
+/// Serialises a graph as an edge list with an `n` header line.
+pub fn to_edge_list(graph: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# bedom edge list: n = {}, m = {}", graph.num_vertices(), graph.num_edges());
+    let _ = writeln!(out, "{}", graph.num_vertices());
+    for (u, v) in graph.edges() {
+        let _ = writeln!(out, "{u} {v}");
+    }
+    out
+}
+
+/// Parses a DIMACS `.col`/`.edge` style document (`p edge n m`, `e u v` with
+/// 1-based ids).
+pub fn parse_dimacs(text: &str) -> Result<Graph, ParseError> {
+    let mut builder: Option<GraphBuilder> = None;
+    let mut n = 0usize;
+    for (index, raw) in text.lines().enumerate() {
+        let line_no = index + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p ") {
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            if fields.len() < 2 {
+                return Err(ParseError::Malformed {
+                    line: line_no,
+                    message: "problem line needs 'p edge n m'".into(),
+                });
+            }
+            n = fields[1].parse().map_err(|_| ParseError::Malformed {
+                line: line_no,
+                message: "could not parse vertex count".into(),
+            })?;
+            builder = Some(GraphBuilder::new(n));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("e ") {
+            let builder = builder.as_mut().ok_or(ParseError::MissingHeader)?;
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            if fields.len() != 2 {
+                return Err(ParseError::Malformed {
+                    line: line_no,
+                    message: "edge line needs 'e u v'".into(),
+                });
+            }
+            let u: u64 = fields[0].parse().map_err(|_| ParseError::Malformed {
+                line: line_no,
+                message: "bad endpoint".into(),
+            })?;
+            let v: u64 = fields[1].parse().map_err(|_| ParseError::Malformed {
+                line: line_no,
+                message: "bad endpoint".into(),
+            })?;
+            if u == 0 || v == 0 || u as usize > n || v as usize > n {
+                return Err(ParseError::VertexOutOfRange { line: line_no, vertex: u.max(v) });
+            }
+            builder.add_edge((u - 1) as Vertex, (v - 1) as Vertex);
+            continue;
+        }
+        return Err(ParseError::Malformed {
+            line: line_no,
+            message: format!("unrecognised line {line:?}"),
+        });
+    }
+    builder.map(GraphBuilder::build).ok_or(ParseError::MissingHeader)
+}
+
+/// Serialises a graph in DIMACS format (1-based ids).
+pub fn to_dimacs(graph: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "c bedom instance");
+    let _ = writeln!(out, "p edge {} {}", graph.num_vertices(), graph.num_edges());
+    for (u, v) in graph.edges() {
+        let _ = writeln!(out, "e {} {}", u + 1, v + 1);
+    }
+    out
+}
+
+/// Reads a graph from a file, dispatching on content (`p edge` ⇒ DIMACS,
+/// otherwise edge list).
+pub fn read_graph_file(path: &Path) -> Result<Graph, ParseError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ParseError::Io(e.to_string()))?;
+    if text.lines().any(|l| l.trim_start().starts_with("p ")) {
+        parse_dimacs(&text)
+    } else {
+        parse_edge_list(&text)
+    }
+}
+
+/// Writes a graph to a file; `.col`/`.dimacs` extensions select DIMACS,
+/// anything else gets the edge-list format.
+pub fn write_graph_file(graph: &Graph, path: &Path) -> Result<(), ParseError> {
+    let text = match path.extension().and_then(|e| e.to_str()) {
+        Some("col") | Some("dimacs") => to_dimacs(graph),
+        _ => to_edge_list(graph),
+    };
+    std::fs::write(path, text).map_err(|e| ParseError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid, stacked_triangulation};
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = stacked_triangulation(50, 3);
+        let text = to_edge_list(&g);
+        let back = parse_edge_list(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let g = grid(6, 7);
+        let text = to_dimacs(&g);
+        let back = parse_dimacs(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn edge_list_without_header_infers_n() {
+        let g = parse_edge_list("0 1\n1 2\n# comment\n2 3\n").unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn edge_list_with_isolated_vertices_needs_header() {
+        let g = parse_edge_list("6\n0 1\n").unwrap();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(matches!(parse_edge_list("0 x\n"), Err(ParseError::Malformed { .. })));
+        assert!(matches!(parse_edge_list("3\n0 5\n"), Err(ParseError::VertexOutOfRange { .. })));
+        assert!(matches!(parse_dimacs("e 1 2\n"), Err(ParseError::MissingHeader)));
+        assert!(matches!(
+            parse_dimacs("p edge 3 1\ne 1 9\n"),
+            Err(ParseError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(parse_dimacs("p edge 3 1\nq 1 2\n"), Err(ParseError::Malformed { .. })));
+    }
+
+    #[test]
+    fn empty_documents() {
+        assert_eq!(parse_edge_list("# nothing\n").unwrap().num_vertices(), 0);
+        assert!(matches!(parse_dimacs("c nothing\n"), Err(ParseError::MissingHeader)));
+    }
+
+    #[test]
+    fn file_roundtrip_dispatches_on_extension() {
+        let g = grid(4, 4);
+        let dir = std::env::temp_dir();
+        let edge_path = dir.join("bedom_io_test.edges");
+        let dimacs_path = dir.join("bedom_io_test.col");
+        write_graph_file(&g, &edge_path).unwrap();
+        write_graph_file(&g, &dimacs_path).unwrap();
+        assert_eq!(read_graph_file(&edge_path).unwrap(), g);
+        assert_eq!(read_graph_file(&dimacs_path).unwrap(), g);
+        let _ = std::fs::remove_file(edge_path);
+        let _ = std::fs::remove_file(dimacs_path);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = parse_edge_list("0 x\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+}

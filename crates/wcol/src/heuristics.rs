@@ -1,0 +1,282 @@
+//! Sequential ordering heuristics witnessing small weak colouring numbers.
+//!
+//! The paper invokes Dvořák's linear-time algorithm (Theorem 2) to compute,
+//! on any bounded expansion class, an order `L` with `wcol_r(G, L) ≤ d(r)` for
+//! a class constant `d(r)`. Dvořák's algorithm is described only by citation;
+//! as documented in DESIGN.md (§1.3) we substitute practical ordering
+//! heuristics with the same interface — the algorithms downstream only ever
+//! use the order and the *measured* bound `c = max_v |WReach_2r[v]|`, so
+//! correctness and approximation guarantees are preserved relative to the
+//! measured constant, which experiment T2 shows to be small and essentially
+//! `n`-independent on the tested classes.
+//!
+//! Three heuristics are provided:
+//!
+//! * [`OrderingStrategy::Degeneracy`] — the reverse of a smallest-degree-last
+//!   peel order ("hubs first"). Guarantees `wcol_1 ≤ degeneracy + 1` and works
+//!   well for larger `r` on sparse classes.
+//! * [`OrderingStrategy::Degree`] — vertices sorted by decreasing degree, the
+//!   simplest hub-first order (no guarantee, cheap, a useful ablation).
+//! * [`OrderingStrategy::WreachGreedy`] — iteratively appends to the *front*
+//!   region the vertex whose restricted ball is currently largest, a greedy
+//!   reduction of the quantity being minimised; more expensive but gives the
+//!   smallest constants in practice (used for the ablation in EXPERIMENTS.md).
+
+use crate::order::LinearOrder;
+use crate::wreach::wcol_of_order;
+use bedom_graph::degeneracy::degeneracy_order;
+use bedom_graph::{Graph, Vertex};
+use std::collections::VecDeque;
+
+/// Which heuristic to use to compute an order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OrderingStrategy {
+    /// Reverse smallest-degree-last order (default; linear time).
+    Degeneracy,
+    /// Decreasing degree.
+    Degree,
+    /// Greedy minimisation of restricted-ball sizes for the given radius.
+    WreachGreedy,
+}
+
+impl OrderingStrategy {
+    /// All strategies, for ablation sweeps.
+    pub const ALL: [OrderingStrategy; 3] = [
+        OrderingStrategy::Degeneracy,
+        OrderingStrategy::Degree,
+        OrderingStrategy::WreachGreedy,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OrderingStrategy::Degeneracy => "degeneracy",
+            OrderingStrategy::Degree => "degree",
+            OrderingStrategy::WreachGreedy => "wreach-greedy",
+        }
+    }
+}
+
+/// Computes an order with the chosen strategy. `radius` is the weak
+/// reachability radius the order will be used for (only the `WreachGreedy`
+/// strategy uses it).
+pub fn compute_order(graph: &Graph, radius: u32, strategy: OrderingStrategy) -> LinearOrder {
+    match strategy {
+        OrderingStrategy::Degeneracy => degeneracy_based_order(graph),
+        OrderingStrategy::Degree => degree_based_order(graph),
+        OrderingStrategy::WreachGreedy => wreach_greedy_order(graph, radius),
+    }
+}
+
+/// The default order used throughout the project: reverse of the
+/// smallest-degree-last peel order, so that every vertex has at most
+/// `degeneracy(G)` neighbours *smaller* than itself.
+pub fn degeneracy_based_order(graph: &Graph) -> LinearOrder {
+    let mut order = degeneracy_order(graph);
+    order.reverse();
+    LinearOrder::from_order(order)
+}
+
+/// Vertices sorted by decreasing degree (ties by id).
+pub fn degree_based_order(graph: &Graph) -> LinearOrder {
+    let keys: Vec<(i64, Vertex)> = graph
+        .vertices()
+        .map(|v| (-(graph.degree(v) as i64), v))
+        .collect();
+    LinearOrder::from_keys(&keys)
+}
+
+/// Greedy front-construction: repeatedly pick, among unplaced vertices, the
+/// one whose "uncovered weak ball" is currently the largest and place it next
+/// (smallest remaining position). Intuition: a vertex placed early is smaller
+/// than many others, so the vertices it can "absorb" into their WReach sets
+/// should be the ones that would otherwise propagate reachability; picking
+/// high-coverage vertices first mirrors the structure of transitive-fraternal
+/// augmentation orders without their cost.
+///
+/// Runs in `O(n · (m + n))` in the worst case — fine for the instance sizes
+/// where the ablation is reported.
+pub fn wreach_greedy_order(graph: &Graph, radius: u32) -> LinearOrder {
+    let n = graph.num_vertices();
+    let r = radius.max(1);
+    let mut placed = vec![false; n];
+    let mut covered = vec![false; n];
+    let mut order: Vec<Vertex> = Vec::with_capacity(n);
+
+    // Priority: number of uncovered vertices within distance r, recomputed
+    // lazily (scores only decrease as vertices get covered).
+    let score = |v: Vertex, placed: &[bool], covered: &[bool], graph: &Graph| -> usize {
+        // BFS to depth r over unplaced vertices, counting uncovered ones.
+        let mut seen = vec![false; graph.num_vertices()];
+        let mut queue = VecDeque::new();
+        let mut count = 0usize;
+        seen[v as usize] = true;
+        queue.push_back((v, 0u32));
+        if !covered[v as usize] {
+            count += 1;
+        }
+        while let Some((x, d)) = queue.pop_front() {
+            if d >= r {
+                continue;
+            }
+            for &w in graph.neighbors(x) {
+                if !seen[w as usize] && !placed[w as usize] {
+                    seen[w as usize] = true;
+                    if !covered[w as usize] {
+                        count += 1;
+                    }
+                    queue.push_back((w, d + 1));
+                }
+            }
+        }
+        count
+    };
+
+    let mut heap: std::collections::BinaryHeap<(usize, Vertex)> = graph
+        .vertices()
+        .map(|v| (score(v, &placed, &covered, graph), v))
+        .collect();
+
+    while order.len() < n {
+        let Some((claimed, v)) = heap.pop() else { break };
+        if placed[v as usize] {
+            continue;
+        }
+        let actual = score(v, &placed, &covered, graph);
+        if actual < claimed {
+            heap.push((actual, v));
+            continue;
+        }
+        placed[v as usize] = true;
+        order.push(v);
+        // Mark the ball of v (over unplaced vertices) as covered.
+        let mut queue = VecDeque::new();
+        let mut seen = vec![false; n];
+        seen[v as usize] = true;
+        covered[v as usize] = true;
+        queue.push_back((v, 0u32));
+        while let Some((x, d)) = queue.pop_front() {
+            if d >= r {
+                continue;
+            }
+            for &w in graph.neighbors(x) {
+                if !seen[w as usize] && !placed[w as usize] {
+                    seen[w as usize] = true;
+                    covered[w as usize] = true;
+                    queue.push_back((w, d + 1));
+                }
+            }
+        }
+    }
+    // Any vertices never popped (isolated pathological cases) go last.
+    for v in graph.vertices() {
+        if !placed[v as usize] {
+            order.push(v);
+        }
+    }
+    LinearOrder::from_order(order)
+}
+
+/// Convenience: computes the default order and the constant it witnesses for
+/// radius `r` (i.e. `max_v |WReach_r[G, L, v]|`).
+pub fn order_with_witnessed_constant(graph: &Graph, r: u32) -> (LinearOrder, usize) {
+    let order = degeneracy_based_order(graph);
+    let c = wcol_of_order(graph, &order, r);
+    (order, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_wcol;
+    use bedom_graph::degeneracy::degeneracy;
+    use bedom_graph::generators::{
+        cycle, grid, maximal_outerplanar, path, random_ktree, random_tree, stacked_triangulation,
+        star,
+    };
+
+    #[test]
+    fn degeneracy_order_bounds_wcol1_by_degeneracy_plus_one() {
+        for g in [
+            path(30),
+            cycle(30),
+            grid(8, 8),
+            star(20),
+            random_tree(60, 3),
+            stacked_triangulation(80, 3),
+            maximal_outerplanar(40),
+            random_ktree(60, 3, 3),
+        ] {
+            let order = degeneracy_based_order(&g);
+            let wcol1 = wcol_of_order(&g, &order, 1);
+            assert!(
+                wcol1 <= degeneracy(&g) as usize + 1,
+                "wcol_1 = {wcol1}, degeneracy = {}",
+                degeneracy(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn heuristics_produce_valid_permutations() {
+        let g = stacked_triangulation(50, 7);
+        for strategy in OrderingStrategy::ALL {
+            let order = compute_order(&g, 2, strategy);
+            assert_eq!(order.len(), 50, "{}", strategy.name());
+            let mut seen = vec![false; 50];
+            for v in order.iter() {
+                assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn heuristics_not_far_from_exact_on_tiny_graphs() {
+        // On tiny graphs the degeneracy heuristic should be within a small
+        // additive gap of the exact optimum.
+        for g in [path(7), cycle(7), star(7), grid(2, 4)] {
+            for r in 1..=2u32 {
+                let (opt, _) = exact_wcol(&g, r, 8).unwrap();
+                let heur = wcol_of_order(&g, &degeneracy_based_order(&g), r);
+                assert!(heur >= opt);
+                assert!(heur <= opt + 2, "heur {heur} vs opt {opt} (r={r})");
+            }
+        }
+    }
+
+    #[test]
+    fn witnessed_constants_stay_small_on_bounded_expansion_classes() {
+        // The key empirical fact behind T2: the constants do not grow with n.
+        for r in [2u32, 4] {
+            let small = order_with_witnessed_constant(&stacked_triangulation(200, 1), r).1;
+            let large = order_with_witnessed_constant(&stacked_triangulation(2000, 1), r).1;
+            assert!(large <= 2 * small + 8, "r={r}: {small} -> {large}");
+            assert!(large < 60, "r={r}: constant too large: {large}");
+        }
+    }
+
+    #[test]
+    fn grid_constants_are_modest() {
+        let g = grid(20, 20);
+        let (_, c2) = order_with_witnessed_constant(&g, 2);
+        let (_, c4) = order_with_witnessed_constant(&g, 4);
+        assert!(c2 <= 12, "c2 = {c2}");
+        assert!(c4 <= 40, "c4 = {c4}");
+        assert!(c2 <= c4);
+    }
+
+    #[test]
+    fn strategy_names_unique() {
+        let names: std::collections::HashSet<_> =
+            OrderingStrategy::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), OrderingStrategy::ALL.len());
+    }
+
+    #[test]
+    fn wreach_greedy_handles_disconnected_graphs() {
+        let g = bedom_graph::graph_from_edges(6, &[(0, 1), (2, 3)]);
+        let order = wreach_greedy_order(&g, 2);
+        assert_eq!(order.len(), 6);
+    }
+}

@@ -1,0 +1,262 @@
+//! Weak reachability sets and the weak `r`-colouring number of an order.
+//!
+//! `WReach_r[G, L, v]` is the set of vertices `u ≤_L v` connected to `v` by a
+//! path of length at most `r` on which `u` is the `L`-minimum (Section 2 of
+//! the paper). The weak colouring number of the order is the maximum size of
+//! these sets; Theorem 1 (Zhu) characterises bounded expansion classes as
+//! exactly those with uniformly bounded `wcol_r`.
+//!
+//! The computation follows the paper's own observation (proof of Theorem 5):
+//! a BFS from `u` restricted to vertices `≥_L u` and to depth `r` visits
+//! exactly the vertices `w` with `u ∈ WReach_r[G, L, w]` — i.e. the cluster
+//! `X_u` for parameter `r`.
+
+use crate::order::LinearOrder;
+use bedom_graph::{Graph, Vertex};
+use rayon::prelude::*;
+use std::collections::VecDeque;
+
+/// The set of vertices `w` such that `u ∈ WReach_r[G, L, w]` — this is the
+/// cluster `X_u` of the paper (for the given `r`), computed by a depth-`r`
+/// BFS from `u` restricted to vertices `≥_L u` (paper's Algorithm 3).
+///
+/// The result is sorted by vertex id and always contains `u` itself.
+pub fn restricted_ball(graph: &Graph, order: &LinearOrder, u: Vertex, r: u32) -> Vec<Vertex> {
+    let n = graph.num_vertices();
+    let mut visited = vec![false; n];
+    let mut result = vec![u];
+    let mut queue = VecDeque::new();
+    visited[u as usize] = true;
+    queue.push_back((u, 0u32));
+    while let Some((x, d)) = queue.pop_front() {
+        if d >= r {
+            continue;
+        }
+        for &w in graph.neighbors(x) {
+            if !visited[w as usize] && order.less(u, w) {
+                visited[w as usize] = true;
+                result.push(w);
+                queue.push_back((w, d + 1));
+            }
+        }
+    }
+    result.sort_unstable();
+    result
+}
+
+/// `WReach_r[G, L, v]` for every vertex `v`, each sorted by vertex id.
+///
+/// Computed by inverting the restricted balls: `u ∈ WReach_r[v]` iff
+/// `v ∈ restricted_ball(u)`. Restricted balls are computed in parallel.
+pub fn weak_reachability_sets(graph: &Graph, order: &LinearOrder, r: u32) -> Vec<Vec<Vertex>> {
+    let n = graph.num_vertices();
+    let balls: Vec<(Vertex, Vec<Vertex>)> = (0..n as Vertex)
+        .into_par_iter()
+        .map(|u| (u, restricted_ball(graph, order, u, r)))
+        .collect();
+    let mut wreach: Vec<Vec<Vertex>> = vec![Vec::new(); n];
+    for (u, ball) in balls {
+        for w in ball {
+            wreach[w as usize].push(u);
+        }
+    }
+    for set in &mut wreach {
+        set.sort_unstable();
+    }
+    wreach
+}
+
+/// The weak `r`-colouring number achieved by `order`:
+/// `max_v |WReach_r[G, L, v]|`. Returns 0 for the empty graph.
+pub fn wcol_of_order(graph: &Graph, order: &LinearOrder, r: u32) -> usize {
+    weak_reachability_sets(graph, order, r)
+        .iter()
+        .map(Vec::len)
+        .max()
+        .unwrap_or(0)
+}
+
+/// The distribution of `|WReach_r|` values: `(max, mean)`.
+pub fn wcol_profile(graph: &Graph, order: &LinearOrder, r: u32) -> (usize, f64) {
+    let sets = weak_reachability_sets(graph, order, r);
+    if sets.is_empty() {
+        return (0, 0.0);
+    }
+    let max = sets.iter().map(Vec::len).max().unwrap();
+    let mean = sets.iter().map(Vec::len).sum::<usize>() as f64 / sets.len() as f64;
+    (max, mean)
+}
+
+/// The `L`-minimum of `WReach_r[G, L, v]` for every `v` — the vertex each `w`
+/// "elects as its dominator" in the paper's construction (Equation (2)).
+///
+/// Computed directly (without materialising the full sets) by taking, over all
+/// `u` whose restricted ball contains `v`, the `L`-smallest such `u`.
+pub fn min_wreach(graph: &Graph, order: &LinearOrder, r: u32) -> Vec<Vertex> {
+    let n = graph.num_vertices();
+    let balls: Vec<(Vertex, Vec<Vertex>)> = (0..n as Vertex)
+        .into_par_iter()
+        .map(|u| (u, restricted_ball(graph, order, u, r)))
+        .collect();
+    let mut best: Vec<Vertex> = (0..n as Vertex).collect();
+    for (u, ball) in balls {
+        for w in ball {
+            if order.less(u, best[w as usize]) {
+                best[w as usize] = u;
+            }
+        }
+    }
+    best
+}
+
+/// Brute-force check of weak `r`-reachability between a single pair, by
+/// enumerating paths with a depth-first search. Exponential; used only to
+/// validate [`weak_reachability_sets`] on tiny graphs.
+pub fn is_weakly_reachable_bruteforce(
+    graph: &Graph,
+    order: &LinearOrder,
+    from: Vertex,
+    target: Vertex,
+    r: u32,
+) -> bool {
+    // target ∈ WReach_r[from] iff there is a path from `from` to `target` of
+    // length ≤ r on which `target` is the L-minimum.
+    fn dfs(
+        graph: &Graph,
+        order: &LinearOrder,
+        current: Vertex,
+        target: Vertex,
+        budget: u32,
+        on_path: &mut Vec<Vertex>,
+    ) -> bool {
+        if current == target {
+            return on_path.iter().all(|&x| order.less_eq(target, x));
+        }
+        if budget == 0 {
+            return false;
+        }
+        for &w in graph.neighbors(current) {
+            if on_path.contains(&w) {
+                continue;
+            }
+            on_path.push(w);
+            if dfs(graph, order, w, target, budget - 1, on_path) {
+                on_path.pop();
+                return true;
+            }
+            on_path.pop();
+        }
+        false
+    }
+    let mut on_path = vec![from];
+    dfs(graph, order, from, target, r, &mut on_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bedom_graph::generators::{cycle, path, star};
+    use bedom_graph::graph_from_edges;
+
+    #[test]
+    fn wreach_on_path_with_identity_order() {
+        // Path 0-1-2-3-4, identity order. WReach_r[v] = {v-r, …, v}∩[0,n): the
+        // minimum on the path from u to v (u < v) is u itself only if the path
+        // goes monotonically left, which on a path graph it does.
+        let g = path(5);
+        let order = LinearOrder::identity(5);
+        let w = weak_reachability_sets(&g, &order, 2);
+        assert_eq!(w[0], vec![0]);
+        assert_eq!(w[1], vec![0, 1]);
+        assert_eq!(w[2], vec![0, 1, 2]);
+        assert_eq!(w[3], vec![1, 2, 3]);
+        assert_eq!(w[4], vec![2, 3, 4]);
+        assert_eq!(wcol_of_order(&g, &order, 2), 3);
+    }
+
+    #[test]
+    fn wreach_always_contains_self() {
+        let g = cycle(7);
+        let order = LinearOrder::from_order(vec![3, 5, 0, 2, 6, 1, 4]);
+        for r in 0..4 {
+            let w = weak_reachability_sets(&g, &order, r);
+            for v in 0..7u32 {
+                assert!(w[v as usize].contains(&v), "r={r}, v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn wreach_zero_is_only_self() {
+        let g = star(6);
+        let order = LinearOrder::identity(6);
+        let w = weak_reachability_sets(&g, &order, 0);
+        for v in 0..6u32 {
+            assert_eq!(w[v as usize], vec![v]);
+        }
+    }
+
+    #[test]
+    fn wreach_monotone_in_r() {
+        let g = graph_from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (5, 6), (6, 7), (7, 4)]);
+        let order = LinearOrder::from_order(vec![7, 3, 5, 1, 0, 6, 2, 4]);
+        for r in 0..4 {
+            let small = weak_reachability_sets(&g, &order, r);
+            let large = weak_reachability_sets(&g, &order, r + 1);
+            for v in 0..8usize {
+                for u in &small[v] {
+                    assert!(large[v].contains(u), "r={r}, v={v}, u={u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wreach_matches_bruteforce_on_small_graph() {
+        let g = graph_from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0), (1, 4)]);
+        let order = LinearOrder::from_order(vec![4, 2, 6, 0, 3, 5, 1]);
+        for r in 0..=3u32 {
+            let sets = weak_reachability_sets(&g, &order, r);
+            for v in 0..7u32 {
+                for u in 0..7u32 {
+                    let in_set = sets[v as usize].contains(&u);
+                    let brute = is_weakly_reachable_bruteforce(&g, &order, v, u, r);
+                    assert_eq!(in_set, brute, "r={r}, v={v}, u={u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_wreach_matches_full_sets() {
+        let g = cycle(9);
+        let order = LinearOrder::from_order(vec![4, 7, 1, 8, 0, 3, 6, 2, 5]);
+        for r in 1..=3u32 {
+            let sets = weak_reachability_sets(&g, &order, r);
+            let mins = min_wreach(&g, &order, r);
+            for v in 0..9u32 {
+                let expected = order.min_of(&sets[v as usize]).unwrap();
+                assert_eq!(mins[v as usize], expected, "r={r}, v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn wcol_profile_sane() {
+        let g = path(10);
+        let order = LinearOrder::identity(10);
+        let (max, mean) = wcol_profile(&g, &order, 1);
+        assert_eq!(max, 2);
+        assert!(mean > 1.0 && mean < 2.0);
+    }
+
+    #[test]
+    fn restricted_ball_respects_order() {
+        let g = path(6);
+        // Order 5 < 4 < 3 < 2 < 1 < 0 (reverse identity).
+        let order = LinearOrder::from_order(vec![5, 4, 3, 2, 1, 0]);
+        // Ball from 3 with r=2 may only use vertices ≥_L 3, i.e. {3, 2, 1, 0};
+        // so it reaches 2 and 1 but not 4 or 5.
+        assert_eq!(restricted_ball(&g, &order, 3, 2), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Distance-r domination as sensor/relay placement in a bounded-degree
+//! wireless mesh (the (k, r)-centre view of the problem the paper mentions).
+//!
+//! Scenario: a field of sensors forms a bounded-degree communication mesh;
+//! we must pick relay nodes so that every sensor is within r hops of a relay
+//! (a distance-r dominating set), and we compare how many relays the
+//! different algorithms need as r grows.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example sensor_network_coverage
+//! ```
+
+use bedom::baselines::{greedy::greedy_baseline, kutten_peleg_dominating_set};
+use bedom::core::approximate_distance_domination;
+use bedom::graph::components::largest_component;
+use bedom::graph::domset::{is_distance_dominating_set, packing_lower_bound};
+use bedom::graph::generators::bounded_degree_random;
+
+fn main() {
+    // A bounded-degree random mesh (max degree 5), restricted to its largest
+    // connected component.
+    let raw = bounded_degree_random(20_000, 5, 3);
+    let (graph, _) = raw.induced_subgraph(&largest_component(&raw));
+    println!(
+        "instance: bounded-degree mesh, n = {}, m = {}, max degree = {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.max_degree()
+    );
+    println!(
+        "{:>3} {:>12} {:>12} {:>12} {:>12}",
+        "r", "ours(Thm5)", "greedy", "kutten-peleg", "lower-bound"
+    );
+
+    for r in 1..=4u32 {
+        let ours = approximate_distance_domination(&graph, r);
+        let greedy = greedy_baseline(&graph, r);
+        let kp = kutten_peleg_dominating_set(&graph, r);
+        let lb = packing_lower_bound(&graph, r);
+        for set in [&ours.dominating_set, &greedy, &kp] {
+            assert!(is_distance_dominating_set(&graph, set, r));
+        }
+        println!(
+            "{:>3} {:>12} {:>12} {:>12} {:>12}",
+            r,
+            ours.dominating_set.len(),
+            greedy.len(),
+            kp.len(),
+            lb
+        );
+    }
+    println!();
+    println!("Every row is a valid relay placement; the paper's algorithm tracks the");
+    println!("lower bound within its constant c(r), while the Kutten–Peleg style set");
+    println!("shrinks only like n/(r+1) regardless of the instance's structure.");
+}

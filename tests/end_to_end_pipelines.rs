@@ -1,0 +1,134 @@
+//! Integration tests spanning all crates: full pipelines from graph
+//! generation through orders, covers, sequential and distributed dominating
+//! sets, connected variants and baselines, with the paper's guarantees
+//! checked at every step.
+
+use bedom::baselines::{
+    dvorak_style_domination, greedy::greedy_baseline, kutten_peleg_dominating_set,
+    lenzen_planar_dominating_set,
+};
+use bedom::core::{
+    approximate_distance_domination, distributed_connected_domination,
+    distributed_distance_domination, distributed_neighborhood_cover, domset_via_min_wreach,
+    local_connect, DistConnectedConfig, DistCoverConfig, DistDomSetConfig,
+};
+use bedom::distsim::IdAssignment;
+use bedom::graph::components::{is_induced_connected, largest_component};
+use bedom::graph::domset::{is_distance_dominating_set, packing_lower_bound};
+use bedom::graph::generators::Family;
+use bedom::wcol::{degeneracy_based_order, neighborhood_cover, wcol_of_order};
+
+/// One pass of the whole stack on a single instance.
+fn full_stack(graph: &bedom::graph::Graph, r: u32) {
+    // Order + witnessed constant.
+    let order = degeneracy_based_order(graph);
+    let c2r = wcol_of_order(graph, &order, 2 * r);
+
+    // Sequential cover (Theorem 4).
+    let cover = neighborhood_cover(graph, &order, r);
+    assert!(cover.covers_all_r_neighborhoods(graph));
+    assert!(cover.max_cluster_radius(graph).unwrap_or(0) <= 2 * r);
+    assert!(cover.degree() <= c2r);
+
+    // Sequential dominating set (Theorem 5).
+    let seq = domset_via_min_wreach(graph, &order, r);
+    assert!(is_distance_dominating_set(graph, &seq.dominating_set, r));
+    let lb = packing_lower_bound(graph, r).max(1);
+    assert!(seq.dominating_set.len() <= c2r * lb);
+
+    // Distributed dominating set (Theorem 9) and cover (Theorem 8).
+    let dist = distributed_distance_domination(graph, DistDomSetConfig::new(r)).unwrap();
+    assert!(is_distance_dominating_set(graph, &dist.dominating_set, r));
+    assert!(dist.dominating_set.len() <= dist.measured_constant * lb);
+    let dist_cover = distributed_neighborhood_cover(graph, DistCoverConfig::new(r)).unwrap();
+    let collected = dist_cover.to_neighborhood_cover(graph);
+    assert!(collected.covers_all_r_neighborhoods(graph));
+
+    // Baselines all dominate.
+    assert!(is_distance_dominating_set(graph, &greedy_baseline(graph, r), r));
+    assert!(is_distance_dominating_set(
+        graph,
+        &dvorak_style_domination(graph, &order, r),
+        r
+    ));
+    assert!(is_distance_dominating_set(
+        graph,
+        &kutten_peleg_dominating_set(graph, r),
+        r
+    ));
+}
+
+#[test]
+fn full_stack_on_every_bounded_expansion_family() {
+    for family in Family::BOUNDED_EXPANSION {
+        let graph = family.generate(300, 11);
+        full_stack(&graph, 1);
+    }
+}
+
+#[test]
+fn full_stack_with_larger_radius_on_planar_families() {
+    for family in [Family::Grid, Family::PlanarTriangulation, Family::Outerplanar, Family::RandomTree] {
+        let graph = family.generate(400, 3);
+        full_stack(&graph, 2);
+    }
+}
+
+#[test]
+fn full_stack_on_the_gnp_control() {
+    // The algorithms stay *correct* on the non-bounded-expansion control; only
+    // the constants degrade. Correctness is what this test checks.
+    let graph = Family::Gnp.generate(250, 5);
+    full_stack(&graph, 1);
+}
+
+#[test]
+fn connected_pipelines_agree_on_guarantees() {
+    for family in [Family::Grid, Family::PlanarTriangulation, Family::TwoTree] {
+        let raw = family.generate(350, 9);
+        let (graph, _) = raw.induced_subgraph(&largest_component(&raw));
+        let r = 1;
+
+        // CONGEST_BC pipeline (Theorem 10).
+        let congest =
+            distributed_connected_domination(&graph, DistConnectedConfig::new(r)).unwrap();
+        assert!(is_distance_dominating_set(&graph, &congest.connected_dominating_set, r));
+        assert!(is_induced_connected(&graph, &congest.connected_dominating_set));
+
+        // LOCAL pipeline (Theorem 17 over Lenzen et al.).
+        let ids = IdAssignment::Shuffled(4).assign(&graph);
+        let mds = lenzen_planar_dominating_set(&graph, &ids);
+        let local = local_connect(&graph, &ids, &mds, r);
+        assert!(is_distance_dominating_set(&graph, &local.connected_dominating_set, r));
+        assert!(is_induced_connected(&graph, &local.connected_dominating_set));
+        // Theorem 17 blow-up bound with the planar density constant 3.
+        assert!(
+            local.connected_dominating_set.len() <= (1 + 2 * r as usize * 3) * mds.len().max(1),
+            "LOCAL blow-up bound violated"
+        );
+    }
+}
+
+#[test]
+fn sequential_and_distributed_sets_coincide_for_shared_order() {
+    let graph = Family::PlanarTriangulation.generate(500, 21);
+    for r in 1..=2u32 {
+        let dist = distributed_distance_domination(&graph, DistDomSetConfig::new(r)).unwrap();
+        let seq = domset_via_min_wreach(&graph, &dist.order, r);
+        assert_eq!(seq.dominating_set, dist.dominating_set);
+    }
+}
+
+#[test]
+fn quality_ordering_of_methods_on_bounded_expansion_classes() {
+    // The headline comparison of experiment T1/T6: on bounded expansion
+    // classes our set should not be (much) larger than the baselines', and
+    // the Kutten–Peleg style set should be the largest by far for larger r.
+    let graph = Family::PlanarTriangulation.generate(2000, 2);
+    let r = 3;
+    let ours = approximate_distance_domination(&graph, r).dominating_set.len();
+    let greedy = greedy_baseline(&graph, r).len();
+    let kp = kutten_peleg_dominating_set(&graph, r).len();
+    assert!(ours <= 3 * greedy, "ours {ours} vs greedy {greedy}");
+    assert!(kp > greedy, "kp {kp} should exceed greedy {greedy} at r = {r}");
+}

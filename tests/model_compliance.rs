@@ -1,0 +1,138 @@
+//! Integration tests for the distributed-model claims: round complexity,
+//! message sizes and CONGEST_BC compliance of the paper's protocols across
+//! graph families and identifier assignments.
+
+use bedom::core::{
+    distributed_connected_domination, distributed_distance_domination, DistConnectedConfig,
+    DistDomSetConfig,
+};
+use bedom::distsim::{log2_ceil, IdAssignment};
+use bedom::graph::domset::is_distance_dominating_set;
+use bedom::graph::generators::Family;
+
+#[test]
+fn rounds_scale_logarithmically_with_n() {
+    // F1's shape check: for fixed r the total round count grows like log n,
+    // far below the paper's O(r² log n) upper bound.
+    let r = 2;
+    let mut previous = None;
+    for n in [500usize, 2_000, 8_000] {
+        let graph = Family::RandomTree.generate(n, 13);
+        let result = distributed_distance_domination(&graph, DistDomSetConfig::new(r)).unwrap();
+        assert!(is_distance_dominating_set(&graph, &result.dominating_set, r));
+        let budget = 4 * log2_ceil(n) + 12 * r as usize + 10;
+        assert!(
+            result.total_rounds() <= budget,
+            "n = {n}: {} rounds > {budget}",
+            result.total_rounds()
+        );
+        if let Some(prev) = previous {
+            // Quadrupling n may add only a few rounds.
+            assert!(result.total_rounds() <= prev + 6);
+        }
+        previous = Some(result.total_rounds());
+    }
+}
+
+#[test]
+fn rounds_grow_linearly_with_r_for_fixed_n() {
+    let graph = Family::Grid.generate(1_000, 1);
+    let mut rounds = Vec::new();
+    for r in 1..=4u32 {
+        let result = distributed_distance_domination(&graph, DistDomSetConfig::new(r)).unwrap();
+        rounds.push(result.total_rounds());
+    }
+    assert!(rounds.windows(2).all(|w| w[1] > w[0]), "rounds must increase with r: {rounds:?}");
+    // Increments are O(1)·Δr (the wreach + election phases), not quadratic.
+    let increments: Vec<_> = rounds.windows(2).map(|w| w[1] - w[0]).collect();
+    assert!(increments.iter().all(|&d| d <= 6), "increment too large: {increments:?}");
+}
+
+#[test]
+fn message_sizes_stay_within_the_lemma7_budget() {
+    // F2's check: the maximum per-vertex per-round broadcast stays within
+    // O(c²·r·log n) bits, with a concrete constant of 8.
+    for family in [Family::PlanarTriangulation, Family::ConfigurationModel, Family::Grid] {
+        let graph = family.generate(1_500, 3);
+        let r = 2;
+        let result = distributed_distance_domination(&graph, DistDomSetConfig::new(r)).unwrap();
+        let c = result.measured_constant.max(1);
+        let n = graph.num_vertices();
+        let budget = 8 * c * c * (2 * r as usize + 1) * log2_ceil(n);
+        let worst = result
+            .phase_stats
+            .iter()
+            .map(|s| s.max_vertex_round_bits)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            worst <= budget,
+            "{}: max per-vertex round bits {worst} > budget {budget} (c = {c})",
+            family.name()
+        );
+    }
+}
+
+#[test]
+fn enforced_congest_bc_run_matches_unenforced_run() {
+    // Running with the bandwidth limit switched on (at the paper's bound) must
+    // not change the computed set — it only enables enforcement.
+    let graph = Family::PlanarTriangulation.generate(400, 8);
+    let r = 1;
+    let probe = distributed_distance_domination(&graph, DistDomSetConfig::new(r)).unwrap();
+    let c = probe.measured_constant.max(1);
+    let enforced_config = DistDomSetConfig {
+        bandwidth_logs: Some(8 * c * c * (2 * r as usize + 1)),
+        ..DistDomSetConfig::new(r)
+    };
+    let enforced = distributed_distance_domination(&graph, enforced_config).unwrap();
+    assert_eq!(probe.dominating_set, enforced.dominating_set);
+}
+
+#[test]
+fn outputs_are_deterministic_for_a_fixed_id_assignment() {
+    let graph = Family::ChungLu.generate(800, 17);
+    let config = DistDomSetConfig {
+        assignment: IdAssignment::Shuffled(99),
+        ..DistDomSetConfig::new(2)
+    };
+    let a = distributed_distance_domination(&graph, config).unwrap();
+    let b = distributed_distance_domination(&graph, config).unwrap();
+    assert_eq!(a.dominating_set, b.dominating_set);
+    assert_eq!(a.total_rounds(), b.total_rounds());
+}
+
+#[test]
+fn solution_quality_is_robust_to_id_assignment() {
+    // The guarantee of Theorem 9 is per-order, and the order depends on the
+    // identifiers; quality may vary but must stay within the witnessed
+    // constant times the lower bound for every assignment.
+    let graph = Family::Grid.generate(900, 1);
+    let r = 1;
+    let lb = bedom::graph::domset::packing_lower_bound(&graph, r).max(1);
+    for assignment in [
+        IdAssignment::Natural,
+        IdAssignment::Shuffled(1),
+        IdAssignment::Shuffled(2),
+        IdAssignment::ReverseBfs,
+        IdAssignment::ReverseDegeneracy,
+    ] {
+        let config = DistDomSetConfig {
+            assignment,
+            ..DistDomSetConfig::new(r)
+        };
+        let result = distributed_distance_domination(&graph, config).unwrap();
+        assert!(is_distance_dominating_set(&graph, &result.dominating_set, r));
+        assert!(result.dominating_set.len() <= result.measured_constant * lb);
+    }
+}
+
+#[test]
+fn connected_pipeline_round_overhead_is_additive_in_r() {
+    let graph = Family::PlanarTriangulation.generate(800, 4);
+    let plain = distributed_distance_domination(&graph, DistDomSetConfig::new(1)).unwrap();
+    let connected = distributed_connected_domination(&graph, DistConnectedConfig::new(1)).unwrap();
+    // Theorem 10 adds the flooding phase plus one extra reach round.
+    assert!(connected.total_rounds() >= plain.total_rounds());
+    assert!(connected.total_rounds() <= plain.total_rounds() + 2 * 1 + 4);
+}
