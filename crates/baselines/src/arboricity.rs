@@ -72,9 +72,7 @@ pub fn bucketed_greedy_dominating_set(graph: &Graph, r: u32) -> Vec<Vertex> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bedom_graph::domset::{
-        greedy_distance_dominating_set, is_distance_dominating_set,
-    };
+    use bedom_graph::domset::{greedy_distance_dominating_set, is_distance_dominating_set};
     use bedom_graph::generators::{grid, path, random_tree, stacked_triangulation, star};
 
     #[test]
@@ -95,7 +93,11 @@ mod tests {
     fn within_factor_two_of_plain_greedy() {
         // The bucketed schedule loses at most a factor 2 per phase relative to
         // the fully sequential greedy (standard argument); check empirically.
-        for g in [grid(10, 10), stacked_triangulation(200, 1), random_tree(200, 9)] {
+        for g in [
+            grid(10, 10),
+            stacked_triangulation(200, 1),
+            random_tree(200, 9),
+        ] {
             let bucketed = bucketed_greedy_dominating_set(&g, 1);
             let greedy = greedy_distance_dominating_set(&g, 1);
             assert!(

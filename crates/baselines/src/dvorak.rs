@@ -48,7 +48,10 @@ pub fn dvorak_style_domination(graph: &Graph, order: &LinearOrder, r: u32) -> Ve
                 }
             }
         }
-        debug_assert!(dominated[w as usize], "w dominates itself via WReach_r[w] ∋ w");
+        debug_assert!(
+            dominated[w as usize],
+            "w dominates itself via WReach_r[w] ∋ w"
+        );
     }
     solution.sort_unstable();
     solution
@@ -97,6 +100,9 @@ mod tests {
     #[test]
     fn empty_and_single_vertex() {
         assert!(dvorak_style_domination_default(&Graph::empty(0), 2).is_empty());
-        assert_eq!(dvorak_style_domination_default(&Graph::empty(1), 2), vec![0]);
+        assert_eq!(
+            dvorak_style_domination_default(&Graph::empty(1), 2),
+            vec![0]
+        );
     }
 }

@@ -28,7 +28,10 @@ mod tests {
     #[test]
     fn baseline_wrapper_matches_underlying_greedy() {
         for (g, r) in [(path(31), 1u32), (grid(7, 7), 2)] {
-            assert_eq!(greedy_baseline(&g, r), greedy_distance_dominating_set(&g, r));
+            assert_eq!(
+                greedy_baseline(&g, r),
+                greedy_distance_dominating_set(&g, r)
+            );
             assert!(is_distance_dominating_set(&g, &greedy_baseline(&g, r), r));
         }
     }

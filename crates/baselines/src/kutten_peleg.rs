@@ -80,7 +80,10 @@ mod tests {
 
     fn check(graph: &Graph, r: u32) -> Vec<Vertex> {
         let d = kutten_peleg_dominating_set(graph, r);
-        assert!(is_distance_dominating_set(graph, &d, r), "invalid for r = {r}");
+        assert!(
+            is_distance_dominating_set(graph, &d, r),
+            "invalid for r = {r}"
+        );
         let (_, components) = connected_components(graph);
         assert!(
             d.len() <= graph.num_vertices() / (r as usize + 1) + components,

@@ -37,9 +37,8 @@ fn coverable_by_two(view: &LocalView<'_>, v: Vertex) -> bool {
         .copied()
         .filter(|&a| a != v && view.distance_to(a).unwrap_or(u32::MAX) <= 2)
         .collect();
-    let covered_by = |a: Vertex, w: Vertex| -> bool {
-        w == a || view.neighbors_in_view(a).contains(&w)
-    };
+    let covered_by =
+        |a: Vertex, w: Vertex| -> bool { w == a || view.neighbors_in_view(a).contains(&w) };
     for (i, &a) in candidates.iter().enumerate() {
         // Quick reject: a alone covers something.
         for &b in candidates.iter().skip(i) {
@@ -75,11 +74,8 @@ pub fn lenzen_planar_dominating_set(graph: &Graph, ids: &[u64]) -> Vec<Vertex> {
     // (the outcome is identical, the round count is what the analysis states).
     let elected: Vec<Option<Vertex>> = run_local(graph, ids, 1, |view| {
         let v = view.center;
-        let dominated = in_d1[v as usize]
-            || view
-                .neighbors_in_view(v)
-                .iter()
-                .any(|&w| in_d1[w as usize]);
+        let dominated =
+            in_d1[v as usize] || view.neighbors_in_view(v).iter().any(|&w| in_d1[w as usize]);
         if dominated {
             return None;
         }
@@ -115,7 +111,7 @@ mod tests {
         exact_distance_dominating_set, is_distance_dominating_set, packing_lower_bound,
     };
     use bedom_graph::generators::{
-        cycle, grid, maximal_outerplanar, path, star, stacked_triangulation, triangulated_grid,
+        cycle, grid, maximal_outerplanar, path, stacked_triangulation, star, triangulated_grid,
     };
 
     fn run(graph: &Graph) -> Vec<Vertex> {
@@ -153,7 +149,11 @@ mod tests {
         // Measure the ratio against the exact optimum on instances small
         // enough to solve exactly; the constant here is far below the proven
         // worst-case constant of [36].
-        for g in [grid(6, 6), stacked_triangulation(60, 1), maximal_outerplanar(40)] {
+        for g in [
+            grid(6, 6),
+            stacked_triangulation(60, 1),
+            maximal_outerplanar(40),
+        ] {
             let d = run(&g);
             let opt = exact_distance_dominating_set(&g, 1, 5_000_000)
                 .map(|o| o.len())

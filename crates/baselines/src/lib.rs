@@ -27,33 +27,54 @@ pub use kutten_peleg::kutten_peleg_dominating_set;
 pub use lenzen_planar::{lenzen_planar_dominating_set, LENZEN_PLANAR_ROUNDS};
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
+    //! Deterministic randomised tests over seeded graph families (the
+    //! registry-free stand-in for the former proptest suite).
+
     use super::*;
     use bedom_graph::domset::is_distance_dominating_set;
     use bedom_graph::generators::{gnp, random_tree, stacked_triangulation};
     use bedom_graph::Graph;
-    use proptest::prelude::*;
+    use bedom_rng::DetRng;
 
-    fn arb_graph() -> impl Strategy<Value = Graph> {
-        prop_oneof![
-            (5usize..60, 0u64..100).prop_map(|(n, s)| random_tree(n, s)),
-            (5usize..60, 0u64..100).prop_map(|(n, s)| stacked_triangulation(n, s)),
-            (5usize..50, 0u64..100).prop_map(|(n, s)| gnp(n, 0.15, s)),
-        ]
+    fn arb_graph(rng: &mut DetRng) -> Graph {
+        let s = rng.gen_range(0..100u64);
+        match rng.gen_range(0..3u32) {
+            0 => random_tree(rng.gen_range(5..60usize), s),
+            1 => stacked_triangulation(rng.gen_range(5..60usize), s),
+            _ => gnp(rng.gen_range(5..50usize), 0.15, s),
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        #[test]
-        fn every_baseline_dominates(g in arb_graph(), r in 1u32..3, seed in 0u64..20) {
-            prop_assert!(is_distance_dominating_set(&g, &greedy::greedy_baseline(&g, r), r));
-            prop_assert!(is_distance_dominating_set(&g, &dvorak_style_domination_default(&g, r), r));
-            prop_assert!(is_distance_dominating_set(&g, &kutten_peleg_dominating_set(&g, r), r));
-            prop_assert!(is_distance_dominating_set(&g, &bucketed_greedy_dominating_set(&g, r), r));
+    #[test]
+    fn every_baseline_dominates() {
+        for case in 0..32usize {
+            let mut rng = DetRng::seed_from_u64(0x6261_7365_0000_0000 ^ case as u64);
+            let g = arb_graph(&mut rng);
+            let r = rng.gen_range(1..3u32);
+            let seed = rng.gen_range(0..20u64);
+            assert!(
+                is_distance_dominating_set(&g, &greedy::greedy_baseline(&g, r), r),
+                "case {case}: greedy"
+            );
+            assert!(
+                is_distance_dominating_set(&g, &dvorak_style_domination_default(&g, r), r),
+                "case {case}: dvorak"
+            );
+            assert!(
+                is_distance_dominating_set(&g, &kutten_peleg_dominating_set(&g, r), r),
+                "case {case}: kutten-peleg"
+            );
+            assert!(
+                is_distance_dominating_set(&g, &bucketed_greedy_dominating_set(&g, r), r),
+                "case {case}: bucketed greedy"
+            );
             let ids = bedom_distsim::IdAssignment::Shuffled(seed).assign(&g);
             // Lenzen et al. solves the r = 1 problem.
-            prop_assert!(is_distance_dominating_set(&g, &lenzen_planar_dominating_set(&g, &ids), 1));
+            assert!(
+                is_distance_dominating_set(&g, &lenzen_planar_dominating_set(&g, &ids), 1),
+                "case {case}: lenzen"
+            );
         }
     }
 }

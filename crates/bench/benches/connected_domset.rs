@@ -14,17 +14,13 @@ fn bench_connected(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(800));
     for family in [Family::Grid, Family::PlanarTriangulation] {
         let graph = connected_instance(family, 3_000, 9);
-        group.bench_with_input(
-            BenchmarkId::new("thm10", family.name()),
-            &graph,
-            |b, g| {
-                b.iter(|| {
-                    let result =
-                        distributed_connected_domination(g, DistConnectedConfig::new(1)).unwrap();
-                    black_box(result.connected_dominating_set.len())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("thm10", family.name()), &graph, |b, g| {
+            b.iter(|| {
+                let result =
+                    distributed_connected_domination(g, DistConnectedConfig::new(1)).unwrap();
+                black_box(result.connected_dominating_set.len())
+            })
+        });
     }
     group.finish();
 }

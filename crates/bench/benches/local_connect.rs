@@ -16,16 +16,12 @@ fn bench_local_connect(c: &mut Criterion) {
         let graph = connected_instance(family, 4_000, 1);
         let ids = IdAssignment::Shuffled(5).assign(&graph);
         let base = bedom_baselines::lenzen_planar_dominating_set(&graph, &ids);
-        group.bench_with_input(
-            BenchmarkId::new("thm17", family.name()),
-            &graph,
-            |b, g| {
-                b.iter(|| {
-                    let result = bedom_core::local_connect(g, &ids, &base, 1);
-                    black_box(result.connected_dominating_set.len())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("thm17", family.name()), &graph, |b, g| {
+            b.iter(|| {
+                let result = bedom_core::local_connect(g, &ids, &base, 1);
+                black_box(result.connected_dominating_set.len())
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("lenzen_mds", family.name()),
             &graph,

@@ -20,7 +20,11 @@ fn bench_seq_domset(c: &mut Criterion) {
                 &r,
                 |b, &r| {
                     b.iter(|| {
-                        black_box(bedom_core::approximate_distance_domination(&graph, r).dominating_set.len())
+                        black_box(
+                            bedom_core::approximate_distance_domination(&graph, r)
+                                .dominating_set
+                                .len(),
+                        )
                     })
                 },
             );
@@ -29,7 +33,9 @@ fn bench_seq_domset(c: &mut Criterion) {
                 &r,
                 |b, &r| {
                     b.iter(|| {
-                        black_box(bedom_graph::domset::greedy_distance_dominating_set(&graph, r).len())
+                        black_box(
+                            bedom_graph::domset::greedy_distance_dominating_set(&graph, r).len(),
+                        )
                     })
                 },
             );

@@ -16,7 +16,11 @@ fn bench_scaling(c: &mut Criterion) {
         group.throughput(Throughput::Elements(graph.num_vertices() as u64));
         group.bench_with_input(BenchmarkId::new("thm5/planar-tri", n), &graph, |b, g| {
             b.iter(|| {
-                black_box(bedom_core::approximate_distance_domination(g, 2).dominating_set.len())
+                black_box(
+                    bedom_core::approximate_distance_domination(g, 2)
+                        .dominating_set
+                        .len(),
+                )
             })
         });
     }

@@ -1,8 +1,9 @@
-//! Criterion bench for experiment F4's engine: sequential vs rayon-parallel
-//! round execution of the CONGEST_BC simulator.
+//! Criterion bench for experiment F4's engine: sequential vs parallel round
+//! execution of the CONGEST_BC superstep engine.
 
 use bedom_bench::connected_instance;
 use bedom_core::{distributed_distance_domination, DistDomSetConfig};
+use bedom_distsim::ExecutionStrategy;
 use bedom_graph::generators::Family;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -13,13 +14,17 @@ fn bench_sim_parallel(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_millis(800));
     let graph = connected_instance(Family::PlanarTriangulation, 16_000, 3);
-    for parallel in [false, true] {
-        let config = DistDomSetConfig {
-            parallel,
-            ..DistDomSetConfig::new(2)
-        };
+    for strategy in [ExecutionStrategy::Sequential, ExecutionStrategy::Parallel] {
+        let config = DistDomSetConfig::with_strategy(2, strategy);
         group.bench_with_input(
-            BenchmarkId::new("thm9_rounds", if parallel { "parallel" } else { "sequential" }),
+            BenchmarkId::new(
+                "thm9_rounds",
+                if strategy.is_parallel() {
+                    "parallel"
+                } else {
+                    "sequential"
+                },
+            ),
             &config,
             |b, cfg| {
                 b.iter(|| {

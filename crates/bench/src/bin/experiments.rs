@@ -17,7 +17,7 @@ use bedom_core::{
     distributed_distance_domination, distributed_neighborhood_cover, local_connect,
     DistConnectedConfig, DistCoverConfig, DistDomSetConfig,
 };
-use bedom_distsim::{log2_ceil, IdAssignment};
+use bedom_distsim::{log2_ceil, ExecutionStrategy, IdAssignment};
 use bedom_graph::domset::{exact_distance_dominating_set, packing_lower_bound};
 use bedom_graph::generators::Family;
 use bedom_graph::metrics::shallow_minor_density_estimate;
@@ -161,7 +161,11 @@ fn table_t3(scale: &Scale) {
         "{:<14} {:>8} {:>3} {:>7} {:>10} {:>12} {:>10} {:>8}",
         "family", "n", "r", "rounds", "cov-degree", "cov-radius", "covers-ok", "same-seq"
     );
-    for family in [Family::PlanarTriangulation, Family::ThreeTree, Family::ConfigurationModel] {
+    for family in [
+        Family::PlanarTriangulation,
+        Family::ThreeTree,
+        Family::ConfigurationModel,
+    ] {
         for r in [1u32, 2] {
             let graph = connected_instance(family, scale.n(6_000), 5);
             let dist = distributed_neighborhood_cover(&graph, DistCoverConfig::new(r)).unwrap();
@@ -192,10 +196,16 @@ fn table_t4(scale: &Scale) {
         "{:<14} {:>8} {:>3} {:>8} {:>8} {:>8} {:>10} {:>8}",
         "family", "n", "r", "|D|", "|D'|", "blowup", "bound", "rounds"
     );
-    for family in [Family::Grid, Family::PlanarTriangulation, Family::TwoTree, Family::ConfigurationModel] {
+    for family in [
+        Family::Grid,
+        Family::PlanarTriangulation,
+        Family::TwoTree,
+        Family::ConfigurationModel,
+    ] {
         for r in [1u32, 2] {
             let graph = connected_instance(family, scale.n(4_000), 9);
-            let result = distributed_connected_domination(&graph, DistConnectedConfig::new(r)).unwrap();
+            let result =
+                distributed_connected_domination(&graph, DistConnectedConfig::new(r)).unwrap();
             println!(
                 "{:<14} {:>8} {:>3} {:>8} {:>8} {:>8.2} {:>10} {:>8}",
                 family.name(),
@@ -218,7 +228,11 @@ fn table_t5(scale: &Scale) {
         "{:<14} {:>8} {:>3} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "family", "n", "r", "|D|", "|D'|", "blowup", "bound", "rounds"
     );
-    for family in [Family::Grid, Family::PlanarTriangulation, Family::Outerplanar] {
+    for family in [
+        Family::Grid,
+        Family::PlanarTriangulation,
+        Family::Outerplanar,
+    ] {
         for r in [1u32, 2] {
             let graph = connected_instance(family, scale.n(8_000), 1);
             let ids = IdAssignment::Shuffled(5).assign(&graph);
@@ -250,7 +264,12 @@ fn table_t5(scale: &Scale) {
 fn table_t6(scale: &Scale) {
     println!("\n===== T6: method comparison incl. the non-bounded-expansion control =====");
     let mut rows = Vec::new();
-    for family in [Family::PlanarTriangulation, Family::ChungLu, Family::BoundedDegree, Family::Gnp] {
+    for family in [
+        Family::PlanarTriangulation,
+        Family::ChungLu,
+        Family::BoundedDegree,
+        Family::Gnp,
+    ] {
         for r in [1u32, 2] {
             let graph = connected_instance(family, scale.n(3_000), 13);
             let n = graph.num_vertices();
@@ -262,17 +281,31 @@ fn table_t6(scale: &Scale) {
         }
     }
     print!("{}", format_quality_table(&rows));
-    println!("shallow-minor density estimates (depth 2): planar-tri = {:.2}, gnp = {:.2}",
-        shallow_minor_density_estimate(&connected_instance(Family::PlanarTriangulation, scale.n(3_000), 13), 2, 1),
-        shallow_minor_density_estimate(&connected_instance(Family::Gnp, scale.n(3_000), 13), 2, 1));
+    println!(
+        "shallow-minor density estimates (depth 2): planar-tri = {:.2}, gnp = {:.2}",
+        shallow_minor_density_estimate(
+            &connected_instance(Family::PlanarTriangulation, scale.n(3_000), 13),
+            2,
+            1
+        ),
+        shallow_minor_density_estimate(&connected_instance(Family::Gnp, scale.n(3_000), 13), 2, 1)
+    );
 }
 
 /// F1 — round complexity vs n and vs r (Theorem 9).
 fn figure_f1(scale: &Scale) {
     println!("\n===== F1: CONGEST_BC rounds vs n and vs r (Theorem 9) =====");
-    println!("{:<14} {:>8} {:>3} {:>8} {:>8} {:>9} {:>10}", "family", "n", "r", "rounds", "order", "wreach", "election");
+    println!(
+        "{:<14} {:>8} {:>3} {:>8} {:>8} {:>9} {:>10}",
+        "family", "n", "r", "rounds", "order", "wreach", "election"
+    );
     for family in [Family::Grid, Family::PlanarTriangulation, Family::ChungLu] {
-        for n in [scale.n(1_000), scale.n(4_000), scale.n(16_000), scale.n(64_000)] {
+        for n in [
+            scale.n(1_000),
+            scale.n(4_000),
+            scale.n(16_000),
+            scale.n(64_000),
+        ] {
             let graph = connected_instance(family, n, 3);
             let r = 2;
             let result = distributed_distance_domination(&graph, DistDomSetConfig::new(r)).unwrap();
@@ -342,7 +375,10 @@ fn figure_f2(scale: &Scale) {
 /// F3 — sequential running-time scaling (Contribution 1: linear time).
 fn figure_f3(scale: &Scale) {
     println!("\n===== F3: sequential running time vs n (Theorem 5, linear-time claim) =====");
-    println!("{:<14} {:>9} {:>12} {:>14}", "family", "n", "millis", "ns-per-vertex");
+    println!(
+        "{:<14} {:>9} {:>12} {:>14}",
+        "family", "n", "millis", "ns-per-vertex"
+    );
     for family in [Family::PlanarTriangulation, Family::ConfigurationModel] {
         for n in [scale.n(20_000), scale.n(80_000), scale.n(320_000)] {
             let graph = connected_instance(family, n, 3);
@@ -361,27 +397,25 @@ fn figure_f3(scale: &Scale) {
     }
 }
 
-/// F4 — simulator throughput: sequential vs rayon-parallel round execution.
+/// F4 — simulator throughput: sequential vs parallel round execution of the
+/// superstep engine.
 fn figure_f4(scale: &Scale) {
     println!("\n===== F4: simulator throughput, sequential vs parallel rounds =====");
     let graph = connected_instance(Family::PlanarTriangulation, scale.n(64_000), 3);
     let r = 2;
-    for parallel in [false, true] {
-        let config = DistDomSetConfig {
-            parallel,
-            ..DistDomSetConfig::new(r)
-        };
+    for strategy in [ExecutionStrategy::Sequential, ExecutionStrategy::Parallel] {
+        let config = DistDomSetConfig::with_strategy(r, strategy);
         let start = Instant::now();
         let result = distributed_distance_domination(&graph, config).unwrap();
         let elapsed = start.elapsed();
         println!(
-            "n = {:>7}, parallel = {:>5}: {:>8.1} ms total, {} rounds, |D| = {}",
+            "n = {:>7}, strategy = {:>10?}: {:>8.1} ms total, {} rounds, |D| = {}",
             graph.num_vertices(),
-            parallel,
+            strategy,
             elapsed.as_secs_f64() * 1e3,
             result.total_rounds(),
             result.dominating_set.len()
         );
     }
-    println!("(threads: {})", rayon::current_num_threads());
+    println!("(threads: {})", bedom_par::available_threads());
 }

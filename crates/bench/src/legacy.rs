@@ -1,0 +1,182 @@
+//! A faithful replica of the **seed** simulator's message delivery, kept as
+//! the baseline for the `engine_delivery` benchmark.
+//!
+//! The seed executor built, for every receiver in every round, a fresh
+//! `Vec<Incoming<M>>` inbox and pushed a **clone** of the payload for each
+//! delivery (a broadcast to `d` neighbours cloned the payload `d` times),
+//! then sorted the inbox by sender id. The superstep engine in
+//! `bedom-distsim` replaced this with a flat offset+arena structure whose
+//! packets borrow payloads from the sender's outbox. This module preserves
+//! the old behaviour — same delivery order, same statistics — so the bench
+//! can quantify the difference on identical protocols.
+
+use bedom_distsim::MessageSize;
+use bedom_graph::{Graph, Vertex};
+
+/// An owned received message, exactly as the seed delivered it.
+pub struct LegacyIncoming<M> {
+    /// Sender's network id.
+    pub from: u64,
+    /// A per-delivery clone of the payload.
+    pub payload: M,
+}
+
+/// A broadcast-only distributed algorithm for the legacy executor.
+pub trait LegacyAlgorithm {
+    /// Message payload; cloned once per delivery by the legacy executor.
+    type Message: MessageSize + Clone;
+    /// Per-vertex output.
+    type Output;
+
+    /// Round 0: returns the first broadcast (or `None` for silence).
+    fn init(&mut self, id: u64) -> Option<Self::Message>;
+    /// One communication round over the owned inbox.
+    fn round(
+        &mut self,
+        round: usize,
+        inbox: &[LegacyIncoming<Self::Message>],
+    ) -> Option<Self::Message>;
+    /// Final output.
+    fn output(&self) -> Self::Output;
+}
+
+/// Aggregate statistics, mirroring the engine's accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LegacyStats {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Point-to-point deliveries.
+    pub total_deliveries: usize,
+    /// Bits put on the wire (broadcast payload charged once per sender).
+    pub total_bits: usize,
+}
+
+/// The seed's executor: per-receiver `Vec` inboxes with per-delivery clones.
+pub struct LegacyNetwork<'g, A: LegacyAlgorithm> {
+    graph: &'g Graph,
+    ids: Vec<u64>,
+    nodes: Vec<A>,
+    outboxes: Vec<Option<A::Message>>,
+    stats: LegacyStats,
+}
+
+impl<'g, A: LegacyAlgorithm> LegacyNetwork<'g, A> {
+    /// Builds the network with natural ids and runs `init` on every vertex.
+    pub fn new(graph: &'g Graph, mut factory: impl FnMut(Vertex) -> A) -> Self {
+        let n = graph.num_vertices();
+        let ids: Vec<u64> = (0..n as u64).collect();
+        let mut nodes: Vec<A> = (0..n).map(|v| factory(v as Vertex)).collect();
+        let outboxes: Vec<Option<A::Message>> = nodes
+            .iter_mut()
+            .enumerate()
+            .map(|(v, node)| node.init(ids[v]))
+            .collect();
+        LegacyNetwork {
+            graph,
+            ids,
+            nodes,
+            outboxes,
+            stats: LegacyStats::default(),
+        }
+    }
+
+    /// Executes `rounds` rounds with the seed's clone-per-delivery scheme.
+    pub fn run(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    fn step(&mut self) {
+        let round_index = self.stats.rounds + 1;
+        for (v, out) in self.outboxes.iter().enumerate() {
+            if let Some(m) = out {
+                self.stats.total_deliveries += self.graph.degree(v as Vertex);
+                self.stats.total_bits += m.size_bits();
+            }
+        }
+        let graph = self.graph;
+        let ids = &self.ids;
+        let outboxes = &self.outboxes;
+        // The seed's delivery: one fresh Vec per receiver, one payload clone
+        // per delivery, sorted by sender id afterwards.
+        let build_inbox = |w: usize| -> Vec<LegacyIncoming<A::Message>> {
+            let mut inbox = Vec::new();
+            for &u in graph.neighbors(w as Vertex) {
+                if let Some(m) = &outboxes[u as usize] {
+                    inbox.push(LegacyIncoming {
+                        from: ids[u as usize],
+                        payload: m.clone(),
+                    });
+                }
+            }
+            inbox.sort_by_key(|msg| msg.from);
+            inbox
+        };
+        let new_outboxes: Vec<Option<A::Message>> = self
+            .nodes
+            .iter_mut()
+            .enumerate()
+            .map(|(w, node)| {
+                let inbox = build_inbox(w);
+                node.round(round_index, &inbox)
+            })
+            .collect();
+        self.outboxes = new_outboxes;
+        self.stats.rounds = round_index;
+    }
+
+    /// Per-vertex outputs.
+    pub fn outputs(&self) -> Vec<A::Output> {
+        self.nodes.iter().map(LegacyAlgorithm::output).collect()
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> LegacyStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bedom_graph::generators::path;
+
+    struct MaxFlood {
+        best: u64,
+    }
+
+    impl LegacyAlgorithm for MaxFlood {
+        type Message = u64;
+        type Output = u64;
+
+        fn init(&mut self, id: u64) -> Option<u64> {
+            self.best = id;
+            Some(id)
+        }
+
+        fn round(&mut self, _round: usize, inbox: &[LegacyIncoming<u64>]) -> Option<u64> {
+            let incoming = inbox.iter().map(|m| m.payload).max().unwrap_or(0);
+            if incoming > self.best {
+                self.best = incoming;
+                Some(self.best)
+            } else {
+                None
+            }
+        }
+
+        fn output(&self) -> u64 {
+            self.best
+        }
+    }
+
+    #[test]
+    fn legacy_flood_converges_like_the_seed() {
+        let g = path(10);
+        let mut net = LegacyNetwork::new(&g, |_| MaxFlood { best: 0 });
+        net.run(9);
+        assert!(net.outputs().iter().all(|&b| b == 9));
+        assert_eq!(net.stats().rounds, 9);
+        assert!(net.stats().total_deliveries > 0);
+    }
+}

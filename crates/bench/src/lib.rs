@@ -6,10 +6,11 @@
 //! Criterion benches and the `experiments` binary stay thin and consistent
 //! with each other.
 
+pub mod legacy;
+
 use bedom_graph::components::largest_component;
 use bedom_graph::generators::Family;
 use bedom_graph::{Graph, Vertex};
-use serde::Serialize;
 
 /// Builds a connected instance of roughly `n` vertices from `family`
 /// (restricted to the largest component, since the connected-domination
@@ -22,7 +23,7 @@ pub fn connected_instance(family: Family, n: usize, seed: u64) -> Graph {
 }
 
 /// A single measurement row of the quality tables (T1/T6).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct QualityRow {
     /// Graph family name.
     pub family: &'static str,

@@ -20,8 +20,8 @@
 use crate::dist_domset::{DistDomSetConfig, DistDomSetResult};
 use crate::dist_wreach::PathSetMessage;
 use bedom_distsim::{
-    IdAssignment, Incoming, Model, ModelViolation, Network, NodeAlgorithm, NodeContext, Outgoing,
-    RunStats,
+    Engine, IdAssignment, Inbox, Model, ModelViolation, Network, NodeAlgorithm, NodeContext,
+    Outgoing, RunPolicy, RunStats,
 };
 use bedom_graph::{Graph, Vertex};
 use std::collections::BTreeSet;
@@ -81,7 +81,7 @@ impl NodeAlgorithm for PathFloodNode {
         &mut self,
         _ctx: &NodeContext,
         _round: usize,
-        inbox: &[Incoming<PathSetMessage>],
+        inbox: Inbox<'_, PathSetMessage>,
     ) -> Outgoing<PathSetMessage> {
         for message in inbox {
             for path in &message.payload.paths {
@@ -185,10 +185,10 @@ pub fn distributed_connected_domination(
         };
         PathFloodNode::new(info.sid, id_bits, in_d[v as usize], seed_paths)
     });
-    flood.set_parallel(config.parallel);
+    flood.set_strategy(config.strategy);
     // Paths have at most 2r + 2 vertices, so 2r + 2 rounds let every path
     // reach all of its vertices.
-    flood.run(2 * r as usize + 2)?;
+    Engine::new(&mut flood).run(RunPolicy::fixed(2 * r as usize + 2))?;
     let in_dprime = flood.outputs();
     let flood_stats = flood.stats().clone();
 
@@ -230,19 +230,22 @@ fn distributed_distance_domination_with_rho(
 mod tests {
     use super::*;
     use bedom_graph::components::is_induced_connected;
+    use bedom_graph::components::largest_component;
     use bedom_graph::domset::{is_distance_dominating_set, packing_lower_bound};
     use bedom_graph::generators::{
         configuration_model_power_law, cycle, grid, maximal_outerplanar, path, random_ktree,
         random_tree, stacked_triangulation,
     };
-    use bedom_graph::components::largest_component;
 
     fn check(graph: &Graph, r: u32) -> DistConnectedResult {
-        let result =
-            distributed_connected_domination(graph, DistConnectedConfig::new(r)).unwrap();
+        let result = distributed_connected_domination(graph, DistConnectedConfig::new(r)).unwrap();
         // D' dominates, contains D, and is connected (G is connected in all
         // test instances).
-        assert!(is_distance_dominating_set(graph, &result.connected_dominating_set, r));
+        assert!(is_distance_dominating_set(
+            graph,
+            &result.connected_dominating_set,
+            r
+        ));
         for v in &result.dominating_set {
             assert!(result.connected_dominating_set.contains(v));
         }
@@ -309,7 +312,10 @@ mod tests {
             let result = check(&g, 1);
             rounds.push(result.total_rounds());
         }
-        assert!(rounds[2] <= rounds[0] + 8, "rounds grew too fast: {rounds:?}");
+        assert!(
+            rounds[2] <= rounds[0] + 8,
+            "rounds grew too fast: {rounds:?}"
+        );
     }
 
     #[test]
@@ -321,7 +327,14 @@ mod tests {
 
         let edge = bedom_graph::graph_from_edges(2, &[(0, 1)]);
         let result = distributed_connected_domination(&edge, DistConnectedConfig::new(1)).unwrap();
-        assert!(is_distance_dominating_set(&edge, &result.connected_dominating_set, 1));
-        assert!(is_induced_connected(&edge, &result.connected_dominating_set));
+        assert!(is_distance_dominating_set(
+            &edge,
+            &result.connected_dominating_set,
+            1
+        ));
+        assert!(is_induced_connected(
+            &edge,
+            &result.connected_dominating_set
+        ));
     }
 }

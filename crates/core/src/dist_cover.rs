@@ -11,9 +11,9 @@
 //! coincides with the sequential cover built from the same order.
 
 use crate::dist_wreach::{distributed_weak_reachability, DistributedWReach, WReachConfig};
-use bedom_distsim::{IdAssignment, ModelViolation, RunStats};
+use bedom_distsim::{ExecutionStrategy, IdAssignment, ModelViolation, RunStats};
 use bedom_graph::{Graph, Vertex};
-use bedom_wcol::{default_threshold, distributed_wcol_order, LinearOrder, NeighborhoodCover};
+use bedom_wcol::{default_threshold, distributed_wcol_order_with, LinearOrder, NeighborhoodCover};
 use std::collections::HashMap;
 
 /// Distributed representation of an `r`-neighbourhood cover.
@@ -83,18 +83,27 @@ pub struct DistCoverConfig {
     pub assignment: IdAssignment,
     /// Bandwidth multiplier (see [`WReachConfig::bandwidth_logs`]).
     pub bandwidth_logs: Option<usize>,
-    /// Parallel round evaluation.
-    pub parallel: bool,
+    /// Engine execution strategy for both phases.
+    pub strategy: ExecutionStrategy,
 }
 
 impl DistCoverConfig {
-    /// Defaults: shuffled ids, unenforced bandwidth, parallel execution.
+    /// Defaults: shuffled ids, unenforced bandwidth, size-gated automatic
+    /// execution strategy.
     pub fn new(r: u32) -> Self {
         DistCoverConfig {
             r,
             assignment: IdAssignment::Shuffled(0xc0fe),
             bandwidth_logs: None,
-            parallel: true,
+            strategy: ExecutionStrategy::Auto,
+        }
+    }
+
+    /// The same configuration with an explicit execution strategy.
+    pub fn with_strategy(r: u32, strategy: ExecutionStrategy) -> Self {
+        DistCoverConfig {
+            strategy,
+            ..DistCoverConfig::new(r)
         }
     }
 }
@@ -106,7 +115,12 @@ pub fn distributed_neighborhood_cover(
     config: DistCoverConfig,
 ) -> Result<DistributedCover, ModelViolation> {
     let n = graph.num_vertices();
-    let order_phase = distributed_wcol_order(graph, default_threshold(graph), config.assignment)?;
+    let order_phase = distributed_wcol_order_with(
+        graph,
+        default_threshold(graph),
+        config.assignment,
+        config.strategy,
+    )?;
     if n == 0 {
         return Ok(DistributedCover {
             r: config.r,
@@ -124,7 +138,7 @@ pub fn distributed_neighborhood_cover(
         WReachConfig {
             rho: 2 * config.r,
             bandwidth_logs: config.bandwidth_logs,
-            parallel: config.parallel,
+            strategy: config.strategy,
         },
     )?;
 
@@ -180,7 +194,9 @@ mod tests {
         let as_seq = cover.to_neighborhood_cover(graph);
         // Covering property, radius bound and degree bound of Theorem 8.
         assert!(as_seq.covers_all_r_neighborhoods(graph));
-        let radius = as_seq.max_cluster_radius(graph).expect("disconnected cluster");
+        let radius = as_seq
+            .max_cluster_radius(graph)
+            .expect("disconnected cluster");
         assert!(radius <= 2 * r, "radius {radius} > {}", 2 * r);
         assert!(as_seq.degree() <= cover.measured_constant);
         // The distributed clusters are exactly the sequential clusters built
@@ -233,7 +249,10 @@ mod tests {
         let cover = check(&g, 3);
         assert_eq!(cover.wreach_rounds, 6);
         assert!(cover.order_rounds <= bedom_distsim::log2_ceil(100) + 3);
-        assert_eq!(cover.total_rounds(), cover.order_rounds + cover.wreach_rounds);
+        assert_eq!(
+            cover.total_rounds(),
+            cover.order_rounds + cover.wreach_rounds
+        );
     }
 
     #[test]

@@ -24,11 +24,11 @@ use crate::dist_wreach::{
     distributed_weak_reachability, DistributedWReach, PathSetMessage, WReachConfig,
 };
 use bedom_distsim::{
-    IdAssignment, Incoming, Model, ModelViolation, Network, NodeAlgorithm, NodeContext, Outgoing,
-    RunStats,
+    Engine, ExecutionStrategy, IdAssignment, Inbox, Model, ModelViolation, Network, NodeAlgorithm,
+    NodeContext, Outgoing, RunPolicy, RunStats,
 };
 use bedom_graph::{Graph, Vertex};
-use bedom_wcol::{default_threshold, distributed_wcol_order, LinearOrder};
+use bedom_wcol::{default_threshold, distributed_wcol_order_with, LinearOrder};
 use std::collections::BTreeMap;
 
 /// Per-vertex state of the election/routing phase.
@@ -82,7 +82,8 @@ impl ElectionNode {
             forward.pop();
             self.outgoing.push(forward);
             // Store what we forwarded so duplicates arriving later are dropped.
-            self.tokens.insert(target, self.outgoing.last().unwrap().clone());
+            self.tokens
+                .insert(target, self.outgoing.last().unwrap().clone());
         }
     }
 }
@@ -107,7 +108,7 @@ impl NodeAlgorithm for ElectionNode {
         &mut self,
         _ctx: &NodeContext,
         _round: usize,
-        inbox: &[Incoming<PathSetMessage>],
+        inbox: Inbox<'_, PathSetMessage>,
     ) -> Outgoing<PathSetMessage> {
         self.outgoing.clear();
         for message in inbox {
@@ -183,18 +184,28 @@ pub struct DistDomSetConfig {
     /// Bandwidth multiplier for the weak-reachability and election phases
     /// (`None` = measure only; see [`WReachConfig::bandwidth_logs`]).
     pub bandwidth_logs: Option<usize>,
-    /// Parallel round evaluation.
-    pub parallel: bool,
+    /// Engine execution strategy for every phase (sequential and parallel
+    /// produce bit-identical results).
+    pub strategy: ExecutionStrategy,
 }
 
 impl DistDomSetConfig {
-    /// Reasonable defaults: shuffled ids, no bandwidth enforcement, parallel.
+    /// Reasonable defaults: shuffled ids, no bandwidth enforcement, and the
+    /// size-gated automatic execution strategy.
     pub fn new(r: u32) -> Self {
         DistDomSetConfig {
             r,
             assignment: IdAssignment::Shuffled(0x5eed),
             bandwidth_logs: None,
-            parallel: true,
+            strategy: ExecutionStrategy::Auto,
+        }
+    }
+
+    /// The same configuration with an explicit execution strategy.
+    pub fn with_strategy(r: u32, strategy: ExecutionStrategy) -> Self {
+        DistDomSetConfig {
+            strategy,
+            ..DistDomSetConfig::new(r)
         }
     }
 }
@@ -220,7 +231,12 @@ pub(crate) fn distributed_distance_domination_inner(
     let r = config.r;
 
     // Phase 1: distributed order (Theorem 3 substitute).
-    let order_phase = distributed_wcol_order(graph, default_threshold(graph), config.assignment)?;
+    let order_phase = distributed_wcol_order_with(
+        graph,
+        default_threshold(graph),
+        config.assignment,
+        config.strategy,
+    )?;
 
     if n == 0 {
         let wreach = DistributedWReach {
@@ -246,7 +262,7 @@ pub(crate) fn distributed_distance_domination_inner(
     let wreach_config = WReachConfig {
         rho,
         bandwidth_logs: config.bandwidth_logs,
-        parallel: config.parallel,
+        strategy: config.strategy,
     };
     let wreach = distributed_weak_reachability(graph, &order_phase.super_ids, wreach_config)?;
 
@@ -264,8 +280,8 @@ pub(crate) fn distributed_distance_domination_inner(
         let elected_path = my_info.paths[&elected_sid].clone();
         ElectionNode::new(my_info.sid, id_bits, elected_path)
     });
-    election.set_parallel(config.parallel);
-    election.run(r as usize + 1)?;
+    election.set_strategy(config.strategy);
+    Engine::new(&mut election).run(RunPolicy::fixed(r as usize + 1))?;
     let in_set = election.outputs();
     let election_stats = election.stats().clone();
 
@@ -287,10 +303,7 @@ pub(crate) fn distributed_distance_domination_inner(
             sid_lookup[&sid]
         })
         .collect();
-    let dominating_set: Vec<Vertex> = graph
-        .vertices()
-        .filter(|&v| in_set[v as usize])
-        .collect();
+    let dominating_set: Vec<Vertex> = graph.vertices().filter(|&v| in_set[v as usize]).collect();
     let measured_constant = wreach.measured_constant();
 
     Ok(DistDomSetResult {
@@ -316,8 +329,7 @@ mod tests {
     };
 
     fn check(graph: &Graph, r: u32) -> DistDomSetResult {
-        let result =
-            distributed_distance_domination(graph, DistDomSetConfig::new(r)).unwrap();
+        let result = distributed_distance_domination(graph, DistDomSetConfig::new(r)).unwrap();
         assert!(
             is_distance_dominating_set(graph, &result.dominating_set, r),
             "not a distance-{r} dominating set"
@@ -327,7 +339,10 @@ mod tests {
         let mut elected: Vec<Vertex> = result.dominator_of.clone();
         elected.sort_unstable();
         elected.dedup();
-        assert_eq!(elected, result.dominating_set, "election routing lost a token");
+        assert_eq!(
+            elected, result.dominating_set,
+            "election routing lost a token"
+        );
         // Theorem 9 size bound against the packing lower bound.
         let lb = packing_lower_bound(graph, r).max(1);
         assert!(
@@ -437,8 +452,13 @@ mod tests {
         assert_eq!(result.dominating_set, vec![0]);
 
         let disconnected = bedom_graph::graph_from_edges(6, &[(0, 1), (2, 3), (4, 5)]);
-        let result = distributed_distance_domination(&disconnected, DistDomSetConfig::new(1)).unwrap();
-        assert!(is_distance_dominating_set(&disconnected, &result.dominating_set, 1));
+        let result =
+            distributed_distance_domination(&disconnected, DistDomSetConfig::new(1)).unwrap();
+        assert!(is_distance_dominating_set(
+            &disconnected,
+            &result.dominating_set,
+            1
+        ));
         assert_eq!(result.dominating_set.len(), 3);
     }
 }

@@ -30,9 +30,7 @@ pub use dist_connected::{
 };
 pub use dist_cover::{distributed_neighborhood_cover, DistCoverConfig, DistributedCover};
 pub use dist_domset::{distributed_distance_domination, DistDomSetConfig, DistDomSetResult};
-pub use dist_wreach::{
-    distributed_weak_reachability, DistributedWReach, WReachConfig, WReachInfo,
-};
+pub use dist_wreach::{distributed_weak_reachability, DistributedWReach, WReachConfig, WReachInfo};
 pub use local_connect::{local_connect, LocalConnectResult};
 pub use pipeline::{solve_checked, DominationPipeline, DominationReport, Mode};
 pub use seq_domset::{
@@ -40,67 +38,101 @@ pub use seq_domset::{
 };
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
+    //! Deterministic randomised tests over seeded graph families (the
+    //! registry-free stand-in for the former proptest suite).
+
     use super::*;
     use bedom_distsim::IdAssignment;
     use bedom_graph::components::{is_induced_connected, largest_component};
     use bedom_graph::domset::is_distance_dominating_set;
     use bedom_graph::generators::{random_ktree, random_tree, stacked_triangulation};
     use bedom_graph::Graph;
-    use proptest::prelude::*;
+    use bedom_rng::DetRng;
 
-    fn arb_connected_sparse_graph() -> impl Strategy<Value = Graph> {
-        prop_oneof![
-            (5usize..70, 0u64..100).prop_map(|(n, s)| random_tree(n, s)),
-            (5usize..70, 0u64..100).prop_map(|(n, s)| stacked_triangulation(n, s)),
-            (6usize..70, 0u64..100).prop_map(|(n, s)| random_ktree(n, 2, s)),
-        ]
+    fn arb_connected_sparse_graph(rng: &mut DetRng) -> Graph {
+        let s = rng.gen_range(0..100u64);
+        match rng.gen_range(0..3u32) {
+            0 => random_tree(rng.gen_range(5..70usize), s),
+            1 => stacked_triangulation(rng.gen_range(5..70usize), s),
+            _ => random_ktree(rng.gen_range(6..70usize), 2, s),
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
+    fn for_each_case(cases: usize, mut body: impl FnMut(usize, &mut DetRng)) {
+        for case in 0..cases {
+            let mut rng = DetRng::seed_from_u64(0x636f_7265_0000_0000 ^ case as u64);
+            body(case, &mut rng);
+        }
+    }
 
-        #[test]
-        fn sequential_and_algorithm1_agree_and_dominate(
-            g in arb_connected_sparse_graph(), r in 1u32..4
-        ) {
+    #[test]
+    fn sequential_and_algorithm1_agree_and_dominate() {
+        for_each_case(24, |case, rng| {
+            let g = arb_connected_sparse_graph(rng);
+            let r = rng.gen_range(1..4u32);
             let order = bedom_wcol::degeneracy_based_order(&g);
             let direct = domset_via_min_wreach(&g, &order, r);
             let faithful = domset_algorithm1(&g, &order, r);
-            prop_assert_eq!(&faithful, &direct.dominating_set);
-            prop_assert!(is_distance_dominating_set(&g, &direct.dominating_set, r));
-        }
+            assert_eq!(&faithful, &direct.dominating_set, "case {case}");
+            assert!(
+                is_distance_dominating_set(&g, &direct.dominating_set, r),
+                "case {case}"
+            );
+        });
+    }
 
-        #[test]
-        fn distributed_matches_sequential_given_its_own_order(
-            g in arb_connected_sparse_graph(), r in 1u32..3
-        ) {
+    #[test]
+    fn distributed_matches_sequential_given_its_own_order() {
+        for_each_case(24, |case, rng| {
+            let g = arb_connected_sparse_graph(rng);
+            let r = rng.gen_range(1..3u32);
             let result = distributed_distance_domination(&g, DistDomSetConfig::new(r)).unwrap();
-            prop_assert!(is_distance_dominating_set(&g, &result.dominating_set, r));
+            assert!(
+                is_distance_dominating_set(&g, &result.dominating_set, r),
+                "case {case}"
+            );
             let seq = domset_via_min_wreach(&g, &result.order, r);
-            prop_assert_eq!(seq.dominating_set, result.dominating_set);
-        }
+            assert_eq!(seq.dominating_set, result.dominating_set, "case {case}");
+        });
+    }
 
-        #[test]
-        fn connected_variant_is_connected_and_dominating(
-            g in arb_connected_sparse_graph(), r in 1u32..3
-        ) {
+    #[test]
+    fn connected_variant_is_connected_and_dominating() {
+        for_each_case(24, |case, rng| {
+            let g = arb_connected_sparse_graph(rng);
+            let r = rng.gen_range(1..3u32);
             let core_vertices = largest_component(&g);
             let (core, _) = g.induced_subgraph(&core_vertices);
-            let result = distributed_connected_domination(&core, DistConnectedConfig::new(r)).unwrap();
-            prop_assert!(is_distance_dominating_set(&core, &result.connected_dominating_set, r));
-            prop_assert!(is_induced_connected(&core, &result.connected_dominating_set));
-        }
+            let result =
+                distributed_connected_domination(&core, DistConnectedConfig::new(r)).unwrap();
+            assert!(
+                is_distance_dominating_set(&core, &result.connected_dominating_set, r),
+                "case {case}"
+            );
+            assert!(
+                is_induced_connected(&core, &result.connected_dominating_set),
+                "case {case}"
+            );
+        });
+    }
 
-        #[test]
-        fn local_connector_preserves_domination_and_connects(
-            g in arb_connected_sparse_graph(), r in 1u32..3, seed in 0u64..50
-        ) {
-            let ids = IdAssignment::Shuffled(seed).assign(&g);
+    #[test]
+    fn local_connector_preserves_domination_and_connects() {
+        for_each_case(24, |case, rng| {
+            let g = arb_connected_sparse_graph(rng);
+            let r = rng.gen_range(1..3u32);
+            let ids = IdAssignment::Shuffled(rng.gen_range(0..50u64)).assign(&g);
             let d = bedom_graph::domset::greedy_distance_dominating_set(&g, r);
             let result = local_connect(&g, &ids, &d, r);
-            prop_assert!(is_distance_dominating_set(&g, &result.connected_dominating_set, r));
-            prop_assert!(is_induced_connected(&g, &result.connected_dominating_set));
-        }
+            assert!(
+                is_distance_dominating_set(&g, &result.connected_dominating_set, r),
+                "case {case}"
+            );
+            assert!(
+                is_induced_connected(&g, &result.connected_dominating_set),
+                "case {case}"
+            );
+        });
     }
 }

@@ -72,8 +72,8 @@ fn lex_shortest_path(
             continue;
         }
         for y in view.neighbors_in_view(x) {
-            if !dist.contains_key(&y) {
-                dist.insert(y, d + 1);
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(y) {
+                e.insert(d + 1);
                 queue.push_back(y);
             }
         }
@@ -181,7 +181,8 @@ pub fn local_connect(
                 handled.insert(owner_x);
                 // {v, owner_x} is an edge of H(D): add the common
                 // lexicographically-shortest path of length ≤ 2r + 1.
-                if let Some(path) = lex_shortest_path(view, v.min(owner_x), v.max(owner_x), 2 * r + 1)
+                if let Some(path) =
+                    lex_shortest_path(view, v.min(owner_x), v.max(owner_x), 2 * r + 1)
                 {
                     additions.extend(path);
                 }
@@ -231,7 +232,11 @@ mod tests {
         let ids = IdAssignment::Shuffled(17).assign(graph);
         let d = greedy_distance_dominating_set(graph, r);
         let result = local_connect(graph, &ids, &d, r);
-        assert!(is_distance_dominating_set(graph, &result.connected_dominating_set, r));
+        assert!(is_distance_dominating_set(
+            graph,
+            &result.connected_dominating_set,
+            r
+        ));
         assert!(
             is_induced_connected(graph, &result.connected_dominating_set),
             "D' not connected (n = {}, r = {r})",

@@ -133,10 +133,8 @@ impl DominationPipeline {
                     ..DistDomSetConfig::new(r)
                 };
                 if self.connected {
-                    let result = distributed_connected_domination(
-                        graph,
-                        DistConnectedConfig { ..config },
-                    )?;
+                    let result =
+                        distributed_connected_domination(graph, DistConnectedConfig { ..config })?;
                     Ok(DominationReport {
                         r,
                         mode: Mode::Distributed,
@@ -229,7 +227,10 @@ mod tests {
     fn ordering_strategy_is_honoured() {
         let g = random_tree(120, 5);
         for strategy in OrderingStrategy::ALL {
-            let report = DominationPipeline::new(2).ordering(strategy).solve(&g).unwrap();
+            let report = DominationPipeline::new(2)
+                .ordering(strategy)
+                .solve(&g)
+                .unwrap();
             assert!(is_distance_dominating_set(&g, &report.dominating_set, 2));
             assert!(report.witnessed_constant >= 1);
         }

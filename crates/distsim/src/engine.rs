@@ -1,0 +1,374 @@
+//! The superstep engine: the one loop that drives every round-synchronous
+//! protocol in the workspace.
+//!
+//! All of the paper's CONGEST_BC algorithms — and the follow-up protocols the
+//! ROADMAP targets — share the same shape: initialise every vertex, then
+//! repeat "deliver, transition, observe" until a round budget is exhausted or
+//! the network goes quiet. This module packages that shape once:
+//!
+//! * [`Engine::run`] is the single entry point. Consumers configure a
+//!   [`Network`], pick a [`RunPolicy`], optionally attach [`RoundObserver`]s,
+//!   and get back a [`RunOutcome`] saying how many rounds ran and why the
+//!   execution stopped.
+//! * [`ExecutionStrategy`] (re-exported from `bedom-par`) decides whether
+//!   rounds are evaluated sequentially or across threads. It is a value
+//!   threaded into one shared code path, not a second implementation —
+//!   sequential and parallel runs are bit-identical by construction.
+//! * [`RoundObserver`]s are the hook API for traces, convergence detection
+//!   and experiment instrumentation: after every round each observer sees the
+//!   [`RoundStats`] of that round and may request early termination. Built-in
+//!   observers: [`RoundLog`] (collect per-round statistics) and [`EarlyStop`]
+//!   (predicate-based termination).
+//!
+//! ## Observer lifecycle
+//!
+//! Observers are attached per `run` call and borrowed mutably for its
+//! duration, so they can accumulate state the caller inspects afterwards.
+//! For every executed communication round the engine calls
+//! `on_round(round, &stats)` on each observer *in attachment order*, after
+//! the round's messages have been delivered and every vertex has transitioned.
+//! `round` is the global 1-based round index of the underlying network (it
+//! keeps counting across multiple `run` calls on the same network). If any
+//! observer returns [`RoundControl::Stop`], remaining rounds are skipped and
+//! the outcome reports [`StopReason::Observer`].
+//!
+//! ## Delivery buffers
+//!
+//! The engine's per-round cost model is documented on [`Network`]: a flat
+//! CSR-style arena of 16-byte packets (offsets + packet buffer reused across
+//! rounds, payloads delivered by reference, outboxes double-buffered), so a
+//! round performs no engine-side heap allocation at steady state.
+
+use crate::model::ModelViolation;
+use crate::network::Network;
+use crate::node::NodeAlgorithm;
+use crate::trace::RoundStats;
+
+pub use bedom_par::ExecutionStrategy;
+
+/// When an execution stops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunPolicy {
+    /// Hard budget on the number of communication rounds this `run` executes.
+    pub max_rounds: usize,
+    /// Stop (before stepping) once no vertex has anything to send. The quiet
+    /// round's pending silence is not an executed round.
+    pub stop_when_quiet: bool,
+}
+
+impl RunPolicy {
+    /// Execute exactly `rounds` communication rounds.
+    pub fn fixed(rounds: usize) -> Self {
+        RunPolicy {
+            max_rounds: rounds,
+            stop_when_quiet: false,
+        }
+    }
+
+    /// Execute until the network goes quiet, but at most `max_rounds` rounds.
+    pub fn until_quiet(max_rounds: usize) -> Self {
+        RunPolicy {
+            max_rounds,
+            stop_when_quiet: true,
+        }
+    }
+}
+
+/// An observer's verdict after a round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoundControl {
+    /// Keep going.
+    Continue,
+    /// Terminate the execution after this round.
+    Stop,
+}
+
+/// Hook invoked after every executed communication round.
+///
+/// Implementations can record traces, detect convergence, or abort long runs;
+/// see the module docs for the exact lifecycle.
+pub trait RoundObserver {
+    /// Called once per executed round with that round's statistics. `round`
+    /// is the network's global 1-based round index.
+    fn on_round(&mut self, round: usize, stats: &RoundStats) -> RoundControl;
+}
+
+/// Built-in observer: records every round's [`RoundStats`].
+#[derive(Debug, Default)]
+pub struct RoundLog {
+    /// The observed rounds, in execution order.
+    pub per_round: Vec<RoundStats>,
+}
+
+impl RoundLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        RoundLog::default()
+    }
+}
+
+impl RoundObserver for RoundLog {
+    fn on_round(&mut self, _round: usize, stats: &RoundStats) -> RoundControl {
+        self.per_round.push(*stats);
+        RoundControl::Continue
+    }
+}
+
+/// Built-in observer: stops the run as soon as `predicate(round, stats)`
+/// returns true — the "early-termination predicate" form of convergence
+/// detection.
+pub struct EarlyStop<F: FnMut(usize, &RoundStats) -> bool> {
+    predicate: F,
+    /// The round at which the predicate fired, if it did.
+    pub fired_at: Option<usize>,
+}
+
+impl<F: FnMut(usize, &RoundStats) -> bool> EarlyStop<F> {
+    /// Stops when `predicate` holds.
+    pub fn when(predicate: F) -> Self {
+        EarlyStop {
+            predicate,
+            fired_at: None,
+        }
+    }
+}
+
+impl<F: FnMut(usize, &RoundStats) -> bool> RoundObserver for EarlyStop<F> {
+    fn on_round(&mut self, round: usize, stats: &RoundStats) -> RoundControl {
+        if (self.predicate)(round, stats) {
+            self.fired_at = Some(round);
+            RoundControl::Stop
+        } else {
+            RoundControl::Continue
+        }
+    }
+}
+
+/// Why an execution stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The policy's round budget was exhausted.
+    RoundLimit,
+    /// The network went quiet under [`RunPolicy::until_quiet`].
+    Quiet,
+    /// An observer returned [`RoundControl::Stop`].
+    Observer,
+}
+
+/// Result of one [`Engine::run`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Communication rounds executed by this call.
+    pub rounds: usize,
+    /// Why the execution stopped.
+    pub reason: StopReason,
+}
+
+/// The superstep driver: borrows a configured [`Network`] plus any observers
+/// and executes rounds under a [`RunPolicy`].
+pub struct Engine<'e, 'g, A: NodeAlgorithm> {
+    network: &'e mut Network<'g, A>,
+    observers: Vec<&'e mut dyn RoundObserver>,
+}
+
+impl<'e, 'g, A: NodeAlgorithm> Engine<'e, 'g, A> {
+    /// An engine over `network` with no observers.
+    pub fn new(network: &'e mut Network<'g, A>) -> Self {
+        Engine {
+            network,
+            observers: Vec::new(),
+        }
+    }
+
+    /// Attaches an observer (builder style; observers fire in attachment
+    /// order).
+    pub fn observe(mut self, observer: &'e mut dyn RoundObserver) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Runs the execution: an implicit [`Network::init`] (round 0) if the
+    /// network is fresh, then communication rounds per `policy`.
+    ///
+    /// Multiple `run` calls on the same network compose: the round counter
+    /// and statistics continue where the previous call stopped.
+    pub fn run(mut self, policy: RunPolicy) -> Result<RunOutcome, ModelViolation> {
+        self.network.init()?;
+        let mut executed = 0;
+        loop {
+            if executed >= policy.max_rounds {
+                return Ok(RunOutcome {
+                    rounds: executed,
+                    reason: StopReason::RoundLimit,
+                });
+            }
+            if policy.stop_when_quiet && self.network.is_quiet() {
+                return Ok(RunOutcome {
+                    rounds: executed,
+                    reason: StopReason::Quiet,
+                });
+            }
+            let stats = self.network.step()?;
+            executed += 1;
+            for observer in self.observers.iter_mut() {
+                if observer.on_round(stats.round, &stats) == RoundControl::Stop {
+                    return Ok(RunOutcome {
+                        rounds: executed,
+                        reason: StopReason::Observer,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::IdAssignment;
+    use crate::model::Model;
+    use crate::node::{Inbox, NodeContext, Outgoing};
+    use bedom_graph::generators::{path, star};
+
+    /// Broadcasts forever — only an observer or the budget can stop it.
+    struct Chatterbox;
+
+    impl NodeAlgorithm for Chatterbox {
+        type Message = u64;
+        type Output = ();
+
+        fn init(&mut self, ctx: &NodeContext) -> Outgoing<u64> {
+            Outgoing::Broadcast(ctx.id)
+        }
+
+        fn round(&mut self, ctx: &NodeContext, _: usize, _: Inbox<'_, u64>) -> Outgoing<u64> {
+            Outgoing::Broadcast(ctx.id)
+        }
+
+        fn output(&self, _: &NodeContext) {}
+    }
+
+    fn chatter_net(g: &bedom_graph::Graph) -> Network<'_, Chatterbox> {
+        Network::new(
+            g,
+            Model::congest_bc_scaled(64),
+            IdAssignment::Natural,
+            |_, _| Chatterbox,
+        )
+    }
+
+    #[test]
+    fn fixed_policy_exhausts_the_budget() {
+        let g = path(6);
+        let mut net = chatter_net(&g);
+        let outcome = Engine::new(&mut net).run(RunPolicy::fixed(7)).unwrap();
+        assert_eq!(outcome.rounds, 7);
+        assert_eq!(outcome.reason, StopReason::RoundLimit);
+        assert_eq!(net.stats().rounds, 7);
+    }
+
+    #[test]
+    fn round_log_observer_sees_every_round() {
+        let g = star(5);
+        let mut net = chatter_net(&g);
+        let mut log = RoundLog::new();
+        Engine::new(&mut net)
+            .observe(&mut log)
+            .run(RunPolicy::fixed(4))
+            .unwrap();
+        assert_eq!(log.per_round.len(), 4);
+        assert_eq!(
+            log.per_round.iter().map(|r| r.round).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        // Every round all 5 vertices broadcast.
+        assert!(log.per_round.iter().all(|r| r.senders == 5));
+    }
+
+    #[test]
+    fn early_stop_observer_terminates_the_run() {
+        let g = path(12);
+        let mut net = chatter_net(&g);
+        let mut stop = EarlyStop::when(|round, _stats| round >= 3);
+        let outcome = Engine::new(&mut net)
+            .observe(&mut stop)
+            .run(RunPolicy::fixed(100))
+            .unwrap();
+        assert_eq!(outcome.reason, StopReason::Observer);
+        assert_eq!(outcome.rounds, 3);
+        assert_eq!(stop.fired_at, Some(3));
+        assert_eq!(net.stats().rounds, 3);
+    }
+
+    #[test]
+    fn multiple_runs_compose_and_keep_global_round_numbers() {
+        let g = path(8);
+        let mut net = chatter_net(&g);
+        Engine::new(&mut net).run(RunPolicy::fixed(2)).unwrap();
+        let mut log = RoundLog::new();
+        Engine::new(&mut net)
+            .observe(&mut log)
+            .run(RunPolicy::fixed(3))
+            .unwrap();
+        assert_eq!(net.stats().rounds, 5);
+        assert_eq!(
+            log.per_round.iter().map(|r| r.round).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn observers_fire_in_attachment_order() {
+        use std::cell::RefCell;
+        struct Tagger<'a> {
+            tag: u8,
+            sink: &'a RefCell<Vec<u8>>,
+        }
+        impl RoundObserver for Tagger<'_> {
+            fn on_round(&mut self, _: usize, _: &RoundStats) -> RoundControl {
+                self.sink.borrow_mut().push(self.tag);
+                RoundControl::Continue
+            }
+        }
+        let order = RefCell::new(Vec::new());
+        let g = path(4);
+        let mut net = chatter_net(&g);
+        let mut a = Tagger {
+            tag: 1,
+            sink: &order,
+        };
+        let mut b = Tagger {
+            tag: 2,
+            sink: &order,
+        };
+        Engine::new(&mut net)
+            .observe(&mut a)
+            .observe(&mut b)
+            .run(RunPolicy::fixed(2))
+            .unwrap();
+        assert_eq!(*order.borrow(), vec![1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn until_quiet_on_an_immediately_quiet_network() {
+        struct Mute;
+        impl NodeAlgorithm for Mute {
+            type Message = ();
+            type Output = ();
+            fn init(&mut self, _: &NodeContext) -> Outgoing<()> {
+                Outgoing::Silent
+            }
+            fn round(&mut self, _: &NodeContext, _: usize, _: Inbox<'_, ()>) -> Outgoing<()> {
+                Outgoing::Silent
+            }
+            fn output(&self, _: &NodeContext) {}
+        }
+        let g = path(5);
+        let mut net = Network::new(&g, Model::congest_bc(), IdAssignment::Natural, |_, _| Mute);
+        let outcome = Engine::new(&mut net)
+            .run(RunPolicy::until_quiet(50))
+            .unwrap();
+        assert_eq!(outcome.rounds, 0);
+        assert_eq!(outcome.reason, StopReason::Quiet);
+    }
+}

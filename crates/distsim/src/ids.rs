@@ -7,9 +7,7 @@
 //! natural, randomly shuffled and adversarially structured assignments.
 
 use bedom_graph::{Graph, Vertex};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use bedom_rng::DetRng;
 
 /// How network identifiers are assigned to graph vertices.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,8 +35,8 @@ impl IdAssignment {
             IdAssignment::Natural => (0..n as u64).collect(),
             IdAssignment::Shuffled(seed) => {
                 let mut ids: Vec<u64> = (0..n as u64).collect();
-                let mut rng = ChaCha8Rng::seed_from_u64(seed);
-                ids.shuffle(&mut rng);
+                let mut rng = DetRng::seed_from_u64(seed);
+                rng.shuffle(&mut ids);
                 ids
             }
             IdAssignment::ReverseBfs => {

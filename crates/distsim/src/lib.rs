@@ -8,17 +8,23 @@
 //!
 //! Two execution styles are provided:
 //!
-//! * [`network::Network`] — a message-passing executor that drives one
-//!   [`node::NodeAlgorithm`] state machine per vertex in lockstep rounds.
-//!   This is used for the paper's CONGEST_BC algorithms, where the round
-//!   count and the message sizes are the measured quantities.
+//! * The **superstep engine** ([`engine::Engine`] over a
+//!   [`network::Network`]) — a message-passing executor that drives one
+//!   [`node::NodeAlgorithm`] state machine per vertex in lockstep rounds,
+//!   with flat zero-copy message delivery, pluggable
+//!   [`engine::RoundObserver`]s and a single sequential/parallel code path
+//!   ([`engine::ExecutionStrategy`]). This is used for the paper's
+//!   CONGEST_BC algorithms, where the round count and the message sizes are
+//!   the measured quantities.
 //! * [`local::run_local`] — ball-based evaluation of LOCAL-model algorithms
 //!   (a `t`-round LOCAL algorithm is a function of each vertex's radius-`t`
 //!   view), used for the paper's LOCAL-model results where messages may be
 //!   arbitrarily large and materialising them would be wasteful.
 //!
-//! Both styles are deterministic and parallelised with rayon.
+//! Both styles are deterministic; parallel and sequential evaluation are
+//! bit-identical (asserted by the workspace's determinism test suite).
 
+pub mod engine;
 pub mod ids;
 pub mod local;
 pub mod message;
@@ -27,20 +33,27 @@ pub mod network;
 pub mod node;
 pub mod trace;
 
+pub use engine::{
+    EarlyStop, Engine, ExecutionStrategy, RoundControl, RoundLog, RoundObserver, RunOutcome,
+    RunPolicy, StopReason,
+};
 pub use ids::IdAssignment;
-pub use local::{build_view, run_local, LocalView};
+pub use local::{build_view, run_local, run_local_with, LocalView};
 pub use message::{MessageSize, WireId};
 pub use model::{id_bits, log2_ceil, Model, ModelViolation};
 pub use network::Network;
-pub use node::{Incoming, NodeAlgorithm, NodeContext, Outgoing};
+pub use node::{Inbox, Incoming, NodeAlgorithm, NodeContext, Outgoing};
 pub use trace::{RoundStats, RunStats};
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
+    //! Deterministic randomised tests over seeded graph families (the
+    //! registry-free stand-in for the former proptest suite).
+
     use super::*;
     use bedom_graph::generators::{gnp, random_tree};
     use bedom_graph::Graph;
-    use proptest::prelude::*;
+    use bedom_rng::DetRng;
 
     /// Count, at every vertex, the number of distinct ids heard within `k`
     /// rounds of flooding; must equal |N_k[v]| exactly.
@@ -59,10 +72,15 @@ mod proptests {
             Outgoing::Broadcast(self.fresh.clone())
         }
 
-        fn round(&mut self, _ctx: &NodeContext, _round: usize, inbox: &[Incoming<Vec<u64>>]) -> Outgoing<Vec<u64>> {
+        fn round(
+            &mut self,
+            _ctx: &NodeContext,
+            _round: usize,
+            inbox: Inbox<'_, Vec<u64>>,
+        ) -> Outgoing<Vec<u64>> {
             let mut new_fresh = Vec::new();
             for msg in inbox {
-                for &id in &msg.payload {
+                for &id in msg.payload {
                     if self.known.insert(id) {
                         new_fresh.push(id);
                     }
@@ -83,52 +101,86 @@ mod proptests {
         }
     }
 
-    fn arb_graph() -> impl Strategy<Value = Graph> {
-        prop_oneof![
-            (5usize..40, 0u64..50).prop_map(|(n, s)| random_tree(n, s)),
-            (5usize..40, 0u64..50).prop_map(|(n, s)| gnp(n, 0.15, s)),
-        ]
+    fn arb_graph(rng: &mut DetRng) -> Graph {
+        if rng.gen_range(0..2u32) == 0 {
+            random_tree(rng.gen_range(5..40usize), rng.gen_range(0..50u64))
+        } else {
+            gnp(rng.gen_range(5..40usize), 0.15, rng.gen_range(0..50u64))
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
+    fn for_each_case(cases: usize, mut body: impl FnMut(usize, &mut DetRng)) {
+        for case in 0..cases {
+            let mut rng = DetRng::seed_from_u64(0x6469_7374_7369_6d00 ^ case as u64);
+            body(case, &mut rng);
+        }
+    }
 
-        #[test]
-        fn flooding_counts_exactly_the_k_ball(g in arb_graph(), k in 0usize..4, seed in 0u64..100) {
-            let mut net = Network::new(&g, Model::Local, IdAssignment::Shuffled(seed), |_, _| NeighborhoodCounter {
+    fn counter_network(g: &Graph, seed: u64) -> Network<'_, NeighborhoodCounter> {
+        Network::new(g, Model::Local, IdAssignment::Shuffled(seed), |_, _| {
+            NeighborhoodCounter {
                 known: Default::default(),
                 fresh: Vec::new(),
-            });
-            net.run(k).unwrap();
+            }
+        })
+    }
+
+    #[test]
+    fn flooding_counts_exactly_the_k_ball() {
+        for_each_case(32, |case, rng| {
+            let g = arb_graph(rng);
+            let k = rng.gen_range(0..4usize);
+            let seed = rng.gen_range(0..100u64);
+            let mut net = counter_network(&g, seed);
+            Engine::new(&mut net).run(RunPolicy::fixed(k)).unwrap();
             let outputs = net.outputs();
             for v in g.vertices() {
                 let ball = bedom_graph::bfs::closed_neighborhood(&g, v, k as u32);
-                prop_assert_eq!(outputs[v as usize], ball.len(), "vertex {}", v);
+                assert_eq!(outputs[v as usize], ball.len(), "case {case}, vertex {v}");
             }
-        }
+        });
+    }
 
-        #[test]
-        fn parallel_matches_sequential(g in arb_graph(), seed in 0u64..100) {
-            let build = |parallel: bool| {
-                let mut net = Network::new(&g, Model::Local, IdAssignment::Shuffled(seed), |_, _| NeighborhoodCounter {
-                    known: Default::default(),
-                    fresh: Vec::new(),
-                });
-                net.set_parallel(parallel);
-                net.run(4).unwrap();
-                (net.outputs(), net.stats().total_bits, net.stats().total_deliveries)
+    #[test]
+    fn parallel_matches_sequential_with_observers() {
+        for_each_case(32, |case, rng| {
+            let g = arb_graph(rng);
+            let seed = rng.gen_range(0..100u64);
+            let build = |strategy: ExecutionStrategy| {
+                let mut net = counter_network(&g, seed);
+                net.set_strategy(strategy);
+                let mut log = RoundLog::new();
+                let outcome = Engine::new(&mut net)
+                    .observe(&mut log)
+                    .run(RunPolicy::fixed(4))
+                    .unwrap();
+                assert_eq!(outcome.rounds, log.per_round.len());
+                (
+                    net.outputs(),
+                    net.stats().total_bits,
+                    net.stats().total_deliveries,
+                    log.per_round,
+                )
             };
-            prop_assert_eq!(build(false), build(true));
-        }
+            assert_eq!(
+                build(ExecutionStrategy::Sequential),
+                build(ExecutionStrategy::Parallel),
+                "case {case}"
+            );
+        });
+    }
 
-        #[test]
-        fn local_view_ball_matches_bfs(g in arb_graph(), r in 0u32..4) {
+    #[test]
+    fn local_view_ball_matches_bfs() {
+        for_each_case(32, |case, rng| {
+            let g = arb_graph(rng);
+            let r = rng.gen_range(0..4u32);
             let ids = IdAssignment::Natural.assign(&g);
             for v in g.vertices() {
                 let view = build_view(&g, &ids, v, r);
                 let ball = bedom_graph::bfs::closed_neighborhood(&g, v, r);
-                prop_assert_eq!(&view.ball, &ball);
+                assert_eq!(&view.ball, &ball, "case {case}, vertex {v}");
             }
-        }
+        });
     }
 }

@@ -10,11 +10,13 @@
 //! (Lemma 16 / Theorem 17 and the Lenzen et al. baseline) on graphs with 10⁵⁺
 //! vertices.
 //!
-//! The evaluation is embarrassingly parallel over vertices and uses rayon.
+//! The evaluation is embarrassingly parallel over vertices and runs through
+//! the same [`ExecutionStrategy`] as the superstep engine, so sequential and
+//! parallel evaluation share one code path and agree bit for bit.
 
 use bedom_graph::bfs::UNREACHABLE;
 use bedom_graph::{Graph, Vertex};
-use rayon::prelude::*;
+use bedom_par::ExecutionStrategy;
 use std::collections::VecDeque;
 
 /// The radius-`t` view of a single vertex: everything a LOCAL algorithm may
@@ -82,21 +84,41 @@ impl<'g> LocalView<'g> {
 
 /// Evaluates a `radius`-round LOCAL algorithm given as a per-vertex function
 /// of its [`LocalView`]. Returns the per-vertex outputs indexed by graph
-/// vertex.
+/// vertex. Uses the automatic execution strategy; see [`run_local_with`] to
+/// pin one.
 pub fn run_local<O: Send>(
     graph: &Graph,
     ids: &[u64],
     radius: u32,
     algorithm: impl Fn(&LocalView<'_>) -> O + Sync,
 ) -> Vec<O> {
-    assert_eq!(ids.len(), graph.num_vertices(), "one id per vertex required");
-    (0..graph.num_vertices() as Vertex)
-        .into_par_iter()
-        .map(|v| {
-            let view = build_view(graph, ids, v, radius);
-            algorithm(&view)
-        })
-        .collect()
+    run_local_with(
+        ExecutionStrategy::auto_for(graph.num_vertices()),
+        graph,
+        ids,
+        radius,
+        algorithm,
+    )
+}
+
+/// [`run_local`] with an explicit [`ExecutionStrategy`]; both strategies
+/// produce identical outputs.
+pub fn run_local_with<O: Send>(
+    strategy: ExecutionStrategy,
+    graph: &Graph,
+    ids: &[u64],
+    radius: u32,
+    algorithm: impl Fn(&LocalView<'_>) -> O + Sync,
+) -> Vec<O> {
+    assert_eq!(
+        ids.len(),
+        graph.num_vertices(),
+        "one id per vertex required"
+    );
+    strategy.map_collect(graph.num_vertices(), |v| {
+        let view = build_view(graph, ids, v as Vertex, radius);
+        algorithm(&view)
+    })
 }
 
 /// Builds the radius-`t` view of vertex `v`.
@@ -175,7 +197,9 @@ mod tests {
         let g = grid(6, 6);
         let ids = IdAssignment::Shuffled(3).assign(&g);
         let outputs = run_local(&g, &ids, 2, |view| {
-            view.ball.iter().all(|&w| view.id_of(w) <= view.id_of(view.center))
+            view.ball
+                .iter()
+                .all(|&w| view.id_of(w) <= view.id_of(view.center))
         });
         for v in g.vertices() {
             let ball = bedom_graph::bfs::closed_neighborhood(&g, v, 2);

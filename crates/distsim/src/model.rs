@@ -14,8 +14,6 @@
 //! expressed as a multiple of `⌈log₂ n⌉` because that is how the paper states
 //! every bound (e.g. Lemma 7's messages of size `O(c(2r)²·r·log n)`).
 
-use serde::Serialize;
-
 /// Number of bits needed to write an identifier in `0..n` (at least 1).
 pub fn id_bits(n: usize) -> usize {
     log2_ceil(n)
@@ -31,7 +29,7 @@ pub fn log2_ceil(n: usize) -> usize {
 }
 
 /// The communication model an execution runs under.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Model {
     /// Arbitrary message sizes, per-neighbour messages allowed.
     Local,
@@ -93,7 +91,7 @@ impl Model {
 }
 
 /// A violation of the communication model detected by the executor.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ModelViolation {
     /// A vertex attempted per-neighbour (unicast) messages in a
     /// broadcast-only model.
@@ -175,10 +173,7 @@ mod tests {
         assert_eq!(Model::Local.max_message_bits(1000), None);
         assert_eq!(Model::congest().max_message_bits(1024), Some(10));
         assert_eq!(Model::congest_bc().max_message_bits(1024), Some(10));
-        assert_eq!(
-            Model::congest_bc_scaled(5).max_message_bits(1024),
-            Some(50)
-        );
+        assert_eq!(Model::congest_bc_scaled(5).max_message_bits(1024), Some(50));
         // Bandwidth multiplier 0 is clamped to 1.
         assert_eq!(
             Model::CongestBc { bandwidth_logs: 0 }.max_message_bits(16),

@@ -1,32 +1,72 @@
-//! The synchronous executor: drives one [`NodeAlgorithm`] instance per vertex
-//! in lockstep rounds, enforces the communication model, and collects
-//! statistics.
+//! The synchronous executor state: one [`NodeAlgorithm`] instance per vertex,
+//! the communication model, the delivery buffers and the statistics.
 //!
-//! Each round is embarrassingly parallel across vertices — every vertex's
-//! transition depends only on its own state and inbox — so the executor
-//! evaluates rounds with rayon when [`Network::set_parallel`] is enabled.
-//! Sequential and parallel execution produce bit-identical results; this is
-//! exercised by tests and by the F4 throughput experiment.
+//! A [`Network`] holds *state*; the loop that drives it lives in
+//! [`crate::engine`] ([`crate::engine::Engine::run`]). The split matters:
+//! every algorithm in the workspace — the order phase, weak reachability, the
+//! election, the connected-set flooding — used to hand-roll its own
+//! `init`/`step` loop; they now all go through the one engine entry point,
+//! and the execution strategy (sequential vs `std::thread` chunks, see
+//! [`bedom_par::ExecutionStrategy`]) is a *value*, not a code path: there is
+//! exactly one implementation of a round, used by both modes, so sequential
+//! and parallel runs are bit-identical by construction.
+//!
+//! ## Flat, double-buffered delivery
+//!
+//! Per round the executor
+//!
+//! 1. charges the current outboxes to the statistics,
+//! 2. prepares delivery: in broadcast-only rounds (all of CONGEST_BC)
+//!    receivers read straight off the precomputed id-sorted neighbour CSR —
+//!    zero per-round work; in rounds with unicasts it rebuilds the flat
+//!    inbox arena, a CSR-style `offsets` array (one slot per receiver) plus
+//!    one 16-byte [`Packet`] per delivery, pointing into the sender's
+//!    outbox — either way **no payload is ever cloned**, receivers read
+//!    messages by reference through [`Inbox`],
+//! 3. evaluates every vertex's transition, writing the next outbox into a
+//!    second pre-allocated outbox buffer, and
+//! 4. swaps the two outbox buffers.
+//!
+//! The offsets, arena and both outbox buffers are reused across rounds, so
+//! the executor performs no per-round heap allocation of its own once the
+//! buffers have grown to their steady-state size (payload allocations made by
+//! the algorithms themselves are, of course, theirs). The seed implementation
+//! allocated a fresh `Vec` per receiver per round and cloned every payload
+//! per delivery; the `engine_delivery` bench in `bedom-bench` measures the
+//! difference.
 
 use crate::ids::IdAssignment;
 use crate::message::MessageSize;
 use crate::model::{Model, ModelViolation};
-use crate::node::{Incoming, NodeAlgorithm, NodeContext, Outgoing};
+use crate::node::{Inbox, InboxSource, NodeAlgorithm, NodeContext, Outgoing, Packet};
 use crate::trace::{RoundStats, RunStats};
 use bedom_graph::{Graph, Vertex};
-use rayon::prelude::*;
+use bedom_par::ExecutionStrategy;
 
 /// A configured network: the input graph, a communication model, an id
-/// assignment and one algorithm instance per vertex.
+/// assignment, one algorithm instance per vertex, and the reusable delivery
+/// buffers. Drive it with [`crate::engine::Engine`].
 pub struct Network<'g, A: NodeAlgorithm> {
     graph: &'g Graph,
     model: Model,
     ids: Vec<u64>,
     contexts: Vec<NodeContext>,
     nodes: Vec<A>,
+    /// Outboxes produced by the last evaluated round (to be delivered next).
     outboxes: Vec<Outgoing<A::Message>>,
+    /// Double buffer the next round's outboxes are written into.
+    next_outboxes: Vec<Outgoing<A::Message>>,
+    /// CSR offsets into [`Network::inbox_arena`]; length `n + 1`.
+    inbox_offsets: Vec<u32>,
+    /// Flat delivery arena, rebuilt (in place) every round.
+    inbox_arena: Vec<Packet>,
+    /// CSR offsets into [`Network::delivery_order`]; length `n + 1`.
+    nbr_offsets: Vec<u32>,
+    /// Every vertex's neighbours sorted by network id — the deterministic
+    /// delivery order, precomputed once.
+    delivery_order: Vec<Vertex>,
     stats: RunStats,
-    parallel: bool,
+    strategy: ExecutionStrategy,
     initialized: bool,
 }
 
@@ -56,26 +96,48 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
                 }
             })
             .collect();
-        let nodes: Vec<A> = (0..n)
-            .map(|v| factory(v as Vertex, &contexts[v]))
-            .collect();
+        let nodes: Vec<A> = (0..n).map(|v| factory(v as Vertex, &contexts[v])).collect();
+
+        // Precompute the deterministic delivery order: each vertex's
+        // neighbours sorted by their network id.
+        let mut nbr_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut delivery_order: Vec<Vertex> = Vec::with_capacity(2 * graph.num_edges());
+        nbr_offsets.push(0);
+        for v in 0..n {
+            let start = delivery_order.len();
+            delivery_order.extend_from_slice(graph.neighbors(v as Vertex));
+            delivery_order[start..].sort_unstable_by_key(|&u| ids[u as usize]);
+            nbr_offsets.push(delivery_order.len() as u32);
+        }
+
         Network {
             graph,
             model,
             ids,
             contexts,
             nodes,
-            outboxes: Vec::new(),
+            outboxes: (0..n).map(|_| Outgoing::Silent).collect(),
+            next_outboxes: (0..n).map(|_| Outgoing::Silent).collect(),
+            inbox_offsets: vec![0; n + 1],
+            inbox_arena: Vec::new(),
+            nbr_offsets,
+            delivery_order,
             stats: RunStats::default(),
-            parallel: false,
+            strategy: ExecutionStrategy::Sequential,
             initialized: false,
         }
     }
 
-    /// Enables or disables rayon-parallel round evaluation.
-    pub fn set_parallel(&mut self, parallel: bool) -> &mut Self {
-        self.parallel = parallel;
+    /// Selects the execution strategy for round evaluation. Sequential and
+    /// parallel execution produce bit-identical results.
+    pub fn set_strategy(&mut self, strategy: ExecutionStrategy) -> &mut Self {
+        self.strategy = strategy;
         self
+    }
+
+    /// The strategy rounds are evaluated with.
+    pub fn strategy(&self) -> ExecutionStrategy {
+        self.strategy
     }
 
     /// The communication model in force.
@@ -93,69 +155,52 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
         &self.stats
     }
 
-    /// Runs the initialisation step (round 0) if it has not run yet.
+    /// Whether no vertex has anything pending to send (the engine's
+    /// quiescence test).
+    pub fn is_quiet(&self) -> bool {
+        self.outboxes.iter().all(Outgoing::is_silent)
+    }
+
+    /// Runs the initialisation step (round 0) if it has not run yet. Called
+    /// automatically by the engine.
     pub fn init(&mut self) -> Result<(), ModelViolation> {
         if self.initialized {
             return Ok(());
         }
         let contexts = &self.contexts;
-        let outboxes: Vec<Outgoing<A::Message>> = if self.parallel {
-            self.nodes
-                .par_iter_mut()
-                .zip(contexts.par_iter())
-                .map(|(node, ctx)| node.init(ctx))
-                .collect()
-        } else {
-            self.nodes
-                .iter_mut()
-                .zip(contexts.iter())
-                .map(|(node, ctx)| node.init(ctx))
-                .collect()
-        };
-        self.validate(&outboxes, 0)?;
-        self.outboxes = outboxes;
+        self.strategy
+            .zip_apply(&mut self.nodes, &mut self.outboxes, |v, node, slot| {
+                *slot = node.init(&contexts[v]);
+            });
+        Self::validate(
+            self.model,
+            self.graph.num_vertices(),
+            &self.ids,
+            &self.contexts,
+            &self.outboxes,
+            0,
+        )?;
         self.initialized = true;
         Ok(())
     }
 
-    /// Executes exactly `rounds` communication rounds (after an implicit
-    /// [`Network::init`] if necessary).
-    pub fn run(&mut self, rounds: usize) -> Result<(), ModelViolation> {
-        self.init()?;
-        for _ in 0..rounds {
-            self.step()?;
-        }
-        Ok(())
-    }
-
-    /// Runs until a round in which no vertex sends anything (the messages of
-    /// that quiet round are still delivered), or until `max_rounds` rounds
-    /// have been executed. Returns the number of rounds executed.
-    pub fn run_until_quiet(&mut self, max_rounds: usize) -> Result<usize, ModelViolation> {
-        self.init()?;
-        let mut executed = 0;
-        while executed < max_rounds {
-            if self.outboxes.iter().all(Outgoing::is_silent) {
-                break;
-            }
-            self.step()?;
-            executed += 1;
-        }
-        Ok(executed)
-    }
-
-    /// Executes a single communication round: delivers the current outboxes
-    /// and computes the next ones.
-    pub fn step(&mut self) -> Result<(), ModelViolation> {
+    /// Executes a single communication round — delivers the current outboxes
+    /// through the flat arena and computes the next ones — and returns its
+    /// statistics. This is the engine's single-round primitive; use
+    /// [`crate::engine::Engine::run`] for whole executions.
+    pub fn step(&mut self) -> Result<RoundStats, ModelViolation> {
         self.init()?;
         let n = self.graph.num_vertices();
         let round_index = self.stats.rounds + 1;
 
-        // Account for what is about to be delivered.
+        // Account for what is about to be delivered, and detect whether any
+        // sender unicast (broadcast-only rounds — all of CONGEST_BC — take a
+        // delivery fast path that needs no arena at all).
         let mut round_stats = RoundStats {
             round: round_index,
             ..RoundStats::default()
         };
+        let mut any_unicast = false;
         for (v, out) in self.outboxes.iter().enumerate() {
             match out {
                 Outgoing::Silent => {}
@@ -165,10 +210,10 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
                     round_stats.deliveries += self.graph.degree(v as Vertex);
                     round_stats.bits_sent += bits;
                     round_stats.max_message_bits = round_stats.max_message_bits.max(bits);
-                    self.stats.max_vertex_round_bits =
-                        self.stats.max_vertex_round_bits.max(bits);
+                    self.stats.max_vertex_round_bits = self.stats.max_vertex_round_bits.max(bits);
                 }
                 Outgoing::Unicast(messages) => {
+                    any_unicast = true;
                     if !messages.is_empty() {
                         round_stats.senders += 1;
                     }
@@ -186,59 +231,142 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
             }
         }
 
-        // Deliver: build each vertex's inbox by scanning its neighbours'
-        // outboxes (gather form, embarrassingly parallel over receivers).
-        let graph = self.graph;
+        if any_unicast {
+            self.build_inboxes();
+        }
+
+        // Evaluate every vertex's transition through the one execution path;
+        // results land in the second outbox buffer by index. Broadcast-only
+        // rounds read straight off the pre-sorted neighbour CSR; rounds with
+        // unicasts go through the freshly built packet arena. Both sources
+        // deliver in the same deterministic order.
+        {
+            let contexts = &self.contexts;
+            let outboxes = &self.outboxes;
+            let ids = &self.ids;
+            let offsets = &self.inbox_offsets;
+            let arena = &self.inbox_arena;
+            let nbr_offsets = &self.nbr_offsets;
+            let delivery_order = &self.delivery_order;
+            self.strategy
+                .zip_apply(&mut self.nodes, &mut self.next_outboxes, |w, node, slot| {
+                    let source = if any_unicast {
+                        InboxSource::Packets(&arena[offsets[w] as usize..offsets[w + 1] as usize])
+                    } else {
+                        InboxSource::Broadcasts(
+                            &delivery_order[nbr_offsets[w] as usize..nbr_offsets[w + 1] as usize],
+                            ids,
+                        )
+                    };
+                    let inbox = Inbox { source, outboxes };
+                    *slot = node.round(&contexts[w], round_index, inbox);
+                });
+        }
+        Self::validate(
+            self.model,
+            n,
+            &self.ids,
+            &self.contexts,
+            &self.next_outboxes,
+            round_index,
+        )?;
+        std::mem::swap(&mut self.outboxes, &mut self.next_outboxes);
+        self.stats.push_round(round_stats);
+        Ok(round_stats)
+    }
+
+    /// Rebuilds the flat inbox arena from the current outboxes: counts per
+    /// receiver, prefix sums, then a fill pass over disjoint arena segments.
+    fn build_inboxes(&mut self) {
+        let n = self.graph.num_vertices();
         let ids = &self.ids;
         let outboxes = &self.outboxes;
-        let build_inbox = |w: usize| -> Vec<Incoming<A::Message>> {
-            let mut inbox = Vec::new();
-            for &u in graph.neighbors(w as Vertex) {
+        let nbr_offsets = &self.nbr_offsets;
+        let delivery_order = &self.delivery_order;
+
+        // How many messages does receiver `w` get this round?
+        let count_for = |w: usize| -> u32 {
+            let mut count = 0u32;
+            for &u in &delivery_order[nbr_offsets[w] as usize..nbr_offsets[w + 1] as usize] {
                 match &outboxes[u as usize] {
                     Outgoing::Silent => {}
-                    Outgoing::Broadcast(m) => inbox.push(Incoming {
-                        from: ids[u as usize],
-                        payload: m.clone(),
-                    }),
+                    Outgoing::Broadcast(_) => count += 1,
                     Outgoing::Unicast(messages) => {
-                        for (target, m) in messages {
+                        count += messages.iter().filter(|(t, _)| *t == ids[w]).count() as u32;
+                    }
+                }
+            }
+            count
+        };
+        // Fill counts shifted by one, then prefix-sum in place: offsets[w] /
+        // offsets[w + 1] end up delimiting receiver w's arena segment.
+        self.inbox_offsets[0] = 0;
+        self.strategy
+            .apply(&mut self.inbox_offsets[1..], |w, slot| *slot = count_for(w));
+        for w in 0..n {
+            self.inbox_offsets[w + 1] += self.inbox_offsets[w];
+        }
+        let total = self.inbox_offsets[n] as usize;
+        self.inbox_arena.clear();
+        self.inbox_arena.resize(total, Packet::default());
+
+        // Fill receiver segments; contiguous receiver chunks own disjoint
+        // arena slices, so the fill parallelises without synchronisation.
+        let offsets = &self.inbox_offsets;
+        let fill_receiver = |w: usize, segment: &mut [Packet]| {
+            let mut cursor = 0;
+            for &u in &delivery_order[nbr_offsets[w] as usize..nbr_offsets[w + 1] as usize] {
+                match &outboxes[u as usize] {
+                    Outgoing::Silent => {}
+                    Outgoing::Broadcast(_) => {
+                        segment[cursor] = Packet {
+                            from: ids[u as usize],
+                            sender: u,
+                            unicast_idx: 0,
+                        };
+                        cursor += 1;
+                    }
+                    Outgoing::Unicast(messages) => {
+                        for (k, (target, _)) in messages.iter().enumerate() {
                             if *target == ids[w] {
-                                inbox.push(Incoming {
+                                segment[cursor] = Packet {
                                     from: ids[u as usize],
-                                    payload: m.clone(),
-                                });
+                                    sender: u,
+                                    unicast_idx: k as u32,
+                                };
+                                cursor += 1;
                             }
                         }
                     }
                 }
             }
-            // Deterministic delivery order regardless of adjacency layout.
-            inbox.sort_by_key(|msg| msg.from);
-            inbox
+            debug_assert_eq!(cursor, segment.len());
         };
-
-        let contexts = &self.contexts;
-        let new_outboxes: Vec<Outgoing<A::Message>> = if self.parallel {
-            self.nodes
-                .par_iter_mut()
-                .enumerate()
-                .map(|(w, node)| {
-                    let inbox = build_inbox(w);
-                    node.round(&contexts[w], round_index, &inbox)
-                })
-                .collect()
-        } else {
-            let mut result = Vec::with_capacity(n);
-            for (w, node) in self.nodes.iter_mut().enumerate() {
-                let inbox = build_inbox(w);
-                result.push(node.round(&contexts[w], round_index, &inbox));
+        let threads = self.strategy.threads_for(n);
+        let chunk = n.div_ceil(threads.max(1)).max(1);
+        let mut jobs: Vec<(usize, &mut [Packet])> = Vec::with_capacity(threads);
+        let mut rest: &mut [Packet] = &mut self.inbox_arena;
+        let mut consumed = 0usize;
+        let mut w = 0usize;
+        while w < n {
+            let end = (w + chunk).min(n);
+            let slice_end = offsets[end] as usize;
+            let (head, tail) = rest.split_at_mut(slice_end - consumed);
+            jobs.push((w, head));
+            rest = tail;
+            consumed = slice_end;
+            w = end;
+        }
+        self.strategy.run_jobs(jobs, |(start_w, mut slice)| {
+            let mut w = start_w;
+            while !slice.is_empty() {
+                let len = (offsets[w + 1] - offsets[w]) as usize;
+                let (segment, tail) = slice.split_at_mut(len);
+                fill_receiver(w, segment);
+                slice = tail;
+                w += 1;
             }
-            result
-        };
-        self.validate(&new_outboxes, round_index)?;
-        self.outboxes = new_outboxes;
-        self.stats.push_round(round_stats);
-        Ok(())
+        });
     }
 
     /// Collects every vertex's output, indexed by graph vertex.
@@ -258,13 +386,16 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
 
     /// Checks every outbox against the communication model.
     fn validate(
-        &self,
+        model: Model,
+        n: usize,
+        ids: &[u64],
+        contexts: &[NodeContext],
         outboxes: &[Outgoing<A::Message>],
         round: usize,
     ) -> Result<(), ModelViolation> {
-        let limit = self.model.max_message_bits(self.graph.num_vertices());
+        let limit = model.max_message_bits(n);
         for (v, out) in outboxes.iter().enumerate() {
-            let vertex = self.ids[v];
+            let vertex = ids[v];
             match out {
                 Outgoing::Silent => {}
                 Outgoing::Broadcast(m) => {
@@ -281,11 +412,11 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
                     }
                 }
                 Outgoing::Unicast(messages) => {
-                    if self.model.broadcast_only() {
+                    if model.broadcast_only() {
                         return Err(ModelViolation::UnicastInBroadcastModel { vertex, round });
                     }
                     for (target, m) in messages {
-                        if !self.contexts[v].is_neighbor(*target) {
+                        if !contexts[v].is_neighbor(*target) {
                             return Err(ModelViolation::NotANeighbor {
                                 vertex,
                                 target: *target,
@@ -314,15 +445,17 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{Engine, RunPolicy, StopReason};
     use crate::model::Model;
+    use crate::node::Incoming;
     use bedom_graph::generators::{cycle, grid, path, star};
 
     /// Flood the maximum id through the network: each vertex repeatedly
     /// broadcasts the largest id it has heard of. After `diameter` rounds
     /// every vertex knows the global maximum — a classic smoke-test protocol.
-    struct MaxIdFlood {
-        best: u64,
-        changed: bool,
+    pub(crate) struct MaxIdFlood {
+        pub best: u64,
+        pub changed: bool,
     }
 
     impl NodeAlgorithm for MaxIdFlood {
@@ -335,8 +468,13 @@ mod tests {
             Outgoing::Broadcast(self.best)
         }
 
-        fn round(&mut self, _ctx: &NodeContext, _round: usize, inbox: &[Incoming<u64>]) -> Outgoing<u64> {
-            let incoming_best = inbox.iter().map(|m| m.payload).max().unwrap_or(0);
+        fn round(
+            &mut self,
+            _ctx: &NodeContext,
+            _round: usize,
+            inbox: Inbox<'_, u64>,
+        ) -> Outgoing<u64> {
+            let incoming_best = inbox.iter().map(|m| *m.payload).max().unwrap_or(0);
             if incoming_best > self.best {
                 self.best = incoming_best;
                 self.changed = true;
@@ -362,11 +500,18 @@ mod tests {
         })
     }
 
+    fn run_fixed<A: NodeAlgorithm>(
+        net: &mut Network<'_, A>,
+        rounds: usize,
+    ) -> Result<(), ModelViolation> {
+        Engine::new(net).run(RunPolicy::fixed(rounds)).map(|_| ())
+    }
+
     #[test]
     fn max_id_flood_converges_in_diameter_rounds() {
         let g = path(10);
         let mut net = new_flood(&g, Model::congest_bc_scaled(32));
-        net.run(9).unwrap();
+        run_fixed(&mut net, 9).unwrap();
         let outputs = net.outputs();
         assert!(outputs.iter().all(|&b| b == 9));
         assert_eq!(net.stats().rounds, 9);
@@ -376,18 +521,25 @@ mod tests {
     fn insufficient_rounds_leave_far_vertices_unaware() {
         let g = path(10);
         let mut net = new_flood(&g, Model::congest_bc_scaled(32));
-        net.run(3).unwrap();
+        run_fixed(&mut net, 3).unwrap();
         let outputs = net.outputs();
         assert_eq!(outputs[0], 3); // vertex 0 has only heard up to id 3
         assert_eq!(outputs[9], 9);
     }
 
     #[test]
-    fn run_until_quiet_stops_early() {
+    fn until_quiet_stops_early() {
         let g = star(20);
         let mut net = new_flood(&g, Model::congest_bc_scaled(32));
-        let rounds = net.run_until_quiet(100).unwrap();
-        assert!(rounds <= 4, "star should converge fast, took {rounds}");
+        let outcome = Engine::new(&mut net)
+            .run(RunPolicy::until_quiet(100))
+            .unwrap();
+        assert_eq!(outcome.reason, StopReason::Quiet);
+        assert!(
+            outcome.rounds <= 4,
+            "star should converge fast, took {}",
+            outcome.rounds
+        );
         assert!(net.outputs().iter().all(|&b| b == 19));
     }
 
@@ -395,11 +547,11 @@ mod tests {
     fn parallel_and_sequential_agree() {
         let g = grid(12, 12);
         let mut seq = new_flood(&g, Model::congest_bc_scaled(32));
-        seq.set_parallel(false);
-        seq.run(30).unwrap();
+        seq.set_strategy(ExecutionStrategy::Sequential);
+        run_fixed(&mut seq, 30).unwrap();
         let mut par = new_flood(&g, Model::congest_bc_scaled(32));
-        par.set_parallel(true);
-        par.run(30).unwrap();
+        par.set_strategy(ExecutionStrategy::Parallel);
+        run_fixed(&mut par, 30).unwrap();
         assert_eq!(seq.outputs(), par.outputs());
         assert_eq!(seq.stats().total_bits, par.stats().total_bits);
         assert_eq!(seq.stats().total_deliveries, par.stats().total_deliveries);
@@ -409,13 +561,56 @@ mod tests {
     fn stats_account_broadcasts() {
         let g = cycle(6);
         let mut net = new_flood(&g, Model::congest_bc_scaled(32));
-        net.run(1).unwrap();
+        run_fixed(&mut net, 1).unwrap();
         let stats = net.stats();
         assert_eq!(stats.rounds, 1);
         // Round 1 delivers the init-round broadcasts of all 6 vertices.
         assert_eq!(stats.per_round[0].senders, 6);
         assert_eq!(stats.per_round[0].deliveries, 12);
         assert_eq!(stats.max_message_bits, 64);
+    }
+
+    /// An algorithm that records its whole inbox, to pin down delivery order.
+    struct InboxRecorder {
+        seen: Vec<(u64, u64)>,
+    }
+
+    impl NodeAlgorithm for InboxRecorder {
+        type Message = u64;
+        type Output = Vec<(u64, u64)>;
+
+        fn init(&mut self, ctx: &NodeContext) -> Outgoing<u64> {
+            Outgoing::Broadcast(ctx.id * 100)
+        }
+
+        fn round(&mut self, _: &NodeContext, _: usize, inbox: Inbox<'_, u64>) -> Outgoing<u64> {
+            for Incoming { from, payload } in inbox {
+                self.seen.push((from, *payload));
+            }
+            Outgoing::Silent
+        }
+
+        fn output(&self, _: &NodeContext) -> Vec<(u64, u64)> {
+            self.seen.clone()
+        }
+    }
+
+    #[test]
+    fn delivery_order_is_sorted_by_sender_id_even_with_shuffled_ids() {
+        let g = star(8);
+        let mut net = Network::new(&g, Model::Local, IdAssignment::Shuffled(3), |_, _| {
+            InboxRecorder { seen: Vec::new() }
+        });
+        run_fixed(&mut net, 1).unwrap();
+        for (v, seen) in net.outputs().into_iter().enumerate() {
+            let froms: Vec<u64> = seen.iter().map(|&(f, _)| f).collect();
+            let mut sorted = froms.clone();
+            sorted.sort_unstable();
+            assert_eq!(froms, sorted, "vertex {v} saw unsorted inbox");
+            for (from, payload) in seen {
+                assert_eq!(payload, from * 100);
+            }
+        }
     }
 
     /// An algorithm that (incorrectly) unicasts, to exercise model checking.
@@ -432,7 +627,7 @@ mod tests {
             }
         }
 
-        fn round(&mut self, _: &NodeContext, _: usize, _: &[Incoming<u64>]) -> Outgoing<u64> {
+        fn round(&mut self, _: &NodeContext, _: usize, _: Inbox<'_, u64>) -> Outgoing<u64> {
             Outgoing::Silent
         }
 
@@ -442,9 +637,14 @@ mod tests {
     #[test]
     fn unicast_rejected_in_broadcast_model_but_allowed_in_congest() {
         let g = path(5);
-        let mut net = Network::new(&g, Model::congest_bc(), IdAssignment::Natural, |_, _| BadUnicaster);
-        let err = net.run(1).unwrap_err();
-        assert!(matches!(err, ModelViolation::UnicastInBroadcastModel { .. }));
+        let mut net = Network::new(&g, Model::congest_bc(), IdAssignment::Natural, |_, _| {
+            BadUnicaster
+        });
+        let err = run_fixed(&mut net, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelViolation::UnicastInBroadcastModel { .. }
+        ));
 
         let mut net = Network::new(
             &g,
@@ -452,7 +652,7 @@ mod tests {
             IdAssignment::Natural,
             |_, _| BadUnicaster,
         );
-        net.run(1).unwrap();
+        run_fixed(&mut net, 1).unwrap();
     }
 
     /// An algorithm whose message grows past any bandwidth limit.
@@ -466,7 +666,12 @@ mod tests {
             Outgoing::Broadcast(vec![0; 64])
         }
 
-        fn round(&mut self, _: &NodeContext, _: usize, _: &[Incoming<Vec<u64>>]) -> Outgoing<Vec<u64>> {
+        fn round(
+            &mut self,
+            _: &NodeContext,
+            _: usize,
+            _: Inbox<'_, Vec<u64>>,
+        ) -> Outgoing<Vec<u64>> {
             Outgoing::Silent
         }
 
@@ -476,12 +681,14 @@ mod tests {
     #[test]
     fn oversized_message_rejected_in_congest_but_fine_in_local() {
         let g = path(8);
-        let mut net = Network::new(&g, Model::congest_bc(), IdAssignment::Natural, |_, _| Bloater);
-        let err = net.run(1).unwrap_err();
+        let mut net = Network::new(&g, Model::congest_bc(), IdAssignment::Natural, |_, _| {
+            Bloater
+        });
+        let err = run_fixed(&mut net, 1).unwrap_err();
         assert!(matches!(err, ModelViolation::MessageTooLarge { .. }));
 
         let mut net = Network::new(&g, Model::Local, IdAssignment::Natural, |_, _| Bloater);
-        net.run(1).unwrap();
+        run_fixed(&mut net, 1).unwrap();
     }
 
     #[test]
@@ -498,15 +705,18 @@ mod tests {
                     Outgoing::Silent
                 }
             }
-            fn round(&mut self, _: &NodeContext, _: usize, _: &[Incoming<u64>]) -> Outgoing<u64> {
+            fn round(&mut self, _: &NodeContext, _: usize, _: Inbox<'_, u64>) -> Outgoing<u64> {
                 Outgoing::Silent
             }
             fn output(&self, _: &NodeContext) {}
         }
         let g = path(5);
         let mut net = Network::new(&g, Model::Local, IdAssignment::Natural, |_, _| WrongTarget);
-        let err = net.run(1).unwrap_err();
-        assert!(matches!(err, ModelViolation::NotANeighbor { target: 4, .. }));
+        let err = run_fixed(&mut net, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelViolation::NotANeighbor { target: 4, .. }
+        ));
     }
 
     #[test]
@@ -516,9 +726,40 @@ mod tests {
             &g,
             Model::congest_bc_scaled(32),
             IdAssignment::Shuffled(5),
-            |_, _| MaxIdFlood { best: 0, changed: false },
+            |_, _| MaxIdFlood {
+                best: 0,
+                changed: false,
+            },
         );
-        net.run(20).unwrap();
+        run_fixed(&mut net, 20).unwrap();
         assert!(net.outputs().iter().all(|&b| b == 63));
+    }
+
+    #[test]
+    fn multiple_unicasts_to_same_receiver_arrive_in_send_order() {
+        struct DoubleSender;
+        impl NodeAlgorithm for DoubleSender {
+            type Message = u64;
+            type Output = Vec<u64>;
+            fn init(&mut self, ctx: &NodeContext) -> Outgoing<u64> {
+                if ctx.id == 0 {
+                    Outgoing::Unicast(vec![(1, 10), (1, 20)])
+                } else {
+                    Outgoing::Silent
+                }
+            }
+            fn round(&mut self, _: &NodeContext, _: usize, _: Inbox<'_, u64>) -> Outgoing<u64> {
+                Outgoing::Silent
+            }
+            fn output(&self, _: &NodeContext) -> Vec<u64> {
+                Vec::new()
+            }
+        }
+        let g = path(3);
+        let mut net = Network::new(&g, Model::Local, IdAssignment::Natural, |_, _| DoubleSender);
+        net.init().unwrap();
+        let stats = net.step().unwrap();
+        assert_eq!(stats.deliveries, 2);
+        assert_eq!(stats.senders, 1);
     }
 }

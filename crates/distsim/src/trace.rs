@@ -6,10 +6,8 @@
 //! per-round broadcast by `O(c(2r)²·r·log n)` bits, and the executor records
 //! exactly those quantities.
 
-use serde::Serialize;
-
 /// Statistics of a single communication round.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RoundStats {
     /// Round index (1-based; round 0 is local initialisation and sends the
     /// first messages but is not itself a communication round).
@@ -27,7 +25,7 @@ pub struct RoundStats {
 }
 
 /// Aggregate statistics of a full execution.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Number of communication rounds executed.
     pub rounds: usize,

@@ -123,7 +123,7 @@ pub fn radius(graph: &Graph) -> Option<u32> {
     }
     // Check connectivity once.
     let d0 = bfs_distances(graph, 0);
-    if d0.iter().any(|&d| d == UNREACHABLE) {
+    if d0.contains(&UNREACHABLE) {
         return None;
     }
     // Exact radius by n BFS runs would be O(nm); use the standard refinement:
@@ -186,7 +186,7 @@ pub fn diameter(graph: &Graph) -> Option<u32> {
         return None;
     }
     let d0 = bfs_distances(graph, 0);
-    if d0.iter().any(|&d| d == UNREACHABLE) {
+    if d0.contains(&UNREACHABLE) {
         return None;
     }
     let mut best = 0;
@@ -350,9 +350,9 @@ mod tests {
     fn all_pairs_symmetric() {
         let g = cycle_graph(5);
         let d = all_pairs_distances(&g);
-        for u in 0..5 {
-            for v in 0..5 {
-                assert_eq!(d[u][v], d[v][u]);
+        for (u, row) in d.iter().enumerate() {
+            for (v, &duv) in row.iter().enumerate() {
+                assert_eq!(duv, d[v][u]);
             }
         }
     }

@@ -109,7 +109,11 @@ pub fn degeneracy_order(graph: &Graph) -> Vec<Vertex> {
 /// vertices. For a valid degeneracy order this equals the degeneracy.
 pub fn max_forward_degree(graph: &Graph, order: &[Vertex]) -> usize {
     let n = graph.num_vertices();
-    assert_eq!(order.len(), n, "order must contain every vertex exactly once");
+    assert_eq!(
+        order.len(),
+        n,
+        "order must contain every vertex exactly once"
+    );
     let mut rank = vec![usize::MAX; n];
     for (i, &v) in order.iter().enumerate() {
         rank[v as usize] = i;

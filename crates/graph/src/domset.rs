@@ -127,7 +127,6 @@ pub fn exact_distance_dominating_set(
     struct Search<'a> {
         neighborhoods: &'a [Vec<Vertex>],
         coverers: &'a [Vec<Vertex>],
-        n: usize,
     }
 
     impl<'a> Search<'a> {
@@ -164,7 +163,7 @@ pub fn exact_distance_dominating_set(
                 .max()
                 .unwrap_or(1)
                 .max(1);
-            let lb = (remaining + max_cover - 1) / max_cover;
+            let lb = remaining.div_ceil(max_cover);
             if chosen.len() + lb >= best.len() {
                 return true;
             }
@@ -172,8 +171,8 @@ pub fn exact_distance_dominating_set(
             // dominators (most constrained first).
             let mut pivot = None;
             let mut pivot_options = usize::MAX;
-            for v in 0..self.n {
-                if !dominated[v] {
+            for (v, &is_dominated) in dominated.iter().enumerate() {
+                if !is_dominated {
                     let options = self.coverers[v].len();
                     if options < pivot_options {
                         pivot_options = options;
@@ -195,13 +194,7 @@ pub fn exact_distance_dominating_set(
                     }
                 }
                 chosen.push(candidate);
-                complete &= self.recurse(
-                    chosen,
-                    dominated,
-                    remaining - newly.len(),
-                    best,
-                    budget,
-                );
+                complete &= self.recurse(chosen, dominated, remaining - newly.len(), best, budget);
                 chosen.pop();
                 for w in newly {
                     dominated[w as usize] = false;
@@ -217,7 +210,6 @@ pub fn exact_distance_dominating_set(
     let search = Search {
         neighborhoods: &neighborhoods,
         coverers: &coverers,
-        n,
     };
     let mut chosen = Vec::new();
     let mut dominated = vec![false; n];
@@ -350,13 +342,21 @@ mod tests {
             let g = path(n);
             let opt = exact_distance_dominating_set(&g, r, 1_000_000).unwrap();
             assert!(is_distance_dominating_set(&g, &opt, r));
-            assert_eq!(opt.len(), (n + 2 * r as usize) / (2 * r as usize + 1), "P_{n}, r={r}");
+            assert_eq!(
+                opt.len(),
+                (n + 2 * r as usize) / (2 * r as usize + 1),
+                "P_{n}, r={r}"
+            );
         }
         // Cycle C_n: γ_r = ceil(n / (2r + 1)).
         for (n, r) in [(9usize, 1u32), (12, 1), (15, 2)] {
             let g = cycle(n);
             let opt = exact_distance_dominating_set(&g, r, 1_000_000).unwrap();
-            assert_eq!(opt.len(), (n + 2 * r as usize) / (2 * r as usize + 1), "C_{n}, r={r}");
+            assert_eq!(
+                opt.len(),
+                (n + 2 * r as usize) / (2 * r as usize + 1),
+                "C_{n}, r={r}"
+            );
         }
         // 3x3 grid has domination number 3.
         let g = grid(3, 3);

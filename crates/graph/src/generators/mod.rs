@@ -19,7 +19,7 @@
 //!   that is **not** of bounded expansion, used to show where the guarantees
 //!   degrade.
 //!
-//! All generators are deterministic given a seed (`rand_chacha`).
+//! All generators are deterministic given a seed (`bedom-rng`).
 
 mod planar;
 mod random;
@@ -30,12 +30,11 @@ pub use random::*;
 pub use structured::*;
 
 use crate::graph::Graph;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use bedom_rng::DetRng;
 
 /// Deterministic RNG used by all generators.
-pub(crate) fn rng_from_seed(seed: u64) -> ChaCha8Rng {
-    ChaCha8Rng::seed_from_u64(seed)
+pub(crate) fn rng_from_seed(seed: u64) -> DetRng {
+    DetRng::seed_from_u64(seed)
 }
 
 /// A named graph family with a uniform construction interface, used by the
@@ -175,9 +174,7 @@ impl Family {
             Family::Outerplanar => maximal_outerplanar(n.max(3)),
             Family::TwoTree => random_ktree(n, 2, seed),
             Family::ThreeTree => random_ktree(n, 3, seed),
-            Family::ConfigurationModel => {
-                configuration_model_power_law(n, 2.5, 2, 12, seed)
-            }
+            Family::ConfigurationModel => configuration_model_power_law(n, 2.5, 2, 12, seed),
             Family::ChungLu => chung_lu_power_law(n, 2.5, 2.0, 14.0, seed),
             Family::BoundedDegree => bounded_degree_random(n, 4, seed),
             Family::Gnp => gnp_with_average_degree(n, 8.0, seed),
@@ -194,7 +191,11 @@ mod tests {
     fn every_family_generates_nonempty_simple_graphs() {
         for family in Family::ALL {
             let g = family.generate(200, 7);
-            assert!(g.num_vertices() > 0, "{} produced empty graph", family.name());
+            assert!(
+                g.num_vertices() > 0,
+                "{} produced empty graph",
+                family.name()
+            );
             // Simplicity is enforced by the builder; spot check no self loops.
             for v in g.vertices() {
                 assert!(!g.neighbors(v).contains(&v), "{}: self loop", family.name());
@@ -204,7 +205,12 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        for family in [Family::RandomTree, Family::ConfigurationModel, Family::ChungLu, Family::Gnp] {
+        for family in [
+            Family::RandomTree,
+            Family::ConfigurationModel,
+            Family::ChungLu,
+            Family::Gnp,
+        ] {
             let a = family.generate(300, 42);
             let b = family.generate(300, 42);
             assert_eq!(a, b, "{} not deterministic", family.name());

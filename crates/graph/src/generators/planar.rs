@@ -9,7 +9,6 @@
 
 use super::rng_from_seed;
 use crate::graph::{Graph, GraphBuilder, Vertex};
-use rand::Rng;
 
 /// Stacked planar triangulation on `n ≥ 3` vertices (an Apollonian-network
 /// style construction): start from a triangle and repeatedly place a new
@@ -139,13 +138,13 @@ pub fn road_network(rows: usize, cols: usize, removal_prob: f64, seed: u64) -> G
                 b.add_edge(idx(r, c), idx(r + 1, c));
             }
             if c + 1 < cols {
-                let keep = r == 0 || rng.gen::<f64>() >= removal_prob;
+                let keep = r == 0 || rng.gen_f64() >= removal_prob;
                 if keep {
                     b.add_edge(idx(r, c), idx(r, c + 1));
                 }
             }
             // Occasional diagonal shortcut (consistent orientation keeps it planar).
-            if r + 1 < rows && c + 1 < cols && rng.gen::<f64>() < 0.15 {
+            if r + 1 < rows && c + 1 < cols && rng.gen_f64() < 0.15 {
                 b.add_edge(idx(r, c), idx(r + 1, c + 1));
             }
         }

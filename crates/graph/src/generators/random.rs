@@ -11,8 +11,6 @@
 
 use super::rng_from_seed;
 use crate::graph::{Graph, GraphBuilder, Vertex};
-use rand::seq::SliceRandom;
-use rand::Rng;
 
 /// Erdős–Rényi `G(n, p)`. Uses the geometric skip sampling trick so the
 /// running time is proportional to the number of generated edges rather than
@@ -37,7 +35,7 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
     let mut v: i64 = 1;
     let mut w: i64 = -1;
     while (v as usize) < n {
-        let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let r: f64 = rng.gen_f64().max(f64::MIN_POSITIVE);
         w += 1 + (r.ln() / log_q).floor() as i64;
         while w >= v && (v as usize) < n {
             w -= v;
@@ -82,7 +80,7 @@ pub fn power_law_degree_sequence(
     }
     let mut degrees: Vec<usize> = (0..n)
         .map(|_| {
-            let u: f64 = rng.gen();
+            let u = rng.gen_f64();
             let idx = cdf.partition_point(|&c| c < u).min(cdf.len() - 1);
             min_deg + idx
         })
@@ -111,7 +109,7 @@ pub fn configuration_model(degrees: &[usize], seed: u64) -> Graph {
             stubs.push(v as Vertex);
         }
     }
-    stubs.shuffle(&mut rng);
+    rng.shuffle(&mut stubs);
     let mut b = GraphBuilder::new(n);
     for pair in stubs.chunks_exact(2) {
         // The builder drops self-loops and duplicate edges, implementing the
@@ -158,7 +156,7 @@ pub fn chung_lu(weights: &[f64], seed: u64) -> Graph {
         let mut p = (w[i] * w[j] / total).min(1.0);
         while j < n && p > 0.0 {
             if p < 1.0 {
-                let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let r: f64 = rng.gen_f64().max(f64::MIN_POSITIVE);
                 let skip = (r.ln() / (1.0 - p).ln()).floor() as usize;
                 j += skip;
             }
@@ -166,7 +164,7 @@ pub fn chung_lu(weights: &[f64], seed: u64) -> Graph {
                 break;
             }
             let q = (w[i] * w[j] / total).min(1.0);
-            if rng.gen::<f64>() < q / p {
+            if rng.gen_f64() < q / p {
                 b.add_edge(order[i] as Vertex, order[j] as Vertex);
             }
             p = q;
@@ -184,7 +182,7 @@ pub fn chung_lu_power_law(n: usize, gamma: f64, min_w: f64, max_w: f64, seed: u6
     let a = 1.0 - gamma;
     let weights: Vec<f64> = (0..n)
         .map(|_| {
-            let u: f64 = rng.gen();
+            let u = rng.gen_f64();
             if (a).abs() < 1e-9 {
                 (min_w.ln() + u * (max_w.ln() - min_w.ln())).exp()
             } else {

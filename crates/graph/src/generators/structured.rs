@@ -7,7 +7,6 @@
 
 use super::rng_from_seed;
 use crate::graph::{Graph, GraphBuilder, Vertex};
-use rand::Rng;
 
 /// Path `P_n` on `n ≥ 1` vertices.
 pub fn path(n: usize) -> Graph {
@@ -260,7 +259,11 @@ mod tests {
     fn bounded_degree_respects_cap() {
         let g = bounded_degree_random(500, 4, 99);
         assert!(g.max_degree() <= 4);
-        assert!(g.num_edges() > 400, "generator produced too few edges: {}", g.num_edges());
+        assert!(
+            g.num_edges() > 400,
+            "generator produced too few edges: {}",
+            g.num_edges()
+        );
     }
 
     #[test]

@@ -51,7 +51,7 @@ impl Graph {
     /// Iterator over all vertices `0..n`.
     #[inline]
     pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
-        (0..self.num_vertices() as Vertex).into_iter()
+        0..self.num_vertices() as Vertex
     }
 
     /// The sorted open neighbourhood `N(v)` of `v` as a slice.
@@ -135,7 +135,11 @@ impl Graph {
     /// Returns the graph with vertices relabelled according to `perm`, where
     /// `perm[old] = new`. `perm` must be a permutation of `0..n`.
     pub fn relabel(&self, perm: &[Vertex]) -> Graph {
-        assert_eq!(perm.len(), self.num_vertices(), "permutation length mismatch");
+        assert_eq!(
+            perm.len(),
+            self.num_vertices(),
+            "permutation length mismatch"
+        );
         let mut builder = GraphBuilder::new(self.num_vertices());
         for (u, v) in self.edges() {
             builder.add_edge(perm[u as usize], perm[v as usize]);

@@ -121,7 +121,12 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
 /// Serialises a graph as an edge list with an `n` header line.
 pub fn to_edge_list(graph: &Graph) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# bedom edge list: n = {}, m = {}", graph.num_vertices(), graph.num_edges());
+    let _ = writeln!(
+        out,
+        "# bedom edge list: n = {}, m = {}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
     let _ = writeln!(out, "{}", graph.num_vertices());
     for (u, v) in graph.edges() {
         let _ = writeln!(out, "{u} {v}");
@@ -173,7 +178,10 @@ pub fn parse_dimacs(text: &str) -> Result<Graph, ParseError> {
                 message: "bad endpoint".into(),
             })?;
             if u == 0 || v == 0 || u as usize > n || v as usize > n {
-                return Err(ParseError::VertexOutOfRange { line: line_no, vertex: u.max(v) });
+                return Err(ParseError::VertexOutOfRange {
+                    line: line_no,
+                    vertex: u.max(v),
+                });
             }
             builder.add_edge((u - 1) as Vertex, (v - 1) as Vertex);
             continue;
@@ -183,7 +191,9 @@ pub fn parse_dimacs(text: &str) -> Result<Graph, ParseError> {
             message: format!("unrecognised line {line:?}"),
         });
     }
-    builder.map(GraphBuilder::build).ok_or(ParseError::MissingHeader)
+    builder
+        .map(GraphBuilder::build)
+        .ok_or(ParseError::MissingHeader)
 }
 
 /// Serialises a graph in DIMACS format (1-based ids).
@@ -255,20 +265,35 @@ mod tests {
 
     #[test]
     fn malformed_inputs_are_rejected() {
-        assert!(matches!(parse_edge_list("0 x\n"), Err(ParseError::Malformed { .. })));
-        assert!(matches!(parse_edge_list("3\n0 5\n"), Err(ParseError::VertexOutOfRange { .. })));
-        assert!(matches!(parse_dimacs("e 1 2\n"), Err(ParseError::MissingHeader)));
+        assert!(matches!(
+            parse_edge_list("0 x\n"),
+            Err(ParseError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse_edge_list("3\n0 5\n"),
+            Err(ParseError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            parse_dimacs("e 1 2\n"),
+            Err(ParseError::MissingHeader)
+        ));
         assert!(matches!(
             parse_dimacs("p edge 3 1\ne 1 9\n"),
             Err(ParseError::VertexOutOfRange { .. })
         ));
-        assert!(matches!(parse_dimacs("p edge 3 1\nq 1 2\n"), Err(ParseError::Malformed { .. })));
+        assert!(matches!(
+            parse_dimacs("p edge 3 1\nq 1 2\n"),
+            Err(ParseError::Malformed { .. })
+        ));
     }
 
     #[test]
     fn empty_documents() {
         assert_eq!(parse_edge_list("# nothing\n").unwrap().num_vertices(), 0);
-        assert!(matches!(parse_dimacs("c nothing\n"), Err(ParseError::MissingHeader)));
+        assert!(matches!(
+            parse_dimacs("c nothing\n"),
+            Err(ParseError::MissingHeader)
+        ));
     }
 
     #[test]

@@ -10,14 +10,11 @@
 use crate::components::{connected_components, UnionFind};
 use crate::degeneracy::degeneracy;
 use crate::graph::{Graph, GraphBuilder, Vertex};
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use serde::Serialize;
+use bedom_rng::DetRng;
 use std::collections::VecDeque;
 
-/// Summary statistics of a graph instance, serialised into experiment output.
-#[derive(Clone, Debug, Serialize)]
+/// Summary statistics of a graph instance, reported in experiment output.
+#[derive(Clone, Debug)]
 pub struct InstanceStats {
     /// Number of vertices.
     pub n: usize,
@@ -56,10 +53,10 @@ pub fn shallow_minor_density_estimate(graph: &Graph, r: u32, seed: u64) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut owner = vec![u32::MAX; n];
     let mut order: Vec<Vertex> = (0..n as Vertex).collect();
-    order.shuffle(&mut rng);
+    rng.shuffle(&mut order);
 
     // Grow balls greedily: each unowned seed claims unowned vertices within
     // distance ≤ radius (radius chosen uniformly in 0..=r per ball to create

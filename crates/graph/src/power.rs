@@ -10,12 +10,12 @@
 
 use crate::bfs::closed_neighborhood;
 use crate::graph::{Graph, GraphBuilder, Vertex};
-use rayon::prelude::*;
+use bedom_par::ExecutionStrategy;
 
 /// The `r`-th power of `graph`: same vertex set, an edge between every pair at
 /// distance at most `r` (and at least 1).
 ///
-/// Runs one bounded BFS per vertex, parallelised with rayon; memory is
+/// Runs one bounded BFS per vertex, parallelised via `bedom-par`; memory is
 /// `O(Σ_v |N_r[v]|)` which can be quadratic for large `r`, so this is intended
 /// for moderate instances.
 pub fn power_graph(graph: &Graph, r: u32) -> Graph {
@@ -26,16 +26,15 @@ pub fn power_graph(graph: &Graph, r: u32) -> Graph {
     if r == 1 {
         return graph.clone();
     }
-    let per_vertex: Vec<Vec<(Vertex, Vertex)>> = (0..n as Vertex)
-        .into_par_iter()
-        .map(|v| {
+    let per_vertex: Vec<Vec<(Vertex, Vertex)>> =
+        ExecutionStrategy::auto_for(n).map_collect(n, |v| {
+            let v = v as Vertex;
             closed_neighborhood(graph, v, r)
                 .into_iter()
                 .filter(|&w| w > v)
                 .map(|w| (v, w))
                 .collect()
-        })
-        .collect();
+        });
     let mut builder = GraphBuilder::new(n);
     for chunk in per_vertex {
         builder.extend_edges(chunk);
@@ -46,12 +45,10 @@ pub fn power_graph(graph: &Graph, r: u32) -> Graph {
 /// Closed `r`-neighbourhood lists for every vertex (each list sorted).
 ///
 /// This is the "distance-r adjacency" view used by brute-force domination
-/// solvers; parallelised with rayon.
+/// solvers; parallelised via `bedom-par`.
 pub fn all_closed_neighborhoods(graph: &Graph, r: u32) -> Vec<Vec<Vertex>> {
-    (0..graph.num_vertices() as Vertex)
-        .into_par_iter()
-        .map(|v| closed_neighborhood(graph, v, r))
-        .collect()
+    let n = graph.num_vertices();
+    ExecutionStrategy::auto_for(n).map_collect(n, |v| closed_neighborhood(graph, v as Vertex, r))
 }
 
 /// The `r`-subdivision of `graph`: every edge replaced by a path with `r`
@@ -115,13 +112,29 @@ mod tests {
 
     #[test]
     fn power_edges_match_pairwise_distances() {
-        let g = graph_from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0), (1, 4)]);
+        let g = graph_from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 0),
+                (1, 4),
+            ],
+        );
         let r = 3;
         let p = power_graph(&g, r);
         for u in 0..7u32 {
             for v in (u + 1)..7u32 {
                 let d = distance(&g, u, v).unwrap();
-                assert_eq!(p.has_edge(u, v), d >= 1 && d <= r, "pair ({u},{v}) dist {d}");
+                assert_eq!(
+                    p.has_edge(u, v),
+                    d >= 1 && d <= r,
+                    "pair ({u},{v}) dist {d}"
+                );
             }
         }
     }

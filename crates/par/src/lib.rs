@@ -1,0 +1,305 @@
+//! # bedom-par
+//!
+//! A tiny deterministic fork-join layer used everywhere the bedom workspace
+//! evaluates an embarrassingly parallel loop: the superstep engine of
+//! `bedom-distsim`, the ball computations of `bedom-wcol` and the power-graph
+//! construction of `bedom-graph`.
+//!
+//! The crate exists so that there is exactly **one** execution path per loop:
+//! callers write `strategy.map_collect(n, f)` (or one of the other
+//! combinators) and the [`ExecutionStrategy`] value decides whether the body
+//! runs on the current thread or is split into contiguous chunks across
+//! `std::thread::scope` workers. Results are always written back by index, so
+//! sequential and parallel execution are bit-identical by construction — a
+//! property the determinism test suite asserts end to end.
+//!
+//! No work-stealing, no task queues: every combinator splits its index range
+//! into `threads()` contiguous chunks up front. For the uniform per-element
+//! costs of superstep simulation this static split is within noise of a
+//! work-stealing scheduler and keeps the crate dependency-free.
+
+use std::num::NonZeroUsize;
+
+/// How an embarrassingly parallel loop is executed.
+///
+/// The two variants produce bit-identical results; `Parallel` merely spreads
+/// the index range over OS threads. `Parallel` on a single-core machine
+/// degrades to sequential execution without spawning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecutionStrategy {
+    /// Run the loop body on the calling thread.
+    Sequential,
+    /// Split the index range into contiguous chunks, one per available core.
+    Parallel,
+    /// Decide per loop: parallel only when the loop is large enough
+    /// (`n > 4096`) to amortise thread handoff, sequential otherwise. The
+    /// right default for configs built before the instance size is known.
+    Auto,
+}
+
+impl ExecutionStrategy {
+    /// `Parallel` when the machine has more than one core, else `Sequential`.
+    pub fn auto() -> Self {
+        if available_threads() > 1 {
+            ExecutionStrategy::Parallel
+        } else {
+            ExecutionStrategy::Sequential
+        }
+    }
+
+    /// Heuristic used by round-based simulations: parallelism only pays off
+    /// once the per-round work is large enough to amortise thread handoff.
+    pub fn auto_for(n: usize) -> Self {
+        if n > 4096 {
+            ExecutionStrategy::auto()
+        } else {
+            ExecutionStrategy::Sequential
+        }
+    }
+
+    /// Converts the legacy `parallel: bool` knob.
+    pub fn from_flag(parallel: bool) -> Self {
+        if parallel {
+            ExecutionStrategy::Parallel
+        } else {
+            ExecutionStrategy::Sequential
+        }
+    }
+
+    /// Whether this strategy may use more than one thread.
+    pub fn is_parallel(self) -> bool {
+        matches!(self, ExecutionStrategy::Parallel | ExecutionStrategy::Auto)
+    }
+
+    /// Number of worker threads this strategy will use for a loop of `n`
+    /// elements (at most one per element). `Parallel` always uses at least
+    /// two workers when `n ≥ 2`, even on a single-core machine: parallel
+    /// means the fork-join path actually runs, so it is exercised (and its
+    /// determinism asserted) everywhere instead of silently degrading to the
+    /// sequential loop on small hosts. `Auto` only goes wide when both the
+    /// loop and the machine make it worthwhile.
+    pub fn threads_for(self, n: usize) -> usize {
+        match self {
+            ExecutionStrategy::Sequential => 1,
+            ExecutionStrategy::Parallel => available_threads().max(2).min(n.max(1)),
+            ExecutionStrategy::Auto => {
+                if n > 4096 {
+                    available_threads().min(n)
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    /// `(0..n).map(f).collect()`, possibly evaluated in parallel chunks.
+    ///
+    /// `f` runs exactly once per index; results are placed by index, so the
+    /// output is independent of the strategy.
+    pub fn map_collect<T, F>(self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let threads = self.threads_for(n);
+        if threads <= 1 || n == 0 {
+            return (0..n).map(f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .step_by(chunk)
+                .map(|start| {
+                    let end = (start + chunk).min(n);
+                    let f = &f;
+                    scope.spawn(move || (start..end).map(f).collect::<Vec<T>>())
+                })
+                .collect();
+            for handle in handles {
+                parts.push(handle.join().expect("bedom-par worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+
+    /// Calls `f(i, &mut out[i])` for every index, possibly in parallel
+    /// chunks — the in-place variant of [`ExecutionStrategy::map_collect`]
+    /// for pre-allocated buffers.
+    pub fn apply<B, F>(self, out: &mut [B], f: F)
+    where
+        B: Send,
+        F: Fn(usize, &mut B) + Sync,
+    {
+        let n = out.len();
+        let threads = self.threads_for(n);
+        if threads <= 1 || n == 0 {
+            for (i, slot) in out.iter_mut().enumerate() {
+                f(i, slot);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (idx, part) in out.chunks_mut(chunk).enumerate() {
+                let base = idx * chunk;
+                let f = &f;
+                scope.spawn(move || {
+                    for (i, slot) in part.iter_mut().enumerate() {
+                        f(base + i, slot);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Calls `f(i, &mut a[i], &mut b[i])` for every index, possibly in
+    /// parallel chunks. This is the allocation-free primitive behind the
+    /// superstep engine's round evaluation: `a` holds the mutable per-vertex
+    /// state machines and `b` the pre-allocated output slots.
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn zip_apply<A, B, F>(self, a: &mut [A], b: &mut [B], f: F)
+    where
+        A: Send,
+        B: Send,
+        F: Fn(usize, &mut A, &mut B) + Sync,
+    {
+        assert_eq!(a.len(), b.len(), "zip_apply requires equal-length slices");
+        let n = a.len();
+        let threads = self.threads_for(n);
+        if threads <= 1 || n == 0 {
+            for (i, (x, y)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+                f(i, x, y);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (idx, (ca, cb)) in a.chunks_mut(chunk).zip(b.chunks_mut(chunk)).enumerate() {
+                let base = idx * chunk;
+                let f = &f;
+                scope.spawn(move || {
+                    for (i, (x, y)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                        f(base + i, x, y);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Runs `f` once per job, possibly spreading jobs across threads. Jobs
+    /// carry their own disjoint `&mut` state (e.g. one arena slice each), so
+    /// no synchronisation is needed; with `Sequential` (or a single job)
+    /// they simply run in order on the calling thread.
+    pub fn run_jobs<J, F>(self, jobs: Vec<J>, f: F)
+    where
+        J: Send,
+        F: Fn(J) + Sync,
+    {
+        if jobs.len() <= 1 || !self.is_parallel() {
+            for job in jobs {
+                f(job);
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            for job in jobs {
+                let f = &f;
+                scope.spawn(move || f(job));
+            }
+        });
+    }
+}
+
+/// Number of hardware threads the parallel strategy can use.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_agree_on_map_collect() {
+        let f = |i: usize| i * i + 1;
+        for n in [0usize, 1, 7, 1000, 4099] {
+            let seq = ExecutionStrategy::Sequential.map_collect(n, f);
+            let par = ExecutionStrategy::Parallel.map_collect(n, f);
+            let auto = ExecutionStrategy::Auto.map_collect(n, f);
+            assert_eq!(seq, par);
+            assert_eq!(seq, auto);
+            assert_eq!(seq.len(), n);
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_apply() {
+        for n in [0usize, 1, 9, 5000] {
+            let run = |strategy: ExecutionStrategy| {
+                let mut out = vec![0usize; n];
+                strategy.apply(&mut out, |i, slot| *slot = i * 3 + 1);
+                out
+            };
+            assert_eq!(
+                run(ExecutionStrategy::Sequential),
+                run(ExecutionStrategy::Parallel)
+            );
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_zip_apply() {
+        for n in [0usize, 1, 5, 997] {
+            let run = |strategy: ExecutionStrategy| {
+                let mut state: Vec<u64> = (0..n as u64).collect();
+                let mut out = vec![0u64; n];
+                strategy.zip_apply(&mut state, &mut out, |i, s, o| {
+                    *s += 1;
+                    *o = *s * 10 + i as u64;
+                });
+                (state, out)
+            };
+            assert_eq!(
+                run(ExecutionStrategy::Sequential),
+                run(ExecutionStrategy::Parallel)
+            );
+        }
+    }
+
+    #[test]
+    fn run_jobs_touches_every_job() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for strategy in [ExecutionStrategy::Sequential, ExecutionStrategy::Parallel] {
+            let hits = AtomicUsize::new(0);
+            let jobs: Vec<usize> = (0..37).collect();
+            strategy.run_jobs(jobs, |j| {
+                hits.fetch_add(j + 1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), (1..=37).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn flags_and_threads() {
+        assert!(ExecutionStrategy::from_flag(true).is_parallel());
+        assert!(!ExecutionStrategy::from_flag(false).is_parallel());
+        assert_eq!(ExecutionStrategy::Sequential.threads_for(100), 1);
+        assert!(ExecutionStrategy::Parallel.threads_for(100) >= 1);
+        assert_eq!(ExecutionStrategy::Parallel.threads_for(1), 1);
+        assert!(!ExecutionStrategy::auto_for(10).is_parallel());
+        assert_eq!(ExecutionStrategy::Auto.threads_for(10), 1);
+        assert_eq!(
+            ExecutionStrategy::Auto.threads_for(10_000),
+            available_threads()
+        );
+        assert!(available_threads() >= 1);
+    }
+}

@@ -12,7 +12,7 @@ use crate::order::LinearOrder;
 use crate::wreach::{min_wreach, restricted_ball};
 use bedom_graph::bfs::{closed_neighborhood, induced_radius};
 use bedom_graph::{Graph, Vertex};
-use rayon::prelude::*;
+use bedom_par::ExecutionStrategy;
 
 /// An `r`-neighbourhood cover produced from an order.
 #[derive(Clone, Debug)]
@@ -53,24 +53,30 @@ impl NeighborhoodCover {
     /// if some cluster induces a disconnected subgraph (which would violate
     /// the theorem).
     pub fn max_cluster_radius(&self, graph: &Graph) -> Option<u32> {
-        self.clusters
-            .par_iter()
-            .map(|cluster| induced_radius(graph, cluster))
-            .try_reduce(|| 0, |a, b| Some(a.max(b)))
+        let radii: Vec<Option<u32>> = ExecutionStrategy::auto_for(self.clusters.len())
+            .map_collect(self.clusters.len(), |v| {
+                induced_radius(graph, &self.clusters[v])
+            });
+        radii
+            .into_iter()
+            .try_fold(0u32, |acc, r| r.map(|r| acc.max(r)))
     }
 
     /// Checks the covering property: for every vertex `w`, the designated home
     /// cluster contains the full closed `r`-neighbourhood `N_r[w]`.
     pub fn covers_all_r_neighborhoods(&self, graph: &Graph) -> bool {
-        (0..graph.num_vertices() as Vertex)
-            .into_par_iter()
-            .all(|w| {
+        let n = graph.num_vertices();
+        ExecutionStrategy::auto_for(n)
+            .map_collect(n, |w| {
+                let w = w as Vertex;
                 let home = self.home[w as usize];
                 let cluster = &self.clusters[home as usize];
                 closed_neighborhood(graph, w, self.r)
                     .iter()
                     .all(|u| cluster.binary_search(u).is_ok())
             })
+            .into_iter()
+            .all(|ok| ok)
     }
 
     /// Mean cluster size (a measure of the cover's total storage cost).
@@ -87,16 +93,10 @@ impl NeighborhoodCover {
 /// `v` restricted to vertices `≥_L v`.
 pub fn neighborhood_cover(graph: &Graph, order: &LinearOrder, r: u32) -> NeighborhoodCover {
     let n = graph.num_vertices();
-    let clusters: Vec<Vec<Vertex>> = (0..n as Vertex)
-        .into_par_iter()
-        .map(|v| restricted_ball(graph, order, v, 2 * r))
-        .collect();
+    let clusters: Vec<Vec<Vertex>> = ExecutionStrategy::auto_for(n)
+        .map_collect(n, |v| restricted_ball(graph, order, v as Vertex, 2 * r));
     let home = min_wreach(graph, order, r);
-    NeighborhoodCover {
-        r,
-        clusters,
-        home,
-    }
+    NeighborhoodCover { r, clusters, home }
 }
 
 #[cfg(test)]
@@ -114,10 +114,20 @@ mod tests {
         let c = wcol_of_order(graph, &order, 2 * r);
 
         assert_eq!(cover.num_clusters(), graph.num_vertices());
-        assert!(cover.covers_all_r_neighborhoods(graph), "cover misses an r-neighborhood");
-        let radius = cover.max_cluster_radius(graph).expect("cluster disconnected");
+        assert!(
+            cover.covers_all_r_neighborhoods(graph),
+            "cover misses an r-neighborhood"
+        );
+        let radius = cover
+            .max_cluster_radius(graph)
+            .expect("cluster disconnected");
         assert!(radius <= 2 * r, "radius {radius} > 2r = {}", 2 * r);
-        assert!(cover.degree() <= c, "degree {} > witnessed c {}", cover.degree(), c);
+        assert!(
+            cover.degree() <= c,
+            "degree {} > witnessed c {}",
+            cover.degree(),
+            c
+        );
         assert!(cover.degree() >= 1);
     }
 

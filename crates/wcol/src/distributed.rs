@@ -19,8 +19,8 @@
 
 use crate::order::LinearOrder;
 use bedom_distsim::{
-    IdAssignment, Incoming, Model, ModelViolation, Network, NodeAlgorithm, NodeContext, Outgoing,
-    RunStats,
+    Engine, ExecutionStrategy, IdAssignment, Inbox, Model, ModelViolation, Network, NodeAlgorithm,
+    NodeContext, Outgoing, RunPolicy, RunStats,
 };
 use bedom_graph::degeneracy::degeneracy;
 use bedom_graph::{Graph, Vertex};
@@ -69,10 +69,15 @@ impl NodeAlgorithm for HPartitionNode {
         Outgoing::Broadcast(true)
     }
 
-    fn round(&mut self, _ctx: &NodeContext, round: usize, inbox: &[Incoming<bool>]) -> Outgoing<bool> {
+    fn round(
+        &mut self,
+        _ctx: &NodeContext,
+        round: usize,
+        inbox: Inbox<'_, bool>,
+    ) -> Outgoing<bool> {
         // Update the count of still-active neighbours from the flags received.
         // A `false` flag is the one-off "I was just removed" notification.
-        let removed_now = inbox.iter().filter(|m| !m.payload).count();
+        let removed_now = inbox.iter().filter(|m| !*m.payload).count();
         self.active_neighbors = self.active_neighbors.saturating_sub(removed_now);
 
         if self.active {
@@ -128,12 +133,29 @@ pub fn default_threshold(graph: &Graph) -> usize {
 }
 
 /// Runs the H-partition protocol in the CONGEST_BC model and derives the
-/// linear order. `threshold` is the peel threshold (see
+/// linear order, choosing the execution strategy automatically from the
+/// instance size. `threshold` is the peel threshold (see
 /// [`default_threshold`]); `assignment` chooses the identifier scheme.
 pub fn distributed_wcol_order(
     graph: &Graph,
     threshold: usize,
     assignment: IdAssignment,
+) -> Result<DistributedOrder, ModelViolation> {
+    distributed_wcol_order_with(
+        graph,
+        threshold,
+        assignment,
+        ExecutionStrategy::auto_for(graph.num_vertices()),
+    )
+}
+
+/// [`distributed_wcol_order`] with an explicit [`ExecutionStrategy`]; both
+/// strategies produce bit-identical orders.
+pub fn distributed_wcol_order_with(
+    graph: &Graph,
+    threshold: usize,
+    assignment: IdAssignment,
+    strategy: ExecutionStrategy,
 ) -> Result<DistributedOrder, ModelViolation> {
     let n = graph.num_vertices();
     if n == 0 {
@@ -152,10 +174,10 @@ pub fn distributed_wcol_order(
     let mut network = Network::new(graph, Model::congest_bc(), assignment, |_, ctx| {
         HPartitionNode::new(threshold, total_phases, ctx)
     });
-    network.set_parallel(n > 4096);
+    network.set_strategy(strategy);
     // One extra round lets the final `false` announcements drain (they are
     // sent in the round a vertex is removed).
-    network.run(total_phases + 1)?;
+    Engine::new(&mut network).run(RunPolicy::fixed(total_phases + 1))?;
     let blocks = network.outputs();
     let ids: Vec<u64> = (0..n as Vertex).map(|v| network.id_of(v)).collect();
     let stats = network.stats().clone();
@@ -189,7 +211,8 @@ mod tests {
     #[test]
     fn every_vertex_gets_a_block_and_order_is_a_permutation() {
         let g = stacked_triangulation(300, 2);
-        let result = distributed_wcol_order(&g, default_threshold(&g), IdAssignment::Natural).unwrap();
+        let result =
+            distributed_wcol_order(&g, default_threshold(&g), IdAssignment::Natural).unwrap();
         assert_eq!(result.blocks.len(), 300);
         assert!(result.blocks.iter().all(|&b| b >= 1));
         assert_eq!(result.order.len(), 300);
@@ -208,7 +231,10 @@ mod tests {
                 .iter()
                 .filter(|&&w| result.order.less(w, v))
                 .count();
-            assert!(back <= threshold, "vertex {v} has back-degree {back} > {threshold}");
+            assert!(
+                back <= threshold,
+                "vertex {v} has back-degree {back} > {threshold}"
+            );
         }
     }
 
@@ -233,7 +259,8 @@ mod tests {
         // without a ModelViolation already proves it, but also check the
         // recorded maximum message size is a single bit.
         let g = grid(20, 20);
-        let result = distributed_wcol_order(&g, default_threshold(&g), IdAssignment::Natural).unwrap();
+        let result =
+            distributed_wcol_order(&g, default_threshold(&g), IdAssignment::Natural).unwrap();
         assert_eq!(result.stats.max_message_bits, 1);
     }
 
@@ -247,16 +274,22 @@ mod tests {
             (configuration_model_power_law(300, 2.5, 2, 8, 7), 60),
         ] {
             let result =
-                distributed_wcol_order(&g, default_threshold(&g), IdAssignment::Shuffled(3)).unwrap();
+                distributed_wcol_order(&g, default_threshold(&g), IdAssignment::Shuffled(3))
+                    .unwrap();
             let c = wcol_of_order(&g, &result.order, 2);
-            assert!(c <= limit, "wcol_2 = {c} > {limit} (n = {})", g.num_vertices());
+            assert!(
+                c <= limit,
+                "wcol_2 = {c} > {limit} (n = {})",
+                g.num_vertices()
+            );
         }
     }
 
     #[test]
     fn super_ids_induce_the_order() {
         let g = random_tree(150, 9);
-        let result = distributed_wcol_order(&g, default_threshold(&g), IdAssignment::Shuffled(4)).unwrap();
+        let result =
+            distributed_wcol_order(&g, default_threshold(&g), IdAssignment::Shuffled(4)).unwrap();
         for u in g.vertices() {
             for v in g.vertices() {
                 if u == v {

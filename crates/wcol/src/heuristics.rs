@@ -138,7 +138,9 @@ pub fn wreach_greedy_order(graph: &Graph, radius: u32) -> LinearOrder {
         .collect();
 
     while order.len() < n {
-        let Some((claimed, v)) = heap.pop() else { break };
+        let Some((claimed, v)) = heap.pop() else {
+            break;
+        };
         if placed[v as usize] {
             continue;
         }
@@ -223,7 +225,7 @@ mod tests {
         for strategy in OrderingStrategy::ALL {
             let order = compute_order(&g, 2, strategy);
             assert_eq!(order.len(), 50, "{}", strategy.name());
-            let mut seen = vec![false; 50];
+            let mut seen = [false; 50];
             for v in order.iter() {
                 assert!(!seen[v as usize]);
                 seen[v as usize] = true;

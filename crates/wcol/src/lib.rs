@@ -21,7 +21,9 @@ pub mod order;
 pub mod wreach;
 
 pub use cover::{neighborhood_cover, NeighborhoodCover};
-pub use distributed::{default_threshold, distributed_wcol_order, DistributedOrder};
+pub use distributed::{
+    default_threshold, distributed_wcol_order, distributed_wcol_order_with, DistributedOrder,
+};
 pub use heuristics::{
     compute_order, degeneracy_based_order, order_with_witnessed_constant, OrderingStrategy,
 };
@@ -29,104 +31,138 @@ pub use order::LinearOrder;
 pub use wreach::{min_wreach, restricted_ball, wcol_of_order, weak_reachability_sets};
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
+    //! Deterministic randomised tests over seeded graph families (the
+    //! registry-free stand-in for the former proptest suite).
+
     use super::*;
     use bedom_graph::generators::{gnp, random_ktree, random_tree, stacked_triangulation};
     use bedom_graph::Graph;
-    use proptest::prelude::*;
+    use bedom_rng::DetRng;
 
-    fn arb_sparse_graph() -> impl Strategy<Value = Graph> {
-        prop_oneof![
-            (5usize..60, 0u64..100).prop_map(|(n, s)| random_tree(n, s)),
-            (5usize..60, 0u64..100).prop_map(|(n, s)| stacked_triangulation(n, s)),
-            (6usize..60, 0u64..100).prop_map(|(n, s)| random_ktree(n, 2, s)),
-            (5usize..50, 0u64..100).prop_map(|(n, s)| gnp(n, 0.12, s)),
-        ]
+    fn arb_sparse_graph(rng: &mut DetRng) -> Graph {
+        let s = rng.gen_range(0..100u64);
+        match rng.gen_range(0..4u32) {
+            0 => random_tree(rng.gen_range(5..60usize), s),
+            1 => stacked_triangulation(rng.gen_range(5..60usize), s),
+            2 => random_ktree(rng.gen_range(6..60usize), 2, s),
+            _ => gnp(rng.gen_range(5..50usize), 0.12, s),
+        }
     }
 
     fn arb_order(n: usize, seed: u64) -> LinearOrder {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
         let mut order: Vec<u32> = (0..n as u32).collect();
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        order.shuffle(&mut rng);
+        let mut rng = DetRng::seed_from_u64(seed);
+        rng.shuffle(&mut order);
         LinearOrder::from_order(order)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
+    fn for_each_case(cases: usize, mut body: impl FnMut(usize, &mut DetRng)) {
+        for case in 0..cases {
+            let mut rng = DetRng::seed_from_u64(0x7763_6f6c_0000_0000 ^ case as u64);
+            body(case, &mut rng);
+        }
+    }
 
-        #[test]
-        fn wreach_sets_contain_self_and_only_smaller_vertices(
-            g in arb_sparse_graph(), r in 0u32..4, seed in 0u64..50
-        ) {
-            let order = arb_order(g.num_vertices(), seed);
+    #[test]
+    fn wreach_sets_contain_self_and_only_smaller_vertices() {
+        for_each_case(48, |case, rng| {
+            let g = arb_sparse_graph(rng);
+            let r = rng.gen_range(0..4u32);
+            let order = arb_order(g.num_vertices(), rng.gen_range(0..50u64));
             let sets = weak_reachability_sets(&g, &order, r);
             for v in g.vertices() {
-                prop_assert!(sets[v as usize].contains(&v));
+                assert!(sets[v as usize].contains(&v), "case {case}");
                 for &u in &sets[v as usize] {
-                    prop_assert!(order.less_eq(u, v));
+                    assert!(order.less_eq(u, v), "case {case}");
                 }
             }
-        }
+        });
+    }
 
-        #[test]
-        fn wcol_is_monotone_in_r(g in arb_sparse_graph(), seed in 0u64..50) {
-            let order = arb_order(g.num_vertices(), seed);
+    #[test]
+    fn wcol_is_monotone_in_r() {
+        for_each_case(24, |case, rng| {
+            let g = arb_sparse_graph(rng);
+            let order = arb_order(g.num_vertices(), rng.gen_range(0..50u64));
             let mut prev = 0;
             for r in 0..4 {
                 let c = wcol_of_order(&g, &order, r);
-                prop_assert!(c >= prev);
+                assert!(c >= prev, "case {case}, r {r}");
                 prev = c;
             }
-        }
+        });
+    }
 
-        #[test]
-        fn cover_from_any_order_is_valid(g in arb_sparse_graph(), r in 1u32..3, seed in 0u64..50) {
-            // Theorem 4 holds for *every* order (the order quality only
-            // affects the degree bound), so radius and covering must hold
-            // even for random orders.
-            let order = arb_order(g.num_vertices(), seed);
+    #[test]
+    fn cover_from_any_order_is_valid() {
+        // Theorem 4 holds for *every* order (the order quality only affects
+        // the degree bound), so radius and covering must hold even for
+        // random orders.
+        for_each_case(24, |case, rng| {
+            let g = arb_sparse_graph(rng);
+            let r = rng.gen_range(1..3u32);
+            let order = arb_order(g.num_vertices(), rng.gen_range(0..50u64));
             let cover = neighborhood_cover(&g, &order, r);
-            prop_assert!(cover.covers_all_r_neighborhoods(&g));
+            assert!(cover.covers_all_r_neighborhoods(&g), "case {case}");
             let radius = cover.max_cluster_radius(&g);
-            prop_assert!(radius.is_some(), "some cluster is disconnected");
-            prop_assert!(radius.unwrap() <= 2 * r);
+            assert!(radius.is_some(), "case {case}: some cluster disconnected");
+            assert!(radius.unwrap() <= 2 * r, "case {case}");
             let c = wcol_of_order(&g, &order, 2 * r);
-            prop_assert!(cover.degree() <= c);
-        }
+            assert!(cover.degree() <= c, "case {case}");
+        });
+    }
 
-        #[test]
-        fn heuristic_orders_never_beat_exact_wcol(seed in 0u64..200, r in 1u32..3) {
+    #[test]
+    fn heuristic_orders_never_beat_exact_wcol() {
+        for_each_case(48, |case, rng| {
+            let seed = rng.gen_range(0..200u64);
+            let r = rng.gen_range(1..3u32);
             let g = random_tree(7, seed);
             let (opt, _) = exact::exact_wcol(&g, r, 8).unwrap();
             for strategy in OrderingStrategy::ALL {
                 let order = compute_order(&g, r, strategy);
-                prop_assert!(wcol_of_order(&g, &order, r) >= opt);
+                assert!(wcol_of_order(&g, &order, r) >= opt, "case {case}");
             }
-        }
+        });
+    }
 
-        #[test]
-        fn min_wreach_is_minimum_of_set(g in arb_sparse_graph(), r in 1u32..3, seed in 0u64..50) {
-            let order = arb_order(g.num_vertices(), seed);
+    #[test]
+    fn min_wreach_is_minimum_of_set() {
+        for_each_case(24, |case, rng| {
+            let g = arb_sparse_graph(rng);
+            let r = rng.gen_range(1..3u32);
+            let order = arb_order(g.num_vertices(), rng.gen_range(0..50u64));
             let sets = weak_reachability_sets(&g, &order, r);
             let mins = min_wreach(&g, &order, r);
             for v in g.vertices() {
-                prop_assert_eq!(Some(mins[v as usize]), order.min_of(&sets[v as usize]));
+                assert_eq!(
+                    Some(mins[v as usize]),
+                    order.min_of(&sets[v as usize]),
+                    "case {case}"
+                );
             }
-        }
+        });
+    }
 
-        #[test]
-        fn distributed_order_has_bounded_back_degree(
-            n in 10usize..150, seed in 0u64..50
-        ) {
+    #[test]
+    fn distributed_order_has_bounded_back_degree() {
+        for_each_case(24, |case, rng| {
+            let n = rng.gen_range(10..150usize);
+            let seed = rng.gen_range(0..50u64);
             let g = stacked_triangulation(n, seed);
             let threshold = default_threshold(&g);
-            let result = distributed_wcol_order(&g, threshold, bedom_distsim::IdAssignment::Shuffled(seed)).unwrap();
+            let result =
+                distributed_wcol_order(&g, threshold, bedom_distsim::IdAssignment::Shuffled(seed))
+                    .unwrap();
             for v in g.vertices() {
-                let back = g.neighbors(v).iter().filter(|&&w| result.order.less(w, v)).count();
-                prop_assert!(back <= threshold);
+                let back = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&w| result.order.less(w, v))
+                    .count();
+                assert!(back <= threshold, "case {case}");
             }
-        }
+        });
     }
 }

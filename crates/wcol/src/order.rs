@@ -67,11 +67,7 @@ impl LinearOrder {
     /// vertex id); smaller key = smaller position.
     pub fn from_keys<K: Ord>(keys: &[K]) -> Self {
         let mut order: Vec<Vertex> = (0..keys.len() as Vertex).collect();
-        order.sort_by(|&a, &b| {
-            keys[a as usize]
-                .cmp(&keys[b as usize])
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]).then(a.cmp(&b)));
         LinearOrder::from_order(order)
     }
 

@@ -13,7 +13,7 @@
 
 use crate::order::LinearOrder;
 use bedom_graph::{Graph, Vertex};
-use rayon::prelude::*;
+use bedom_par::ExecutionStrategy;
 use std::collections::VecDeque;
 
 /// The set of vertices `w` such that `u ∈ WReach_r[G, L, w]` — this is the
@@ -50,10 +50,10 @@ pub fn restricted_ball(graph: &Graph, order: &LinearOrder, u: Vertex, r: u32) ->
 /// `v ∈ restricted_ball(u)`. Restricted balls are computed in parallel.
 pub fn weak_reachability_sets(graph: &Graph, order: &LinearOrder, r: u32) -> Vec<Vec<Vertex>> {
     let n = graph.num_vertices();
-    let balls: Vec<(Vertex, Vec<Vertex>)> = (0..n as Vertex)
-        .into_par_iter()
-        .map(|u| (u, restricted_ball(graph, order, u, r)))
-        .collect();
+    let balls: Vec<(Vertex, Vec<Vertex>)> = ExecutionStrategy::auto_for(n).map_collect(n, |u| {
+        let u = u as Vertex;
+        (u, restricted_ball(graph, order, u, r))
+    });
     let mut wreach: Vec<Vec<Vertex>> = vec![Vec::new(); n];
     for (u, ball) in balls {
         for w in ball {
@@ -94,10 +94,10 @@ pub fn wcol_profile(graph: &Graph, order: &LinearOrder, r: u32) -> (usize, f64) 
 /// `u` whose restricted ball contains `v`, the `L`-smallest such `u`.
 pub fn min_wreach(graph: &Graph, order: &LinearOrder, r: u32) -> Vec<Vertex> {
     let n = graph.num_vertices();
-    let balls: Vec<(Vertex, Vec<Vertex>)> = (0..n as Vertex)
-        .into_par_iter()
-        .map(|u| (u, restricted_ball(graph, order, u, r)))
-        .collect();
+    let balls: Vec<(Vertex, Vec<Vertex>)> = ExecutionStrategy::auto_for(n).map_collect(n, |u| {
+        let u = u as Vertex;
+        (u, restricted_ball(graph, order, u, r))
+    });
     let mut best: Vec<Vertex> = (0..n as Vertex).collect();
     for (u, ball) in balls {
         for w in ball {
@@ -198,7 +198,20 @@ mod tests {
 
     #[test]
     fn wreach_monotone_in_r() {
-        let g = graph_from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (5, 6), (6, 7), (7, 4)]);
+        let g = graph_from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+            ],
+        );
         let order = LinearOrder::from_order(vec![7, 3, 5, 1, 0, 6, 2, 4]);
         for r in 0..4 {
             let small = weak_reachability_sets(&g, &order, r);
@@ -213,7 +226,19 @@ mod tests {
 
     #[test]
     fn wreach_matches_bruteforce_on_small_graph() {
-        let g = graph_from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0), (1, 4)]);
+        let g = graph_from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 0),
+                (1, 4),
+            ],
+        );
         let order = LinearOrder::from_order(vec![4, 2, 6, 0, 3, 5, 1]);
         for r in 0..=3u32 {
             let sets = weak_reachability_sets(&g, &order, r);

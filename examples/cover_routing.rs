@@ -18,7 +18,7 @@ use bedom::core::{distributed_neighborhood_cover, DistCoverConfig};
 use bedom::graph::bfs::distance;
 use bedom::graph::components::largest_component;
 use bedom::graph::generators::chung_lu_power_law;
-use rand::{Rng, SeedableRng};
+use bedom_rng::DetRng;
 
 fn main() {
     let raw = chung_lu_power_law(8_000, 2.5, 2.0, 16.0, 5);
@@ -51,7 +51,7 @@ fn main() {
 
     // Toy application: local routing inside clusters. For random pairs at
     // distance ≤ r, the home cluster of the source contains the whole route.
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+    let mut rng = DetRng::seed_from_u64(9);
     let mut routable = 0;
     let mut sampled = 0;
     while sampled < 200 {

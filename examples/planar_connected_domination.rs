@@ -41,8 +41,15 @@ fn main() {
     // Step 2: connect it with the LOCAL connector (Theorem 17). On planar
     // graphs the blow-up is at most 2r·3 = 6 for r = 1.
     let connected = local_connect(&graph, &ids, &mds, r);
-    assert!(is_distance_dominating_set(&graph, &connected.connected_dominating_set, r));
-    assert!(is_induced_connected(&graph, &connected.connected_dominating_set));
+    assert!(is_distance_dominating_set(
+        &graph,
+        &connected.connected_dominating_set,
+        r
+    ));
+    assert!(is_induced_connected(
+        &graph,
+        &connected.connected_dominating_set
+    ));
     println!(
         "LOCAL connector (Theorem 17): |D'| = {}, blow-up = {:.2} (paper bound: 6), rounds = {}",
         connected.connected_dominating_set.len(),
@@ -53,7 +60,10 @@ fn main() {
     // Step 3: the CONGEST_BC pipeline of Theorem 10 on the same instance.
     let congest = distributed_connected_domination(&graph, DistConnectedConfig::new(r))
         .expect("protocol respects the model");
-    assert!(is_induced_connected(&graph, &congest.connected_dominating_set));
+    assert!(is_induced_connected(
+        &graph,
+        &congest.connected_dominating_set
+    ));
     println!(
         "Theorem 10 (CONGEST_BC): |D| = {}, |D'| = {}, blow-up = {:.2}, total rounds = {}",
         congest.dominating_set.len(),

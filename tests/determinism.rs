@@ -1,0 +1,206 @@
+//! Determinism of the superstep engine: sequential and parallel execution
+//! must produce **bit-identical** results — same dominating sets, same round
+//! counts, same per-round statistics — for every distributed algorithm in the
+//! workspace, across graph families and shuffled identifier assignments.
+//!
+//! This is the contract that lets experiments toggle
+//! [`ExecutionStrategy::Parallel`] freely: parallelism is a value fed into
+//! one shared execution path, never a second code path.
+
+use bedom::core::{
+    distributed_connected_domination, distributed_distance_domination,
+    distributed_neighborhood_cover, distributed_weak_reachability, DistConnectedConfig,
+    DistCoverConfig, DistDomSetConfig, WReachConfig,
+};
+use bedom::distsim::{
+    EarlyStop, Engine, ExecutionStrategy, IdAssignment, Model, Network, RoundLog, RunPolicy,
+    StopReason,
+};
+use bedom::graph::generators::Family;
+use bedom::graph::Graph;
+use bedom::wcol::{default_threshold, distributed_wcol_order_with};
+
+const STRATEGIES: [ExecutionStrategy; 2] =
+    [ExecutionStrategy::Sequential, ExecutionStrategy::Parallel];
+
+/// The instances every algorithm is checked on: a shuffled-id random family
+/// and planar families, per the determinism suite's charter.
+fn instances() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("random-tree", Family::RandomTree.generate(600, 11)),
+        ("config-model", Family::ConfigurationModel.generate(500, 7)),
+        ("planar-tri", Family::PlanarTriangulation.generate(600, 3)),
+        ("grid", Family::Grid.generate(400, 1)),
+    ]
+}
+
+#[test]
+fn wcol_order_is_strategy_independent() {
+    for (name, g) in instances() {
+        let run = |strategy| {
+            let result = distributed_wcol_order_with(
+                &g,
+                default_threshold(&g),
+                IdAssignment::Shuffled(21),
+                strategy,
+            )
+            .unwrap();
+            (result.super_ids, result.blocks, result.rounds)
+        };
+        let [a, b] = STRATEGIES.map(run);
+        assert_eq!(a, b, "{name}: order phase diverged");
+    }
+}
+
+#[test]
+fn weak_reachability_is_strategy_independent() {
+    for (name, g) in instances() {
+        let order = bedom::wcol::degeneracy_based_order(&g);
+        let super_ids: Vec<u64> = g.vertices().map(|v| order.rank(v) as u64).collect();
+        let run = |strategy| {
+            let result = distributed_weak_reachability(
+                &g,
+                &super_ids,
+                WReachConfig {
+                    rho: 3,
+                    bandwidth_logs: None,
+                    strategy,
+                },
+            )
+            .unwrap();
+            let paths: Vec<_> = result.info.iter().map(|i| i.paths.clone()).collect();
+            (paths, result.rounds, result.stats.total_bits)
+        };
+        let [a, b] = STRATEGIES.map(run);
+        assert_eq!(a, b, "{name}: weak reachability diverged");
+    }
+}
+
+#[test]
+fn distance_domination_is_strategy_independent() {
+    for (name, g) in instances() {
+        for r in [1u32, 2] {
+            let run = |strategy| {
+                let config = DistDomSetConfig {
+                    assignment: IdAssignment::Shuffled(9),
+                    ..DistDomSetConfig::with_strategy(r, strategy)
+                };
+                let result = distributed_distance_domination(&g, config).unwrap();
+                let rounds = result.total_rounds();
+                let phases: Vec<_> = result
+                    .phase_stats
+                    .iter()
+                    .map(|s| (s.rounds, s.total_bits, s.total_deliveries))
+                    .collect();
+                (result.dominating_set, result.dominator_of, rounds, phases)
+            };
+            let [a, b] = STRATEGIES.map(run);
+            assert_eq!(a, b, "{name}, r = {r}: dominating set diverged");
+        }
+    }
+}
+
+#[test]
+fn neighborhood_cover_is_strategy_independent() {
+    for (name, g) in instances() {
+        let run = |strategy| {
+            let config = DistCoverConfig {
+                assignment: IdAssignment::Shuffled(5),
+                ..DistCoverConfig::with_strategy(1, strategy)
+            };
+            let cover = distributed_neighborhood_cover(&g, config).unwrap();
+            let rounds = cover.total_rounds();
+            (cover.memberships, rounds)
+        };
+        let [a, b] = STRATEGIES.map(run);
+        assert_eq!(a, b, "{name}: cover diverged");
+    }
+}
+
+#[test]
+fn connected_domination_is_strategy_independent() {
+    for (name, g) in instances() {
+        let run = |strategy| {
+            let config = DistConnectedConfig {
+                assignment: IdAssignment::Shuffled(13),
+                ..DistConnectedConfig::with_strategy(1, strategy)
+            };
+            let result = distributed_connected_domination(&g, config).unwrap();
+            let rounds = result.total_rounds();
+            (
+                result.dominating_set,
+                result.connected_dominating_set,
+                rounds,
+            )
+        };
+        let [a, b] = STRATEGIES.map(run);
+        assert_eq!(a, b, "{name}: connected dominating set diverged");
+    }
+}
+
+/// The observer hook sees identical per-round statistics under both
+/// strategies, and early termination fires at the same round.
+#[test]
+fn observers_see_identical_round_streams() {
+    use bedom::distsim::{Inbox, NodeAlgorithm, NodeContext, Outgoing};
+
+    /// Fresh-id flood, quiet once nothing new is learnt.
+    struct Flood {
+        known: std::collections::BTreeSet<u64>,
+    }
+
+    impl NodeAlgorithm for Flood {
+        type Message = Vec<u64>;
+        type Output = usize;
+
+        fn init(&mut self, ctx: &NodeContext) -> Outgoing<Vec<u64>> {
+            self.known.insert(ctx.id);
+            Outgoing::Broadcast(vec![ctx.id])
+        }
+
+        fn round(
+            &mut self,
+            _: &NodeContext,
+            _: usize,
+            inbox: Inbox<'_, Vec<u64>>,
+        ) -> Outgoing<Vec<u64>> {
+            let mut fresh: Vec<u64> = inbox
+                .iter()
+                .flat_map(|m| m.payload.iter().copied())
+                .filter(|&id| self.known.insert(id))
+                .collect();
+            fresh.sort_unstable();
+            fresh.dedup();
+            if fresh.is_empty() {
+                Outgoing::Silent
+            } else {
+                Outgoing::Broadcast(fresh)
+            }
+        }
+
+        fn output(&self, _: &NodeContext) -> usize {
+            self.known.len()
+        }
+    }
+
+    let g = Family::PlanarTriangulation.generate(400, 19);
+    let run = |strategy| {
+        let mut net = Network::new(&g, Model::Local, IdAssignment::Shuffled(2), |_, _| Flood {
+            known: Default::default(),
+        });
+        net.set_strategy(strategy);
+        let mut log = RoundLog::new();
+        // Convergence detection via the early-termination predicate: stop
+        // once fewer than half the vertices are still talking.
+        let mut stop = EarlyStop::when(|_, stats| stats.senders < g.num_vertices() / 2);
+        let outcome = Engine::new(&mut net)
+            .observe(&mut log)
+            .observe(&mut stop)
+            .run(RunPolicy::until_quiet(64))
+            .unwrap();
+        assert_eq!(outcome.reason, StopReason::Observer);
+        (net.outputs(), log.per_round, stop.fired_at, outcome.rounds)
+    };
+    let [a, b] = STRATEGIES.map(run);
+    assert_eq!(a, b, "observer streams diverged between strategies");
+}

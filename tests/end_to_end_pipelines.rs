@@ -45,7 +45,11 @@ fn full_stack(graph: &bedom::graph::Graph, r: u32) {
     assert!(collected.covers_all_r_neighborhoods(graph));
 
     // Baselines all dominate.
-    assert!(is_distance_dominating_set(graph, &greedy_baseline(graph, r), r));
+    assert!(is_distance_dominating_set(
+        graph,
+        &greedy_baseline(graph, r),
+        r
+    ));
     assert!(is_distance_dominating_set(
         graph,
         &dvorak_style_domination(graph, &order, r),
@@ -68,7 +72,12 @@ fn full_stack_on_every_bounded_expansion_family() {
 
 #[test]
 fn full_stack_with_larger_radius_on_planar_families() {
-    for family in [Family::Grid, Family::PlanarTriangulation, Family::Outerplanar, Family::RandomTree] {
+    for family in [
+        Family::Grid,
+        Family::PlanarTriangulation,
+        Family::Outerplanar,
+        Family::RandomTree,
+    ] {
         let graph = family.generate(400, 3);
         full_stack(&graph, 2);
     }
@@ -92,15 +101,29 @@ fn connected_pipelines_agree_on_guarantees() {
         // CONGEST_BC pipeline (Theorem 10).
         let congest =
             distributed_connected_domination(&graph, DistConnectedConfig::new(r)).unwrap();
-        assert!(is_distance_dominating_set(&graph, &congest.connected_dominating_set, r));
-        assert!(is_induced_connected(&graph, &congest.connected_dominating_set));
+        assert!(is_distance_dominating_set(
+            &graph,
+            &congest.connected_dominating_set,
+            r
+        ));
+        assert!(is_induced_connected(
+            &graph,
+            &congest.connected_dominating_set
+        ));
 
         // LOCAL pipeline (Theorem 17 over Lenzen et al.).
         let ids = IdAssignment::Shuffled(4).assign(&graph);
         let mds = lenzen_planar_dominating_set(&graph, &ids);
         let local = local_connect(&graph, &ids, &mds, r);
-        assert!(is_distance_dominating_set(&graph, &local.connected_dominating_set, r));
-        assert!(is_induced_connected(&graph, &local.connected_dominating_set));
+        assert!(is_distance_dominating_set(
+            &graph,
+            &local.connected_dominating_set,
+            r
+        ));
+        assert!(is_induced_connected(
+            &graph,
+            &local.connected_dominating_set
+        ));
         // Theorem 17 blow-up bound with the planar density constant 3.
         assert!(
             local.connected_dominating_set.len() <= (1 + 2 * r as usize * 3) * mds.len().max(1),
@@ -126,9 +149,14 @@ fn quality_ordering_of_methods_on_bounded_expansion_classes() {
     // the Kutten–Peleg style set should be the largest by far for larger r.
     let graph = Family::PlanarTriangulation.generate(2000, 2);
     let r = 3;
-    let ours = approximate_distance_domination(&graph, r).dominating_set.len();
+    let ours = approximate_distance_domination(&graph, r)
+        .dominating_set
+        .len();
     let greedy = greedy_baseline(&graph, r).len();
     let kp = kutten_peleg_dominating_set(&graph, r).len();
     assert!(ours <= 3 * greedy, "ours {ours} vs greedy {greedy}");
-    assert!(kp > greedy, "kp {kp} should exceed greedy {greedy} at r = {r}");
+    assert!(
+        kp > greedy,
+        "kp {kp} should exceed greedy {greedy} at r = {r}"
+    );
 }

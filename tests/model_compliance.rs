@@ -19,7 +19,11 @@ fn rounds_scale_logarithmically_with_n() {
     for n in [500usize, 2_000, 8_000] {
         let graph = Family::RandomTree.generate(n, 13);
         let result = distributed_distance_domination(&graph, DistDomSetConfig::new(r)).unwrap();
-        assert!(is_distance_dominating_set(&graph, &result.dominating_set, r));
+        assert!(is_distance_dominating_set(
+            &graph,
+            &result.dominating_set,
+            r
+        ));
         let budget = 4 * log2_ceil(n) + 12 * r as usize + 10;
         assert!(
             result.total_rounds() <= budget,
@@ -42,17 +46,27 @@ fn rounds_grow_linearly_with_r_for_fixed_n() {
         let result = distributed_distance_domination(&graph, DistDomSetConfig::new(r)).unwrap();
         rounds.push(result.total_rounds());
     }
-    assert!(rounds.windows(2).all(|w| w[1] > w[0]), "rounds must increase with r: {rounds:?}");
+    assert!(
+        rounds.windows(2).all(|w| w[1] > w[0]),
+        "rounds must increase with r: {rounds:?}"
+    );
     // Increments are O(1)·Δr (the wreach + election phases), not quadratic.
     let increments: Vec<_> = rounds.windows(2).map(|w| w[1] - w[0]).collect();
-    assert!(increments.iter().all(|&d| d <= 6), "increment too large: {increments:?}");
+    assert!(
+        increments.iter().all(|&d| d <= 6),
+        "increment too large: {increments:?}"
+    );
 }
 
 #[test]
 fn message_sizes_stay_within_the_lemma7_budget() {
     // F2's check: the maximum per-vertex per-round broadcast stays within
     // O(c²·r·log n) bits, with a concrete constant of 8.
-    for family in [Family::PlanarTriangulation, Family::ConfigurationModel, Family::Grid] {
+    for family in [
+        Family::PlanarTriangulation,
+        Family::ConfigurationModel,
+        Family::Grid,
+    ] {
         let graph = family.generate(1_500, 3);
         let r = 2;
         let result = distributed_distance_domination(&graph, DistDomSetConfig::new(r)).unwrap();
@@ -122,7 +136,11 @@ fn solution_quality_is_robust_to_id_assignment() {
             ..DistDomSetConfig::new(r)
         };
         let result = distributed_distance_domination(&graph, config).unwrap();
-        assert!(is_distance_dominating_set(&graph, &result.dominating_set, r));
+        assert!(is_distance_dominating_set(
+            &graph,
+            &result.dominating_set,
+            r
+        ));
         assert!(result.dominating_set.len() <= result.measured_constant * lb);
     }
 }
@@ -134,5 +152,54 @@ fn connected_pipeline_round_overhead_is_additive_in_r() {
     let connected = distributed_connected_domination(&graph, DistConnectedConfig::new(1)).unwrap();
     // Theorem 10 adds the flooding phase plus one extra reach round.
     assert!(connected.total_rounds() >= plain.total_rounds());
-    assert!(connected.total_rounds() <= plain.total_rounds() + 2 * 1 + 4);
+    assert!(connected.total_rounds() <= plain.total_rounds() + 2 + 4);
+}
+
+#[test]
+fn observer_round_stream_matches_recorded_stats_and_model_budget() {
+    // The engine's RoundObserver hook must see exactly the statistics the
+    // network records, and under CONGEST_BC every observed round must respect
+    // the model's message budget (the executor would have rejected it
+    // otherwise — this pins the accounting and the enforcement together).
+    use bedom::distsim::{
+        Engine, Inbox, Model, Network, NodeAlgorithm, NodeContext, Outgoing, RoundLog, RunPolicy,
+    };
+
+    /// One-bit presence beacons for three rounds, then silence.
+    struct Beacon;
+
+    impl NodeAlgorithm for Beacon {
+        type Message = bool;
+        type Output = ();
+
+        fn init(&mut self, _: &NodeContext) -> Outgoing<bool> {
+            Outgoing::Broadcast(true)
+        }
+
+        fn round(&mut self, _: &NodeContext, round: usize, _: Inbox<'_, bool>) -> Outgoing<bool> {
+            if round < 3 {
+                Outgoing::Broadcast(true)
+            } else {
+                Outgoing::Silent
+            }
+        }
+
+        fn output(&self, _: &NodeContext) {}
+    }
+
+    let graph = Family::Grid.generate(400, 2);
+    let model = Model::congest_bc();
+    let limit = model.max_message_bits(graph.num_vertices()).unwrap();
+    let mut net = Network::new(&graph, model, IdAssignment::Shuffled(4), |_, _| Beacon);
+    let mut log = RoundLog::new();
+    Engine::new(&mut net)
+        .observe(&mut log)
+        .run(RunPolicy::until_quiet(100))
+        .unwrap();
+    assert_eq!(log.per_round.len(), net.stats().rounds);
+    assert_eq!(log.per_round, net.stats().per_round);
+    for round in &log.per_round {
+        assert!(round.max_message_bits <= limit, "round {}", round.round);
+        assert_eq!(round.senders, graph.num_vertices());
+    }
 }
