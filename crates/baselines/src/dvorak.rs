@@ -19,17 +19,23 @@
 //! those of the paper's Theorem 5 algorithm, which is exactly the comparison
 //! experiment T1/T6 reports.
 
-use bedom_graph::bfs::closed_neighborhood;
+use bedom_graph::bfs::BfsScratch;
 use bedom_graph::{Graph, Vertex};
-use bedom_wcol::{weak_reachability_sets, LinearOrder};
+use bedom_wcol::{LinearOrder, WReachIndex};
 
 /// Runs the Dvořák-style `c(r)²`-approximation with the given order.
+///
+/// Reads the `WReach_r` sets directly from one [`WReachIndex`] sweep (no
+/// ragged `Vec<Vec>` materialisation) and marks dominated vertices through a
+/// reused epoch-stamped scratch.
 pub fn dvorak_style_domination(graph: &Graph, order: &LinearOrder, r: u32) -> Vec<Vertex> {
     let n = graph.num_vertices();
     if n == 0 {
         return Vec::new();
     }
-    let wreach = weak_reachability_sets(graph, order, r);
+    let index = WReachIndex::build(graph, order, r);
+    let mut scratch = BfsScratch::new(n);
+    let mut nbh: Vec<Vertex> = Vec::new();
     let mut dominated = vec![false; n];
     let mut in_solution = vec![false; n];
     let mut solution = Vec::new();
@@ -39,11 +45,13 @@ pub fn dvorak_style_domination(graph: &Graph, order: &LinearOrder, r: u32) -> Ve
             continue;
         }
         // w is a trigger: add all of WReach_r[w].
-        for &v in &wreach[w as usize] {
+        for &v in index.wreach(w) {
             if !in_solution[v as usize] {
                 in_solution[v as usize] = true;
                 solution.push(v);
-                for u in closed_neighborhood(graph, v, r) {
+                nbh.clear();
+                scratch.closed_neighborhood_into(graph, v, r, &mut nbh);
+                for &u in &nbh {
                     dominated[u as usize] = true;
                 }
             }

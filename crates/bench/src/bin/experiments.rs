@@ -21,7 +21,9 @@ use bedom_distsim::{log2_ceil, ExecutionStrategy, IdAssignment};
 use bedom_graph::domset::{exact_distance_dominating_set, packing_lower_bound};
 use bedom_graph::generators::Family;
 use bedom_graph::metrics::shallow_minor_density_estimate;
-use bedom_wcol::{neighborhood_cover, wcol_of_order, OrderingStrategy};
+use bedom_wcol::{
+    neighborhood_cover, neighborhood_cover_from_index, OrderingStrategy, WReachIndex,
+};
 use std::time::Instant;
 
 struct Scale {
@@ -133,8 +135,10 @@ fn table_t2(scale: &Scale) {
             let r = 2u32;
             for strategy in [OrderingStrategy::Degeneracy, OrderingStrategy::Degree] {
                 let order = bedom_wcol::compute_order(&graph, 2 * r, strategy);
-                let c = wcol_of_order(&graph, &order, 2 * r);
-                let cover = neighborhood_cover(&graph, &order, r);
+                // One index sweep serves both the constant and the cover.
+                let index = WReachIndex::build(&graph, &order, 2 * r);
+                let c = index.wcol();
+                let cover = neighborhood_cover_from_index(&index, r);
                 println!(
                     "{:<14} {:>8} {:>3} {:<14} {:>8} {:>10} {:>12} {:>10.1}",
                     family.name(),

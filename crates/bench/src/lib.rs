@@ -7,6 +7,7 @@
 //! with each other.
 
 pub mod legacy;
+pub mod legacy_wreach;
 
 use bedom_graph::components::largest_component;
 use bedom_graph::generators::Family;

@@ -179,7 +179,7 @@ pub fn distributed_connected_domination(
     let mut flood = Network::new(graph, model, IdAssignment::Natural, |v, _ctx| {
         let info = &wreach_info[v as usize];
         let seed_paths = if in_d[v as usize] {
-            info.paths.values().cloned().collect()
+            info.paths.values().map(<[u64]>::to_vec).collect()
         } else {
             Vec::new()
         };

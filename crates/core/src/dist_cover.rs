@@ -152,7 +152,7 @@ pub fn distributed_neighborhood_cover(
         .map(|info| {
             info.paths
                 .iter()
-                .map(|(&center_sid, path)| {
+                .map(|(center_sid, path)| {
                     let center = sid_lookup[&center_sid];
                     let path_vertices: Vec<Vertex> =
                         path.iter().map(|sid| sid_lookup[sid]).collect();

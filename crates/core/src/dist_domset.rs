@@ -277,7 +277,11 @@ pub(crate) fn distributed_distance_domination_inner(
     let mut election = Network::new(graph, model, IdAssignment::Natural, |v, _ctx| {
         let my_info = &info[v as usize];
         let elected_sid = my_info.min_reachable_within(r as usize);
-        let elected_path = my_info.paths[&elected_sid].clone();
+        let elected_path = my_info
+            .paths
+            .get(elected_sid)
+            .expect("elected start must have a stored path")
+            .to_vec();
         ElectionNode::new(my_info.sid, id_bits, elected_path)
     });
     election.set_strategy(config.strategy);

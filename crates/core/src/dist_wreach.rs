@@ -23,7 +23,69 @@ use bedom_distsim::{
     NodeAlgorithm, NodeContext, Outgoing, RunPolicy, RunStats,
 };
 use bedom_graph::{Graph, Vertex};
-use std::collections::BTreeMap;
+
+/// A sorted flat map from start super-id to its stored routing path — the
+/// allocation-lean replacement for the former per-node `BTreeMap` store.
+///
+/// The store holds at most `|WReach_ρ[w]| ≤ c(ρ)` entries (a class constant),
+/// so a sorted `Vec` beats a node-per-entry tree on every axis that matters
+/// in the round hot path: lookups are branchless binary searches over one
+/// cache-resident allocation, and inserting never allocates map nodes —
+/// steady-state rounds only allocate when a path itself is stored.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PathStore {
+    entries: Vec<(u64, Vec<u64>)>,
+}
+
+impl PathStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        PathStore::default()
+    }
+
+    /// Number of stored starts — `|WReach_ρ[w]|` once the protocol finishes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored path for `start`, if any. `O(log len)`.
+    pub fn get(&self, start: u64) -> Option<&[u64]> {
+        self.entries
+            .binary_search_by_key(&start, |&(sid, _)| sid)
+            .ok()
+            .map(|i| self.entries[i].1.as_slice())
+    }
+
+    /// Stores `path` for `start`, replacing any previous entry.
+    pub fn insert(&mut self, start: u64, path: Vec<u64>) {
+        match self.entries.binary_search_by_key(&start, |&(sid, _)| sid) {
+            Ok(i) => self.entries[i].1 = path,
+            Err(i) => self.entries.insert(i, (start, path)),
+        }
+    }
+
+    /// Iterates `(start, path)` in increasing start super-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[u64])> + '_ {
+        self.entries
+            .iter()
+            .map(|(sid, path)| (*sid, path.as_slice()))
+    }
+
+    /// The stored start super-ids, in increasing order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.iter().map(|&(sid, _)| sid)
+    }
+
+    /// The stored paths, in increasing start super-id order.
+    pub fn values(&self) -> impl Iterator<Item = &[u64]> + '_ {
+        self.entries.iter().map(|(_, path)| path.as_slice())
+    }
+}
 
 /// A set of routing paths, the broadcast payload of the protocol.
 ///
@@ -57,13 +119,13 @@ pub struct WReachInfo {
     /// For every known start `v` (with `sid(v) < sid(self)`): the stored path
     /// from `v`'s super-id to this vertex's super-id. The entry for the vertex
     /// itself (`sid → [sid]`) is included, mirroring `v ∈ WReach_ρ[v]`.
-    pub paths: BTreeMap<u64, Vec<u64>>,
+    pub paths: PathStore,
 }
 
 impl WReachInfo {
     /// Super-ids of `WReach_ρ[w]` (including `w` itself), sorted.
     pub fn wreach_sids(&self) -> Vec<u64> {
-        self.paths.keys().copied().collect()
+        self.paths.keys().collect()
     }
 
     /// The `L`-minimum super-id reachable by a stored path of at most
@@ -73,7 +135,7 @@ impl WReachInfo {
         self.paths
             .iter()
             .filter(|(_, path)| path.len().saturating_sub(1) <= max_len)
-            .map(|(&sid, _)| sid)
+            .map(|(sid, _)| sid)
             .min()
             .unwrap_or(self.sid)
     }
@@ -84,7 +146,7 @@ pub struct WReachNode {
     sid: u64,
     rho: u32,
     id_bits: usize,
-    paths: BTreeMap<u64, Vec<u64>>,
+    paths: PathStore,
     to_send: Vec<Vec<u64>>,
 }
 
@@ -96,32 +158,52 @@ impl WReachNode {
             sid,
             rho,
             id_bits,
-            paths: BTreeMap::new(),
+            paths: PathStore::new(),
             to_send: Vec::new(),
         }
     }
 
-    /// Offers a candidate path ending at this vertex; stores and schedules it
-    /// for broadcast if it is new or better than the stored one.
-    fn offer(&mut self, candidate: Vec<u64>) {
-        let start = candidate[0];
+    /// Offers the extension `path ++ [self.sid]` as a candidate; stores and
+    /// schedules it for broadcast if it is new or better than the stored one.
+    ///
+    /// The comparison runs on the borrowed incoming path, so the hot path
+    /// allocates **only when a candidate is actually accepted** — the former
+    /// code cloned every incoming path up front, which dominated the
+    /// protocol's per-round allocations.
+    fn offer(&mut self, path: &[u64]) {
+        let start = path[0];
         if start >= self.sid {
             return;
         }
-        let better = match self.paths.get(&start) {
+        let better = match self.paths.get(start) {
             None => true,
-            Some(existing) => {
-                candidate.len() < existing.len()
-                    || (candidate.len() == existing.len() && candidate < *existing)
-            }
+            Some(existing) => extension_is_better(path, self.sid, existing),
         };
         if better {
+            let mut candidate = Vec::with_capacity(path.len() + 1);
+            candidate.extend_from_slice(path);
+            candidate.push(self.sid);
             // Re-broadcast only paths that can still be usefully extended.
-            if candidate.len().saturating_sub(1) < self.rho as usize {
+            if candidate.len() - 1 < self.rho as usize {
                 self.to_send.push(candidate.clone());
             }
             self.paths.insert(start, candidate);
         }
+    }
+}
+
+/// Whether the candidate `path ++ [last]` beats `existing` under the
+/// protocol's preference (shorter first, then lexicographically smaller),
+/// decided without materialising the candidate.
+fn extension_is_better(path: &[u64], last: u64, existing: &[u64]) -> bool {
+    let candidate_len = path.len() + 1;
+    if candidate_len != existing.len() {
+        return candidate_len < existing.len();
+    }
+    match path.cmp(&existing[..path.len()]) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => last < existing[path.len()],
     }
 }
 
@@ -156,9 +238,7 @@ impl NodeAlgorithm for WReachNode {
                     // Extending would exceed the reach radius.
                     continue;
                 }
-                let mut extended = path.clone();
-                extended.push(self.sid);
-                self.offer(extended);
+                self.offer(path);
             }
         }
         if self.to_send.is_empty() {
@@ -283,7 +363,7 @@ mod tests {
             let mut got: Vec<Vertex> = result.info[w as usize]
                 .paths
                 .keys()
-                .map(|&sid| order.vertex_at(sid as usize))
+                .map(|sid| order.vertex_at(sid as usize))
                 .collect();
             got.sort_unstable();
             assert_eq!(got, expected[w as usize], "vertex {w}, rho {rho}");
@@ -326,7 +406,7 @@ mod tests {
         let result =
             distributed_weak_reachability(&g, &super_ids, WReachConfig::measuring(rho)).unwrap();
         for w in g.vertices() {
-            for (&start_sid, path) in &result.info[w as usize].paths {
+            for (start_sid, path) in result.info[w as usize].paths.iter() {
                 assert_eq!(*path.first().unwrap(), start_sid);
                 assert_eq!(*path.last().unwrap(), super_ids[w as usize]);
                 assert!(path.len() <= rho as usize + 1, "path too long: {path:?}");
@@ -400,6 +480,55 @@ mod tests {
         };
         let err = distributed_weak_reachability(&g, &super_ids, config).unwrap_err();
         assert!(matches!(err, ModelViolation::MessageTooLarge { .. }));
+    }
+
+    #[test]
+    fn extension_comparison_matches_materialised_comparison() {
+        // The allocation-free comparison must agree with "build the candidate
+        // and compare Vecs" on every shape: shorter, longer, lexicographic
+        // splits in the shared prefix and in the appended last element.
+        let cases: &[(&[u64], u64, &[u64])] = &[
+            (&[1], 9, &[1, 9]),
+            (&[1], 9, &[1, 9, 4]),
+            (&[1, 2], 9, &[1, 9]),
+            (&[1, 2], 9, &[1, 3, 9]),
+            (&[1, 4], 9, &[1, 3, 9]),
+            (&[1, 3], 7, &[1, 3, 9]),
+            (&[1, 3], 9, &[1, 3, 7]),
+            (&[1, 3], 9, &[1, 3, 9]),
+            (&[2], 5, &[2, 5, 7, 8]),
+        ];
+        for &(path, last, existing) in cases {
+            let mut materialised = path.to_vec();
+            materialised.push(last);
+            let expected = materialised.len() < existing.len()
+                || (materialised.len() == existing.len() && materialised.as_slice() < existing);
+            assert_eq!(
+                extension_is_better(path, last, existing),
+                expected,
+                "path {path:?} ++ [{last}] vs {existing:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn path_store_behaves_like_a_sorted_map() {
+        let mut store = PathStore::new();
+        assert!(store.is_empty());
+        assert_eq!(store.get(3), None);
+        store.insert(5, vec![5]);
+        store.insert(2, vec![2, 5]);
+        store.insert(9, vec![9, 2]);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.keys().collect::<Vec<_>>(), vec![2, 5, 9]);
+        assert_eq!(store.get(2), Some(&[2, 5][..]));
+        // Replacement keeps the store sorted and deduplicated.
+        store.insert(2, vec![2]);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.get(2), Some(&[2][..]));
+        let collected: Vec<(u64, &[u64])> = store.iter().collect();
+        assert_eq!(collected[0], (2, &[2][..]));
+        assert_eq!(collected[2], (9, &[9, 2][..]));
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub use dist_connected::{
 };
 pub use dist_cover::{distributed_neighborhood_cover, DistCoverConfig, DistributedCover};
 pub use dist_domset::{distributed_distance_domination, DistDomSetConfig, DistDomSetResult};
-pub use dist_wreach::{distributed_weak_reachability, DistributedWReach, WReachConfig, WReachInfo};
+pub use dist_wreach::{
+    distributed_weak_reachability, DistributedWReach, PathStore, WReachConfig, WReachInfo,
+};
 pub use local_connect::{local_connect, LocalConnectResult};
 pub use pipeline::{solve_checked, DominationPipeline, DominationReport, Mode};
 pub use seq_domset::{

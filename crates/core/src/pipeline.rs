@@ -14,7 +14,7 @@ use crate::seq_domset::domset_via_min_wreach;
 use bedom_distsim::{IdAssignment, ModelViolation};
 use bedom_graph::domset::{is_distance_dominating_set, packing_lower_bound};
 use bedom_graph::{Graph, Vertex};
-use bedom_wcol::{compute_order, wcol_of_order, OrderingStrategy};
+use bedom_wcol::{compute_order, OrderingStrategy, WReachIndex};
 
 /// Which execution mode to use for solving an instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -177,7 +177,7 @@ pub fn solve_checked(graph: &Graph, r: u32) -> Option<DominationReport> {
 /// given instance (used by the ablation in EXPERIMENTS.md).
 pub fn witnessed_constant_for(graph: &Graph, r: u32, strategy: OrderingStrategy) -> usize {
     let order = compute_order(graph, 2 * r, strategy);
-    wcol_of_order(graph, &order, 2 * r)
+    WReachIndex::build(graph, &order, 2 * r).wcol()
 }
 
 #[cfg(test)]

@@ -22,7 +22,7 @@
 //!   which is what the distributed algorithm also computes.
 
 use bedom_graph::{Graph, Vertex};
-use bedom_wcol::{min_wreach, wcol_of_order, LinearOrder};
+use bedom_wcol::{LinearOrder, WReachIndex};
 use std::collections::VecDeque;
 
 /// Outcome of the sequential approximation, with the quantities the paper's
@@ -41,12 +41,19 @@ pub struct SeqDomSetResult {
 }
 
 /// Direct computation of `D = { min WReach_r[G, L, w] : w ∈ V(G) }`.
+///
+/// A **single** [`WReachIndex`] sweep at radius `2r` serves both outputs: the
+/// dominator election reads `min WReach_r` off the stored restricted-BFS
+/// depths, and the witnessed constant is the index's `wcol` at the full
+/// radius (the seed ran the whole `n`-ball sweep twice here, once per
+/// quantity).
 pub fn domset_via_min_wreach(graph: &Graph, order: &LinearOrder, r: u32) -> SeqDomSetResult {
-    let dominator_of = min_wreach(graph, order, r);
+    let index = WReachIndex::build(graph, order, 2 * r);
+    let dominator_of = index.min_wreach_at(r);
+    let witnessed_constant = index.wcol();
     let mut dominating_set: Vec<Vertex> = dominator_of.to_vec();
     dominating_set.sort_unstable();
     dominating_set.dedup();
-    let witnessed_constant = wcol_of_order(graph, order, 2 * r);
     SeqDomSetResult {
         dominating_set,
         dominator_of,
@@ -247,6 +254,24 @@ mod tests {
             let dist = bedom_graph::bfs::distance(&g, w, d).unwrap();
             assert!(dist <= r, "dominator of {w} at distance {dist} > {r}");
             assert!(result.dominating_set.binary_search(&d).is_ok());
+        }
+    }
+
+    #[test]
+    fn domset_via_min_wreach_runs_exactly_one_ball_sweep() {
+        // Regression guard for the former double sweep: one call must build
+        // exactly one index (election + witnessed constant share it). The
+        // sweep counter is thread-local, so concurrent tests cannot race it.
+        let g = stacked_triangulation(150, 3);
+        let order = degeneracy_based_order(&g);
+        for r in [0u32, 1, 2] {
+            let before = bedom_wcol::ball_sweeps_on_this_thread();
+            let _ = domset_via_min_wreach(&g, &order, r);
+            assert_eq!(
+                bedom_wcol::ball_sweeps_on_this_thread() - before,
+                1,
+                "r = {r}"
+            );
         }
     }
 

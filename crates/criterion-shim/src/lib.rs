@@ -13,9 +13,123 @@
 //! It is intentionally *not* a statistics engine: no outlier analysis, no
 //! saved baselines. Swap the dependency back to the real crate when a
 //! registry is available; the bench sources compile unchanged against either.
+//!
+//! ## Machine-readable output
+//!
+//! Beyond the criterion-like terminal lines, the shim collects every
+//! measurement in-process and — when the `BEDOM_BENCH_JSON` environment
+//! variable names a file — writes them as JSON when the bench binary exits
+//! (`criterion_main!` calls [`write_json_report`]). Bench code can attach
+//! extra scalar facts (allocation counts, speedup ratios) to the same report
+//! via [`record_metric`]; this is how the perf trajectory of the repository
+//! is tracked in committed `BENCH_*.json` files.
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One finished benchmark measurement, as collected for the JSON report.
+#[derive(Clone, Debug)]
+struct JsonRecord {
+    id: String,
+    min_ns: u128,
+    median_ns: u128,
+    max_ns: u128,
+}
+
+/// Measurements and custom metrics collected by the current bench binary.
+#[derive(Debug, Default)]
+struct Report {
+    benchmarks: Vec<JsonRecord>,
+    metrics: Vec<(String, f64)>,
+}
+
+static REPORT: Mutex<Report> = Mutex::new(Report {
+    benchmarks: Vec::new(),
+    metrics: Vec::new(),
+});
+
+/// Records a named scalar fact (an allocation count, a ratio, an instance
+/// size) into the JSON report next to the timing records. Last write wins
+/// for duplicate names.
+pub fn record_metric(name: &str, value: f64) {
+    let mut report = REPORT.lock().unwrap();
+    if let Some(entry) = report.metrics.iter_mut().find(|(n, _)| n == name) {
+        entry.1 = value;
+    } else {
+        report.metrics.push((name.to_owned(), value));
+    }
+}
+
+/// Writes every measurement and metric collected so far to the file named by
+/// the `BEDOM_BENCH_JSON` environment variable (no-op when unset). Called by
+/// the `criterion_main!` expansion after all groups have run; safe to call
+/// directly from custom `main`s.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("BEDOM_BENCH_JSON") else {
+        return;
+    };
+    let report = REPORT.lock().unwrap();
+    let json = render_json(&report);
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("criterion-shim: failed to write {path}: {e}");
+    } else {
+        println!("criterion-shim: wrote JSON report to {path}");
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, b) in report.benchmarks.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"max_ns\": {}}}{}\n",
+            json_escape(&b.id),
+            b.min_ns,
+            b.median_ns,
+            b.max_ns,
+            if i + 1 < report.benchmarks.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ],\n  \"metrics\": {\n");
+    for (i, (name, value)) in report.metrics.iter().enumerate() {
+        // JSON has no NaN/Infinity literals; degrade non-finite metrics to
+        // null rather than emitting an unparseable file.
+        let rendered = if value.is_finite() {
+            value.to_string()
+        } else {
+            "null".to_owned()
+        };
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            json_escape(name),
+            rendered,
+            if i + 1 < report.metrics.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
 
 /// Entry point handed to every bench function, mirroring `criterion::Criterion`.
 pub struct Criterion {
@@ -247,6 +361,12 @@ where
     let min = bencher.samples[0];
     let max = *bencher.samples.last().unwrap();
     let median = bencher.samples[bencher.samples.len() / 2];
+    REPORT.lock().unwrap().benchmarks.push(JsonRecord {
+        id: id.to_owned(),
+        min_ns: min.as_nanos(),
+        median_ns: median.as_nanos(),
+        max_ns: max.as_nanos(),
+    });
     let rate = throughput.map(|t| match t {
         Throughput::Elements(n) => format!(
             "  {:.3} Melem/s",
@@ -293,12 +413,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench binary's `main`, mirroring criterion's macro.
+/// Declares the bench binary's `main`, mirroring criterion's macro. After all
+/// groups have run, the collected measurements are written as JSON if the
+/// `BEDOM_BENCH_JSON` environment variable names a target file.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report();
         }
     };
 }
@@ -311,6 +434,48 @@ mod tests {
     fn benchmark_id_formatting() {
         assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
         assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn json_report_renders_records_and_metrics() {
+        let report = Report {
+            benchmarks: vec![JsonRecord {
+                id: "group/case \"quoted\"".into(),
+                min_ns: 10,
+                median_ns: 20,
+                max_ns: 30,
+            }],
+            metrics: vec![
+                ("allocs".into(), 42.0),
+                ("speedup".into(), 3.5),
+                ("bad-ratio".into(), f64::INFINITY),
+            ],
+        };
+        let json = render_json(&report);
+        assert!(json.contains("\"id\": \"group/case \\\"quoted\\\"\""));
+        assert!(json.contains("\"median_ns\": 20"));
+        assert!(json.contains("\"allocs\": 42"));
+        assert!(json.contains("\"speedup\": 3.5,"));
+        assert!(json.contains("\"bad-ratio\": null"));
+        assert!(!json.contains("inf"));
+        // Well-formed: one benchmarks array, one metrics object, no trailing
+        // comma before a closing bracket.
+        assert!(!json.contains(",\n  ]"));
+        assert!(!json.contains(",\n  }"));
+    }
+
+    #[test]
+    fn record_metric_overwrites_duplicates() {
+        record_metric("shim-self-test-metric", 1.0);
+        record_metric("shim-self-test-metric", 2.0);
+        let report = REPORT.lock().unwrap();
+        let hits: Vec<_> = report
+            .metrics
+            .iter()
+            .filter(|(n, _)| n == "shim-self-test-metric")
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1, 2.0);
     }
 
     #[test]

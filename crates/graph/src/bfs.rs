@@ -92,6 +92,126 @@ pub fn closed_neighborhood(graph: &Graph, v: Vertex, r: u32) -> Vec<Vertex> {
     result
 }
 
+/// Reusable scratch for repeated bounded BFS sweeps: an **epoch-stamped**
+/// visited array that is reset in `O(1)` by bumping the epoch (never
+/// re-allocated or re-zeroed per traversal) plus one flat `(vertex, depth)`
+/// buffer that doubles as BFS queue and output. Running `n` bounded BFS
+/// sweeps through one scratch therefore touches `O(Σ ball sizes)` memory
+/// instead of the `Θ(n²)` of a fresh `vec![false; n]` per source — the
+/// difference Theorem 5's linear-time claim rests on.
+///
+/// Callers drive the traversal themselves (so arbitrary visit predicates —
+/// order restrictions, placement filters — compose without closures):
+///
+/// ```
+/// use bedom_graph::bfs::BfsScratch;
+/// use bedom_graph::graph_from_edges;
+///
+/// let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+/// let mut scratch = BfsScratch::new(4);
+/// scratch.begin();
+/// scratch.try_visit(1, 0);
+/// let mut head = 0;
+/// while let Some(&(x, d)) = scratch.entries().get(head) {
+///     head += 1;
+///     if d >= 1 {
+///         continue;
+///     }
+///     for &w in g.neighbors(x) {
+///         scratch.try_visit(w, d + 1);
+///     }
+/// }
+/// assert_eq!(scratch.entries().len(), 3); // {1} ∪ N(1) = {0, 1, 2}
+/// ```
+#[derive(Clone, Debug)]
+pub struct BfsScratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+    entries: Vec<(Vertex, u32)>,
+}
+
+impl BfsScratch {
+    /// A scratch for graphs with `n` vertices. Allocates once; every
+    /// traversal after the first is allocation-free at steady state.
+    pub fn new(n: usize) -> Self {
+        BfsScratch {
+            stamp: vec![0; n],
+            epoch: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Starts a new traversal: clears the entry buffer and expires all
+    /// previous visited marks by bumping the epoch (`O(1)`; the stamp array
+    /// is only re-zeroed on the one-in-`u32::MAX` epoch wraparound).
+    pub fn begin(&mut self) {
+        self.entries.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Marks `v` as visited at `depth` and records it, unless it was already
+    /// visited in this traversal. Returns whether `v` was newly visited.
+    #[inline]
+    pub fn try_visit(&mut self, v: Vertex, depth: u32) -> bool {
+        let slot = &mut self.stamp[v as usize];
+        if *slot == self.epoch {
+            return false;
+        }
+        *slot = self.epoch;
+        self.entries.push((v, depth));
+        true
+    }
+
+    /// Whether `v` has been visited in the current traversal.
+    #[inline]
+    pub fn visited(&self, v: Vertex) -> bool {
+        self.stamp[v as usize] == self.epoch
+    }
+
+    /// The vertices visited so far, with their BFS depths, in discovery order
+    /// (or sorted, after [`BfsScratch::sort_entries_by_vertex`]).
+    #[inline]
+    pub fn entries(&self) -> &[(Vertex, u32)] {
+        &self.entries
+    }
+
+    /// Sorts the recorded entries by vertex id (each vertex appears at most
+    /// once, so the sort is total). Call after the traversal completes.
+    pub fn sort_entries_by_vertex(&mut self) {
+        self.entries.sort_unstable_by_key(|&(v, _)| v);
+    }
+
+    /// The closed `r`-neighbourhood `N_r[v]`, appended to `out` sorted by
+    /// vertex id — the scratch-reusing equivalent of
+    /// [`closed_neighborhood`].
+    pub fn closed_neighborhood_into(
+        &mut self,
+        graph: &Graph,
+        v: Vertex,
+        r: u32,
+        out: &mut Vec<Vertex>,
+    ) {
+        self.begin();
+        self.try_visit(v, 0);
+        let mut head = 0;
+        while let Some(&(x, d)) = self.entries.get(head) {
+            head += 1;
+            if d >= r {
+                continue;
+            }
+            for &w in graph.neighbors(x) {
+                self.try_visit(w, d + 1);
+            }
+        }
+        self.sort_entries_by_vertex();
+        out.extend(self.entries.iter().map(|&(w, _)| w));
+    }
+}
+
 /// Closed `r`-neighbourhood of a set: `N_r[A] = ∪_{v∈A} N_r[v]`, sorted.
 pub fn closed_set_neighborhood(graph: &Graph, set: &[Vertex], r: u32) -> Vec<Vertex> {
     let dist = multi_source_distances(graph, set);
@@ -297,6 +417,43 @@ mod tests {
         assert_eq!(closed_neighborhood(&g, 3, 1), vec![2, 3, 4]);
         assert_eq!(closed_neighborhood(&g, 3, 2), vec![1, 2, 3, 4, 5]);
         assert_eq!(closed_neighborhood(&g, 0, 2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn scratch_neighborhoods_match_fresh_queries_across_epochs() {
+        let g = cycle_graph(9);
+        let mut scratch = BfsScratch::new(9);
+        let mut out = Vec::new();
+        // Repeated sweeps through one scratch must each match a fresh BFS —
+        // the epoch bump, not a re-zeroed array, invalidates old marks.
+        for round in 0..3 {
+            for v in 0..9u32 {
+                for r in 0..=3u32 {
+                    out.clear();
+                    scratch.closed_neighborhood_into(&g, v, r, &mut out);
+                    assert_eq!(
+                        out,
+                        closed_neighborhood(&g, v, r),
+                        "round {round}, v={v}, r={r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_epoch_wraparound_resets_marks() {
+        let g = path_graph(3);
+        let mut scratch = BfsScratch::new(3);
+        // Force the epoch to the wrapping point and check marks still expire.
+        scratch.epoch = u32::MAX - 1;
+        let mut out = Vec::new();
+        scratch.closed_neighborhood_into(&g, 0, 1, &mut out); // epoch -> MAX
+        assert_eq!(out, vec![0, 1]);
+        out.clear();
+        scratch.closed_neighborhood_into(&g, 2, 1, &mut out); // epoch wraps -> 1
+        assert_eq!(out, vec![1, 2]);
+        assert!(!scratch.visited(0));
     }
 
     #[test]

@@ -8,16 +8,17 @@
 //! expansion classes) and because exact solvers for distance-r domination use
 //! the `r`-th power reduction on small instances.
 
-use crate::bfs::closed_neighborhood;
+use crate::bfs::BfsScratch;
 use crate::graph::{Graph, GraphBuilder, Vertex};
 use bedom_par::ExecutionStrategy;
 
 /// The `r`-th power of `graph`: same vertex set, an edge between every pair at
 /// distance at most `r` (and at least 1).
 ///
-/// Runs one bounded BFS per vertex, parallelised via `bedom-par`; memory is
-/// `O(Σ_v |N_r[v]|)` which can be quadratic for large `r`, so this is intended
-/// for moderate instances.
+/// Runs one bounded BFS per vertex, parallelised via `bedom-par` with one
+/// epoch-stamped [`BfsScratch`] per worker (no per-vertex visited arrays);
+/// memory is `O(Σ_v |N_r[v]|)` which can be quadratic for large `r`, so this
+/// is intended for moderate instances.
 pub fn power_graph(graph: &Graph, r: u32) -> Graph {
     let n = graph.num_vertices();
     if r == 0 {
@@ -26,17 +27,22 @@ pub fn power_graph(graph: &Graph, r: u32) -> Graph {
     if r == 1 {
         return graph.clone();
     }
-    let per_vertex: Vec<Vec<(Vertex, Vertex)>> =
-        ExecutionStrategy::auto_for(n).map_collect(n, |v| {
-            let v = v as Vertex;
-            closed_neighborhood(graph, v, r)
-                .into_iter()
-                .filter(|&w| w > v)
-                .map(|w| (v, w))
-                .collect()
-        });
+    let chunks: Vec<Vec<(Vertex, Vertex)>> = ExecutionStrategy::auto_for(n).chunk_collect_with(
+        n,
+        || (BfsScratch::new(n), Vec::new()),
+        |(scratch, nbh), range| {
+            let mut edges: Vec<(Vertex, Vertex)> = Vec::new();
+            for v in range {
+                let v = v as Vertex;
+                nbh.clear();
+                scratch.closed_neighborhood_into(graph, v, r, nbh);
+                edges.extend(nbh.iter().filter(|&&w| w > v).map(|&w| (v, w)));
+            }
+            edges
+        },
+    );
     let mut builder = GraphBuilder::new(n);
-    for chunk in per_vertex {
+    for chunk in chunks {
         builder.extend_edges(chunk);
     }
     builder.build()
@@ -45,10 +51,18 @@ pub fn power_graph(graph: &Graph, r: u32) -> Graph {
 /// Closed `r`-neighbourhood lists for every vertex (each list sorted).
 ///
 /// This is the "distance-r adjacency" view used by brute-force domination
-/// solvers; parallelised via `bedom-par`.
+/// solvers; parallelised via `bedom-par` with a worker-local scratch.
 pub fn all_closed_neighborhoods(graph: &Graph, r: u32) -> Vec<Vec<Vertex>> {
     let n = graph.num_vertices();
-    ExecutionStrategy::auto_for(n).map_collect(n, |v| closed_neighborhood(graph, v as Vertex, r))
+    ExecutionStrategy::auto_for(n).map_collect_with(
+        n,
+        || BfsScratch::new(n),
+        |scratch, v| {
+            let mut out = Vec::new();
+            scratch.closed_neighborhood_into(graph, v as Vertex, r, &mut out);
+            out
+        },
+    )
 }
 
 /// The `r`-subdivision of `graph`: every edge replaced by a path with `r`
@@ -82,7 +96,7 @@ pub fn subdivision(graph: &Graph, r: u32) -> Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bfs::distance;
+    use crate::bfs::{closed_neighborhood, distance};
     use crate::graph::graph_from_edges;
 
     fn path_graph(n: usize) -> Graph {

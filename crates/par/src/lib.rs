@@ -127,6 +127,74 @@ impl ExecutionStrategy {
         out
     }
 
+    /// `(0..n).map(f).collect()` with a **worker-local scratch**: every worker
+    /// thread builds one scratch value via `init` and reuses it for all the
+    /// indices it processes, so a loop of `n` BFS sweeps allocates `O(threads)`
+    /// scratch buffers instead of `O(n)`. The sequential path builds exactly
+    /// one scratch. Results are placed by index; as long as `f`'s result for
+    /// an index does not depend on residual scratch state (the scratch must be
+    /// reset by `f` itself, e.g. by bumping an epoch), the output is
+    /// bit-identical across strategies.
+    pub fn map_collect_with<S, T, I, F>(self, n: usize, init: I, f: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        let mut parts = self.chunk_collect_with(n, init, |scratch, range| {
+            range.map(|i| f(scratch, i)).collect::<Vec<T>>()
+        });
+        if parts.len() == 1 {
+            return parts.pop().unwrap();
+        }
+        let mut out = Vec::with_capacity(n);
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+
+    /// Splits `0..n` into one contiguous chunk per worker thread and calls
+    /// `f(&mut scratch, chunk_range)` once per chunk, each worker reusing a
+    /// single scratch built by `init`. Returns the per-chunk results with
+    /// ranges in ascending order; `Sequential` produces exactly one chunk
+    /// `0..n`. This is the primitive behind flat (CSR) builders: each chunk
+    /// appends per-index records to its own buffers and the caller
+    /// concatenates, which is strategy-independent as long as the per-index
+    /// records do not depend on the chunk boundaries.
+    pub fn chunk_collect_with<S, T, I, F>(self, n: usize, init: I, f: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, std::ops::Range<usize>) -> T + Sync,
+    {
+        let threads = self.threads_for(n);
+        if threads <= 1 || n == 0 {
+            let mut scratch = init();
+            return vec![f(&mut scratch, 0..n)];
+        }
+        let chunk = n.div_ceil(threads);
+        let mut parts: Vec<T> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .step_by(chunk)
+                .map(|start| {
+                    let end = (start + chunk).min(n);
+                    let init = &init;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut scratch = init();
+                        f(&mut scratch, start..end)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                parts.push(handle.join().expect("bedom-par worker panicked"));
+            }
+        });
+        parts
+    }
+
     /// Calls `f(i, &mut out[i])` for every index, possibly in parallel
     /// chunks — the in-place variant of [`ExecutionStrategy::map_collect`]
     /// for pre-allocated buffers.
@@ -238,6 +306,52 @@ mod tests {
             assert_eq!(seq, auto);
             assert_eq!(seq.len(), n);
         }
+    }
+
+    #[test]
+    fn strategies_agree_on_map_collect_with() {
+        // The scratch is a reusable buffer; the per-index result must not
+        // depend on residual state, which the closure guarantees by clearing.
+        let f = |scratch: &mut Vec<usize>, i: usize| {
+            scratch.clear();
+            scratch.extend(0..i % 7);
+            scratch.iter().sum::<usize>() + i
+        };
+        for n in [0usize, 1, 13, 1000, 4099] {
+            let seq = ExecutionStrategy::Sequential.map_collect_with(n, Vec::new, f);
+            let par = ExecutionStrategy::Parallel.map_collect_with(n, Vec::new, f);
+            assert_eq!(seq, par);
+            assert_eq!(seq.len(), n);
+        }
+    }
+
+    #[test]
+    fn chunk_collect_with_covers_every_index_once() {
+        for strategy in [ExecutionStrategy::Sequential, ExecutionStrategy::Parallel] {
+            for n in [0usize, 1, 9, 4099] {
+                let chunks = strategy.chunk_collect_with(n, || (), |(), range| range);
+                let mut expected_start = 0;
+                for range in &chunks {
+                    assert_eq!(range.start, expected_start, "{strategy:?}, n = {n}");
+                    expected_start = range.end;
+                }
+                assert_eq!(expected_start, n, "{strategy:?}, n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_collect_with_builds_one_scratch_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let builds = AtomicUsize::new(0);
+        let n = 5000;
+        let out = ExecutionStrategy::Parallel.map_collect_with(
+            n,
+            || builds.fetch_add(1, Ordering::Relaxed),
+            |_, i| i,
+        );
+        assert_eq!(out.len(), n);
+        assert!(builds.load(Ordering::Relaxed) <= ExecutionStrategy::Parallel.threads_for(n));
     }
 
     #[test]

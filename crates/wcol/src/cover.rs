@@ -8,8 +8,8 @@
 //! the experiments (T2, T3) report: measured maximum cluster radius, measured
 //! degree, and the covering property `∀w ∃X ∈ X : N_r[w] ⊆ X`.
 
+use crate::index::WReachIndex;
 use crate::order::LinearOrder;
-use crate::wreach::{min_wreach, restricted_ball};
 use bedom_graph::bfs::{closed_neighborhood, induced_radius};
 use bedom_graph::{Graph, Vertex};
 use bedom_par::ExecutionStrategy;
@@ -90,12 +90,31 @@ impl NeighborhoodCover {
 
 /// Builds the cover of Theorem 4 for radius parameter `r` from an order
 /// witnessing `wcol_2r(G) ≤ c`: cluster `X_v` is the depth-`2r` BFS ball from
-/// `v` restricted to vertices `≥_L v`.
+/// `v` restricted to vertices `≥_L v`, and the home pointers are
+/// `min WReach_r` — both read from **one** [`WReachIndex`] sweep at radius
+/// `2r` (the seed ran two full sweeps here).
 pub fn neighborhood_cover(graph: &Graph, order: &LinearOrder, r: u32) -> NeighborhoodCover {
-    let n = graph.num_vertices();
-    let clusters: Vec<Vec<Vertex>> = ExecutionStrategy::auto_for(n)
-        .map_collect(n, |v| restricted_ball(graph, order, v as Vertex, 2 * r));
-    let home = min_wreach(graph, order, r);
+    let index = WReachIndex::build(graph, order, 2 * r);
+    neighborhood_cover_from_index(&index, r)
+}
+
+/// Builds the Theorem 4 cover for radius parameter `r` from an existing index
+/// built at radius ≥ `2r` — no ball sweep at all. Use this when the caller
+/// already holds the index (e.g. to also read `wcol` from it).
+///
+/// # Panics
+/// Panics if `index.radius() < 2r`.
+pub fn neighborhood_cover_from_index(index: &WReachIndex, r: u32) -> NeighborhoodCover {
+    assert!(
+        index.radius() >= 2 * r,
+        "cover for radius {r} needs an index of radius ≥ {}, got {}",
+        2 * r,
+        index.radius()
+    );
+    let n = index.num_vertices();
+    let clusters: Vec<Vec<Vertex>> =
+        ExecutionStrategy::auto_for(n).map_collect(n, |v| index.ball_at(v as Vertex, 2 * r));
+    let home = index.min_wreach_at(r);
     NeighborhoodCover { r, clusters, home }
 }
 
@@ -146,6 +165,20 @@ mod tests {
         check_cover_properties(&stacked_triangulation(120, 3), 1);
         check_cover_properties(&stacked_triangulation(120, 3), 2);
         check_cover_properties(&maximal_outerplanar(60), 2);
+    }
+
+    #[test]
+    fn cover_from_shared_index_matches_direct_construction() {
+        // An index built at a larger radius (as the domination pipeline holds
+        // one at 2r) serves the cover through depth filtering.
+        let g = stacked_triangulation(100, 11);
+        let order = degeneracy_based_order(&g);
+        let index = WReachIndex::build(&g, &order, 4);
+        let from_index = neighborhood_cover_from_index(&index, 1);
+        let direct = neighborhood_cover(&g, &order, 1);
+        assert_eq!(from_index.clusters, direct.clusters);
+        assert_eq!(from_index.home, direct.home);
+        assert_eq!(from_index.r, direct.r);
     }
 
     #[test]

@@ -22,11 +22,11 @@
 //!   reduction of the quantity being minimised; more expensive but gives the
 //!   smallest constants in practice (used for the ablation in EXPERIMENTS.md).
 
+use crate::index::WReachIndex;
 use crate::order::LinearOrder;
-use crate::wreach::wcol_of_order;
+use bedom_graph::bfs::BfsScratch;
 use bedom_graph::degeneracy::degeneracy_order;
 use bedom_graph::{Graph, Vertex};
-use std::collections::VecDeque;
 
 /// Which heuristic to use to compute an order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -102,39 +102,43 @@ pub fn wreach_greedy_order(graph: &Graph, radius: u32) -> LinearOrder {
     let mut placed = vec![false; n];
     let mut covered = vec![false; n];
     let mut order: Vec<Vertex> = Vec::with_capacity(n);
+    // One epoch-stamped scratch serves every scoring/covering BFS in the
+    // loop — the former fresh `vec![false; n]` per score call was the
+    // dominant cost of this heuristic.
+    let mut scratch = BfsScratch::new(n);
 
     // Priority: number of uncovered vertices within distance r, recomputed
-    // lazily (scores only decrease as vertices get covered).
-    let score = |v: Vertex, placed: &[bool], covered: &[bool], graph: &Graph| -> usize {
-        // BFS to depth r over unplaced vertices, counting uncovered ones.
-        let mut seen = vec![false; graph.num_vertices()];
-        let mut queue = VecDeque::new();
-        let mut count = 0usize;
-        seen[v as usize] = true;
-        queue.push_back((v, 0u32));
-        if !covered[v as usize] {
-            count += 1;
-        }
-        while let Some((x, d)) = queue.pop_front() {
+    // lazily (scores only decrease as vertices get covered). BFS to depth r
+    // over unplaced vertices, counting uncovered ones.
+    fn score(
+        graph: &Graph,
+        v: Vertex,
+        r: u32,
+        placed: &[bool],
+        covered: &[bool],
+        scratch: &mut BfsScratch,
+    ) -> usize {
+        scratch.begin();
+        scratch.try_visit(v, 0);
+        let mut count = usize::from(!covered[v as usize]);
+        let mut head = 0;
+        while let Some(&(x, d)) = scratch.entries().get(head) {
+            head += 1;
             if d >= r {
                 continue;
             }
             for &w in graph.neighbors(x) {
-                if !seen[w as usize] && !placed[w as usize] {
-                    seen[w as usize] = true;
-                    if !covered[w as usize] {
-                        count += 1;
-                    }
-                    queue.push_back((w, d + 1));
+                if !placed[w as usize] && scratch.try_visit(w, d + 1) && !covered[w as usize] {
+                    count += 1;
                 }
             }
         }
         count
-    };
+    }
 
     let mut heap: std::collections::BinaryHeap<(usize, Vertex)> = graph
         .vertices()
-        .map(|v| (score(v, &placed, &covered, graph), v))
+        .map(|v| (score(graph, v, r, &placed, &covered, &mut scratch), v))
         .collect();
 
     while order.len() < n {
@@ -144,7 +148,7 @@ pub fn wreach_greedy_order(graph: &Graph, radius: u32) -> LinearOrder {
         if placed[v as usize] {
             continue;
         }
-        let actual = score(v, &placed, &covered, graph);
+        let actual = score(graph, v, r, &placed, &covered, &mut scratch);
         if actual < claimed {
             heap.push((actual, v));
             continue;
@@ -152,20 +156,18 @@ pub fn wreach_greedy_order(graph: &Graph, radius: u32) -> LinearOrder {
         placed[v as usize] = true;
         order.push(v);
         // Mark the ball of v (over unplaced vertices) as covered.
-        let mut queue = VecDeque::new();
-        let mut seen = vec![false; n];
-        seen[v as usize] = true;
+        scratch.begin();
+        scratch.try_visit(v, 0);
         covered[v as usize] = true;
-        queue.push_back((v, 0u32));
-        while let Some((x, d)) = queue.pop_front() {
+        let mut head = 0;
+        while let Some(&(x, d)) = scratch.entries().get(head) {
+            head += 1;
             if d >= r {
                 continue;
             }
             for &w in graph.neighbors(x) {
-                if !seen[w as usize] && !placed[w as usize] {
-                    seen[w as usize] = true;
+                if !placed[w as usize] && scratch.try_visit(w, d + 1) {
                     covered[w as usize] = true;
-                    queue.push_back((w, d + 1));
                 }
             }
         }
@@ -183,7 +185,7 @@ pub fn wreach_greedy_order(graph: &Graph, radius: u32) -> LinearOrder {
 /// radius `r` (i.e. `max_v |WReach_r[G, L, v]|`).
 pub fn order_with_witnessed_constant(graph: &Graph, r: u32) -> (LinearOrder, usize) {
     let order = degeneracy_based_order(graph);
-    let c = wcol_of_order(graph, &order, r);
+    let c = WReachIndex::build(graph, &order, r).wcol();
     (order, c)
 }
 
@@ -191,6 +193,7 @@ pub fn order_with_witnessed_constant(graph: &Graph, r: u32) -> (LinearOrder, usi
 mod tests {
     use super::*;
     use crate::exact::exact_wcol;
+    use crate::wreach::wcol_of_order;
     use bedom_graph::degeneracy::degeneracy;
     use bedom_graph::generators::{
         cycle, grid, maximal_outerplanar, path, random_ktree, random_tree, stacked_triangulation,

@@ -17,16 +17,18 @@ pub mod cover;
 pub mod distributed;
 pub mod exact;
 pub mod heuristics;
+pub mod index;
 pub mod order;
 pub mod wreach;
 
-pub use cover::{neighborhood_cover, NeighborhoodCover};
+pub use cover::{neighborhood_cover, neighborhood_cover_from_index, NeighborhoodCover};
 pub use distributed::{
     default_threshold, distributed_wcol_order, distributed_wcol_order_with, DistributedOrder,
 };
 pub use heuristics::{
     compute_order, degeneracy_based_order, order_with_witnessed_constant, OrderingStrategy,
 };
+pub use index::{ball_sweeps_on_this_thread, restricted_ball_into, WReachIndex};
 pub use order::LinearOrder;
 pub use wreach::{min_wreach, restricted_ball, wcol_of_order, weak_reachability_sets};
 

@@ -10,103 +10,55 @@
 //! a BFS from `u` restricted to vertices `≥_L u` and to depth `r` visits
 //! exactly the vertices `w` with `u ∈ WReach_r[G, L, w]` — i.e. the cluster
 //! `X_u` for parameter `r`.
+//!
+//! Since the introduction of the shared flat [`WReachIndex`], every entry
+//! point in this module is a thin wrapper that builds (or queries) the index;
+//! callers needing more than one of these quantities for the same
+//! `(graph, order, radius)` should build one [`WReachIndex`] and read all of
+//! them from it, paying for a single ball sweep.
 
+use crate::index::{restricted_ball_into, WReachIndex};
 use crate::order::LinearOrder;
+use bedom_graph::bfs::BfsScratch;
 use bedom_graph::{Graph, Vertex};
-use bedom_par::ExecutionStrategy;
-use std::collections::VecDeque;
 
 /// The set of vertices `w` such that `u ∈ WReach_r[G, L, w]` — this is the
 /// cluster `X_u` of the paper (for the given `r`), computed by a depth-`r`
 /// BFS from `u` restricted to vertices `≥_L u` (paper's Algorithm 3).
 ///
-/// The result is sorted by vertex id and always contains `u` itself.
+/// The result is sorted by vertex id and always contains `u` itself. For a
+/// single ball this allocates one scratch; loops over many sources should
+/// reuse a [`BfsScratch`] via [`restricted_ball_into`] (or build a full
+/// [`WReachIndex`]).
 pub fn restricted_ball(graph: &Graph, order: &LinearOrder, u: Vertex, r: u32) -> Vec<Vertex> {
-    let n = graph.num_vertices();
-    let mut visited = vec![false; n];
-    let mut result = vec![u];
-    let mut queue = VecDeque::new();
-    visited[u as usize] = true;
-    queue.push_back((u, 0u32));
-    while let Some((x, d)) = queue.pop_front() {
-        if d >= r {
-            continue;
-        }
-        for &w in graph.neighbors(x) {
-            if !visited[w as usize] && order.less(u, w) {
-                visited[w as usize] = true;
-                result.push(w);
-                queue.push_back((w, d + 1));
-            }
-        }
-    }
-    result.sort_unstable();
-    result
+    let mut scratch = BfsScratch::new(graph.num_vertices());
+    restricted_ball_into(graph, order, u, r, &mut scratch);
+    scratch.entries().iter().map(|&(w, _)| w).collect()
 }
 
 /// `WReach_r[G, L, v]` for every vertex `v`, each sorted by vertex id.
 ///
-/// Computed by inverting the restricted balls: `u ∈ WReach_r[v]` iff
-/// `v ∈ restricted_ball(u)`. Restricted balls are computed in parallel.
+/// Wrapper: builds a [`WReachIndex`] (one parallel sweep) and materialises
+/// its sets as ragged `Vec`s.
 pub fn weak_reachability_sets(graph: &Graph, order: &LinearOrder, r: u32) -> Vec<Vec<Vertex>> {
-    let n = graph.num_vertices();
-    let balls: Vec<(Vertex, Vec<Vertex>)> = ExecutionStrategy::auto_for(n).map_collect(n, |u| {
-        let u = u as Vertex;
-        (u, restricted_ball(graph, order, u, r))
-    });
-    let mut wreach: Vec<Vec<Vertex>> = vec![Vec::new(); n];
-    for (u, ball) in balls {
-        for w in ball {
-            wreach[w as usize].push(u);
-        }
-    }
-    for set in &mut wreach {
-        set.sort_unstable();
-    }
-    wreach
+    WReachIndex::build(graph, order, r).wreach_sets()
 }
 
 /// The weak `r`-colouring number achieved by `order`:
 /// `max_v |WReach_r[G, L, v]|`. Returns 0 for the empty graph.
 pub fn wcol_of_order(graph: &Graph, order: &LinearOrder, r: u32) -> usize {
-    weak_reachability_sets(graph, order, r)
-        .iter()
-        .map(Vec::len)
-        .max()
-        .unwrap_or(0)
+    WReachIndex::build(graph, order, r).wcol()
 }
 
 /// The distribution of `|WReach_r|` values: `(max, mean)`.
 pub fn wcol_profile(graph: &Graph, order: &LinearOrder, r: u32) -> (usize, f64) {
-    let sets = weak_reachability_sets(graph, order, r);
-    if sets.is_empty() {
-        return (0, 0.0);
-    }
-    let max = sets.iter().map(Vec::len).max().unwrap();
-    let mean = sets.iter().map(Vec::len).sum::<usize>() as f64 / sets.len() as f64;
-    (max, mean)
+    WReachIndex::build(graph, order, r).wcol_profile()
 }
 
 /// The `L`-minimum of `WReach_r[G, L, v]` for every `v` — the vertex each `w`
 /// "elects as its dominator" in the paper's construction (Equation (2)).
-///
-/// Computed directly (without materialising the full sets) by taking, over all
-/// `u` whose restricted ball contains `v`, the `L`-smallest such `u`.
 pub fn min_wreach(graph: &Graph, order: &LinearOrder, r: u32) -> Vec<Vertex> {
-    let n = graph.num_vertices();
-    let balls: Vec<(Vertex, Vec<Vertex>)> = ExecutionStrategy::auto_for(n).map_collect(n, |u| {
-        let u = u as Vertex;
-        (u, restricted_ball(graph, order, u, r))
-    });
-    let mut best: Vec<Vertex> = (0..n as Vertex).collect();
-    for (u, ball) in balls {
-        for w in ball {
-            if order.less(u, best[w as usize]) {
-                best[w as usize] = u;
-            }
-        }
-    }
-    best
+    WReachIndex::build(graph, order, r).into_min_wreach()
 }
 
 /// Brute-force check of weak `r`-reachability between a single pair, by

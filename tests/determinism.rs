@@ -35,6 +35,23 @@ fn instances() -> Vec<(&'static str, Graph)> {
 }
 
 #[test]
+fn wreach_index_build_is_strategy_independent() {
+    // The shared flat index is built through bedom-par's thread-local-scratch
+    // chunked sweep; sequential and parallel builds must be bit-identical
+    // (same CSR offsets, data, depths and elected minima), because every
+    // analysis quantity downstream is read straight out of the index.
+    use bedom::wcol::{degeneracy_based_order, WReachIndex};
+    for (name, g) in instances() {
+        let order = degeneracy_based_order(&g);
+        for radius in [1u32, 3] {
+            let [a, b] =
+                STRATEGIES.map(|strategy| WReachIndex::build_with(&g, &order, radius, strategy));
+            assert_eq!(a, b, "{name}, radius {radius}: index build diverged");
+        }
+    }
+}
+
+#[test]
 fn wcol_order_is_strategy_independent() {
     for (name, g) in instances() {
         let run = |strategy| {

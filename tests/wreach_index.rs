@@ -1,0 +1,179 @@
+//! Equivalence suite for the shared flat [`WReachIndex`]: the index must
+//! reproduce, exactly, what the seed's per-consumer ball sweeps computed —
+//! the `WReach_r` sets, the restricted balls, the elected minima and the
+//! witnessed constants — and must agree with the exponential brute-force
+//! definition of weak reachability on small graphs.
+
+use bedom::graph::generators::{cycle, grid, path, random_tree, stacked_triangulation, star};
+use bedom::graph::{graph_from_edges, Graph, Vertex};
+use bedom::wcol::wreach::is_weakly_reachable_bruteforce;
+use bedom::wcol::{
+    degeneracy_based_order, min_wreach, neighborhood_cover, neighborhood_cover_from_index,
+    restricted_ball, wcol_of_order, weak_reachability_sets, LinearOrder, WReachIndex,
+};
+use std::collections::VecDeque;
+
+/// An independent reference implementation (the seed's algorithm, kept
+/// verbatim here so the wrappers under test cannot mask a shared bug): a
+/// fresh restricted BFS per source, inverted into ragged sets.
+fn reference_sets(graph: &Graph, order: &LinearOrder, r: u32) -> Vec<Vec<Vertex>> {
+    let n = graph.num_vertices();
+    let mut wreach: Vec<Vec<Vertex>> = vec![Vec::new(); n];
+    for u in graph.vertices() {
+        let mut visited = vec![false; n];
+        let mut ball = vec![u];
+        let mut queue = VecDeque::new();
+        visited[u as usize] = true;
+        queue.push_back((u, 0u32));
+        while let Some((x, d)) = queue.pop_front() {
+            if d >= r {
+                continue;
+            }
+            for &w in graph.neighbors(x) {
+                if !visited[w as usize] && order.less(u, w) {
+                    visited[w as usize] = true;
+                    ball.push(w);
+                    queue.push_back((w, d + 1));
+                }
+            }
+        }
+        for w in ball {
+            wreach[w as usize].push(u);
+        }
+    }
+    for set in &mut wreach {
+        set.sort_unstable();
+    }
+    wreach
+}
+
+fn instances() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("path", path(30)),
+        ("cycle", cycle(25)),
+        ("star", star(20)),
+        ("grid", grid(6, 7)),
+        ("random-tree", random_tree(80, 13)),
+        ("planar-tri", stacked_triangulation(120, 5)),
+        (
+            "disconnected",
+            graph_from_edges(9, &[(0, 1), (1, 2), (3, 4), (6, 7), (7, 8)]),
+        ),
+    ]
+}
+
+fn orders_for(n: usize) -> Vec<LinearOrder> {
+    vec![
+        LinearOrder::identity(n),
+        LinearOrder::from_order((0..n as Vertex).rev().collect()),
+    ]
+}
+
+#[test]
+fn index_matches_the_seed_reference_and_the_wrappers() {
+    for (name, g) in instances() {
+        let mut orders = orders_for(g.num_vertices());
+        orders.push(degeneracy_based_order(&g));
+        for (oi, order) in orders.iter().enumerate() {
+            for r in 0..=3u32 {
+                let reference = reference_sets(&g, order, r);
+                let index = WReachIndex::build(&g, order, r);
+                let tag = format!("{name}, order {oi}, r = {r}");
+
+                assert_eq!(index.wreach_sets(), reference, "{tag}: sets");
+                assert_eq!(weak_reachability_sets(&g, order, r), reference, "{tag}");
+                let expected_wcol = reference.iter().map(Vec::len).max().unwrap_or(0);
+                assert_eq!(index.wcol(), expected_wcol, "{tag}: wcol");
+                assert_eq!(wcol_of_order(&g, order, r), expected_wcol, "{tag}");
+
+                let mins = min_wreach(&g, order, r);
+                assert_eq!(index.min_wreach(), &mins[..], "{tag}: min_wreach");
+                for v in g.vertices() {
+                    assert_eq!(
+                        Some(mins[v as usize]),
+                        order.min_of(&reference[v as usize]),
+                        "{tag}, v = {v}"
+                    );
+                    // The CSR slices are the same sets, and the balls match
+                    // the per-source wrapper.
+                    assert_eq!(index.wreach(v), &reference[v as usize][..], "{tag}");
+                    assert_eq!(
+                        index.ball(v),
+                        &restricted_ball(&g, order, v, r)[..],
+                        "{tag}, ball of {v}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn index_matches_bruteforce_weak_reachability_on_small_graphs() {
+    let g = graph_from_edges(
+        7,
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+            (6, 0),
+            (1, 4),
+        ],
+    );
+    let order = LinearOrder::from_order(vec![4, 2, 6, 0, 3, 5, 1]);
+    for r in 0..=3u32 {
+        let index = WReachIndex::build(&g, &order, r);
+        for v in 0..7u32 {
+            for u in 0..7u32 {
+                let in_index = index.wreach(v).contains(&u);
+                let brute = is_weakly_reachable_bruteforce(&g, &order, v, u, r);
+                assert_eq!(in_index, brute, "r = {r}, v = {v}, u = {u}");
+            }
+        }
+    }
+}
+
+#[test]
+fn one_index_at_2r_answers_every_smaller_radius() {
+    // The compute-once contract behind the single-sweep domination pipeline:
+    // depth-filtered views of an index built at 2r equal fresh builds at r.
+    let g = stacked_triangulation(150, 2);
+    let order = degeneracy_based_order(&g);
+    let r = 2u32;
+    let big = WReachIndex::build(&g, &order, 2 * r);
+    for small_r in 0..=2 * r {
+        let small = WReachIndex::build(&g, &order, small_r);
+        assert_eq!(big.wcol_at(small_r), small.wcol(), "r = {small_r}");
+        assert_eq!(
+            big.min_wreach_at(small_r),
+            small.min_wreach(),
+            "r = {small_r}"
+        );
+        for v in g.vertices().step_by(7) {
+            assert_eq!(big.wreach_at(v, small_r), small.wreach(v), "r = {small_r}");
+            assert_eq!(big.ball_at(v, small_r), small.ball(v), "r = {small_r}");
+        }
+    }
+    // And the cover built from that same index equals the direct cover.
+    let from_index = neighborhood_cover_from_index(&big, r);
+    let direct = neighborhood_cover(&g, &order, r);
+    assert_eq!(from_index.clusters, direct.clusters);
+    assert_eq!(from_index.home, direct.home);
+}
+
+#[test]
+fn sequential_pipeline_built_on_the_index_stays_correct_end_to_end() {
+    use bedom::core::domset_via_min_wreach;
+    use bedom::graph::domset::is_distance_dominating_set;
+    let g = stacked_triangulation(200, 17);
+    let order = degeneracy_based_order(&g);
+    for r in [1u32, 2] {
+        let result = domset_via_min_wreach(&g, &order, r);
+        assert!(is_distance_dominating_set(&g, &result.dominating_set, r));
+        assert_eq!(result.witnessed_constant, wcol_of_order(&g, &order, 2 * r));
+        assert_eq!(result.dominator_of, min_wreach(&g, &order, r));
+    }
+}
