@@ -5,25 +5,30 @@
 //! see DESIGN.md §3 for the mapping):
 //!
 //! ```text
-//! cargo run --release -p bedom-bench --bin experiments -- [t1|t2|t3|t4|t5|t6|f1|f2|f3|f4|all] [--quick]
+//! cargo run --release -p bedom-bench --bin experiments -- [t1|t2|t3|t4|t5|t6|f1|f2|f3|f4|s1|all] [--quick]
 //! ```
 //!
 //! `--quick` shrinks instance sizes so the full suite finishes in a couple of
 //! minutes; the default sizes are the ones EXPERIMENTS.md reports.
+//!
+//! The distributed experiments construct their phases from a shared
+//! [`DistContext`] per instance (one order phase, one weak-reachability
+//! protocol run, one lazy index sweep feeding every reported quantity), and
+//! `s1` exercises the sharded multi-graph scenario runner.
 
 use bedom_bench::{compared_algorithms, connected_instance, format_quality_table, QualityRow};
 use bedom_core::{
     approximate_distance_domination, distributed_connected_domination,
-    distributed_distance_domination, distributed_neighborhood_cover, local_connect,
-    DistConnectedConfig, DistCoverConfig, DistDomSetConfig,
+    distributed_distance_domination, distributed_distance_domination_in,
+    distributed_neighborhood_cover_in, local_connect, solve_scenario, DistConnectedConfig,
+    DistContext, DistContextConfig, DistDomSetConfig, DominationPipeline, Mode,
 };
 use bedom_distsim::{log2_ceil, ExecutionStrategy, IdAssignment};
 use bedom_graph::domset::{exact_distance_dominating_set, packing_lower_bound};
 use bedom_graph::generators::Family;
 use bedom_graph::metrics::shallow_minor_density_estimate;
-use bedom_wcol::{
-    neighborhood_cover, neighborhood_cover_from_index, OrderingStrategy, WReachIndex,
-};
+use bedom_graph::Graph;
+use bedom_wcol::{neighborhood_cover_from_index, OrderingStrategy, WReachIndex};
 use std::time::Instant;
 
 struct Scale {
@@ -83,6 +88,9 @@ fn main() {
     }
     if wants("f4") {
         figure_f4(&scale);
+    }
+    if wants("s1") {
+        scenario_s1(&scale);
     }
 }
 
@@ -158,7 +166,10 @@ fn table_t2(scale: &Scale) {
     }
 }
 
-/// T3 — distributed covers equal sequential covers (Theorem 8).
+/// T3 — distributed covers equal sequential covers (Theorem 8). Both the
+/// cover and the comparison run from one shared `DistContext` per instance:
+/// the sequential reference clusters are read from the context's single
+/// index sweep instead of a dedicated re-sweep.
 fn table_t3(scale: &Scale) {
     println!("\n===== T3: distributed neighbourhood covers (Theorem 8) =====");
     println!(
@@ -172,9 +183,10 @@ fn table_t3(scale: &Scale) {
     ] {
         for r in [1u32, 2] {
             let graph = connected_instance(family, scale.n(6_000), 5);
-            let dist = distributed_neighborhood_cover(&graph, DistCoverConfig::new(r)).unwrap();
+            let ctx = DistContext::elect(&graph, DistContextConfig::for_domination(r)).unwrap();
+            let dist = distributed_neighborhood_cover_in(&ctx, r).unwrap();
             let collected = dist.to_neighborhood_cover(&graph);
-            let seq = neighborhood_cover(&graph, &dist.order, r);
+            let seq = neighborhood_cover_from_index(ctx.index(), r);
             println!(
                 "{:<14} {:>8} {:>3} {:>7} {:>10} {:>12} {:>10} {:>8}",
                 family.name(),
@@ -342,19 +354,25 @@ fn figure_f1(scale: &Scale) {
     }
 }
 
-/// F2 — message sizes vs the Lemma 7 budget.
+/// F2 — message sizes vs the Lemma 7 budget. The run and the constants come
+/// from one shared `DistContext` per instance: `c-meas` is the protocol's
+/// measured constant, `c-wit` the index-witnessed `wcol_2r` of the elected
+/// order (both must agree — the protocol computes exact WReach sets).
 fn figure_f2(scale: &Scale) {
     println!("\n===== F2: message sizes vs the O(c²·r·log n) budget (Lemma 7 / Theorem 9) =====");
     println!(
-        "{:<14} {:>8} {:>3} {:>5} {:>16} {:>16} {:>14}",
-        "family", "n", "r", "c", "max-msg-bits", "max-vertex-bits", "budget-bits"
+        "{:<14} {:>8} {:>3} {:>6} {:>6} {:>16} {:>16} {:>14}",
+        "family", "n", "r", "c-meas", "c-wit", "max-msg-bits", "max-vertex-bits", "budget-bits"
     );
     for family in [Family::Grid, Family::PlanarTriangulation, Family::ChungLu] {
         for n in [scale.n(2_000), scale.n(16_000)] {
             let graph = connected_instance(family, n, 3);
             let r = 2;
-            let result = distributed_distance_domination(&graph, DistDomSetConfig::new(r)).unwrap();
+            let ctx = DistContext::elect(&graph, DistContextConfig::for_domination(r)).unwrap();
+            let result = distributed_distance_domination_in(&ctx, r).unwrap();
             let c = result.measured_constant.max(1);
+            let witnessed = ctx.witnessed_constant(2 * r);
+            assert_eq!(c, witnessed.max(1), "protocol and index constants differ");
             let budget = 8 * c * c * (2 * r as usize + 1) * log2_ceil(graph.num_vertices());
             let max_vertex_bits = result
                 .phase_stats
@@ -363,11 +381,12 @@ fn figure_f2(scale: &Scale) {
                 .max()
                 .unwrap_or(0);
             println!(
-                "{:<14} {:>8} {:>3} {:>5} {:>16} {:>16} {:>14}",
+                "{:<14} {:>8} {:>3} {:>6} {:>6} {:>16} {:>16} {:>14}",
                 family.name(),
                 graph.num_vertices(),
                 r,
                 c,
+                witnessed,
                 result.max_message_bits(),
                 max_vertex_bits,
                 budget
@@ -398,6 +417,90 @@ fn figure_f3(scale: &Scale) {
                 elapsed.as_nanos() as f64 / graph.num_vertices() as f64
             );
         }
+    }
+}
+
+/// S1 — the sharded multi-graph scenario runner: a batch of independent
+/// `(graph, pipeline)` instances across families and radii, executed under
+/// both shard strategies and checked bit-identical.
+fn scenario_s1(scale: &Scale) {
+    println!("\n===== S1: sharded multi-graph scenario batch (distributed pipelines) =====");
+    let families = [
+        Family::PlanarTriangulation,
+        Family::Grid,
+        Family::RandomTree,
+        Family::ConfigurationModel,
+        Family::TwoTree,
+        Family::ChungLu,
+    ];
+    let shards: Vec<(Graph, DominationPipeline)> = families
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &family)| {
+            let graph = connected_instance(family, scale.n(2_000), i as u64 + 1);
+            [1u32, 2].map(|r| {
+                (
+                    graph.clone(),
+                    DominationPipeline::new(r).mode(Mode::Distributed).seed(7),
+                )
+            })
+        })
+        .collect();
+
+    let mut timings = Vec::new();
+    let mut reports = Vec::new();
+    for strategy in [ExecutionStrategy::Sequential, ExecutionStrategy::Parallel] {
+        let start = Instant::now();
+        let report = solve_scenario(&shards, strategy).unwrap();
+        timings.push((strategy, start.elapsed()));
+        reports.push(report);
+    }
+    let digest =
+        |report: &bedom_distsim::scenario::ScenarioReport<bedom_core::DominationReport>| {
+            report
+                .shards
+                .iter()
+                .map(|s| (s.shard, s.output.dominating_set.clone(), s.metrics))
+                .collect::<Vec<_>>()
+        };
+    assert_eq!(
+        digest(&reports[0]),
+        digest(&reports[1]),
+        "scenario batch must be strategy-independent"
+    );
+
+    println!(
+        "{:<7} {:<14} {:>8} {:>3} {:>8} {:>7} {:>12} {:>7}",
+        "shard", "family", "n", "r", "|D|", "rounds", "bits", "sweeps"
+    );
+    for shard in &reports[0].shards {
+        let family = families[shard.shard / 2];
+        println!(
+            "{:<7} {:<14} {:>8} {:>3} {:>8} {:>7} {:>12} {:>7}",
+            shard.shard,
+            family.name(),
+            shards[shard.shard].0.num_vertices(),
+            shard.output.r,
+            shard.output.dominating_set.len(),
+            shard.metrics.rounds,
+            shard.metrics.total_bits,
+            shard.metrics.ball_sweeps
+        );
+    }
+    let report = &reports[0];
+    println!(
+        "aggregate: {} shards, {} rounds, {} bits, {} sweeps (one per shard)",
+        report.num_shards(),
+        report.total_rounds(),
+        report.total_message_bits(),
+        report.total_ball_sweeps()
+    );
+    for (strategy, elapsed) in timings {
+        println!(
+            "  shard strategy {:>10?}: {:.1} ms",
+            strategy,
+            elapsed.as_secs_f64() * 1e3
+        );
     }
 }
 

@@ -17,11 +17,12 @@
 //! simultaneously forwarded paths by `c' = c(2r+1)` — the same bookkeeping as
 //! in the proof of Theorem 10.
 
-use crate::dist_domset::{DistDomSetConfig, DistDomSetResult};
+use crate::context::{DistContext, DistContextConfig};
+use crate::dist_domset::{distributed_distance_domination_in, DistDomSetConfig, DistDomSetResult};
 use crate::dist_wreach::PathSetMessage;
 use bedom_distsim::{
-    Engine, IdAssignment, Inbox, Model, ModelViolation, Network, NodeAlgorithm, NodeContext,
-    Outgoing, RunPolicy, RunStats,
+    Engine, IdAssignment, Inbox, ModelViolation, Network, NodeAlgorithm, NodeContext, Outgoing,
+    RunPolicy, RunStats,
 };
 use bedom_graph::{Graph, Vertex};
 use std::collections::BTreeSet;
@@ -134,21 +135,48 @@ impl DistConnectedResult {
 /// plain one).
 pub type DistConnectedConfig = DistDomSetConfig;
 
-/// Runs the full Theorem 10 pipeline.
+/// Runs the full Theorem 10 pipeline: elects a fresh [`DistContext`] at
+/// reach radius `2r + 1` and solves in it.
 pub fn distributed_connected_domination(
     graph: &Graph,
     config: DistConnectedConfig,
 ) -> Result<DistConnectedResult, ModelViolation> {
-    let n = graph.num_vertices();
-    let r = config.r;
+    let ctx = DistContext::elect(
+        graph,
+        DistContextConfig {
+            assignment: config.assignment,
+            bandwidth_logs: config.bandwidth_logs,
+            strategy: config.strategy,
+            ..DistContextConfig::for_connected_domination(config.r)
+        },
+    )?;
+    distributed_connected_domination_in(&ctx, config.r)
+}
 
-    // Phases 1–3 of Theorem 9, but with reach radius 2r + 1 as Theorem 10
-    // requires. We reuse the dominating-set pipeline and simply ask the
-    // weak-reachability phase for the larger radius by running it through the
-    // same entry point with a custom rho: the dominating-set election only
-    // uses paths of length ≤ r, so electing from a (2r+1)-radius run yields
-    // the same D (|WReach_2r| ≤ |WReach_{2r+1}|, as the paper notes).
-    let domset = distributed_distance_domination_with_rho(graph, config, 2 * r + 1)?;
+/// Runs Theorem 10 against an existing [`DistContext`] (reach radius
+/// `≥ 2r + 1`): the dominating-set election of Theorem 9 and the
+/// path-flooding phase both read the context's single weak-reachability
+/// execution — electing from the `(2r+1)`-radius run yields the same `D`
+/// because the election only uses paths of length ≤ `r`
+/// (`|WReach_2r| ≤ |WReach_{2r+1}|`, as the paper notes).
+///
+/// # Panics
+/// Panics if `ctx.max_radius() < 2r + 1`.
+pub fn distributed_connected_domination_in(
+    ctx: &DistContext<'_>,
+    r: u32,
+) -> Result<DistConnectedResult, ModelViolation> {
+    assert!(
+        ctx.max_radius() > 2 * r,
+        "connected radius-{r} domination needs a context of reach radius ≥ {}, got {}",
+        2 * r + 1,
+        ctx.max_radius()
+    );
+    let graph = ctx.graph();
+    let n = graph.num_vertices();
+
+    // Phases 1–3 of Theorem 9, shared through the context.
+    let domset = distributed_distance_domination_in(ctx, r)?;
 
     if n == 0 {
         return Ok(DistConnectedResult {
@@ -162,12 +190,15 @@ pub fn distributed_connected_domination(
         });
     }
 
-    // Phase 4: path flooding from the members of D.
-    let id_bits = bedom_distsim::log2_ceil(n.max(2).pow(2)) + 8;
-    let model = match config.bandwidth_logs {
-        Some(k) => Model::congest_bc_scaled(k),
-        None => Model::Local,
-    };
+    // Phase 4: path flooding from the members of D, seeded from the
+    // context's cached weak-reachability outputs. A context at a reach
+    // radius beyond 2r + 1 holds farther-reaching paths that belong to
+    // WReach sets Theorem 10 never uses; filter them out (same as the cover
+    // does), or the 2r + 2-round flood budget and the blow-up bound would
+    // not hold. At an exact-radius context the filter is a no-op.
+    let rho = 2 * r as usize + 1;
+    let within_rho = |path: &[u64]| path.len().saturating_sub(1) <= rho;
+    let id_bits = ctx.id_bits();
     let in_d: Vec<bool> = {
         let mut flags = vec![false; n];
         for &v in &domset.dominating_set {
@@ -175,17 +206,21 @@ pub fn distributed_connected_domination(
         }
         flags
     };
-    let wreach_info = &domset.wreach.info;
-    let mut flood = Network::new(graph, model, IdAssignment::Natural, |v, _ctx| {
+    let wreach_info = &ctx.wreach()?.info;
+    let mut flood = Network::new(graph, ctx.model(), IdAssignment::Natural, |v, _ctx| {
         let info = &wreach_info[v as usize];
         let seed_paths = if in_d[v as usize] {
-            info.paths.values().map(<[u64]>::to_vec).collect()
+            info.paths
+                .values()
+                .filter(|path| within_rho(path))
+                .map(<[u64]>::to_vec)
+                .collect()
         } else {
             Vec::new()
         };
         PathFloodNode::new(info.sid, id_bits, in_d[v as usize], seed_paths)
     });
-    flood.set_strategy(config.strategy);
+    flood.set_strategy(ctx.strategy());
     // Paths have at most 2r + 2 vertices, so 2r + 2 rounds let every path
     // reach all of its vertices.
     Engine::new(&mut flood).run(RunPolicy::fixed(2 * r as usize + 2))?;
@@ -201,7 +236,13 @@ pub fn distributed_connected_domination(
     } else {
         connected_dominating_set.len() as f64 / domset.dominating_set.len() as f64
     };
-    let measured_constant = domset.measured_constant;
+    // c' = max_w |WReach_{2r+1}[w]|, length-filtered for the same reason as
+    // the seeds (equals the protocol's measured constant at exact radius).
+    let measured_constant = wreach_info
+        .iter()
+        .map(|info| info.paths.values().filter(|path| within_rho(path)).count())
+        .max()
+        .unwrap_or(0);
     Ok(DistConnectedResult {
         dominating_set: domset.dominating_set.clone(),
         connected_dominating_set,
@@ -211,19 +252,6 @@ pub fn distributed_connected_domination(
         measured_constant,
         domset,
     })
-}
-
-/// Internal variant of the Theorem 9 pipeline that allows a custom reach
-/// radius for the weak-reachability phase (Theorem 10 needs `2r + 1`).
-fn distributed_distance_domination_with_rho(
-    graph: &Graph,
-    config: DistDomSetConfig,
-    rho: u32,
-) -> Result<DistDomSetResult, ModelViolation> {
-    // The public pipeline hard-codes rho = 2r; re-run its phases here with
-    // the larger radius by temporarily inflating r for the reachability phase
-    // only. Election still uses paths of ≤ r edges.
-    crate::dist_domset::distributed_distance_domination_inner(graph, config, rho)
 }
 
 #[cfg(test)]
@@ -316,6 +344,29 @@ mod tests {
             rounds[2] <= rounds[0] + 8,
             "rounds grew too fast: {rounds:?}"
         );
+    }
+
+    #[test]
+    fn oversized_context_matches_the_exact_radius_run() {
+        // A context with a larger reach radius than Theorem 10 needs must
+        // yield the same connected set as a dedicated 2r+1 context: the
+        // flood seeds and the measured constant are filtered to path
+        // lengths ≤ 2r+1, so farther-reaching paths of the bigger context
+        // cannot leak into the construction.
+        let g = stacked_triangulation(120, 8);
+        let r = 1;
+        let config = |max_radius| crate::DistContextConfig {
+            assignment: IdAssignment::Shuffled(23),
+            ..crate::DistContextConfig::new(max_radius)
+        };
+        let exact_ctx = crate::DistContext::elect(&g, config(2 * r + 1)).unwrap();
+        let big_ctx = crate::DistContext::elect(&g, config(2 * r + 3)).unwrap();
+        let exact = distributed_connected_domination_in(&exact_ctx, r).unwrap();
+        let big = distributed_connected_domination_in(&big_ctx, r).unwrap();
+        assert_eq!(exact.dominating_set, big.dominating_set);
+        assert_eq!(exact.connected_dominating_set, big.connected_dominating_set);
+        assert_eq!(exact.measured_constant, big.measured_constant);
+        assert!(is_induced_connected(&g, &big.connected_dominating_set));
     }
 
     #[test]

@@ -10,11 +10,10 @@
 //! global (collected) view used by the experiments, and verifies that it
 //! coincides with the sequential cover built from the same order.
 
-use crate::dist_wreach::{distributed_weak_reachability, DistributedWReach, WReachConfig};
+use crate::context::{DistContext, DistContextConfig};
 use bedom_distsim::{ExecutionStrategy, IdAssignment, ModelViolation, RunStats};
 use bedom_graph::{Graph, Vertex};
-use bedom_wcol::{default_threshold, distributed_wcol_order_with, LinearOrder, NeighborhoodCover};
-use std::collections::HashMap;
+use bedom_wcol::{LinearOrder, NeighborhoodCover};
 
 /// Distributed representation of an `r`-neighbourhood cover.
 #[derive(Clone, Debug)]
@@ -27,6 +26,11 @@ pub struct DistributedCover {
     /// (as graph vertices) with `w ∈ X_v`, together with the routing path
     /// (as graph vertices, from the centre to `w`).
     pub memberships: Vec<Vec<(Vertex, Vec<Vertex>)>>,
+    /// `home[w]` = the centre whose cluster is guaranteed to contain
+    /// `N_r[w]` (namely `min WReach_r[w]`, Lemma 6) — computed *locally* by
+    /// each vertex as the `L`-minimum of its memberships with a stored path
+    /// of at most `r` edges; no extra rounds and no ball sweep.
+    pub home: Vec<Vertex>,
     /// Rounds used by the order phase.
     pub order_rounds: usize,
     /// Rounds used by the weak-reachability phase.
@@ -62,14 +66,16 @@ impl DistributedCover {
 
     /// Converts to the sequential [`NeighborhoodCover`] form (same clusters,
     /// plus the per-vertex home-cluster pointers) for reuse of its
-    /// verification methods.
+    /// verification methods. Pure packaging of the distributed
+    /// representation — the homes were already computed locally during the
+    /// protocol, so no ball sweep happens here (the pre-context version
+    /// re-swept `min WReach_r` on every call).
     pub fn to_neighborhood_cover(&self, graph: &Graph) -> NeighborhoodCover {
         let clusters = self.collect_clusters(graph.num_vertices());
-        let home = bedom_wcol::min_wreach(graph, &self.order, self.r);
         NeighborhoodCover {
             r: self.r,
             clusters,
-            home,
+            home: self.home.clone(),
         }
     }
 }
@@ -108,75 +114,103 @@ impl DistCoverConfig {
     }
 }
 
-/// Runs the Theorem 8 pipeline: order phase + weak reachability with
-/// `ρ = 2r`, and packages the per-vertex cover representation.
+/// Runs the Theorem 8 pipeline: elects a fresh [`DistContext`] at reach
+/// radius `2r` and packages the cover representation from it.
 pub fn distributed_neighborhood_cover(
     graph: &Graph,
     config: DistCoverConfig,
 ) -> Result<DistributedCover, ModelViolation> {
-    let n = graph.num_vertices();
-    let order_phase = distributed_wcol_order_with(
+    let ctx = DistContext::elect(
         graph,
-        default_threshold(graph),
-        config.assignment,
-        config.strategy,
+        DistContextConfig {
+            assignment: config.assignment,
+            bandwidth_logs: config.bandwidth_logs,
+            strategy: config.strategy,
+            ..DistContextConfig::for_domination(config.r)
+        },
     )?;
-    if n == 0 {
+    distributed_neighborhood_cover_in(&ctx, config.r)
+}
+
+/// Packages the Theorem 8 cover representation from an existing
+/// [`DistContext`] — no additional protocol phase: the per-vertex
+/// memberships *are* the weak-reachability outputs the context already
+/// holds. A context at a reach radius larger than `2r` (e.g. the `2r + 1` of
+/// a connected-domination run) serves the radius-`2r` cover by filtering the
+/// stored paths to at most `2r` edges (they are restricted shortest paths,
+/// so the filter recovers `WReach_2r` exactly).
+///
+/// # Panics
+/// Panics if `ctx.max_radius() < 2r`.
+pub fn distributed_neighborhood_cover_in(
+    ctx: &DistContext<'_>,
+    r: u32,
+) -> Result<DistributedCover, ModelViolation> {
+    assert!(
+        ctx.max_radius() >= 2 * r,
+        "radius-{r} cover needs a context of reach radius ≥ {}, got {}",
+        2 * r,
+        ctx.max_radius()
+    );
+    let graph = ctx.graph();
+    if graph.num_vertices() == 0 {
         return Ok(DistributedCover {
-            r: config.r,
+            r,
             order: LinearOrder::identity(0),
             memberships: Vec::new(),
+            home: Vec::new(),
             order_rounds: 0,
             wreach_rounds: 0,
             phase_stats: Vec::new(),
             measured_constant: 0,
         });
     }
-    let wreach: DistributedWReach = distributed_weak_reachability(
-        graph,
-        &order_phase.super_ids,
-        WReachConfig {
-            rho: 2 * config.r,
-            bandwidth_logs: config.bandwidth_logs,
-            strategy: config.strategy,
-        },
-    )?;
+    let wreach = ctx.wreach()?;
 
-    let sid_lookup: HashMap<u64, Vertex> = graph
-        .vertices()
-        .map(|v| (order_phase.super_ids[v as usize], v))
-        .collect();
-    let memberships: Vec<Vec<(Vertex, Vec<Vertex>)>> = wreach
-        .info
-        .iter()
-        .map(|info| {
-            info.paths
-                .iter()
-                .map(|(center_sid, path)| {
-                    let center = sid_lookup[&center_sid];
-                    let path_vertices: Vec<Vertex> =
-                        path.iter().map(|sid| sid_lookup[sid]).collect();
-                    (center, path_vertices)
-                })
-                .collect()
-        })
-        .collect();
-
-    let mut rank_keys: Vec<(u64, Vertex)> = graph
-        .vertices()
-        .map(|v| (order_phase.super_ids[v as usize], v))
-        .collect();
-    rank_keys.sort_unstable();
-    let order = LinearOrder::from_order(rank_keys.into_iter().map(|(_, v)| v).collect());
+    let resolve = |sid: u64| -> Vertex {
+        ctx.vertex_of_sid(sid)
+            .expect("path sid must belong to a vertex")
+    };
+    let mut memberships: Vec<Vec<(Vertex, Vec<Vertex>)>> = Vec::with_capacity(wreach.info.len());
+    let mut home: Vec<Vertex> = Vec::with_capacity(wreach.info.len());
+    let mut measured_constant = 0;
+    for (w, info) in wreach.info.iter().enumerate() {
+        let mut entries: Vec<(Vertex, Vec<Vertex>)> = Vec::with_capacity(info.paths.len());
+        // Each vertex derives its home locally: the L-minimum membership
+        // whose stored path has at most r edges is min WReach_r[w] (paths are
+        // restricted shortest paths). Stored sids increase along the store,
+        // and smaller sid = smaller in L, so the first short-enough entry is
+        // the home.
+        let mut my_home = w as Vertex;
+        let mut home_found = false;
+        for (center_sid, path) in info.paths.iter() {
+            let edges = path.len().saturating_sub(1) as u32;
+            if edges > 2 * r {
+                // A larger-radius context may hold farther-reaching paths;
+                // they belong to WReach beyond 2r, not to this cover.
+                continue;
+            }
+            if !home_found && edges <= r {
+                my_home = resolve(center_sid);
+                home_found = true;
+            }
+            let path_vertices: Vec<Vertex> = path.iter().map(|&sid| resolve(sid)).collect();
+            entries.push((resolve(center_sid), path_vertices));
+        }
+        measured_constant = measured_constant.max(entries.len());
+        memberships.push(entries);
+        home.push(my_home);
+    }
 
     Ok(DistributedCover {
-        r: config.r,
-        order,
+        r,
+        order: ctx.order().clone(),
         memberships,
-        order_rounds: order_phase.rounds,
+        home,
+        order_rounds: ctx.order_rounds(),
         wreach_rounds: wreach.rounds,
-        measured_constant: wreach.measured_constant(),
-        phase_stats: vec![order_phase.stats, wreach.stats],
+        measured_constant,
+        phase_stats: vec![ctx.order_stats().clone(), wreach.stats.clone()],
     })
 }
 
@@ -260,6 +294,44 @@ mod tests {
         let g = Graph::empty(0);
         let cover = distributed_neighborhood_cover(&g, DistCoverConfig::new(2)).unwrap();
         assert!(cover.memberships.is_empty());
+        assert!(cover.home.is_empty());
         assert_eq!(cover.total_rounds(), 0);
+    }
+
+    #[test]
+    fn locally_computed_homes_equal_the_sequential_min_wreach() {
+        let g = stacked_triangulation(120, 13);
+        let cover = distributed_neighborhood_cover(&g, DistCoverConfig::new(2)).unwrap();
+        assert_eq!(
+            cover.home,
+            bedom_wcol::min_wreach(&g, &cover.order, 2),
+            "per-vertex local home election must match min WReach_r"
+        );
+    }
+
+    #[test]
+    fn larger_radius_context_serves_the_cover_through_path_filtering() {
+        // A 2r+1 context (as a connected-domination run holds) must produce
+        // exactly the cover a dedicated 2r context produces: same clusters,
+        // same homes, same measured degree bound.
+        let g = stacked_triangulation(100, 4);
+        let r = 1;
+        let config = |max_radius| DistContextConfig {
+            assignment: IdAssignment::Shuffled(17),
+            ..DistContextConfig::new(max_radius)
+        };
+        let exact_ctx = DistContext::elect(&g, config(2 * r)).unwrap();
+        let big_ctx = DistContext::elect(&g, config(2 * r + 1)).unwrap();
+        let exact = distributed_neighborhood_cover_in(&exact_ctx, r).unwrap();
+        let filtered = distributed_neighborhood_cover_in(&big_ctx, r).unwrap();
+        assert_eq!(exact.order, filtered.order);
+        assert_eq!(
+            exact.collect_clusters(g.num_vertices()),
+            filtered.collect_clusters(g.num_vertices())
+        );
+        assert_eq!(exact.home, filtered.home);
+        assert_eq!(exact.measured_constant, filtered.measured_constant);
+        let as_seq = filtered.to_neighborhood_cover(&g);
+        assert!(as_seq.covers_all_r_neighborhoods(&g));
     }
 }

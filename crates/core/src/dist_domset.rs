@@ -15,20 +15,25 @@
 //!    forwarder, so no vertex ever carries more than `c(2r)` distinct tokens
 //!    (the paper's forwarding bound in the proof of Theorem 9).
 //!
+//! Phases 1 and 2 are owned by the shared [`DistContext`]
+//! ([`crate::context`]): [`distributed_distance_domination_in`] runs only the
+//! election against a context, so covers, the connected variant and repeated
+//! queries on one context reuse a single order phase, protocol execution and
+//! (lazy) `WReachIndex` sweep.
+//!
 //! The total number of communication rounds is
 //! `(order phase) + 2r + (r + 1) = O(log n + r)`, comfortably within the
 //! paper's `O(r²·log n)` bound (our substituted order phase is cheaper than
 //! the one of [46]; see DESIGN.md §1.3).
 
-use crate::dist_wreach::{
-    distributed_weak_reachability, DistributedWReach, PathSetMessage, WReachConfig,
-};
+use crate::context::{DistContext, DistContextConfig};
+use crate::dist_wreach::PathSetMessage;
 use bedom_distsim::{
-    Engine, ExecutionStrategy, IdAssignment, Inbox, Model, ModelViolation, Network, NodeAlgorithm,
+    Engine, ExecutionStrategy, IdAssignment, Inbox, ModelViolation, Network, NodeAlgorithm,
     NodeContext, Outgoing, RunPolicy, RunStats,
 };
 use bedom_graph::{Graph, Vertex};
-use bedom_wcol::{default_threshold, distributed_wcol_order_with, LinearOrder};
+use bedom_wcol::LinearOrder;
 use std::collections::BTreeMap;
 
 /// Per-vertex state of the election/routing phase.
@@ -152,10 +157,10 @@ pub struct DistDomSetResult {
     /// Statistics of the three phases, in order.
     pub phase_stats: Vec<RunStats>,
     /// The measured constant `max_w |WReach_2r[w]|` (the approximation-ratio
-    /// bound of Theorem 9 for this run).
+    /// bound of Theorem 9 for this run), read off the protocol outputs —
+    /// length-filtered to `2r`-edge paths, so it is exact even when the
+    /// shared context's reach radius exceeds `2r`.
     pub measured_constant: usize,
-    /// The raw weak-reachability outputs (reused by Theorem 10).
-    pub wreach: DistributedWReach,
 }
 
 impl DistDomSetResult {
@@ -210,41 +215,50 @@ impl DistDomSetConfig {
     }
 }
 
-/// Runs the full Theorem 9 pipeline on `graph`.
+/// Runs the full Theorem 9 pipeline on `graph`: elects a fresh
+/// [`DistContext`] at reach radius `2r` and solves in it.
 pub fn distributed_distance_domination(
     graph: &Graph,
     config: DistDomSetConfig,
 ) -> Result<DistDomSetResult, ModelViolation> {
-    distributed_distance_domination_inner(graph, config, 2 * config.r)
+    let ctx = DistContext::elect(
+        graph,
+        DistContextConfig {
+            assignment: config.assignment,
+            bandwidth_logs: config.bandwidth_logs,
+            strategy: config.strategy,
+            ..DistContextConfig::for_domination(config.r)
+        },
+    )?;
+    distributed_distance_domination_in(&ctx, config.r)
 }
 
-/// Pipeline body with an explicit reach radius `rho` for the
-/// weak-reachability phase. Theorem 9 uses `rho = 2r`; Theorem 10 reuses the
-/// same pipeline with `rho = 2r + 1` (the election still only considers paths
-/// of at most `r` edges, so the computed `D` is the same kind of set).
-pub(crate) fn distributed_distance_domination_inner(
-    graph: &Graph,
-    config: DistDomSetConfig,
-    rho: u32,
+/// Runs the election/routing phases of Theorem 9 against an existing
+/// [`DistContext`] — the order phase and the weak-reachability protocol are
+/// taken from (and cached in) the context, so several consumers of one
+/// context (a cover, the connected variant, repeated radii) share a single
+/// execution of each.
+///
+/// The context's reach radius may exceed `2r` (Theorem 10 solves with a
+/// `2r + 1` context): the election only considers stored paths of at most
+/// `r` edges, so the computed `D` is the Theorem 9 set either way.
+///
+/// # Panics
+/// Panics if `ctx.max_radius() < 2r`.
+pub fn distributed_distance_domination_in(
+    ctx: &DistContext<'_>,
+    r: u32,
 ) -> Result<DistDomSetResult, ModelViolation> {
+    assert!(
+        ctx.max_radius() >= 2 * r,
+        "radius-{r} domination needs a context of reach radius ≥ {}, got {}",
+        2 * r,
+        ctx.max_radius()
+    );
+    let graph = ctx.graph();
     let n = graph.num_vertices();
-    let r = config.r;
-
-    // Phase 1: distributed order (Theorem 3 substitute).
-    let order_phase = distributed_wcol_order_with(
-        graph,
-        default_threshold(graph),
-        config.assignment,
-        config.strategy,
-    )?;
 
     if n == 0 {
-        let wreach = DistributedWReach {
-            info: Vec::new(),
-            super_ids: Vec::new(),
-            rounds: 0,
-            stats: RunStats::default(),
-        };
         return Ok(DistDomSetResult {
             dominating_set: Vec::new(),
             dominator_of: Vec::new(),
@@ -254,27 +268,17 @@ pub(crate) fn distributed_distance_domination_inner(
             election_rounds: 0,
             phase_stats: vec![],
             measured_constant: 0,
-            wreach,
         });
     }
 
-    // Phase 2: weak reachability with the requested reach radius.
-    let wreach_config = WReachConfig {
-        rho,
-        bandwidth_logs: config.bandwidth_logs,
-        strategy: config.strategy,
-    };
-    let wreach = distributed_weak_reachability(graph, &order_phase.super_ids, wreach_config)?;
+    // Phase 2 (shared): weak reachability at the context's reach radius.
+    let wreach = ctx.wreach()?;
 
     // Phase 3: election and token routing (r + 1 rounds: the init broadcast
     // plus up to r forwarding hops).
-    let id_bits = bedom_distsim::log2_ceil(n.max(2).pow(2)) + 8;
-    let model = match config.bandwidth_logs {
-        Some(k) => Model::congest_bc_scaled(k),
-        None => Model::Local,
-    };
+    let id_bits = ctx.id_bits();
     let info = &wreach.info;
-    let mut election = Network::new(graph, model, IdAssignment::Natural, |v, _ctx| {
+    let mut election = Network::new(graph, ctx.model(), IdAssignment::Natural, |v, _ctx| {
         let my_info = &info[v as usize];
         let elected_sid = my_info.min_reachable_within(r as usize);
         let elected_path = my_info
@@ -284,42 +288,52 @@ pub(crate) fn distributed_distance_domination_inner(
             .to_vec();
         ElectionNode::new(my_info.sid, id_bits, elected_path)
     });
-    election.set_strategy(config.strategy);
+    election.set_strategy(ctx.strategy());
     Engine::new(&mut election).run(RunPolicy::fixed(r as usize + 1))?;
     let in_set = election.outputs();
     let election_stats = election.stats().clone();
 
-    // Assemble the result (sid → vertex mapping is a local renaming only).
-    let mut rank_keys: Vec<(u64, Vertex)> = Vec::with_capacity(n);
-    for v in graph.vertices() {
-        rank_keys.push((order_phase.super_ids[v as usize], v));
-    }
-    rank_keys.sort_unstable();
-    let order = LinearOrder::from_order(rank_keys.iter().map(|&(_, v)| v).collect());
-    let sid_lookup: std::collections::HashMap<u64, Vertex> = graph
-        .vertices()
-        .map(|v| (order_phase.super_ids[v as usize], v))
-        .collect();
+    // Assemble the result; sid → vertex resolution is the context's shared
+    // lookup table (a local renaming, not a network step).
     let dominator_of: Vec<Vertex> = graph
         .vertices()
         .map(|w| {
             let sid = wreach.info[w as usize].min_reachable_within(r as usize);
-            sid_lookup[&sid]
+            ctx.vertex_of_sid(sid)
+                .expect("elected sid must belong to a vertex")
         })
         .collect();
     let dominating_set: Vec<Vertex> = graph.vertices().filter(|&v| in_set[v as usize]).collect();
-    let measured_constant = wreach.measured_constant();
+    // Theorem 9's constant is c(2r); on a shared context with a larger reach
+    // radius, count only stored paths of ≤ 2r edges (restricted shortest
+    // paths, so the filter recovers |WReach_2r| exactly — same as the cover
+    // and the connected variant do). No-op at an exact-radius context.
+    let rho = 2 * r as usize;
+    let measured_constant = wreach
+        .info
+        .iter()
+        .map(|info| {
+            info.paths
+                .values()
+                .filter(|path| path.len().saturating_sub(1) <= rho)
+                .count()
+        })
+        .max()
+        .unwrap_or(0);
 
     Ok(DistDomSetResult {
         dominating_set,
         dominator_of,
-        order,
-        order_rounds: order_phase.rounds,
+        order: ctx.order().clone(),
+        order_rounds: ctx.order_rounds(),
         wreach_rounds: wreach.rounds,
         election_rounds: election_stats.rounds,
-        phase_stats: vec![order_phase.stats, wreach.stats.clone(), election_stats],
+        phase_stats: vec![
+            ctx.order_stats().clone(),
+            wreach.stats.clone(),
+            election_stats,
+        ],
         measured_constant,
-        wreach,
     })
 }
 
@@ -443,6 +457,43 @@ mod tests {
             let result = distributed_distance_domination(&g, config).unwrap();
             assert!(is_distance_dominating_set(&g, &result.dominating_set, 2));
         }
+    }
+
+    #[test]
+    fn two_radii_share_one_context_and_one_protocol_run() {
+        // A context at reach radius 2·2 answers both the r = 1 and the r = 2
+        // election; the order phase and the weak-reachability protocol run
+        // once, and both sets are the ones fresh pipelines would compute on
+        // the same order.
+        let g = stacked_triangulation(160, 6);
+        let ctx = DistContext::elect(&g, DistContextConfig::for_domination(2)).unwrap();
+        let r2 = distributed_distance_domination_in(&ctx, 2).unwrap();
+        assert!(ctx.wreach_ran());
+        let r1 = distributed_distance_domination_in(&ctx, 1).unwrap();
+        assert_eq!(r1.order, r2.order, "both queries read the shared order");
+        // The measured constant is radius-exact even on the shared context.
+        assert_eq!(
+            r1.measured_constant,
+            bedom_wcol::wcol_of_order(&g, ctx.order(), 2),
+            "r = 1 constant must be c(2), not c(4)"
+        );
+        assert_eq!(
+            r2.measured_constant,
+            bedom_wcol::wcol_of_order(&g, ctx.order(), 4)
+        );
+        for (result, r) in [(&r1, 1u32), (&r2, 2u32)] {
+            assert!(is_distance_dominating_set(&g, &result.dominating_set, r));
+            let seq = crate::seq_domset::domset_via_min_wreach(&g, ctx.order(), r);
+            assert_eq!(seq.dominating_set, result.dominating_set, "r = {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a context of reach radius")]
+    fn context_with_too_small_radius_is_rejected() {
+        let g = grid(4, 4);
+        let ctx = DistContext::elect(&g, DistContextConfig::for_domination(1)).unwrap();
+        let _ = distributed_distance_domination_in(&ctx, 2);
     }
 
     #[test]

@@ -85,6 +85,22 @@ impl PathStore {
     pub fn values(&self) -> impl Iterator<Item = &[u64]> + '_ {
         self.entries.iter().map(|(_, path)| path.as_slice())
     }
+
+    /// Bits a [`PathSetMessage`] broadcasting every stored path would occupy
+    /// under the flat encoding the engine's bandwidth accounting charges
+    /// (16-bit message length prefix, 8-bit per-path length prefix,
+    /// `id_bits` per super-id). This ties the per-node store to the wire
+    /// format: what a vertex *can* announce about its weak-reachability
+    /// knowledge costs exactly `encoded_bits`, and any actual
+    /// [`PathSetMessage`] carries a subset of it — the audit hook behind the
+    /// bandwidth regression in `tests/model_compliance.rs`.
+    pub fn encoded_bits(&self, id_bits: usize) -> usize {
+        16 + self
+            .entries
+            .iter()
+            .map(|(_, path)| 8 + path.len() * id_bits)
+            .sum::<usize>()
+    }
 }
 
 /// A set of routing paths, the broadcast payload of the protocol.
@@ -538,5 +554,23 @@ mod tests {
             id_bits: 10,
         };
         assert_eq!(m.size_bits(), 16 + (8 + 30) + (8 + 10));
+    }
+
+    #[test]
+    fn store_encoding_matches_the_message_accounting_bit_for_bit() {
+        // A message carrying exactly the store's paths must cost exactly the
+        // store's flat encoding — the wire accounting runs on the flat
+        // PathStore representation, not on any legacy shape.
+        let mut store = PathStore::new();
+        store.insert(7, vec![7]);
+        store.insert(2, vec![2, 9, 7]);
+        store.insert(4, vec![4, 7]);
+        let id_bits = 13;
+        let message = PathSetMessage {
+            paths: store.values().map(<[u64]>::to_vec).collect(),
+            id_bits,
+        };
+        assert_eq!(message.size_bits(), store.encoded_bits(id_bits));
+        assert_eq!(PathStore::new().encoded_bits(id_bits), 16);
     }
 }

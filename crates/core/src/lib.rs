@@ -17,6 +17,7 @@
 //! orders/weak-reachability/covers in `bedom-wcol`, and the comparison
 //! algorithms in `bedom-baselines`.
 
+pub mod context;
 pub mod dist_connected;
 pub mod dist_cover;
 pub mod dist_domset;
@@ -25,18 +26,27 @@ pub mod local_connect;
 pub mod pipeline;
 pub mod seq_domset;
 
+pub use context::{DistContext, DistContextConfig};
 pub use dist_connected::{
-    distributed_connected_domination, DistConnectedConfig, DistConnectedResult,
+    distributed_connected_domination, distributed_connected_domination_in, DistConnectedConfig,
+    DistConnectedResult,
 };
-pub use dist_cover::{distributed_neighborhood_cover, DistCoverConfig, DistributedCover};
-pub use dist_domset::{distributed_distance_domination, DistDomSetConfig, DistDomSetResult};
+pub use dist_cover::{
+    distributed_neighborhood_cover, distributed_neighborhood_cover_in, DistCoverConfig,
+    DistributedCover,
+};
+pub use dist_domset::{
+    distributed_distance_domination, distributed_distance_domination_in, DistDomSetConfig,
+    DistDomSetResult,
+};
 pub use dist_wreach::{
     distributed_weak_reachability, DistributedWReach, PathStore, WReachConfig, WReachInfo,
 };
 pub use local_connect::{local_connect, LocalConnectResult};
-pub use pipeline::{solve_checked, DominationPipeline, DominationReport, Mode};
+pub use pipeline::{solve_checked, solve_scenario, DominationPipeline, DominationReport, Mode};
 pub use seq_domset::{
-    approximate_distance_domination, domset_algorithm1, domset_via_min_wreach, SeqDomSetResult,
+    approximate_distance_domination, domset_algorithm1, domset_via_min_wreach,
+    domset_via_min_wreach_with, SeqDomSetResult,
 };
 
 #[cfg(test)]

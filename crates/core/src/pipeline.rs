@@ -6,15 +6,32 @@
 //! (orders, id assignments, bandwidth enforcement); this module is the
 //! "just solve my instance" layer used by the examples and by the quickstart
 //! in the README.
+//!
+//! Two execution shapes:
+//!
+//! * [`DominationPipeline::solve`] — one instance. In distributed mode the
+//!   pipeline elects **one** [`DistContext`] and constructs every phase from
+//!   it; the witnessed constant and the election verification are reads of
+//!   the context's single lazy [`WReachIndex`] sweep (exactly one ball sweep
+//!   per end-to-end distributed solve — a regression test pins this).
+//! * [`solve_scenario`] — a batch of independent `(graph, pipeline)` shards
+//!   spread over the workers of an execution strategy through
+//!   [`bedom_distsim::scenario::ScenarioRunner`], with per-worker
+//!   `BfsScratch` reuse for validation and per-shard sweep/round/bit
+//!   accounting. Shard reports come back in shard order and are bit-identical
+//!   across sequential and parallel execution.
 
-use crate::dist_connected::{distributed_connected_domination, DistConnectedConfig};
-use crate::dist_domset::{distributed_distance_domination, DistDomSetConfig};
+use crate::context::{DistContext, DistContextConfig};
+use crate::dist_connected::distributed_connected_domination_in;
+use crate::dist_domset::distributed_distance_domination_in;
 use crate::local_connect::local_connect;
-use crate::seq_domset::domset_via_min_wreach;
-use bedom_distsim::{IdAssignment, ModelViolation};
+use crate::seq_domset::domset_via_min_wreach_with;
+use bedom_distsim::scenario::{ScenarioReport, ScenarioRunner, ShardMetrics};
+use bedom_distsim::{ExecutionStrategy, IdAssignment, ModelViolation, RunStats};
+use bedom_graph::bfs::BfsScratch;
 use bedom_graph::domset::{is_distance_dominating_set, packing_lower_bound};
 use bedom_graph::{Graph, Vertex};
-use bedom_wcol::{compute_order, OrderingStrategy, WReachIndex};
+use bedom_wcol::{ball_sweeps_on_this_thread, compute_order, OrderingStrategy, WReachIndex};
 
 /// Which execution mode to use for solving an instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,12 +54,26 @@ pub struct DominationReport {
     /// The connected distance-`r` dominating set, if one was requested.
     pub connected_dominating_set: Option<Vec<Vertex>>,
     /// The constant `c` witnessed by the order that was used — the proven
-    /// approximation-ratio bound for this run.
+    /// approximation-ratio bound for this run. In distributed mode this is
+    /// `wcol` of the elected order at the pipeline's reach radius, read from
+    /// the context's shared index.
     pub witnessed_constant: usize,
     /// A lower bound on the optimum (2r-packing), for ratio reporting.
     pub optimum_lower_bound: usize,
     /// Communication rounds used (0 in sequential mode).
     pub rounds: usize,
+    /// Total bits put on the wire across all phases (0 in sequential mode).
+    pub total_message_bits: usize,
+    /// Largest single message across all phases, in bits (0 in sequential
+    /// mode).
+    pub max_message_bits: usize,
+    /// Whether the election was verified against the sequential formula
+    /// `min WReach_r` of the order actually used. Sequential mode computes
+    /// the formula directly (trivially verified); distributed mode
+    /// cross-checks the protocol's elected dominators against the context's
+    /// index — a simulation-side soundness check that costs an `O(n)` read,
+    /// not a sweep.
+    pub election_verified: bool,
 }
 
 impl DominationReport {
@@ -60,11 +91,13 @@ pub struct DominationPipeline {
     connected: bool,
     strategy: OrderingStrategy,
     seed: u64,
+    execution: ExecutionStrategy,
 }
 
 impl DominationPipeline {
     /// A pipeline for distance-`r` domination with the project defaults
-    /// (sequential mode, degeneracy order, no connection step).
+    /// (sequential mode, degeneracy order, no connection step, size-gated
+    /// automatic execution strategy).
     pub fn new(r: u32) -> Self {
         DominationPipeline {
             r,
@@ -72,6 +105,7 @@ impl DominationPipeline {
             connected: false,
             strategy: OrderingStrategy::Degeneracy,
             seed: 0x5eed,
+            execution: ExecutionStrategy::Auto,
         }
     }
 
@@ -100,6 +134,24 @@ impl DominationPipeline {
         self
     }
 
+    /// Execution strategy for the engine rounds and the index sweep
+    /// (bit-identical across strategies). [`solve_scenario`] pins this to
+    /// `Sequential` inside its shard workers.
+    pub fn execution(mut self, execution: ExecutionStrategy) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// The reach radius a distributed run of this pipeline queries
+    /// (`2r`, or `2r + 1` when the connected set is requested).
+    fn max_radius(&self) -> u32 {
+        if self.connected {
+            2 * self.r + 1
+        } else {
+            2 * self.r
+        }
+    }
+
     /// Solves the instance.
     pub fn solve(&self, graph: &Graph) -> Result<DominationReport, ModelViolation> {
         let r = self.r;
@@ -107,7 +159,7 @@ impl DominationPipeline {
         match self.mode {
             Mode::Sequential => {
                 let order = compute_order(graph, 2 * r, self.strategy);
-                let result = domset_via_min_wreach(graph, &order, r);
+                let result = domset_via_min_wreach_with(graph, &order, r, self.execution);
                 let connected = if self.connected {
                     let ids = IdAssignment::Shuffled(self.seed).assign(graph);
                     Some(
@@ -125,37 +177,64 @@ impl DominationPipeline {
                     witnessed_constant: result.witnessed_constant,
                     optimum_lower_bound: lower_bound,
                     rounds: 0,
+                    total_message_bits: 0,
+                    max_message_bits: 0,
+                    election_verified: true,
                 })
             }
             Mode::Distributed => {
-                let config = DistDomSetConfig {
-                    assignment: IdAssignment::Shuffled(self.seed),
-                    ..DistDomSetConfig::new(r)
+                // One context per solve: the order phase runs here, the
+                // weak-reachability protocol runs once on first use, and the
+                // single lazy index sweep below serves the witnessed constant
+                // *and* the election verification.
+                let ctx = DistContext::elect(
+                    graph,
+                    DistContextConfig {
+                        assignment: IdAssignment::Shuffled(self.seed),
+                        strategy: self.execution,
+                        ..DistContextConfig::new(self.max_radius())
+                    },
+                )?;
+                // Fold the wire accounting by reference before moving the
+                // results out — no per-round stats are cloned.
+                let bits_of = |stats: &[RunStats]| -> (usize, usize) {
+                    (
+                        stats.iter().map(|s| s.total_bits).sum(),
+                        stats.iter().map(|s| s.max_message_bits).max().unwrap_or(0),
+                    )
                 };
-                if self.connected {
-                    let result =
-                        distributed_connected_domination(graph, DistConnectedConfig { ..config })?;
-                    Ok(DominationReport {
-                        r,
-                        mode: Mode::Distributed,
-                        dominating_set: result.dominating_set.clone(),
-                        connected_dominating_set: Some(result.connected_dominating_set.clone()),
-                        witnessed_constant: result.measured_constant,
-                        optimum_lower_bound: lower_bound,
-                        rounds: result.total_rounds(),
-                    })
-                } else {
-                    let result = distributed_distance_domination(graph, config)?;
-                    Ok(DominationReport {
-                        r,
-                        mode: Mode::Distributed,
-                        dominating_set: result.dominating_set.clone(),
-                        connected_dominating_set: None,
-                        witnessed_constant: result.measured_constant,
-                        optimum_lower_bound: lower_bound,
-                        rounds: result.total_rounds(),
-                    })
-                }
+                let (domset, connected_set, rounds, total_message_bits, max_message_bits) =
+                    if self.connected {
+                        let result = distributed_connected_domination_in(&ctx, r)?;
+                        let rounds = result.total_rounds();
+                        let (bits, max_bits) = bits_of(&result.domset.phase_stats);
+                        (
+                            result.domset,
+                            Some(result.connected_dominating_set),
+                            rounds,
+                            bits + result.flood_stats.total_bits,
+                            max_bits.max(result.flood_stats.max_message_bits),
+                        )
+                    } else {
+                        let result = distributed_distance_domination_in(&ctx, r)?;
+                        let rounds = result.total_rounds();
+                        let (bits, max_bits) = bits_of(&result.phase_stats);
+                        (result, None, rounds, bits, max_bits)
+                    };
+                let witnessed_constant = ctx.witnessed_constant(self.max_radius());
+                let election_verified = domset.dominator_of == ctx.expected_election(r);
+                Ok(DominationReport {
+                    r,
+                    mode: Mode::Distributed,
+                    dominating_set: domset.dominating_set,
+                    connected_dominating_set: connected_set,
+                    witnessed_constant,
+                    optimum_lower_bound: lower_bound,
+                    rounds,
+                    total_message_bits,
+                    max_message_bits,
+                    election_verified,
+                })
             }
         }
     }
@@ -180,6 +259,77 @@ pub fn witnessed_constant_for(graph: &Graph, r: u32, strategy: OrderingStrategy)
     WReachIndex::build(graph, &order, 2 * r).wcol()
 }
 
+/// Solves a batch of independent `(graph, pipeline)` shards across the
+/// workers of `strategy` and returns per-shard [`DominationReport`]s **in
+/// shard order**, each with rounds / message bits / ball-sweep metrics
+/// attached.
+///
+/// Contract (asserted in `tests/determinism.rs`):
+///
+/// * outputs and metrics are bit-identical across
+///   [`ExecutionStrategy::Sequential`] and [`ExecutionStrategy::Parallel`] —
+///   each shard's engine and index sweeps are pinned to the
+///   [`ExecutionStrategy::nested`] strategy, so nothing depends on how
+///   shards are spread;
+/// * every worker reuses one [`BfsScratch`] (grown to the largest shard it
+///   sees) to re-validate each shard's dominating set — an invalid set
+///   panics, mirroring [`solve_checked`]'s defensiveness at batch scale;
+/// * a [`ModelViolation`] in any shard fails the whole batch with the
+///   lowest-indexed shard's error.
+pub fn solve_scenario(
+    shards: &[(Graph, DominationPipeline)],
+    strategy: ExecutionStrategy,
+) -> Result<ScenarioReport<DominationReport>, ModelViolation> {
+    let inner = strategy.nested();
+    let runner = ScenarioRunner::new(strategy);
+    let report = runner.run(
+        shards,
+        || BfsScratch::new(0),
+        |scratch, shard, (graph, pipeline)| {
+            let sweeps_before = ball_sweeps_on_this_thread();
+            match pipeline.execution(inner).solve(graph) {
+                Ok(solved) => {
+                    scratch.ensure_capacity(graph.num_vertices());
+                    assert!(
+                        dominates_with(graph, &solved.dominating_set, solved.r, scratch),
+                        "shard {shard} produced an invalid dominating set"
+                    );
+                    let metrics = ShardMetrics {
+                        rounds: solved.rounds,
+                        total_bits: solved.total_message_bits,
+                        max_message_bits: solved.max_message_bits,
+                        ball_sweeps: ball_sweeps_on_this_thread() - sweeps_before,
+                    };
+                    (Ok(solved), metrics)
+                }
+                Err(violation) => (Err(violation), ShardMetrics::default()),
+            }
+        },
+    );
+    report.transpose()
+}
+
+/// Scratch-reusing distance-`r` domination check: multi-source BFS from the
+/// set through an epoch-stamped [`BfsScratch`], so a batch of validations
+/// allocates nothing per shard at steady state.
+fn dominates_with(graph: &Graph, set: &[Vertex], r: u32, scratch: &mut BfsScratch) -> bool {
+    scratch.begin();
+    for &v in set {
+        scratch.try_visit(v, 0);
+    }
+    let mut head = 0;
+    while let Some(&(x, d)) = scratch.entries().get(head) {
+        head += 1;
+        if d >= r {
+            continue;
+        }
+        for &w in graph.neighbors(x) {
+            scratch.try_visit(w, d + 1);
+        }
+    }
+    scratch.entries().len() == graph.num_vertices()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,10 +345,12 @@ mod tests {
         assert!(report.connected_dominating_set.is_none());
         assert!(report.ratio_upper_bound() >= 1.0);
         assert_eq!(report.rounds, 0);
+        assert_eq!(report.total_message_bits, 0);
+        assert!(report.election_verified);
     }
 
     #[test]
-    fn distributed_pipeline_reports_rounds() {
+    fn distributed_pipeline_reports_rounds_bits_and_verifies() {
         let g = grid(12, 12);
         let report = DominationPipeline::new(1)
             .mode(Mode::Distributed)
@@ -206,6 +358,20 @@ mod tests {
             .unwrap();
         assert!(is_distance_dominating_set(&g, &report.dominating_set, 1));
         assert!(report.rounds > 0);
+        assert!(report.total_message_bits > 0);
+        assert!(report.max_message_bits > 0);
+        assert!(report.max_message_bits <= report.total_message_bits);
+        assert!(
+            report.election_verified,
+            "distributed election must match the index's sequential formula"
+        );
+        // The witnessed constant comes from the context's index at 2r and
+        // bounds the ratio.
+        assert!(report.witnessed_constant >= 1);
+        assert!(
+            report.dominating_set.len()
+                <= report.witnessed_constant * report.optimum_lower_bound.max(1)
+        );
     }
 
     #[test]
@@ -220,6 +386,7 @@ mod tests {
             let connected = report.connected_dominating_set.as_ref().unwrap();
             assert!(is_distance_dominating_set(&g, connected, 1), "{mode:?}");
             assert!(is_induced_connected(&g, connected), "{mode:?}");
+            assert!(report.election_verified, "{mode:?}");
         }
     }
 
@@ -242,5 +409,54 @@ mod tests {
         let g = grid(8, 8);
         let report = solve_checked(&g, 1).unwrap();
         assert!(is_distance_dominating_set(&g, &report.dominating_set, 1));
+    }
+
+    #[test]
+    fn scenario_batch_solves_every_shard_in_order() {
+        let shards: Vec<(Graph, DominationPipeline)> = vec![
+            (
+                stacked_triangulation(120, 1),
+                DominationPipeline::new(1).mode(Mode::Distributed),
+            ),
+            (grid(8, 8), DominationPipeline::new(2)),
+            (
+                random_tree(90, 2),
+                DominationPipeline::new(1)
+                    .mode(Mode::Distributed)
+                    .connected(true),
+            ),
+        ];
+        let report = solve_scenario(&shards, ExecutionStrategy::Parallel).unwrap();
+        assert_eq!(report.num_shards(), 3);
+        for (i, shard) in report.shards.iter().enumerate() {
+            assert_eq!(shard.shard, i);
+            let (graph, _) = &shards[i];
+            assert!(is_distance_dominating_set(
+                graph,
+                &shard.output.dominating_set,
+                shard.output.r
+            ));
+        }
+        // Distributed shards pay exactly one sweep; the sequential shard's
+        // single sweep is its election.
+        assert_eq!(report.shards[0].metrics.ball_sweeps, 1);
+        assert_eq!(report.shards[1].metrics.ball_sweeps, 1);
+        assert_eq!(report.shards[2].metrics.ball_sweeps, 1);
+        assert!(report.shards[0].metrics.rounds > 0);
+        assert_eq!(report.shards[1].metrics.rounds, 0);
+        assert!(report.total_message_bits() > 0);
+    }
+
+    #[test]
+    fn scratch_backed_validation_agrees_with_the_reference_predicate() {
+        let g = stacked_triangulation(80, 3);
+        let mut scratch = BfsScratch::new(g.num_vertices());
+        let good = bedom_graph::domset::greedy_distance_dominating_set(&g, 1);
+        assert!(dominates_with(&g, &good, 1, &mut scratch));
+        assert!(!dominates_with(&g, &[], 1, &mut scratch));
+        assert!(!dominates_with(&g, &[0], 0, &mut scratch));
+        let empty = Graph::empty(0);
+        scratch.ensure_capacity(0);
+        assert!(dominates_with(&empty, &[], 3, &mut scratch));
     }
 }

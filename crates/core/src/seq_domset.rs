@@ -48,7 +48,24 @@ pub struct SeqDomSetResult {
 /// radius (the seed ran the whole `n`-ball sweep twice here, once per
 /// quantity).
 pub fn domset_via_min_wreach(graph: &Graph, order: &LinearOrder, r: u32) -> SeqDomSetResult {
-    let index = WReachIndex::build(graph, order, 2 * r);
+    domset_via_min_wreach_with(
+        graph,
+        order,
+        r,
+        bedom_par::ExecutionStrategy::auto_for(graph.num_vertices()),
+    )
+}
+
+/// [`domset_via_min_wreach`] with an explicit execution strategy for the
+/// single index sweep (bit-identical across strategies). Batch runners pin
+/// this to `Sequential` inside parallel shard workers.
+pub fn domset_via_min_wreach_with(
+    graph: &Graph,
+    order: &LinearOrder,
+    r: u32,
+    strategy: bedom_par::ExecutionStrategy,
+) -> SeqDomSetResult {
+    let index = WReachIndex::build_with(graph, order, 2 * r, strategy);
     let dominator_of = index.min_wreach_at(r);
     let witnessed_constant = index.wcol();
     let mut dominating_set: Vec<Vertex> = dominator_of.to_vec();

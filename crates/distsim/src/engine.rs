@@ -40,7 +40,7 @@
 //! round performs no engine-side heap allocation at steady state.
 
 use crate::model::ModelViolation;
-use crate::network::Network;
+use crate::network::{Network, NetworkSnapshot};
 use crate::node::NodeAlgorithm;
 use crate::trace::RoundStats;
 
@@ -91,6 +91,31 @@ pub trait RoundObserver {
     /// Called once per executed round with that round's statistics. `round`
     /// is the network's global 1-based round index.
     fn on_round(&mut self, round: usize, stats: &RoundStats) -> RoundControl;
+
+    /// Called exactly once when the `run` call finishes (round budget
+    /// exhausted, network quiet, or an observer stopped it) — including runs
+    /// that execute **zero** rounds, e.g. [`RunPolicy::until_quiet`] on an
+    /// already-quiet network. Not called when the run aborts with a
+    /// [`ModelViolation`]. Default: no-op.
+    fn on_finish(&mut self, _outcome: &RunOutcome) {}
+}
+
+/// Observer with access to the network itself — the hook API for checkpoints
+/// and any instrumentation that needs node state rather than statistics.
+/// Lifecycle mirrors [`RoundObserver`] (state observers fire after the plain
+/// round observers of the same round).
+pub trait StateObserver<A: NodeAlgorithm> {
+    /// Called once per executed round with the post-round network state.
+    fn on_round(
+        &mut self,
+        round: usize,
+        network: &Network<'_, A>,
+        stats: &RoundStats,
+    ) -> RoundControl;
+
+    /// Called exactly once when the `run` call finishes (also for zero-round
+    /// runs; not called on a [`ModelViolation`] abort). Default: no-op.
+    fn on_finish(&mut self, _network: &Network<'_, A>, _outcome: &RunOutcome) {}
 }
 
 /// Built-in observer: records every round's [`RoundStats`].
@@ -164,11 +189,69 @@ pub struct RunOutcome {
     pub reason: StopReason,
 }
 
+/// Built-in [`StateObserver`]: captures a [`NetworkSnapshot`] every `k`
+/// rounds (at global rounds `k, 2k, 3k, …`). Restoring the latest snapshot
+/// into an identically-constructed network and re-running the remaining
+/// rounds reproduces the uninterrupted run bit for bit — the checkpoint /
+/// restore mechanism for long executions.
+pub struct SnapshotObserver<A: NodeAlgorithm> {
+    every: usize,
+    snapshots: Vec<NetworkSnapshot<A>>,
+}
+
+impl<A: NodeAlgorithm> SnapshotObserver<A> {
+    /// Captures a snapshot every `k` global rounds.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn every(k: usize) -> Self {
+        assert!(k > 0, "snapshot interval must be at least 1 round");
+        SnapshotObserver {
+            every: k,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// All captured snapshots, in round order.
+    pub fn snapshots(&self) -> &[NetworkSnapshot<A>] {
+        &self.snapshots
+    }
+
+    /// The most recent snapshot, if any was taken.
+    pub fn latest(&self) -> Option<&NetworkSnapshot<A>> {
+        self.snapshots.last()
+    }
+
+    /// Consumes the observer, returning the most recent snapshot.
+    pub fn into_latest(mut self) -> Option<NetworkSnapshot<A>> {
+        self.snapshots.pop()
+    }
+}
+
+impl<A> StateObserver<A> for SnapshotObserver<A>
+where
+    A: NodeAlgorithm + Clone,
+    A::Message: Clone,
+{
+    fn on_round(
+        &mut self,
+        round: usize,
+        network: &Network<'_, A>,
+        _stats: &RoundStats,
+    ) -> RoundControl {
+        if round.is_multiple_of(self.every) {
+            self.snapshots.push(network.snapshot());
+        }
+        RoundControl::Continue
+    }
+}
+
 /// The superstep driver: borrows a configured [`Network`] plus any observers
 /// and executes rounds under a [`RunPolicy`].
 pub struct Engine<'e, 'g, A: NodeAlgorithm> {
     network: &'e mut Network<'g, A>,
     observers: Vec<&'e mut dyn RoundObserver>,
+    state_observers: Vec<&'e mut dyn StateObserver<A>>,
 }
 
 impl<'e, 'g, A: NodeAlgorithm> Engine<'e, 'g, A> {
@@ -177,6 +260,7 @@ impl<'e, 'g, A: NodeAlgorithm> Engine<'e, 'g, A> {
         Engine {
             network,
             observers: Vec::new(),
+            state_observers: Vec::new(),
         }
     }
 
@@ -187,12 +271,33 @@ impl<'e, 'g, A: NodeAlgorithm> Engine<'e, 'g, A> {
         self
     }
 
+    /// Attaches a [`StateObserver`] (fires after the plain observers of each
+    /// round, in attachment order).
+    pub fn observe_state(mut self, observer: &'e mut dyn StateObserver<A>) -> Self {
+        self.state_observers.push(observer);
+        self
+    }
+
     /// Runs the execution: an implicit [`Network::init`] (round 0) if the
-    /// network is fresh, then communication rounds per `policy`.
+    /// network is fresh, then communication rounds per `policy`. On success
+    /// every attached observer's `on_finish` hook fires exactly once — also
+    /// for zero-round runs (e.g. [`RunPolicy::until_quiet`] on an already
+    /// quiet network).
     ///
     /// Multiple `run` calls on the same network compose: the round counter
     /// and statistics continue where the previous call stopped.
     pub fn run(mut self, policy: RunPolicy) -> Result<RunOutcome, ModelViolation> {
+        let outcome = self.run_rounds(policy)?;
+        for observer in self.observers.iter_mut() {
+            observer.on_finish(&outcome);
+        }
+        for observer in self.state_observers.iter_mut() {
+            observer.on_finish(self.network, &outcome);
+        }
+        Ok(outcome)
+    }
+
+    fn run_rounds(&mut self, policy: RunPolicy) -> Result<RunOutcome, ModelViolation> {
         self.network.init()?;
         let mut executed = 0;
         loop {
@@ -210,13 +315,18 @@ impl<'e, 'g, A: NodeAlgorithm> Engine<'e, 'g, A> {
             }
             let stats = self.network.step()?;
             executed += 1;
+            let mut stop = false;
             for observer in self.observers.iter_mut() {
-                if observer.on_round(stats.round, &stats) == RoundControl::Stop {
-                    return Ok(RunOutcome {
-                        rounds: executed,
-                        reason: StopReason::Observer,
-                    });
-                }
+                stop |= observer.on_round(stats.round, &stats) == RoundControl::Stop;
+            }
+            for observer in self.state_observers.iter_mut() {
+                stop |= observer.on_round(stats.round, self.network, &stats) == RoundControl::Stop;
+            }
+            if stop {
+                return Ok(RunOutcome {
+                    rounds: executed,
+                    reason: StopReason::Observer,
+                });
             }
         }
     }
@@ -370,5 +480,161 @@ mod tests {
             .unwrap();
         assert_eq!(outcome.rounds, 0);
         assert_eq!(outcome.reason, StopReason::Quiet);
+    }
+
+    /// Observer counting its lifecycle calls, for the finalisation contract.
+    #[derive(Default)]
+    struct LifecycleProbe {
+        rounds_seen: usize,
+        finishes: usize,
+        last_outcome: Option<RunOutcome>,
+    }
+
+    impl RoundObserver for LifecycleProbe {
+        fn on_round(&mut self, _: usize, _: &RoundStats) -> RoundControl {
+            self.rounds_seen += 1;
+            RoundControl::Continue
+        }
+
+        fn on_finish(&mut self, outcome: &RunOutcome) {
+            self.finishes += 1;
+            self.last_outcome = Some(*outcome);
+        }
+    }
+
+    #[test]
+    fn until_quiet_on_quiet_network_reports_zero_rounds_and_finalizes_once() {
+        struct Mute;
+        impl NodeAlgorithm for Mute {
+            type Message = ();
+            type Output = ();
+            fn init(&mut self, _: &NodeContext) -> Outgoing<()> {
+                Outgoing::Silent
+            }
+            fn round(&mut self, _: &NodeContext, _: usize, _: Inbox<'_, ()>) -> Outgoing<()> {
+                Outgoing::Silent
+            }
+            fn output(&self, _: &NodeContext) {}
+        }
+        let g = path(4);
+        let mut net = Network::new(&g, Model::congest_bc(), IdAssignment::Natural, |_, _| Mute);
+        let mut probe = LifecycleProbe::default();
+        let outcome = Engine::new(&mut net)
+            .observe(&mut probe)
+            .run(RunPolicy::until_quiet(50))
+            .unwrap();
+        assert_eq!(outcome.rounds, 0, "already-quiet run must execute nothing");
+        assert_eq!(outcome.reason, StopReason::Quiet);
+        assert_eq!(probe.rounds_seen, 0);
+        assert_eq!(probe.finishes, 1, "finalisation must fire exactly once");
+        assert_eq!(probe.last_outcome, Some(outcome));
+    }
+
+    #[test]
+    fn finalization_fires_once_per_run_for_every_stop_reason() {
+        // Round limit.
+        let g = path(5);
+        let mut net = chatter_net(&g);
+        let mut probe = LifecycleProbe::default();
+        Engine::new(&mut net)
+            .observe(&mut probe)
+            .run(RunPolicy::fixed(3))
+            .unwrap();
+        assert_eq!((probe.rounds_seen, probe.finishes), (3, 1));
+
+        // Observer stop: every observer still gets exactly one finish call.
+        let mut net = chatter_net(&g);
+        let mut probe = LifecycleProbe::default();
+        let mut stop = EarlyStop::when(|round, _| round >= 2);
+        let outcome = Engine::new(&mut net)
+            .observe(&mut probe)
+            .observe(&mut stop)
+            .run(RunPolicy::fixed(100))
+            .unwrap();
+        assert_eq!(outcome.reason, StopReason::Observer);
+        assert_eq!(probe.finishes, 1);
+        assert_eq!(probe.last_outcome, Some(outcome));
+    }
+
+    /// A stateful protocol for snapshot tests: every vertex sums all values
+    /// it has ever received and re-broadcasts its running total, so any
+    /// divergence in a resumed run compounds and is caught by the final
+    /// comparison.
+    #[derive(Clone)]
+    struct Accumulator {
+        total: u64,
+    }
+
+    impl NodeAlgorithm for Accumulator {
+        type Message = u64;
+        type Output = u64;
+
+        fn init(&mut self, ctx: &NodeContext) -> Outgoing<u64> {
+            self.total = ctx.id + 1;
+            Outgoing::Broadcast(self.total)
+        }
+
+        fn round(&mut self, _: &NodeContext, _: usize, inbox: Inbox<'_, u64>) -> Outgoing<u64> {
+            self.total += inbox.iter().map(|m| *m.payload).sum::<u64>();
+            Outgoing::Broadcast(self.total)
+        }
+
+        fn output(&self, _: &NodeContext) -> u64 {
+            self.total
+        }
+    }
+
+    fn accumulator_net(g: &bedom_graph::Graph) -> Network<'_, Accumulator> {
+        Network::new(g, Model::Local, IdAssignment::Shuffled(11), |_, _| {
+            Accumulator { total: 0 }
+        })
+    }
+
+    #[test]
+    fn resumed_run_from_snapshot_is_bit_identical() {
+        let g = star(9);
+        let total_rounds = 10;
+
+        // Uninterrupted reference run.
+        let mut reference = accumulator_net(&g);
+        let mut reference_log = RoundLog::new();
+        Engine::new(&mut reference)
+            .observe(&mut reference_log)
+            .run(RunPolicy::fixed(total_rounds))
+            .unwrap();
+
+        // Checkpointed run: snapshot every 3 rounds, stop after 7 (so the
+        // latest snapshot sits at round 6), then resume in a *fresh* network.
+        let mut first = accumulator_net(&g);
+        let mut snapshots = SnapshotObserver::every(3);
+        Engine::new(&mut first)
+            .observe_state(&mut snapshots)
+            .run(RunPolicy::fixed(7))
+            .unwrap();
+        assert_eq!(
+            snapshots
+                .snapshots()
+                .iter()
+                .map(NetworkSnapshot::rounds)
+                .collect::<Vec<_>>(),
+            vec![3, 6]
+        );
+        let snapshot = snapshots.into_latest().unwrap();
+        assert_eq!(snapshot.num_vertices(), 9);
+
+        let mut resumed = accumulator_net(&g);
+        resumed.restore(&snapshot);
+        assert_eq!(resumed.stats().rounds, 6);
+        let mut resumed_log = RoundLog::new();
+        Engine::new(&mut resumed)
+            .observe(&mut resumed_log)
+            .run(RunPolicy::fixed(total_rounds - 6))
+            .unwrap();
+
+        // Outputs, full statistics and the observer stream of the resumed
+        // tail must match the uninterrupted run exactly.
+        assert_eq!(resumed.outputs(), reference.outputs());
+        assert_eq!(resumed.stats(), reference.stats());
+        assert_eq!(resumed_log.per_round, reference_log.per_round[6..]);
     }
 }

@@ -21,6 +21,11 @@
 //!   view), used for the paper's LOCAL-model results where messages may be
 //!   arbitrarily large and materialising them would be wasteful.
 //!
+//! On top of single-instance execution, [`scenario::ScenarioRunner`] shards
+//! **batches** of independent `(graph, config)` instances across the workers
+//! of an [`engine::ExecutionStrategy`] with per-worker scratch reuse — the
+//! entry point for multi-graph workloads.
+//!
 //! Both styles are deterministic; parallel and sequential evaluation are
 //! bit-identical (asserted by the workspace's determinism test suite).
 
@@ -31,18 +36,20 @@ pub mod message;
 pub mod model;
 pub mod network;
 pub mod node;
+pub mod scenario;
 pub mod trace;
 
 pub use engine::{
     EarlyStop, Engine, ExecutionStrategy, RoundControl, RoundLog, RoundObserver, RunOutcome,
-    RunPolicy, StopReason,
+    RunPolicy, SnapshotObserver, StateObserver, StopReason,
 };
 pub use ids::IdAssignment;
 pub use local::{build_view, run_local, run_local_with, LocalView};
 pub use message::{MessageSize, WireId};
 pub use model::{id_bits, log2_ceil, Model, ModelViolation};
-pub use network::Network;
+pub use network::{Network, NetworkSnapshot};
 pub use node::{Inbox, Incoming, NodeAlgorithm, NodeContext, Outgoing};
+pub use scenario::{ScenarioReport, ScenarioRunner, ShardMetrics, ShardReport};
 pub use trace::{RoundStats, RunStats};
 
 #[cfg(test)]

@@ -369,6 +369,54 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
         });
     }
 
+    /// Captures the complete execution state — node state machines, pending
+    /// outboxes, statistics — as a [`NetworkSnapshot`]. Restoring it into a
+    /// network built over the same graph (same factory, model, ids and
+    /// strategy) resumes the run **bit-identically**: the delivery buffers
+    /// are rebuilt from the restored outboxes, so nothing observable depends
+    /// on when the snapshot was taken. This is the checkpoint primitive
+    /// behind [`crate::engine::SnapshotObserver`].
+    pub fn snapshot(&self) -> NetworkSnapshot<A>
+    where
+        A: Clone,
+        A::Message: Clone,
+    {
+        NetworkSnapshot {
+            nodes: self.nodes.clone(),
+            outboxes: self.outboxes.clone(),
+            stats: self.stats.clone(),
+            initialized: self.initialized,
+        }
+    }
+
+    /// Restores the execution state captured by [`Network::snapshot`].
+    /// The network must be built over a graph of the same size (the intended
+    /// use is an identically-constructed network; nothing else is meaningful).
+    ///
+    /// # Panics
+    /// Panics if the snapshot's vertex count differs from this network's.
+    pub fn restore(&mut self, snapshot: &NetworkSnapshot<A>)
+    where
+        A: Clone,
+        A::Message: Clone,
+    {
+        assert_eq!(
+            snapshot.nodes.len(),
+            self.graph.num_vertices(),
+            "snapshot is for a {}-vertex network, this one has {}",
+            snapshot.nodes.len(),
+            self.graph.num_vertices()
+        );
+        self.nodes = snapshot.nodes.clone();
+        self.outboxes = snapshot.outboxes.clone();
+        for slot in &mut self.next_outboxes {
+            *slot = Outgoing::Silent;
+        }
+        self.inbox_arena.clear();
+        self.stats = snapshot.stats.clone();
+        self.initialized = snapshot.initialized;
+    }
+
     /// Collects every vertex's output, indexed by graph vertex.
     pub fn outputs(&self) -> Vec<A::Output> {
         self.nodes
@@ -439,6 +487,30 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
             }
         }
         Ok(())
+    }
+}
+
+/// A checkpoint of a [`Network`]'s execution state, captured by
+/// [`Network::snapshot`] and consumed by [`Network::restore`]. Holds the node
+/// state machines, the outboxes pending delivery, and the accumulated
+/// statistics (including the global round counter); the engine-side delivery
+/// buffers are derived state and are rebuilt on resume.
+pub struct NetworkSnapshot<A: NodeAlgorithm> {
+    nodes: Vec<A>,
+    outboxes: Vec<Outgoing<A::Message>>,
+    stats: RunStats,
+    initialized: bool,
+}
+
+impl<A: NodeAlgorithm> NetworkSnapshot<A> {
+    /// The global round index at which the snapshot was taken.
+    pub fn rounds(&self) -> usize {
+        self.stats.rounds
+    }
+
+    /// Number of vertices of the snapshotted network.
+    pub fn num_vertices(&self) -> usize {
+        self.nodes.len()
     }
 }
 

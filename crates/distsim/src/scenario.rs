@@ -1,0 +1,323 @@
+//! Sharded multi-graph scenario runner — the batch entry point of the
+//! simulator.
+//!
+//! The north-star workloads are not "one graph, one run" but *fleets* of
+//! independent instances: many sensor fields, many topology seeds, many
+//! `(graph, config)` what-if scenarios evaluated side by side. This module
+//! packages that shape once:
+//!
+//! * [`ScenarioRunner::run`] executes `N` independent shards across the
+//!   workers of a [`bedom_par::ExecutionStrategy`]
+//!   (via [`ExecutionStrategy::chunk_collect_with`]): each worker claims a
+//!   contiguous shard range and reuses **one scratch value** (a
+//!   `BfsScratch`, a buffer pool, whatever the job needs) across all of its
+//!   shards, so a thousand-shard batch allocates `O(workers)` scratches.
+//! * Results come back as a [`ScenarioReport`] with **one
+//!   [`ShardReport`] per shard, in shard order** — chunk ranges are
+//!   ascending and concatenation preserves them, so the report layout is
+//!   independent of the execution strategy, and because each shard runs
+//!   entirely on one worker thread its outputs and metrics are bit-identical
+//!   across [`ExecutionStrategy::Sequential`] and
+//!   [`ExecutionStrategy::Parallel`] (asserted in `tests/determinism.rs`).
+//! * [`ShardMetrics`] is the per-shard measurement record (rounds, message
+//!   bits, ball sweeps) that the aggregate accessors of [`ScenarioReport`]
+//!   fold over.
+//!
+//! The runner is deliberately generic over the job: `bedom-distsim` sits
+//! below the algorithm crates, so the concrete "solve a domination instance"
+//! job lives in `bedom_core::pipeline::solve_scenario`, and benches/tests
+//! plug in custom jobs (e.g. engine runs with observers) directly.
+//!
+//! Loops *inside* a shard should run with the outer strategy's
+//! [`ExecutionStrategy::nested`] strategy — a parallel batch that also forked
+//! per shard would oversubscribe the machine.
+
+use crate::trace::RunStats;
+use bedom_par::ExecutionStrategy;
+
+/// Per-shard measurement record, filled in by the job and aggregated by
+/// [`ScenarioReport`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Communication rounds executed by the shard (all phases summed).
+    pub rounds: usize,
+    /// Total bits put on the wire by the shard.
+    pub total_bits: usize,
+    /// Largest single message of the shard, in bits.
+    pub max_message_bits: usize,
+    /// `WReachIndex` ball sweeps performed by the shard (counted by the job
+    /// via `bedom_wcol::ball_sweeps_on_this_thread`, which is exact because a
+    /// shard runs entirely on one worker thread).
+    pub ball_sweeps: u64,
+}
+
+impl ShardMetrics {
+    /// Folds one phase's [`RunStats`] into the record (rounds and bits add,
+    /// the message maximum maxes). Call once per engine phase of the shard.
+    pub fn record(&mut self, stats: &RunStats) {
+        self.rounds += stats.rounds;
+        self.total_bits += stats.total_bits;
+        self.max_message_bits = self.max_message_bits.max(stats.max_message_bits);
+    }
+}
+
+/// One shard's result: its index in the input batch, the job's output, and
+/// the measurements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardReport<T> {
+    /// Index of this shard in the input slice (reports are returned in this
+    /// order).
+    pub shard: usize,
+    /// The job's output for this shard.
+    pub output: T,
+    /// The job's measurements for this shard.
+    pub metrics: ShardMetrics,
+}
+
+/// Aggregate result of a scenario run: per-shard reports in shard order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScenarioReport<T> {
+    /// One report per input shard, index-aligned with the input slice.
+    pub shards: Vec<ShardReport<T>>,
+}
+
+impl<T> ScenarioReport<T> {
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard outputs, in shard order.
+    pub fn outputs(&self) -> impl Iterator<Item = &T> + '_ {
+        self.shards.iter().map(|s| &s.output)
+    }
+
+    /// Sum of all shards' communication rounds.
+    pub fn total_rounds(&self) -> usize {
+        self.shards.iter().map(|s| s.metrics.rounds).sum()
+    }
+
+    /// Sum of all shards' wire bits.
+    pub fn total_message_bits(&self) -> usize {
+        self.shards.iter().map(|s| s.metrics.total_bits).sum()
+    }
+
+    /// Largest single message across all shards, in bits.
+    pub fn max_message_bits(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.metrics.max_message_bits)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of all shards' ball sweeps.
+    pub fn total_ball_sweeps(&self) -> u64 {
+        self.shards.iter().map(|s| s.metrics.ball_sweeps).sum()
+    }
+
+    /// Maps every shard output, keeping shard order and metrics.
+    pub fn map<U>(self, mut f: impl FnMut(T) -> U) -> ScenarioReport<U> {
+        ScenarioReport {
+            shards: self
+                .shards
+                .into_iter()
+                .map(|s| ShardReport {
+                    shard: s.shard,
+                    output: f(s.output),
+                    metrics: s.metrics,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl<T, E> ScenarioReport<Result<T, E>> {
+    /// Lifts per-shard `Result` outputs into one `Result` over the whole
+    /// report, failing with the error of the **lowest-indexed** failing shard
+    /// (shard execution order never leaks into which error wins).
+    pub fn transpose(self) -> Result<ScenarioReport<T>, E> {
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for shard in self.shards {
+            shards.push(ShardReport {
+                shard: shard.shard,
+                output: shard.output?,
+                metrics: shard.metrics,
+            });
+        }
+        Ok(ScenarioReport { shards })
+    }
+}
+
+/// Executes independent shards across the workers of an
+/// [`ExecutionStrategy`]. See the module docs for the contract.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioRunner {
+    strategy: ExecutionStrategy,
+}
+
+impl ScenarioRunner {
+    /// A runner spreading shards per `strategy`.
+    pub fn new(strategy: ExecutionStrategy) -> Self {
+        ScenarioRunner { strategy }
+    }
+
+    /// The strategy shards are spread with.
+    pub fn strategy(&self) -> ExecutionStrategy {
+        self.strategy
+    }
+
+    /// Runs `job` once per input shard and collects the reports in shard
+    /// order. Each worker thread builds one scratch via `init` and reuses it
+    /// for every shard it processes; the job must leave no shard-visible
+    /// residue in the scratch (reset-by-epoch buffers like
+    /// `bedom_graph::bfs::BfsScratch` do this by construction).
+    pub fn run<In, Sc, T>(
+        &self,
+        inputs: &[In],
+        init: impl Fn() -> Sc + Sync,
+        job: impl Fn(&mut Sc, usize, &In) -> (T, ShardMetrics) + Sync,
+    ) -> ScenarioReport<T>
+    where
+        In: Sync,
+        T: Send,
+    {
+        let chunks = self
+            .strategy
+            .chunk_collect_with(inputs.len(), init, |scratch, range| {
+                range
+                    .map(|shard| {
+                        let (output, metrics) = job(scratch, shard, &inputs[shard]);
+                        ShardReport {
+                            shard,
+                            output,
+                            metrics,
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            });
+        ScenarioReport {
+            shards: chunks.into_iter().flatten().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(rounds: usize, bits: usize, max_bits: usize, sweeps: u64) -> ShardMetrics {
+        ShardMetrics {
+            rounds,
+            total_bits: bits,
+            max_message_bits: max_bits,
+            ball_sweeps: sweeps,
+        }
+    }
+
+    #[test]
+    fn reports_come_back_in_shard_order_under_both_strategies() {
+        let inputs: Vec<usize> = (0..37).collect();
+        for strategy in [ExecutionStrategy::Sequential, ExecutionStrategy::Parallel] {
+            let report = ScenarioRunner::new(strategy).run(
+                &inputs,
+                || (),
+                |(), shard, &input| (input * 10, metrics(shard, input, input, 1)),
+            );
+            assert_eq!(report.num_shards(), 37);
+            for (i, shard) in report.shards.iter().enumerate() {
+                assert_eq!(shard.shard, i, "{strategy:?}");
+                assert_eq!(shard.output, i * 10, "{strategy:?}");
+            }
+            assert_eq!(report.total_ball_sweeps(), 37);
+            assert_eq!(report.total_rounds(), (0..37).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn scratch_is_built_once_per_worker_and_reused_across_shards() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let builds = AtomicUsize::new(0);
+        let inputs: Vec<u32> = (0..100).collect();
+        let strategy = ExecutionStrategy::Parallel;
+        let report = ScenarioRunner::new(strategy).run(
+            &inputs,
+            || {
+                builds.fetch_add(1, Ordering::Relaxed);
+                Vec::<u32>::new()
+            },
+            |scratch, _, &input| {
+                // Residue-free use: clear, then work.
+                scratch.clear();
+                scratch.push(input);
+                (scratch.iter().sum::<u32>(), ShardMetrics::default())
+            },
+        );
+        assert_eq!(report.num_shards(), 100);
+        assert!(builds.load(Ordering::Relaxed) <= strategy.threads_for(100));
+    }
+
+    #[test]
+    fn metrics_record_folds_run_stats() {
+        let mut m = ShardMetrics::default();
+        let mut a = RunStats::default();
+        a.push_round(crate::trace::RoundStats {
+            round: 1,
+            senders: 2,
+            deliveries: 4,
+            bits_sent: 100,
+            max_message_bits: 60,
+        });
+        let mut b = RunStats::default();
+        b.push_round(crate::trace::RoundStats {
+            round: 1,
+            senders: 1,
+            deliveries: 1,
+            bits_sent: 10,
+            max_message_bits: 10,
+        });
+        m.record(&a);
+        m.record(&b);
+        assert_eq!(m, metrics(2, 110, 60, 0));
+    }
+
+    #[test]
+    fn transpose_fails_with_the_lowest_indexed_error() {
+        let inputs: Vec<usize> = (0..8).collect();
+        let report = ScenarioRunner::new(ExecutionStrategy::Parallel).run(
+            &inputs,
+            || (),
+            |(), shard, _| {
+                let out: Result<usize, String> = if shard == 3 || shard == 6 {
+                    Err(format!("shard {shard} failed"))
+                } else {
+                    Ok(shard)
+                };
+                (out, ShardMetrics::default())
+            },
+        );
+        assert_eq!(report.transpose().unwrap_err(), "shard 3 failed");
+
+        let ok = ScenarioRunner::new(ExecutionStrategy::Sequential).run(
+            &inputs,
+            || (),
+            |(), shard, _| (Ok::<_, String>(shard), metrics(1, 2, 3, 4)),
+        );
+        let ok = ok.transpose().unwrap();
+        assert_eq!(ok.num_shards(), 8);
+        assert_eq!(ok.max_message_bits(), 3);
+        assert_eq!(ok.total_message_bits(), 16);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let report = ScenarioRunner::new(ExecutionStrategy::Parallel).run(
+            &Vec::<u8>::new(),
+            || (),
+            |(), _, _| ((), ShardMetrics::default()),
+        );
+        assert_eq!(report.num_shards(), 0);
+        assert_eq!(report.max_message_bits(), 0);
+        assert_eq!(report.total_rounds(), 0);
+    }
+}

@@ -141,6 +141,18 @@ impl BfsScratch {
         }
     }
 
+    /// Grows the scratch to cover graphs of up to `n` vertices (no-op when it
+    /// is already large enough). Lets one scratch be reused across a batch of
+    /// differently-sized graphs — e.g. the shards of a scenario run — without
+    /// re-allocating per shard once it reaches the largest size. Fresh slots
+    /// carry stamp 0, which never equals a live epoch, so marks from the
+    /// current traversal stay valid.
+    pub fn ensure_capacity(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+    }
+
     /// Starts a new traversal: clears the entry buffer and expires all
     /// previous visited marks by bumping the epoch (`O(1)`; the stamp array
     /// is only re-zeroed on the one-in-`u32::MAX` epoch wraparound).
@@ -439,6 +451,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn scratch_grows_across_differently_sized_graphs() {
+        let small = path_graph(3);
+        let big = cycle_graph(8);
+        let mut scratch = BfsScratch::new(0);
+        let mut out = Vec::new();
+        scratch.ensure_capacity(small.num_vertices());
+        scratch.closed_neighborhood_into(&small, 1, 1, &mut out);
+        assert_eq!(out, vec![0, 1, 2]);
+        out.clear();
+        scratch.ensure_capacity(big.num_vertices());
+        scratch.closed_neighborhood_into(&big, 0, 2, &mut out);
+        assert_eq!(out, closed_neighborhood(&big, 0, 2));
+        // Shrinking is never needed: a larger scratch serves smaller graphs.
+        scratch.ensure_capacity(1);
+        out.clear();
+        scratch.closed_neighborhood_into(&small, 0, 1, &mut out);
+        assert_eq!(out, vec![0, 1]);
     }
 
     #[test]

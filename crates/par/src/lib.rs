@@ -71,6 +71,18 @@ impl ExecutionStrategy {
         matches!(self, ExecutionStrategy::Parallel | ExecutionStrategy::Auto)
     }
 
+    /// The strategy for loops running *inside* one unit of work of this
+    /// strategy (e.g. the superstep engine inside one shard of a sharded
+    /// batch run). Always [`ExecutionStrategy::Sequential`]: a parallel outer
+    /// fan-out that also forked per shard would oversubscribe the machine
+    /// with `threads²` workers, and pinning the nested level makes batch
+    /// reports identical across outer strategies *by construction* rather
+    /// than by the (asserted, but subtler) cross-strategy determinism of the
+    /// nested loop itself.
+    pub fn nested(self) -> ExecutionStrategy {
+        ExecutionStrategy::Sequential
+    }
+
     /// Number of worker threads this strategy will use for a loop of `n`
     /// elements (at most one per element). `Parallel` always uses at least
     /// two workers when `n ≥ 2`, even on a single-core machine: parallel
@@ -398,6 +410,17 @@ mod tests {
                 hits.fetch_add(j + 1, Ordering::Relaxed);
             });
             assert_eq!(hits.load(Ordering::Relaxed), (1..=37).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn nested_loops_are_always_sequential() {
+        for strategy in [
+            ExecutionStrategy::Sequential,
+            ExecutionStrategy::Parallel,
+            ExecutionStrategy::Auto,
+        ] {
+            assert_eq!(strategy.nested(), ExecutionStrategy::Sequential);
         }
     }
 

@@ -121,6 +121,52 @@ pub struct DistributedOrder {
     pub super_ids: Vec<u64>,
 }
 
+impl DistributedOrder {
+    /// Builds the sorted super-id → vertex table for `O(log n)` resolution of
+    /// protocol super-ids back to graph vertices. This is a *local renaming*
+    /// performed by the simulation harness (every vertex already knows its
+    /// own super-id), not a network step; the former per-consumer `HashMap`s
+    /// in the domination and cover pipelines are replaced by one shared table
+    /// owned by the precompute context.
+    pub fn sid_lookup(&self) -> SidLookup {
+        let mut table: Vec<(u64, Vertex)> = self
+            .super_ids
+            .iter()
+            .enumerate()
+            .map(|(v, &sid)| (sid, v as Vertex))
+            .collect();
+        table.sort_unstable();
+        SidLookup { table }
+    }
+}
+
+/// Sorted `(super_id, vertex)` table resolving the order phase's locally
+/// computable position keys back to graph vertices.
+#[derive(Clone, Debug, Default)]
+pub struct SidLookup {
+    table: Vec<(u64, Vertex)>,
+}
+
+impl SidLookup {
+    /// The graph vertex carrying super-id `sid`, if any. `O(log n)`.
+    pub fn vertex_of(&self, sid: u64) -> Option<Vertex> {
+        self.table
+            .binary_search_by_key(&sid, |&(s, _)| s)
+            .ok()
+            .map(|i| self.table[i].1)
+    }
+
+    /// Number of entries (= number of vertices).
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
 /// Default peel threshold for `graph`: `4 · degeneracy + 2`. Since every
 /// subgraph has average degree at most `2 · degeneracy`, fewer than half of
 /// the remaining vertices can exceed this threshold, so each phase removes at
@@ -302,6 +348,20 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sid_lookup_inverts_super_ids() {
+        let g = random_tree(120, 4);
+        let result =
+            distributed_wcol_order(&g, default_threshold(&g), IdAssignment::Shuffled(8)).unwrap();
+        let lookup = result.sid_lookup();
+        assert_eq!(lookup.len(), 120);
+        for v in g.vertices() {
+            assert_eq!(lookup.vertex_of(result.super_ids[v as usize]), Some(v));
+        }
+        assert_eq!(lookup.vertex_of(u64::MAX), None);
+        assert!(SidLookup::default().is_empty());
     }
 
     #[test]

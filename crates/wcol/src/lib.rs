@@ -24,6 +24,7 @@ pub mod wreach;
 pub use cover::{neighborhood_cover, neighborhood_cover_from_index, NeighborhoodCover};
 pub use distributed::{
     default_threshold, distributed_wcol_order, distributed_wcol_order_with, DistributedOrder,
+    SidLookup,
 };
 pub use heuristics::{
     compute_order, degeneracy_based_order, order_with_witnessed_constant, OrderingStrategy,

@@ -155,6 +155,157 @@ fn connected_domination_is_strategy_independent() {
     }
 }
 
+/// The scenario runner: an N-shard batch over mixed graph families,
+/// pipelines and degenerate inputs (empty graph, single vertex, disconnected
+/// graph) must produce bit-identical per-shard reports — sets, rounds,
+/// message bits, sweep counts — across sequential and parallel shard
+/// execution, in shard order.
+#[test]
+fn scenario_batch_is_strategy_independent_and_in_shard_order() {
+    use bedom::core::{solve_scenario, DominationPipeline, Mode};
+
+    let shards: Vec<(Graph, DominationPipeline)> = vec![
+        (
+            Family::PlanarTriangulation.generate(300, 2),
+            DominationPipeline::new(1).mode(Mode::Distributed).seed(4),
+        ),
+        (
+            Graph::empty(0),
+            DominationPipeline::new(2).mode(Mode::Distributed),
+        ),
+        (
+            Graph::empty(1),
+            DominationPipeline::new(1).mode(Mode::Distributed),
+        ),
+        (
+            bedom::graph::graph_from_edges(6, &[(0, 1), (2, 3), (4, 5)]),
+            DominationPipeline::new(1).mode(Mode::Distributed),
+        ),
+        (Family::Grid.generate(200, 1), DominationPipeline::new(2)),
+        (
+            Family::RandomTree.generate(250, 9),
+            DominationPipeline::new(1)
+                .mode(Mode::Distributed)
+                .connected(true),
+        ),
+    ];
+
+    let run = |strategy| {
+        let report = solve_scenario(&shards, strategy).unwrap();
+        assert_eq!(report.num_shards(), shards.len());
+        report
+            .shards
+            .iter()
+            .map(|s| {
+                (
+                    s.shard,
+                    s.output.dominating_set.clone(),
+                    s.output.connected_dominating_set.clone(),
+                    s.output.witnessed_constant,
+                    s.output.rounds,
+                    s.metrics,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let [a, b] = STRATEGIES.map(run);
+    assert_eq!(a, b, "scenario batch diverged between strategies");
+    for (i, shard) in a.iter().enumerate() {
+        assert_eq!(shard.0, i, "reports must come back in shard order");
+    }
+    // Degenerate shards resolve sensibly: empty graph → empty set, single
+    // vertex → itself, disconnected → one dominator per component.
+    assert!(a[1].1.is_empty());
+    assert_eq!(a[2].1, vec![0]);
+    assert_eq!(a[3].1.len(), 3);
+}
+
+/// Scenario jobs that attach engine observers: the observer streams inside
+/// each shard must be identical whether shards run sequentially or across
+/// workers.
+#[test]
+fn scenario_shard_observer_streams_are_strategy_independent() {
+    use bedom::distsim::scenario::{ScenarioRunner, ShardMetrics};
+    use bedom::distsim::{Inbox, NodeAlgorithm, NodeContext, Outgoing};
+
+    /// Fresh-id flood, quiet once nothing new is learnt.
+    struct Flood {
+        known: std::collections::BTreeSet<u64>,
+    }
+
+    impl NodeAlgorithm for Flood {
+        type Message = Vec<u64>;
+        type Output = usize;
+
+        fn init(&mut self, ctx: &NodeContext) -> Outgoing<Vec<u64>> {
+            self.known.insert(ctx.id);
+            Outgoing::Broadcast(vec![ctx.id])
+        }
+
+        fn round(
+            &mut self,
+            _: &NodeContext,
+            _: usize,
+            inbox: Inbox<'_, Vec<u64>>,
+        ) -> Outgoing<Vec<u64>> {
+            let mut fresh: Vec<u64> = inbox
+                .iter()
+                .flat_map(|m| m.payload.iter().copied())
+                .filter(|&id| self.known.insert(id))
+                .collect();
+            fresh.sort_unstable();
+            fresh.dedup();
+            if fresh.is_empty() {
+                Outgoing::Silent
+            } else {
+                Outgoing::Broadcast(fresh)
+            }
+        }
+
+        fn output(&self, _: &NodeContext) -> usize {
+            self.known.len()
+        }
+    }
+
+    let graphs: Vec<Graph> = vec![
+        Family::RandomTree.generate(150, 3),
+        Family::Grid.generate(100, 1),
+        Family::PlanarTriangulation.generate(180, 8),
+        Graph::empty(1),
+    ];
+
+    let run = |strategy: ExecutionStrategy| {
+        ScenarioRunner::new(strategy).run(
+            &graphs,
+            || (),
+            |(), shard, graph| {
+                let mut net = Network::new(
+                    graph,
+                    Model::Local,
+                    IdAssignment::Shuffled(shard as u64),
+                    |_, _| Flood {
+                        known: Default::default(),
+                    },
+                );
+                net.set_strategy(strategy.nested());
+                let mut log = RoundLog::new();
+                Engine::new(&mut net)
+                    .observe(&mut log)
+                    .run(RunPolicy::until_quiet(64))
+                    .unwrap();
+                let mut metrics = ShardMetrics::default();
+                metrics.record(net.stats());
+                ((net.outputs(), log.per_round), metrics)
+            },
+        )
+    };
+    let [a, b] = STRATEGIES.map(run);
+    assert_eq!(
+        a, b,
+        "per-shard observer streams diverged between strategies"
+    );
+}
+
 /// The observer hook sees identical per-round statistics under both
 /// strategies, and early termination fires at the same round.
 #[test]

@@ -133,6 +133,93 @@ fn connected_pipelines_agree_on_guarantees() {
 }
 
 #[test]
+fn distributed_pipeline_performs_exactly_one_ball_sweep() {
+    // The regression contract of the shared precompute context: one
+    // end-to-end distributed solve — protocol phases, witnessed constant,
+    // election verification — performs exactly ONE WReachIndex build.
+    // Assembling the same report from the pre-context entry points took
+    // three sweeps (constant, election cross-check, cover home).
+    use bedom::core::{DominationPipeline, Mode};
+    use bedom::wcol::ball_sweeps_on_this_thread;
+
+    let graph = Family::PlanarTriangulation.generate(400, 7);
+
+    let before = ball_sweeps_on_this_thread();
+    let report = DominationPipeline::new(1)
+        .mode(Mode::Distributed)
+        .solve(&graph)
+        .unwrap();
+    assert_eq!(
+        ball_sweeps_on_this_thread() - before,
+        1,
+        "plain distributed solve must build the index exactly once"
+    );
+    assert!(report.election_verified);
+    assert!(is_distance_dominating_set(
+        &graph,
+        &report.dominating_set,
+        1
+    ));
+
+    let before = ball_sweeps_on_this_thread();
+    let connected = DominationPipeline::new(1)
+        .mode(Mode::Distributed)
+        .connected(true)
+        .solve(&graph)
+        .unwrap();
+    assert_eq!(
+        ball_sweeps_on_this_thread() - before,
+        1,
+        "connected distributed solve must also build the index exactly once"
+    );
+    assert!(connected.election_verified);
+    assert!(is_induced_connected(
+        &graph,
+        connected.connected_dominating_set.as_ref().unwrap()
+    ));
+}
+
+#[test]
+fn context_shares_phases_across_domset_cover_and_connected() {
+    // One context, three consumers: the Theorem 8 cover, the Theorem 9 set
+    // and the Theorem 10 connected set all read a single order phase and a
+    // single weak-reachability protocol execution — and their outputs match
+    // the standalone entry points given the same order.
+    use bedom::core::{
+        distributed_distance_domination_in, distributed_neighborhood_cover_in, DistContext,
+        DistContextConfig,
+    };
+
+    let graph = Family::PlanarTriangulation.generate(350, 5);
+    let r = 1;
+    let ctx = DistContext::elect(&graph, DistContextConfig::for_connected_domination(r)).unwrap();
+
+    let domset = distributed_distance_domination_in(&ctx, r).unwrap();
+    let cover = distributed_neighborhood_cover_in(&ctx, r).unwrap();
+    let connected = bedom::core::distributed_connected_domination_in(&ctx, r).unwrap();
+
+    // All three report the same (single) order-phase round count and share
+    // the same wreach execution.
+    assert_eq!(domset.order_rounds, cover.order_rounds);
+    assert_eq!(domset.wreach_rounds, cover.wreach_rounds);
+    assert_eq!(connected.domset.dominating_set, domset.dominating_set);
+
+    // The cover is the Theorem 4 cover of the shared order, and the set is
+    // the Theorem 5 set of the shared order.
+    let seq_cover = neighborhood_cover(&graph, &domset.order, r);
+    assert_eq!(
+        seq_cover.clusters,
+        cover.to_neighborhood_cover(&graph).clusters
+    );
+    let seq = domset_via_min_wreach(&graph, &domset.order, r);
+    assert_eq!(seq.dominating_set, domset.dominating_set);
+    assert!(is_induced_connected(
+        &graph,
+        &connected.connected_dominating_set
+    ));
+}
+
+#[test]
 fn sequential_and_distributed_sets_coincide_for_shared_order() {
     let graph = Family::PlanarTriangulation.generate(500, 21);
     for r in 1..=2u32 {

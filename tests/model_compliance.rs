@@ -88,6 +88,43 @@ fn message_sizes_stay_within_the_lemma7_budget() {
 }
 
 #[test]
+fn max_message_bits_are_charged_on_the_flat_pathstore_encoding() {
+    // Audit of the bandwidth accounting: every broadcast of the
+    // weak-reachability and election phases is a PathSetMessage whose cost is
+    // the *flat* encoding (16-bit message prefix, 8-bit per-path prefix,
+    // id_bits per super-id) — the same formula as PathStore::encoded_bits.
+    // A message carries at most c = max_w |WReach_ρ[w]| paths (one per start
+    // a vertex may announce) of at most ρ = 2r super-ids each, so the
+    // regression bound below is the paper's Lemma 7 shape with its constants
+    // written out. If the accounting ever regressed to a fatter encoding (or
+    // the protocol to chattier messages), this fails. (That the accounting
+    // formula equals `PathStore::encoded_bits` bit for bit is asserted by
+    // the dist_wreach unit tests.)
+    for family in [
+        Family::PlanarTriangulation,
+        Family::ConfigurationModel,
+        Family::Grid,
+    ] {
+        let graph = family.generate(1_200, 11);
+        let r = 2u32;
+        let result = distributed_distance_domination(&graph, DistDomSetConfig::new(r)).unwrap();
+        let c = result.measured_constant.max(1);
+        let n = graph.num_vertices();
+        // id_bits as charged by the protocol (super-ids are O(log n) bits).
+        let id_bits = log2_ceil(n.max(2).pow(2)) + 8;
+        // ≤ c paths of ≤ 2r ids each, flat-encoded.
+        let per_message_bound = 16 + c * (8 + 2 * r as usize * id_bits);
+        assert!(
+            result.max_message_bits() <= per_message_bound,
+            "{}: max message {} bits > flat-encoding bound {} (c = {c})",
+            family.name(),
+            result.max_message_bits(),
+            per_message_bound
+        );
+    }
+}
+
+#[test]
 fn enforced_congest_bc_run_matches_unenforced_run() {
     // Running with the bandwidth limit switched on (at the paper's bound) must
     // not change the computed set — it only enables enforcement.
