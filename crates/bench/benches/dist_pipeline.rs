@@ -94,8 +94,8 @@ fn context_pipeline(graph: &Graph) -> PipelineDigest {
     )
     .unwrap();
     let result = distributed_distance_domination_in(&ctx, R).unwrap();
-    let witnessed_constant = ctx.witnessed_constant(2 * R); // THE sweep
-    let election_ok = result.dominator_of == ctx.expected_election(R);
+    let witnessed_constant = ctx.witnessed_constant(2 * R).unwrap(); // THE sweep
+    let election_ok = result.dominator_of == ctx.expected_election(R).unwrap();
     let cover = bedom_wcol::neighborhood_cover_from_index(ctx.index(), R);
     PipelineDigest {
         dominating_set: result.dominating_set,

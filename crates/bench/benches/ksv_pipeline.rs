@@ -1,0 +1,169 @@
+//! The PR 4 tentpole benchmark: the constant-round KSV phase family
+//! (arXiv:2012.02701) against the order-based Theorem 9 pipeline on
+//! 100k-vertex bounded-expansion instances.
+//!
+//! Both protocols solve the same distance-1 domination instances with the
+//! same seeds; what differs is the phase structure:
+//!
+//! * **order-based (Theorem 9)**: `O(log n)`-round order phase, 2-round weak
+//!   reachability, election routing — the paper's pipeline, witnessed
+//!   constants and all;
+//! * **ksv (constant-round)**: exactly `KSV_ROUNDS` engine rounds regardless
+//!   of `n` — adjacency exchange, hard-core election, pseudo-cover election
+//!   with one forwarding hop, self-election cleanup. No order phase.
+//!
+//! The recorded quantities are the acceptance metrics of the PR: engine
+//! rounds, total wire bits, set sizes against the packing lower bound, and
+//! wall time. Outputs are validity-checked before timing starts. Run with
+//! `BEDOM_BENCH_JSON=BENCH_ksv.json` to commit the numbers.
+
+use bedom_bench::connected_instance;
+use bedom_core::{
+    distributed_distance_domination, distributed_ksv_domination, DistDomSetConfig, KsvConfig,
+    KSV_ROUNDS,
+};
+use bedom_distsim::{ExecutionStrategy, IdAssignment};
+use bedom_graph::domset::{is_distance_dominating_set, packing_lower_bound};
+use bedom_graph::generators::{stacked_triangulation, Family};
+use bedom_graph::Graph;
+use criterion::{criterion_group, criterion_main, record_metric, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+const N: usize = 100_000;
+const SEED: u64 = 0xd15d;
+
+fn t9_config() -> DistDomSetConfig {
+    DistDomSetConfig {
+        assignment: IdAssignment::Shuffled(SEED),
+        // Pinned Sequential so the comparison is engine-work for engine-work
+        // on any machine (the container is single-core anyway).
+        ..DistDomSetConfig::with_strategy(1, ExecutionStrategy::Sequential)
+    }
+}
+
+fn ksv_config() -> KsvConfig {
+    KsvConfig {
+        assignment: IdAssignment::Shuffled(SEED),
+        ..KsvConfig::with_strategy(ExecutionStrategy::Sequential)
+    }
+}
+
+fn bench_ksv_pipeline(c: &mut Criterion) {
+    let instances: Vec<(&str, Graph)> = vec![
+        ("planar-tri", stacked_triangulation(N, 3)),
+        (
+            "config-model",
+            connected_instance(Family::ConfigurationModel, N, 5),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("ksv_pipeline");
+    group.sample_size(2);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(1));
+
+    for (name, graph) in &instances {
+        let n = graph.num_vertices();
+        record_metric(&format!("{name}_n"), n as f64);
+
+        // Validity and the acceptance contract, checked before timing.
+        let t9 = distributed_distance_domination(graph, t9_config()).unwrap();
+        let ksv = distributed_ksv_domination(graph, ksv_config()).unwrap();
+        assert!(is_distance_dominating_set(graph, &t9.dominating_set, 1));
+        assert!(is_distance_dominating_set(graph, &ksv.dominating_set, 1));
+        assert_eq!(
+            ksv.rounds, KSV_ROUNDS,
+            "{name}: KSV must stay constant-round at n = {n}"
+        );
+        let lb = packing_lower_bound(graph, 1);
+        let t9_bits: usize = t9.phase_stats.iter().map(|s| s.total_bits).sum();
+
+        let t9_secs = {
+            let start = Instant::now();
+            black_box(distributed_distance_domination(graph, t9_config()).unwrap());
+            start.elapsed().as_secs_f64()
+        };
+        let ksv_secs = {
+            let start = Instant::now();
+            black_box(distributed_ksv_domination(graph, ksv_config()).unwrap());
+            start.elapsed().as_secs_f64()
+        };
+
+        println!(
+            "{name} (n = {n}): order-based = {} rounds / {t9_bits} bits / |D| = {} in {t9_secs:.2} s, \
+             ksv = {} rounds / {} bits / |D| = {} in {ksv_secs:.2} s (lb {lb})",
+            t9.total_rounds(),
+            t9.dominating_set.len(),
+            ksv.rounds,
+            ksv.stats.total_bits,
+            ksv.dominating_set.len(),
+        );
+        record_metric(&format!("{name}_t9_rounds"), t9.total_rounds() as f64);
+        record_metric(&format!("{name}_ksv_rounds"), ksv.rounds as f64);
+        record_metric(&format!("{name}_t9_total_bits"), t9_bits as f64);
+        record_metric(
+            &format!("{name}_ksv_total_bits"),
+            ksv.stats.total_bits as f64,
+        );
+        record_metric(
+            &format!("{name}_t9_max_message_bits"),
+            t9.max_message_bits() as f64,
+        );
+        record_metric(
+            &format!("{name}_ksv_max_message_bits"),
+            ksv.stats.max_message_bits as f64,
+        );
+        record_metric(&format!("{name}_t9_set"), t9.dominating_set.len() as f64);
+        record_metric(&format!("{name}_ksv_set"), ksv.dominating_set.len() as f64);
+        record_metric(&format!("{name}_ksv_hard_core"), ksv.hard_core.len() as f64);
+        record_metric(
+            &format!("{name}_ksv_cover_dominators"),
+            ksv.cover_dominators.len() as f64,
+        );
+        record_metric(
+            &format!("{name}_ksv_self_elected"),
+            ksv.self_elected.len() as f64,
+        );
+        record_metric(&format!("{name}_packing_lower_bound"), lb as f64);
+        record_metric(&format!("{name}_t9_seconds"), t9_secs);
+        record_metric(&format!("{name}_ksv_seconds"), ksv_secs);
+        record_metric(
+            &format!("{name}_round_reduction"),
+            t9.total_rounds() as f64 / ksv.rounds.max(1) as f64,
+        );
+        record_metric(
+            &format!("{name}_bit_reduction"),
+            t9_bits as f64 / ksv.stats.total_bits.max(1) as f64,
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new(format!("order-based/{name}"), n),
+            graph,
+            |b, g| {
+                b.iter(|| {
+                    black_box(
+                        distributed_distance_domination(g, t9_config())
+                            .unwrap()
+                            .dominating_set
+                            .len(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new(format!("ksv/{name}"), n), graph, |b, g| {
+            b.iter(|| {
+                black_box(
+                    distributed_ksv_domination(g, ksv_config())
+                        .unwrap()
+                        .dominating_set
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ksv_pipeline);
+criterion_main!(benches);

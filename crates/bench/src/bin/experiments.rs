@@ -5,7 +5,7 @@
 //! see DESIGN.md §3 for the mapping):
 //!
 //! ```text
-//! cargo run --release -p bedom-bench --bin experiments -- [t1|t2|t3|t4|t5|t6|f1|f2|f3|f4|s1|all] [--quick]
+//! cargo run --release -p bedom-bench --bin experiments -- [t1|t2|t3|t4|t5|t6|f1|f2|f3|f4|s1|k1|all] [--quick]
 //! ```
 //!
 //! `--quick` shrinks instance sizes so the full suite finishes in a couple of
@@ -91,6 +91,58 @@ fn main() {
     }
     if wants("s1") {
         scenario_s1(&scale);
+    }
+    if wants("k1") {
+        table_k1(&scale);
+    }
+}
+
+/// K1 — the constant-round KSV phase family (arXiv:2012.02701) against the
+/// order-based Theorem 9 pipeline on the same instances and seeds: rounds,
+/// wire bits and set sizes, with both verified through one shared
+/// `DistContext` per instance (single index sweep).
+fn table_k1(scale: &Scale) {
+    use bedom_core::{distributed_ksv_domination_in, KSV_ROUNDS};
+
+    println!(
+        "\n===== K1: constant-round KSV vs the order-based pipeline (rounds / bits / |D|) ====="
+    );
+    println!(
+        "{:<14} {:>8} {:>10} {:>9} {:>13} {:>12} {:>8} {:>8} {:>6} {:>6}",
+        "family",
+        "n",
+        "t9-rounds",
+        "ksv-rnds",
+        "t9-bits",
+        "ksv-bits",
+        "|D-t9|",
+        "|D-ksv|",
+        "lb",
+        "c-wit"
+    );
+    for family in [Family::PlanarTriangulation, Family::ConfigurationModel] {
+        for n in [scale.n(4_000), scale.n(16_000)] {
+            let graph = connected_instance(family, n, 11);
+            let ctx = DistContext::elect(&graph, DistContextConfig::for_domination(1)).unwrap();
+            let t9 = distributed_distance_domination_in(&ctx, 1).unwrap();
+            let ksv = distributed_ksv_domination_in(&ctx).unwrap();
+            assert!(ksv.verified, "KSV output failed verification");
+            assert_eq!(ksv.result.rounds, KSV_ROUNDS);
+            let t9_bits: usize = t9.phase_stats.iter().map(|s| s.total_bits).sum();
+            println!(
+                "{:<14} {:>8} {:>10} {:>9} {:>13} {:>12} {:>8} {:>8} {:>6} {:>6}",
+                family.name(),
+                graph.num_vertices(),
+                t9.total_rounds(),
+                ksv.result.rounds,
+                t9_bits,
+                ksv.result.stats.total_bits,
+                t9.dominating_set.len(),
+                ksv.result.dominating_set.len(),
+                packing_lower_bound(&graph, 1),
+                ksv.witnessed_constant
+            );
+        }
     }
 }
 
@@ -371,7 +423,7 @@ fn figure_f2(scale: &Scale) {
             let ctx = DistContext::elect(&graph, DistContextConfig::for_domination(r)).unwrap();
             let result = distributed_distance_domination_in(&ctx, r).unwrap();
             let c = result.measured_constant.max(1);
-            let witnessed = ctx.witnessed_constant(2 * r);
+            let witnessed = ctx.witnessed_constant(2 * r).unwrap();
             assert_eq!(c, witnessed.max(1), "protocol and index constants differ");
             let budget = 8 * c * c * (2 * r as usize + 1) * log2_ceil(graph.num_vertices());
             let max_vertex_bits = result
@@ -482,9 +534,9 @@ fn scenario_s1(scale: &Scale) {
             shards[shard.shard].0.num_vertices(),
             shard.output.r,
             shard.output.dominating_set.len(),
-            shard.metrics.rounds,
-            shard.metrics.total_bits,
-            shard.metrics.ball_sweeps
+            shard.expect_metrics().rounds,
+            shard.expect_metrics().total_bits,
+            shard.expect_metrics().ball_sweeps
         );
     }
     let report = &reports[0];

@@ -137,6 +137,11 @@ impl<'g> DistContext<'g> {
         self.config.strategy
     }
 
+    /// The identifier assignment the context's phases run with.
+    pub fn assignment(&self) -> IdAssignment {
+        self.config.assignment
+    }
+
     /// The communication model protocol phases run under (scaled CONGEST_BC
     /// when bandwidth enforcement is on, LOCAL when only measuring).
     pub fn model(&self) -> Model {
@@ -234,19 +239,42 @@ impl<'g> DistContext<'g> {
         self.index.get().is_some()
     }
 
+    /// Checks that a radius-`r` analysis query is answerable exactly by this
+    /// context. The shared index is built at [`DistContext::max_radius`];
+    /// answering a larger radius from it would silently read truncated balls
+    /// as if they were exact, so the query fails loudly instead.
+    fn check_query_radius(&self, r: u32) -> Result<(), ModelViolation> {
+        if r > self.config.max_radius {
+            Err(ModelViolation::RadiusOutOfRange {
+                requested: r,
+                supported: self.config.max_radius,
+                what: "a DistContext's shared weak-reachability index",
+            })
+        } else {
+            Ok(())
+        }
+    }
+
     /// The constant witnessed by the elected order at radius `r ≤ max_radius`
     /// (`wcol_r` of the order) — the proven approximation-ratio bound for a
     /// radius-`r` query against this order. An `O(n)` read of the shared
-    /// index; builds it on first use.
-    pub fn witnessed_constant(&self, r: u32) -> usize {
-        self.index().wcol_at(r)
+    /// index; builds it on first use. Fails with
+    /// [`ModelViolation::RadiusOutOfRange`] when `r > max_radius`: the index
+    /// holds only radius-`max_radius` balls, so a larger query has no exact
+    /// answer here.
+    pub fn witnessed_constant(&self, r: u32) -> Result<usize, ModelViolation> {
+        self.check_query_radius(r)?;
+        Ok(self.index().wcol_at(r))
     }
 
     /// The expected sequential election `min WReach_r` for `r ≤ max_radius`
     /// — what the distributed election of Theorem 9 must reproduce. Read
-    /// from the shared index.
-    pub fn expected_election(&self, r: u32) -> Vec<Vertex> {
-        self.index().min_wreach_at(r)
+    /// from the shared index. Fails with
+    /// [`ModelViolation::RadiusOutOfRange`] when `r > max_radius` (see
+    /// [`DistContext::witnessed_constant`]).
+    pub fn expected_election(&self, r: u32) -> Result<Vec<Vertex>, ModelViolation> {
+        self.check_query_radius(r)?;
+        Ok(self.index().min_wreach_at(r))
     }
 }
 
@@ -262,8 +290,8 @@ mod tests {
         let ctx = DistContext::elect(&g, DistContextConfig::for_domination(1)).unwrap();
         assert!(!ctx.index_built());
         let before = ball_sweeps_on_this_thread();
-        let c = ctx.witnessed_constant(2);
-        let election = ctx.expected_election(1);
+        let c = ctx.witnessed_constant(2).unwrap();
+        let election = ctx.expected_election(1).unwrap();
         let _ = ctx.index();
         assert_eq!(
             ball_sweeps_on_this_thread() - before,
@@ -318,7 +346,41 @@ mod tests {
         let wreach = ctx.wreach().unwrap();
         assert_eq!(wreach.rounds, 0);
         assert!(wreach.info.is_empty());
-        assert_eq!(ctx.witnessed_constant(3), 0);
+        assert_eq!(ctx.witnessed_constant(3).unwrap(), 0);
         assert_eq!(ctx.max_radius(), 3);
+    }
+
+    #[test]
+    fn oversized_radius_queries_fail_loudly_instead_of_truncating() {
+        // Regression: a query beyond the context's reach radius must not be
+        // answered from the (truncated) index as if it were exact.
+        let g = stacked_triangulation(120, 4);
+        let ctx = DistContext::elect(&g, DistContextConfig::for_domination(1)).unwrap();
+        assert_eq!(ctx.max_radius(), 2);
+        assert!(ctx.witnessed_constant(2).is_ok());
+        let err = ctx.witnessed_constant(3).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelViolation::RadiusOutOfRange {
+                requested: 3,
+                supported: 2,
+                ..
+            }
+        ));
+        let err = ctx.expected_election(5).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelViolation::RadiusOutOfRange {
+                requested: 5,
+                supported: 2,
+                ..
+            }
+        ));
+        // The truncated answer really would differ on this instance: the
+        // radius-3 constant is strictly larger than the radius-2 one, so a
+        // silently-truncating implementation would have returned a wrong
+        // (smaller) value where the error now is.
+        let exact3 = bedom_wcol::wcol_of_order(&g, ctx.order(), 3);
+        assert!(exact3 > ctx.witnessed_constant(2).unwrap());
     }
 }

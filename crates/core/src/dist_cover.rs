@@ -184,7 +184,10 @@ pub fn distributed_neighborhood_cover_in(
         let mut my_home = w as Vertex;
         let mut home_found = false;
         for (center_sid, path) in info.paths.iter() {
-            let edges = path.len().saturating_sub(1) as u32;
+            // Stored paths have at most `max_radius` edges (protocol bound);
+            // a checked conversion keeps a pathological store loud.
+            let edges = u32::try_from(path.len().saturating_sub(1))
+                .expect("stored path length exceeds u32 — violates the protocol's radius bound");
             if edges > 2 * r {
                 // A larger-radius context may hold farther-reaching paths;
                 // they belong to WReach beyond 2r, not to this cover.

@@ -441,7 +441,9 @@ mod tests {
                 // The stored path is a shortest v-w path within the cluster
                 // X_v; in particular its length is at least the G-distance.
                 let d = bedom_graph::bfs::distance(&g, as_vertices[0], w).unwrap();
-                assert!(path.len() as u32 > d);
+                // Compare in usize: `path.len() as u32` would wrap on a
+                // pathological store instead of failing the assertion.
+                assert!(path.len() > d as usize);
             }
         }
     }

@@ -11,6 +11,7 @@
 //! | Theorem 9 (distributed `c(r)`-approximation in CONGEST_BC) | [`dist_domset`] | [`dist_domset::distributed_distance_domination`] |
 //! | Theorem 10 (distributed *connected* approximation in CONGEST_BC) | [`dist_connected`] | [`dist_connected::distributed_connected_domination`] |
 //! | Lemmas 14–16, Theorem 17 (LOCAL connector, factor `2r·d`) | [`local_connect`] | [`local_connect::local_connect`] |
+//! | KSV constant-round protocol (arXiv:2012.02701, follow-up work) | [`dist_ksv`] | [`dist_ksv::distributed_ksv_domination`] |
 //!
 //! The substrates live in sibling crates: graphs and generators in
 //! `bedom-graph`, the LOCAL/CONGEST/CONGEST_BC simulator in `bedom-distsim`,
@@ -21,6 +22,7 @@ pub mod context;
 pub mod dist_connected;
 pub mod dist_cover;
 pub mod dist_domset;
+pub mod dist_ksv;
 pub mod dist_wreach;
 pub mod local_connect;
 pub mod pipeline;
@@ -39,11 +41,17 @@ pub use dist_domset::{
     distributed_distance_domination, distributed_distance_domination_in, DistDomSetConfig,
     DistDomSetResult,
 };
+pub use dist_ksv::{
+    distributed_ksv_domination, distributed_ksv_domination_in, KsvConfig, KsvContextReport,
+    KsvDomResult, KsvMembership, KSV_ROUNDS,
+};
 pub use dist_wreach::{
     distributed_weak_reachability, DistributedWReach, PathStore, WReachConfig, WReachInfo,
 };
 pub use local_connect::{local_connect, LocalConnectResult};
-pub use pipeline::{solve_checked, solve_scenario, DominationPipeline, DominationReport, Mode};
+pub use pipeline::{
+    solve_checked, solve_scenario, Algorithm, DominationPipeline, DominationReport, Mode,
+};
 pub use seq_domset::{
     approximate_distance_domination, domset_algorithm1, domset_via_min_wreach,
     domset_via_min_wreach_with, SeqDomSetResult,

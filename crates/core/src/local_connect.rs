@@ -113,7 +113,10 @@ fn owner_in_view(view: &LocalView<'_>, in_d: &[bool], w: Vertex, r: u32) -> Opti
         }
         if let Some(path) = lex_shortest_path(view, candidate, w, r) {
             let key: Vec<u64> = path.iter().map(|&x| view.id_of(x)).collect();
-            let len = path.len() as u32;
+            // Paths inside a view have ≤ r + 1 vertices (BFS bound); convert
+            // checked so a broken view explodes instead of wrapping.
+            let len = u32::try_from(path.len())
+                .expect("view path length exceeds u32 — violates the radius-r BFS bound");
             let better = match &best {
                 None => true,
                 Some((blen, bkey, _)) => len < *blen || (len == *blen && key < *bkey),

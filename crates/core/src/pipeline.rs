@@ -24,6 +24,7 @@
 use crate::context::{DistContext, DistContextConfig};
 use crate::dist_connected::distributed_connected_domination_in;
 use crate::dist_domset::distributed_distance_domination_in;
+use crate::dist_ksv::distributed_ksv_domination_in;
 use crate::local_connect::local_connect;
 use crate::seq_domset::domset_via_min_wreach_with;
 use bedom_distsim::scenario::{ScenarioReport, ScenarioRunner, ShardMetrics};
@@ -40,6 +41,22 @@ pub enum Mode {
     Sequential,
     /// The CONGEST_BC protocol of Theorem 9 (simulated).
     Distributed,
+}
+
+/// Which distributed phase family solves the instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The paper's order-based pipeline: the `O(log n)`-round order phase,
+    /// then weak reachability and the Theorem 9 election (or Theorem 5
+    /// sequentially). Works for every radius `r`.
+    OrderBased,
+    /// The Kublenz–Siebertz–Vigny constant-round protocol
+    /// ([`crate::dist_ksv`], arXiv:2012.02701): no order phase, exactly
+    /// [`crate::dist_ksv::KSV_ROUNDS`] rounds. Inherently a distributed,
+    /// distance-1 protocol — selecting it solves distributedly regardless of
+    /// [`Mode`], `r = 0` degenerates to the full vertex set, and `r ≥ 2`
+    /// fails loudly with [`ModelViolation::RadiusOutOfRange`].
+    KsvConstantRound,
 }
 
 /// A solved instance, with the measured quantities attached.
@@ -88,6 +105,7 @@ impl DominationReport {
 pub struct DominationPipeline {
     r: u32,
     mode: Mode,
+    algorithm: Algorithm,
     connected: bool,
     strategy: OrderingStrategy,
     seed: u64,
@@ -102,6 +120,7 @@ impl DominationPipeline {
         DominationPipeline {
             r,
             mode: Mode::Sequential,
+            algorithm: Algorithm::OrderBased,
             connected: false,
             strategy: OrderingStrategy::Degeneracy,
             seed: 0x5eed,
@@ -112,6 +131,14 @@ impl DominationPipeline {
     /// Selects sequential or distributed execution.
     pub fn mode(mut self, mode: Mode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Selects the phase family ([`Algorithm::OrderBased`] by default).
+    /// [`Algorithm::KsvConstantRound`] implies distributed execution; see
+    /// the enum docs for its radius restrictions.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
         self
     }
 
@@ -156,6 +183,9 @@ impl DominationPipeline {
     pub fn solve(&self, graph: &Graph) -> Result<DominationReport, ModelViolation> {
         let r = self.r;
         let lower_bound = packing_lower_bound(graph, r);
+        if self.algorithm == Algorithm::KsvConstantRound {
+            return self.solve_ksv(graph, lower_bound);
+        }
         match self.mode {
             Mode::Sequential => {
                 let order = compute_order(graph, 2 * r, self.strategy);
@@ -221,8 +251,8 @@ impl DominationPipeline {
                         let (bits, max_bits) = bits_of(&result.phase_stats);
                         (result, None, rounds, bits, max_bits)
                     };
-                let witnessed_constant = ctx.witnessed_constant(self.max_radius());
-                let election_verified = domset.dominator_of == ctx.expected_election(r);
+                let witnessed_constant = ctx.witnessed_constant(self.max_radius())?;
+                let election_verified = domset.dominator_of == ctx.expected_election(r)?;
                 Ok(DominationReport {
                     r,
                     mode: Mode::Distributed,
@@ -236,6 +266,79 @@ impl DominationPipeline {
                     election_verified,
                 })
             }
+        }
+    }
+}
+
+impl DominationPipeline {
+    /// The KSV constant-round path: the protocol runs with **zero** order
+    /// phase and [`crate::dist_ksv::KSV_ROUNDS`] rounds; the reported round
+    /// and bit accounting covers the protocol only. The witnessed constant
+    /// and the output verification come from a `DistContext` elected on the
+    /// analysis side (one shared index sweep, like every distributed solve)
+    /// — simulation-side reads, not protocol rounds.
+    fn solve_ksv(
+        &self,
+        graph: &Graph,
+        lower_bound: usize,
+    ) -> Result<DominationReport, ModelViolation> {
+        match self.r {
+            // Distance-0 domination is the full vertex set; nothing to
+            // communicate.
+            0 => {
+                let all: Vec<Vertex> = graph.vertices().collect();
+                Ok(DominationReport {
+                    r: 0,
+                    mode: Mode::Distributed,
+                    dominating_set: all.clone(),
+                    connected_dominating_set: self.connected.then_some(all),
+                    witnessed_constant: 1,
+                    optimum_lower_bound: lower_bound,
+                    rounds: 0,
+                    total_message_bits: 0,
+                    max_message_bits: 0,
+                    election_verified: true,
+                })
+            }
+            1 => {
+                let ctx = DistContext::elect(
+                    graph,
+                    DistContextConfig {
+                        assignment: IdAssignment::Shuffled(self.seed),
+                        strategy: self.execution,
+                        ..DistContextConfig::for_domination(1)
+                    },
+                )?;
+                let report = distributed_ksv_domination_in(&ctx)?;
+                let connected = if self.connected {
+                    // The LOCAL connector of Theorem 17, as in sequential
+                    // mode (the Theorem 10 machinery is order-based).
+                    let ids = IdAssignment::Shuffled(self.seed).assign(graph);
+                    Some(
+                        local_connect(graph, &ids, &report.result.dominating_set, 1)
+                            .connected_dominating_set,
+                    )
+                } else {
+                    None
+                };
+                Ok(DominationReport {
+                    r: 1,
+                    mode: Mode::Distributed,
+                    dominating_set: report.result.dominating_set,
+                    connected_dominating_set: connected,
+                    witnessed_constant: report.witnessed_constant,
+                    optimum_lower_bound: lower_bound,
+                    rounds: report.result.rounds,
+                    total_message_bits: report.result.stats.total_bits,
+                    max_message_bits: report.result.stats.max_message_bits,
+                    election_verified: report.verified,
+                })
+            }
+            r => Err(ModelViolation::RadiusOutOfRange {
+                requested: r,
+                supported: 1,
+                what: "the KSV constant-round protocol (a distance-1 phase family)",
+            }),
         }
     }
 }
@@ -300,9 +403,11 @@ pub fn solve_scenario(
                         max_message_bits: solved.max_message_bits,
                         ball_sweeps: ball_sweeps_on_this_thread() - sweeps_before,
                     };
-                    (Ok(solved), metrics)
+                    (Ok(solved), Some(metrics))
                 }
-                Err(violation) => (Err(violation), ShardMetrics::default()),
+                // No metrics for a failed shard: absence is the signal — a
+                // failure must never read as a "0 rounds, 0 bits" success.
+                Err(violation) => (Err(violation), None),
             }
         },
     );
@@ -405,6 +510,95 @@ mod tests {
     }
 
     #[test]
+    fn ksv_pipeline_is_constant_round_and_dominates() {
+        let g = stacked_triangulation(250, 8);
+        let report = DominationPipeline::new(1)
+            .algorithm(Algorithm::KsvConstantRound)
+            .solve(&g)
+            .unwrap();
+        assert_eq!(report.mode, Mode::Distributed);
+        assert_eq!(report.rounds, crate::dist_ksv::KSV_ROUNDS);
+        assert!(report.total_message_bits > 0);
+        assert!(is_distance_dominating_set(&g, &report.dominating_set, 1));
+        assert!(report.election_verified, "KSV output failed verification");
+        assert!(report.witnessed_constant >= 1);
+    }
+
+    #[test]
+    fn ksv_pipeline_edge_radii() {
+        let g = grid(6, 6);
+        // r = 0 degenerates to the full vertex set, zero rounds.
+        let report = DominationPipeline::new(0)
+            .algorithm(Algorithm::KsvConstantRound)
+            .solve(&g)
+            .unwrap();
+        assert_eq!(report.dominating_set.len(), g.num_vertices());
+        assert_eq!(report.rounds, 0);
+        assert!(is_distance_dominating_set(&g, &report.dominating_set, 0));
+        // r ≥ 2 is outside the phase family and fails loudly.
+        let err = DominationPipeline::new(2)
+            .algorithm(Algorithm::KsvConstantRound)
+            .solve(&g)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ModelViolation::RadiusOutOfRange {
+                requested: 2,
+                supported: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn ksv_pipeline_connected_variant() {
+        let g = stacked_triangulation(150, 9);
+        let report = DominationPipeline::new(1)
+            .algorithm(Algorithm::KsvConstantRound)
+            .connected(true)
+            .solve(&g)
+            .unwrap();
+        let connected = report.connected_dominating_set.as_ref().unwrap();
+        assert!(is_distance_dominating_set(&g, connected, 1));
+        assert!(bedom_graph::components::is_induced_connected(&g, connected));
+    }
+
+    #[test]
+    fn ksv_shards_mix_with_order_based_shards_in_a_scenario() {
+        let shards: Vec<(Graph, DominationPipeline)> = vec![
+            (
+                stacked_triangulation(120, 1),
+                DominationPipeline::new(1).algorithm(Algorithm::KsvConstantRound),
+            ),
+            (
+                grid(8, 8),
+                DominationPipeline::new(1).mode(Mode::Distributed),
+            ),
+            (
+                Graph::empty(1),
+                DominationPipeline::new(1).algorithm(Algorithm::KsvConstantRound),
+            ),
+        ];
+        let report = solve_scenario(&shards, ExecutionStrategy::Parallel).unwrap();
+        assert_eq!(report.num_shards(), 3);
+        assert!(report.missing_metrics().is_empty());
+        assert_eq!(
+            report.shards[0].expect_metrics().rounds,
+            crate::dist_ksv::KSV_ROUNDS
+        );
+        assert_eq!(report.shards[2].output.dominating_set, vec![0]);
+
+        // A KSV shard at an unsupported radius fails the whole batch loudly
+        // (the metric-absence path: no zeroed metrics masquerade as success).
+        let bad: Vec<(Graph, DominationPipeline)> = vec![(
+            grid(4, 4),
+            DominationPipeline::new(2).algorithm(Algorithm::KsvConstantRound),
+        )];
+        let err = solve_scenario(&bad, ExecutionStrategy::Sequential).unwrap_err();
+        assert!(matches!(err, ModelViolation::RadiusOutOfRange { .. }));
+    }
+
+    #[test]
     fn solve_checked_validates() {
         let g = grid(8, 8);
         let report = solve_checked(&g, 1).unwrap();
@@ -439,11 +633,12 @@ mod tests {
         }
         // Distributed shards pay exactly one sweep; the sequential shard's
         // single sweep is its election.
-        assert_eq!(report.shards[0].metrics.ball_sweeps, 1);
-        assert_eq!(report.shards[1].metrics.ball_sweeps, 1);
-        assert_eq!(report.shards[2].metrics.ball_sweeps, 1);
-        assert!(report.shards[0].metrics.rounds > 0);
-        assert_eq!(report.shards[1].metrics.rounds, 0);
+        assert!(report.missing_metrics().is_empty());
+        assert_eq!(report.shards[0].expect_metrics().ball_sweeps, 1);
+        assert_eq!(report.shards[1].expect_metrics().ball_sweeps, 1);
+        assert_eq!(report.shards[2].expect_metrics().ball_sweeps, 1);
+        assert!(report.shards[0].expect_metrics().rounds > 0);
+        assert_eq!(report.shards[1].expect_metrics().rounds, 0);
         assert!(report.total_message_bits() > 0);
     }
 

@@ -72,7 +72,11 @@ impl WireId {
     pub fn new(value: u64, n: usize) -> Self {
         WireId {
             value,
-            bits: crate::model::id_bits(n) as u16,
+            // `id_bits` is `⌈log₂ n⌉ ≤ usize::BITS`, so this cannot truncate;
+            // the checked conversion keeps the invariant loud if the id-width
+            // computation ever changes.
+            bits: u16::try_from(crate::model::id_bits(n))
+                .expect("id width exceeds u16 bits — id_bits(n) must stay ≤ usize::BITS"),
         }
     }
 }
@@ -110,5 +114,14 @@ mod tests {
         assert_eq!(id.size_bits(), 10);
         let id = WireId::new(5, 1_000_000);
         assert_eq!(id.size_bits(), 20);
+    }
+
+    #[test]
+    fn wire_id_width_at_the_usize_boundary() {
+        // The widest possible id width is usize::BITS (n = usize::MAX); the
+        // checked u16 conversion must accept it without truncation.
+        let id = WireId::new(5, usize::MAX);
+        assert_eq!(id.size_bits(), usize::BITS as usize);
+        assert_eq!(id.bits as u32, usize::BITS);
     }
 }

@@ -121,6 +121,18 @@ pub enum ModelViolation {
         /// Round in which the violation occurred.
         round: usize,
     },
+    /// A radius-`requested` query was issued against state prepared only up
+    /// to radius `supported` (a context's weak-reachability index, a phase's
+    /// protocol run, …). Answering it would silently read truncated balls as
+    /// if they were exact, so the query fails loudly instead.
+    RadiusOutOfRange {
+        /// The radius the caller asked for.
+        requested: u32,
+        /// The largest radius the queried state supports.
+        supported: u32,
+        /// What was queried (for the error message).
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for ModelViolation {
@@ -146,6 +158,14 @@ impl std::fmt::Display for ModelViolation {
             } => write!(
                 f,
                 "vertex {vertex} addressed non-neighbour {target} (round {round})"
+            ),
+            ModelViolation::RadiusOutOfRange {
+                requested,
+                supported,
+                what,
+            } => write!(
+                f,
+                "radius-{requested} query on {what} prepared only up to radius {supported}"
             ),
         }
     }

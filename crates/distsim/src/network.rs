@@ -107,7 +107,10 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
             let start = delivery_order.len();
             delivery_order.extend_from_slice(graph.neighbors(v as Vertex));
             delivery_order[start..].sort_unstable_by_key(|&u| ids[u as usize]);
-            nbr_offsets.push(delivery_order.len() as u32);
+            nbr_offsets
+                .push(u32::try_from(delivery_order.len()).expect(
+                    "delivery CSR exceeds u32 offsets — graph too large for the simulator",
+                ));
         }
 
         Network {

@@ -70,8 +70,26 @@ pub struct ShardReport<T> {
     pub shard: usize,
     /// The job's output for this shard.
     pub output: T,
-    /// The job's measurements for this shard.
-    pub metrics: ShardMetrics,
+    /// The job's measurements for this shard, or `None` if the shard failed
+    /// before measuring. The absence is deliberate: a failed shard must not
+    /// masquerade as a "0 rounds, 0 bits" success, so jobs report `None`
+    /// (and the aggregate accessors fail loudly) instead of defaulting to
+    /// zeroed metrics.
+    pub metrics: Option<ShardMetrics>,
+}
+
+impl<T> ShardReport<T> {
+    /// The shard's metrics, panicking loudly if the shard never reported any
+    /// (i.e. it failed before measuring).
+    pub fn expect_metrics(&self) -> &ShardMetrics {
+        match &self.metrics {
+            Some(metrics) => metrics,
+            None => panic!(
+                "shard {} reported no metrics (it failed before measuring)",
+                self.shard
+            ),
+        }
+    }
 }
 
 /// Aggregate result of a scenario run: per-shard reports in shard order.
@@ -92,28 +110,52 @@ impl<T> ScenarioReport<T> {
         self.shards.iter().map(|s| &s.output)
     }
 
+    /// Indices of shards that reported no metrics (failed before measuring).
+    /// Empty on a fully-measured report.
+    pub fn missing_metrics(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .filter(|s| s.metrics.is_none())
+            .map(|s| s.shard)
+            .collect()
+    }
+
     /// Sum of all shards' communication rounds.
+    ///
+    /// # Panics
+    /// Panics if any shard reported no metrics — an aggregate over a
+    /// partially-failed batch would silently understate the totals (use
+    /// [`ScenarioReport::missing_metrics`] to inspect first).
     pub fn total_rounds(&self) -> usize {
-        self.shards.iter().map(|s| s.metrics.rounds).sum()
+        self.shards.iter().map(|s| s.expect_metrics().rounds).sum()
     }
 
-    /// Sum of all shards' wire bits.
+    /// Sum of all shards' wire bits. Panics on missing per-shard metrics
+    /// (see [`ScenarioReport::total_rounds`]).
     pub fn total_message_bits(&self) -> usize {
-        self.shards.iter().map(|s| s.metrics.total_bits).sum()
+        self.shards
+            .iter()
+            .map(|s| s.expect_metrics().total_bits)
+            .sum()
     }
 
-    /// Largest single message across all shards, in bits.
+    /// Largest single message across all shards, in bits. Panics on missing
+    /// per-shard metrics (see [`ScenarioReport::total_rounds`]).
     pub fn max_message_bits(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.metrics.max_message_bits)
+            .map(|s| s.expect_metrics().max_message_bits)
             .max()
             .unwrap_or(0)
     }
 
-    /// Sum of all shards' ball sweeps.
+    /// Sum of all shards' ball sweeps. Panics on missing per-shard metrics
+    /// (see [`ScenarioReport::total_rounds`]).
     pub fn total_ball_sweeps(&self) -> u64 {
-        self.shards.iter().map(|s| s.metrics.ball_sweeps).sum()
+        self.shards
+            .iter()
+            .map(|s| s.expect_metrics().ball_sweeps)
+            .sum()
     }
 
     /// Maps every shard output, keeping shard order and metrics.
@@ -172,11 +214,14 @@ impl ScenarioRunner {
     /// for every shard it processes; the job must leave no shard-visible
     /// residue in the scratch (reset-by-epoch buffers like
     /// `bedom_graph::bfs::BfsScratch` do this by construction).
+    ///
+    /// A job that fails before measuring must return `None` metrics — never a
+    /// zeroed [`ShardMetrics`] — so the failure stays visible in the report.
     pub fn run<In, Sc, T>(
         &self,
         inputs: &[In],
         init: impl Fn() -> Sc + Sync,
-        job: impl Fn(&mut Sc, usize, &In) -> (T, ShardMetrics) + Sync,
+        job: impl Fn(&mut Sc, usize, &In) -> (T, Option<ShardMetrics>) + Sync,
     ) -> ScenarioReport<T>
     where
         In: Sync,
@@ -222,7 +267,7 @@ mod tests {
             let report = ScenarioRunner::new(strategy).run(
                 &inputs,
                 || (),
-                |(), shard, &input| (input * 10, metrics(shard, input, input, 1)),
+                |(), shard, &input| (input * 10, Some(metrics(shard, input, input, 1))),
             );
             assert_eq!(report.num_shards(), 37);
             for (i, shard) in report.shards.iter().enumerate() {
@@ -250,7 +295,7 @@ mod tests {
                 // Residue-free use: clear, then work.
                 scratch.clear();
                 scratch.push(input);
-                (scratch.iter().sum::<u32>(), ShardMetrics::default())
+                (scratch.iter().sum::<u32>(), Some(ShardMetrics::default()))
             },
         );
         assert_eq!(report.num_shards(), 100);
@@ -288,23 +333,25 @@ mod tests {
             &inputs,
             || (),
             |(), shard, _| {
-                let out: Result<usize, String> = if shard == 3 || shard == 6 {
-                    Err(format!("shard {shard} failed"))
+                // Failed shards report no metrics, mirroring real jobs.
+                if shard == 3 || shard == 6 {
+                    (Err(format!("shard {shard} failed")), None)
                 } else {
-                    Ok(shard)
-                };
-                (out, ShardMetrics::default())
+                    (Ok(shard), Some(ShardMetrics::default()))
+                }
             },
         );
+        assert_eq!(report.missing_metrics(), vec![3, 6]);
         assert_eq!(report.transpose().unwrap_err(), "shard 3 failed");
 
         let ok = ScenarioRunner::new(ExecutionStrategy::Sequential).run(
             &inputs,
             || (),
-            |(), shard, _| (Ok::<_, String>(shard), metrics(1, 2, 3, 4)),
+            |(), shard, _| (Ok::<_, String>(shard), Some(metrics(1, 2, 3, 4))),
         );
         let ok = ok.transpose().unwrap();
         assert_eq!(ok.num_shards(), 8);
+        assert!(ok.missing_metrics().is_empty());
         assert_eq!(ok.max_message_bits(), 3);
         assert_eq!(ok.total_message_bits(), 16);
     }
@@ -314,10 +361,40 @@ mod tests {
         let report = ScenarioRunner::new(ExecutionStrategy::Parallel).run(
             &Vec::<u8>::new(),
             || (),
-            |(), _, _| ((), ShardMetrics::default()),
+            |(), _, _| ((), Some(ShardMetrics::default())),
         );
         assert_eq!(report.num_shards(), 0);
         assert_eq!(report.max_message_bits(), 0);
         assert_eq!(report.total_rounds(), 0);
+    }
+
+    /// A shard without metrics must poison every aggregate loudly instead of
+    /// contributing "0 rounds, 0 bits" — the regression for the silently
+    /// zeroed per-shard metric.
+    #[test]
+    #[should_panic(expected = "shard 2 reported no metrics")]
+    fn aggregates_over_missing_metrics_panic() {
+        let inputs: Vec<usize> = (0..4).collect();
+        let report = ScenarioRunner::new(ExecutionStrategy::Sequential).run(
+            &inputs,
+            || (),
+            |(), shard, _| {
+                let metrics = (shard != 2).then(|| metrics(1, 10, 10, 1));
+                (shard, metrics)
+            },
+        );
+        assert_eq!(report.missing_metrics(), vec![2]);
+        let _ = report.total_rounds();
+    }
+
+    #[test]
+    #[should_panic(expected = "reported no metrics")]
+    fn expect_metrics_on_a_failed_shard_panics() {
+        let report = ShardReport {
+            shard: 7,
+            output: (),
+            metrics: None,
+        };
+        let _ = report.expect_metrics();
     }
 }

@@ -118,6 +118,49 @@ fn distance_domination_is_strategy_independent() {
 }
 
 #[test]
+fn ksv_domination_is_strategy_independent() {
+    use bedom::core::{distributed_ksv_domination, KsvConfig};
+
+    for (name, g) in instances() {
+        let run = |strategy| {
+            let config = KsvConfig {
+                assignment: IdAssignment::Shuffled(17),
+                ..KsvConfig::with_strategy(strategy)
+            };
+            let result = distributed_ksv_domination(&g, config).unwrap();
+            (
+                result.dominating_set,
+                result.hard_core,
+                result.cover_dominators,
+                result.self_elected,
+                result.rounds,
+                result.stats,
+            )
+        };
+        let [a, b] = STRATEGIES.map(run);
+        assert_eq!(a, b, "{name}: KSV diverged");
+    }
+}
+
+/// KSV engine runs observed round by round: the per-round statistics stream
+/// must be identical across strategies (matching the per-algorithm observer
+/// cases above), and the stream length is the protocol's constant.
+#[test]
+fn ksv_observer_streams_are_strategy_independent() {
+    use bedom::core::KSV_ROUNDS;
+    use bedom::core::{distributed_ksv_domination, KsvConfig};
+
+    let g = Family::PlanarTriangulation.generate(500, 23);
+    let run = |strategy| {
+        let result = distributed_ksv_domination(&g, KsvConfig::with_strategy(strategy)).unwrap();
+        assert_eq!(result.stats.per_round.len(), KSV_ROUNDS);
+        result.stats.per_round.clone()
+    };
+    let [a, b] = STRATEGIES.map(run);
+    assert_eq!(a, b, "KSV per-round streams diverged");
+}
+
+#[test]
 fn neighborhood_cover_is_strategy_independent() {
     for (name, g) in instances() {
         let run = |strategy| {
@@ -295,7 +338,7 @@ fn scenario_shard_observer_streams_are_strategy_independent() {
                     .unwrap();
                 let mut metrics = ShardMetrics::default();
                 metrics.record(net.stats());
-                ((net.outputs(), log.per_round), metrics)
+                ((net.outputs(), log.per_round), Some(metrics))
             },
         )
     };

@@ -230,6 +230,131 @@ fn sequential_and_distributed_sets_coincide_for_shared_order() {
 }
 
 #[test]
+fn ksv_runs_in_constant_rounds_independent_of_n() {
+    // The KSV acceptance contract: the end-to-end constant-round solve uses
+    // exactly KSV_ROUNDS engine rounds at every graph size, for at least two
+    // sizes per family — while the order-based pipeline's round count keeps
+    // growing with n.
+    use bedom::core::{distributed_ksv_domination, KsvConfig, KSV_ROUNDS};
+
+    for family in [Family::PlanarTriangulation, Family::ConfigurationModel] {
+        let mut ksv_rounds = Vec::new();
+        for n in [2_000usize, 8_000] {
+            let graph = family.generate(n, 13);
+            let result = distributed_ksv_domination(&graph, KsvConfig::new()).unwrap();
+            assert!(
+                is_distance_dominating_set(&graph, &result.dominating_set, 1),
+                "{family:?}, n = {n}"
+            );
+            assert_eq!(
+                result.rounds, KSV_ROUNDS,
+                "{family:?}, n = {n}: rounds must not depend on n"
+            );
+            ksv_rounds.push(result.rounds);
+        }
+        assert_eq!(ksv_rounds[0], ksv_rounds[1], "{family:?}: O(1) rounds");
+
+        // The order-based path on the same instances needs strictly more
+        // rounds (its order phase alone is Ω(log n)).
+        let graph = family.generate(2_000, 13);
+        let order_based =
+            distributed_distance_domination(&graph, DistDomSetConfig::new(1)).unwrap();
+        assert!(
+            order_based.total_rounds() > KSV_ROUNDS,
+            "{family:?}: order-based path should pay more than {KSV_ROUNDS} rounds"
+        );
+    }
+}
+
+#[test]
+fn ksv_full_stack_comparison_on_one_instance() {
+    // One instance, both phase families through the pipeline: same validity
+    // guarantees, directly comparable accounting.
+    use bedom::core::{Algorithm, DominationPipeline, Mode, KSV_ROUNDS};
+
+    let graph = Family::PlanarTriangulation.generate(400, 7);
+    let order_based = DominationPipeline::new(1)
+        .mode(Mode::Distributed)
+        .solve(&graph)
+        .unwrap();
+    let ksv = DominationPipeline::new(1)
+        .algorithm(Algorithm::KsvConstantRound)
+        .solve(&graph)
+        .unwrap();
+    for report in [&order_based, &ksv] {
+        assert!(is_distance_dominating_set(
+            &graph,
+            &report.dominating_set,
+            1
+        ));
+        assert!(report.election_verified);
+        assert!(report.total_message_bits > 0);
+    }
+    // Same witnessed constant: both read wcol₂ of an elected order from a
+    // shared-index sweep on the same instance and seed.
+    assert_eq!(order_based.witnessed_constant, ksv.witnessed_constant);
+    assert_eq!(ksv.rounds, KSV_ROUNDS);
+    assert!(order_based.rounds > ksv.rounds);
+}
+
+#[test]
+fn zero_radius_and_degenerate_graphs_are_safe_through_every_entry_point() {
+    // The bugfix sweep's edge-case charter: radius-0 contexts, empty and
+    // single-vertex graphs, disconnected graphs — no panics anywhere, and
+    // the produced sets still dominate.
+    use bedom::core::{
+        distributed_distance_domination_in, distributed_ksv_domination,
+        distributed_ksv_domination_in, DistContext, DistContextConfig, DominationPipeline,
+        KsvConfig, Mode,
+    };
+    use bedom::graph::Graph;
+
+    // A radius-0 context answers radius-0 questions and elections.
+    let g = Family::Grid.generate(64, 1);
+    let ctx = DistContext::elect(&g, DistContextConfig::new(0)).unwrap();
+    assert_eq!(ctx.max_radius(), 0);
+    assert_eq!(ctx.witnessed_constant(0).unwrap(), 1);
+    let result = distributed_distance_domination_in(&ctx, 0).unwrap();
+    assert_eq!(result.dominating_set.len(), g.num_vertices());
+    assert!(is_distance_dominating_set(&g, &result.dominating_set, 0));
+    // …but any larger question fails loudly instead of truncating.
+    assert!(ctx.witnessed_constant(1).is_err());
+    assert!(ctx.expected_election(1).is_err());
+    assert!(distributed_ksv_domination_in(&ctx).is_err());
+
+    // Radius-0 pipelines in both modes.
+    for mode in [Mode::Sequential, Mode::Distributed] {
+        let report = DominationPipeline::new(0).mode(mode).solve(&g).unwrap();
+        assert!(
+            is_distance_dominating_set(&g, &report.dominating_set, 0),
+            "{mode:?}"
+        );
+    }
+
+    // Empty, single-vertex and disconnected graphs through KSV.
+    let empty = Graph::empty(0);
+    let result = distributed_ksv_domination(&empty, KsvConfig::new()).unwrap();
+    assert!(result.dominating_set.is_empty());
+    assert_eq!(result.rounds, 0);
+
+    let single = Graph::empty(1);
+    let ctx = DistContext::elect(&single, DistContextConfig::for_domination(1)).unwrap();
+    let report = distributed_ksv_domination_in(&ctx).unwrap();
+    assert_eq!(report.result.dominating_set, vec![0]);
+    assert!(report.verified);
+
+    let disconnected = bedom::graph::graph_from_edges(6, &[(0, 1), (2, 3), (4, 5)]);
+    let ctx = DistContext::elect(&disconnected, DistContextConfig::for_domination(1)).unwrap();
+    let report = distributed_ksv_domination_in(&ctx).unwrap();
+    assert!(is_distance_dominating_set(
+        &disconnected,
+        &report.result.dominating_set,
+        1
+    ));
+    assert!(report.verified);
+}
+
+#[test]
 fn quality_ordering_of_methods_on_bounded_expansion_classes() {
     // The headline comparison of experiment T1/T6: on bounded expansion
     // classes our set should not be (much) larger than the baselines', and
