@@ -97,20 +97,22 @@ fn main() {
     }
 }
 
-/// K1 — the constant-round KSV phase family (arXiv:2012.02701) against the
+/// K1 — the constant-round KSV phase family (arXiv:2012.02701 at r = 1, the
+/// arXiv:2207.02669 distance-r generalisation at r ≥ 2) against the
 /// order-based Theorem 9 pipeline on the same instances and seeds: rounds,
 /// wire bits and set sizes, with both verified through one shared
-/// `DistContext` per instance (single index sweep).
+/// `DistContext` per `(instance, r)` (single index sweep).
 fn table_k1(scale: &Scale) {
-    use bedom_core::{distributed_ksv_domination_in, KSV_ROUNDS};
+    use bedom_core::{distributed_ksv_domination_r_in, ksv_rounds};
 
     println!(
         "\n===== K1: constant-round KSV vs the order-based pipeline (rounds / bits / |D|) ====="
     );
     println!(
-        "{:<14} {:>8} {:>10} {:>9} {:>13} {:>12} {:>8} {:>8} {:>6} {:>6}",
+        "{:<14} {:>8} {:>3} {:>10} {:>9} {:>13} {:>12} {:>8} {:>8} {:>6} {:>6}",
         "family",
         "n",
+        "r",
         "t9-rounds",
         "ksv-rnds",
         "t9-bits",
@@ -123,25 +125,28 @@ fn table_k1(scale: &Scale) {
     for family in [Family::PlanarTriangulation, Family::ConfigurationModel] {
         for n in [scale.n(4_000), scale.n(16_000)] {
             let graph = connected_instance(family, n, 11);
-            let ctx = DistContext::elect(&graph, DistContextConfig::for_domination(1)).unwrap();
-            let t9 = distributed_distance_domination_in(&ctx, 1).unwrap();
-            let ksv = distributed_ksv_domination_in(&ctx).unwrap();
-            assert!(ksv.verified, "KSV output failed verification");
-            assert_eq!(ksv.result.rounds, KSV_ROUNDS);
-            let t9_bits: usize = t9.phase_stats.iter().map(|s| s.total_bits).sum();
-            println!(
-                "{:<14} {:>8} {:>10} {:>9} {:>13} {:>12} {:>8} {:>8} {:>6} {:>6}",
-                family.name(),
-                graph.num_vertices(),
-                t9.total_rounds(),
-                ksv.result.rounds,
-                t9_bits,
-                ksv.result.stats.total_bits,
-                t9.dominating_set.len(),
-                ksv.result.dominating_set.len(),
-                packing_lower_bound(&graph, 1),
-                ksv.witnessed_constant
-            );
+            for r in [1u32, 2] {
+                let ctx = DistContext::elect(&graph, DistContextConfig::for_domination(r)).unwrap();
+                let t9 = distributed_distance_domination_in(&ctx, r).unwrap();
+                let ksv = distributed_ksv_domination_r_in(&ctx, r).unwrap();
+                assert!(ksv.verified, "KSV output failed verification");
+                assert_eq!(ksv.result.rounds, ksv_rounds(r));
+                let t9_bits: usize = t9.phase_stats.iter().map(|s| s.total_bits).sum();
+                println!(
+                    "{:<14} {:>8} {:>3} {:>10} {:>9} {:>13} {:>12} {:>8} {:>8} {:>6} {:>6}",
+                    family.name(),
+                    graph.num_vertices(),
+                    r,
+                    t9.total_rounds(),
+                    ksv.result.rounds,
+                    t9_bits,
+                    ksv.result.stats.total_bits,
+                    t9.dominating_set.len(),
+                    ksv.result.dominating_set.len(),
+                    packing_lower_bound(&graph, r),
+                    ksv.witnessed_constant
+                );
+            }
         }
     }
 }

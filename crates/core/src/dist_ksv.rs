@@ -1,53 +1,70 @@
 //! Constant-round distributed domination — the Kublenz–Siebertz–Vigny
-//! protocol (arXiv:2012.02701) as a phase family on the superstep engine.
+//! protocol (arXiv:2012.02701) and its distance-`r` generalisation
+//! (Heydt–Kublenz–Ossona de Mendez–Siebertz–Vigny, arXiv:2207.02669) as a
+//! phase family on the superstep engine.
 //!
 //! The order-based pipeline of Theorem 9 pays `O(log n)` rounds in the order
 //! phase before any domination happens. KSV shows that on bounded-expansion
 //! classes a **constant-factor dominating set can be elected in a constant
-//! number of rounds**, with no order phase at all: every decision is made
-//! from radius-2 information. The protocol implemented here follows the
-//! paper's three-set structure:
+//! number of rounds**, with no order phase at all; the follow-up work
+//! generalises the same pseudo-cover skeleton to distance-`r` dominating
+//! sets in `O(r)` rounds. The protocol implemented here follows the papers'
+//! three-set structure at every radius:
 //!
 //! 1. **Hard core `D₁`** — a vertex `v` joins `D₁` when its open
-//!    neighbourhood `N(v)` cannot be (greedily) dominated by at most `2∇`
-//!    vertices other than `v`, where `∇` is the promised depth-1 edge-density
-//!    constant of the class (the paper proves `|D₁| ≤ O(∇)·γ`). The check
-//!    runs locally on radius-2 knowledge gathered in one adjacency-exchange
-//!    round. The paper's existential test is replaced by the classical
-//!    greedy max-coverage test — polynomial local computation in place of
-//!    LOCAL's unbounded computation; failing greedy is a weaker certificate,
-//!    so our `D₁` can only be a superset of the paper's (the constants
-//!    degrade by the usual greedy factor, the structure does not).
+//!    `r`-neighbourhood `N_r(v)` cannot be (greedily) distance-`r` dominated
+//!    by at most `2∇` vertices other than `v`, where `∇` is the promised
+//!    edge-density constant of the class at the relevant depth (the papers
+//!    prove `|D₁| ≤ O(∇)·γ_r`). The check runs locally on radius-`2r`
+//!    knowledge gathered in `2r − 1` adjacency-exchange rounds. The papers'
+//!    existential test is replaced by the classical greedy max-coverage test
+//!    — polynomial local computation in place of LOCAL's unbounded
+//!    computation; failing greedy is a weaker certificate, so our `D₁` can
+//!    only be a superset of the papers' (the constants degrade by the usual
+//!    greedy factor, the structure does not).
 //! 2. **Pseudo-cover dominators `D₂`** — every vertex still undominated
-//!    after `D₁` announces itself computes a greedy pseudo-cover of its
-//!    *closed* neighbourhood `N[v]` from candidates within distance 2 (each
-//!    pick must newly cover at least [`KsvConfig::threshold`] elements — the
-//!    paper's pseudo-cover admission rule; the default threshold 1 makes the
-//!    cover exhaustive so `v` itself is always covered when it has a
-//!    neighbour) and elects every member. Election tokens travel at most 2
-//!    hops (one forwarding round, deduplicated and filtered against the
-//!    sender's known adjacency).
+//!    after the `D₁` announcement flood computes a greedy pseudo-cover of
+//!    its *closed* `r`-neighbourhood `N_r[v]` from candidates within
+//!    distance `2r` (each pick must newly cover at least
+//!    [`KsvConfig::threshold`] elements — the pseudo-cover admission rule;
+//!    the default threshold 1 makes the cover exhaustive so `v` itself is
+//!    always covered when `N_r(v)` is non-empty) and elects every member.
+//!    Election tokens travel at most `2r` hops (`2r − 1` forwarding rounds,
+//!    deduplicated, filtered against the sender's known adjacency and a
+//!    hop-aware distance budget so only relays that can still reach the
+//!    target keep a token alive).
 //! 3. **Self-elected leftovers `D₃`** — vertices still undominated after the
-//!    `D₂` announcement (isolated vertices, and threshold > 1 leftovers)
-//!    add themselves. This is a local decision in the final round: a `D₃`
-//!    vertex's neighbours are all already dominated and aware, so no
-//!    further announcement round follows.
+//!    `D₂` announcement flood (isolated vertices, and threshold > 1
+//!    leftovers) add themselves. This is a local decision in the final
+//!    round: a `D₃` vertex's `r`-neighbours are all already dominated and
+//!    aware, so no further announcement round follows.
 //!
-//! The protocol runs **exactly [`KSV_ROUNDS`] engine rounds independent of
-//! `n`** (a regression test in `tests/end_to_end_pipelines.rs` pins this
-//! across graph sizes) and outputs a correct dominating set on *every*
-//! graph; bounded expansion is only needed for the size guarantee, exactly
-//! as in the paper. Messages carry whole adjacency lists, so the protocol
-//! lives in the LOCAL model (the paper's setting) — the simulator still
-//! accounts every bit, which is what the `ksv_pipeline` bench compares
-//! against the Theorem 9 pipeline.
+//! Announcements propagate `r` hops (a vertex within distance `r` of a
+//! dominator must learn it is dominated), so the protocol runs **exactly
+//! [`ksv_rounds`]`(r) = 6r − 1` engine rounds independent of `n`** (a
+//! regression test in `tests/end_to_end_pipelines.rs` pins this across graph
+//! sizes for `r ∈ {1, 2, 3}`): `2r − 1` knowledge rounds, `r` rounds of `D₁`
+//! announcement, `2r` rounds of election flooding, `r` rounds of `D₂`
+//! announcement, and the final local `D₃` decision sharing the last receive
+//! round. At `r = 1` this is the original [`KSV_ROUNDS`] = 5 round
+//! structure, message for message.
 //!
-//! [`distributed_ksv_domination`] runs the protocol standalone;
-//! [`distributed_ksv_domination_in`] runs it against a shared
+//! The output dominates at distance `r` on *every* graph; bounded expansion
+//! is only needed for the size guarantee, exactly as in the papers.
+//! Messages carry whole adjacency records, so the protocol lives in the
+//! LOCAL model (the papers' setting) — the simulator still accounts every
+//! bit, which is what the `ksv_pipeline` bench compares against the
+//! Theorem 9 pipeline.
+//!
+//! [`distributed_ksv_domination_r`] runs the protocol standalone;
+//! [`distributed_ksv_domination_r_in`] runs it against a shared
 //! [`DistContext`] and verifies the output through the context's one
 //! [`WReachIndex`](bedom_wcol::WReachIndex) sweep (witnessed constant +
-//! per-vertex domination certificates), making it directly comparable to
-//! the order-based path in the pipeline and the experiments binary.
+//! per-vertex domination certificates at radius `r`, read from the stored
+//! `2r` depths — no extra sweep), making it directly comparable to the
+//! order-based path in the pipeline and the experiments binary.
+//! [`distributed_ksv_domination`] and [`distributed_ksv_domination_in`] are
+//! the distance-1 entry points of PR 4, now thin wrappers.
 
 use crate::context::DistContext;
 use bedom_distsim::{
@@ -56,19 +73,35 @@ use bedom_distsim::{
 };
 use bedom_graph::domset::is_distance_dominating_set;
 use bedom_graph::{Graph, Vertex};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
-/// Communication rounds of the KSV protocol — a constant, independent of the
-/// graph: adjacency exchange, `D₁` announcement, pseudo-cover election,
-/// election forwarding, `D₂` announcement (after which still-undominated
-/// vertices self-elect locally — a `D₃` member's neighbours are all already
-/// dominated and aware, so no further announcement round is needed).
-pub const KSV_ROUNDS: usize = 5;
+/// Communication rounds of the distance-1 KSV protocol — a constant,
+/// independent of the graph ([`ksv_rounds`]`(1)`): adjacency exchange, `D₁`
+/// announcement, pseudo-cover election, election forwarding, `D₂`
+/// announcement (after which still-undominated vertices self-elect locally —
+/// a `D₃` member's neighbours are all already dominated and aware, so no
+/// further announcement round is needed).
+pub const KSV_ROUNDS: usize = ksv_rounds(1);
+
+/// Engine rounds of the distance-`r` KSV protocol on any non-empty graph:
+/// `6r − 1`, independent of `n` — `2r − 1` knowledge rounds, `r` rounds of
+/// `D₁` announcement, `2r` rounds of election flooding, `r` rounds of `D₂`
+/// announcement (the final `D₃` decision is local to the last receive
+/// round). `r = 0` is the degenerate distance-0 problem, which no rounds of
+/// communication can improve on (the set is `V`); the protocol entry points
+/// reject it with a typed error and the pipeline short-circuits it.
+pub const fn ksv_rounds(r: u32) -> usize {
+    if r == 0 {
+        0
+    } else {
+        6 * r as usize - 1
+    }
+}
 
 /// Which phase put a vertex into the dominating set.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum KsvMembership {
-    /// `D₁`: the vertex's neighbourhood defeated the `2∇`-budget greedy
+    /// `D₁`: the vertex's `r`-neighbourhood defeated the `2∇`-budget greedy
     /// domination check.
     HardCore,
     /// `D₂`: elected into some vertex's pseudo-cover.
@@ -82,24 +115,34 @@ pub enum KsvMembership {
 pub struct KsvVertexOutput {
     /// Set membership, if the vertex ended up in the dominating set.
     pub membership: Option<KsvMembership>,
-    /// Whether the vertex learnt of a dominator in `N[v]` (itself included).
-    /// The protocol guarantees this ends `true` at every vertex.
+    /// Whether the vertex learnt of a dominator in `N_r[v]` (itself
+    /// included). The protocol guarantees this ends `true` at every vertex.
     pub knows_dominated: bool,
 }
 
-/// Message kinds of the protocol. Every message carries a (possibly empty)
-/// id list; the kind tag is charged at 8 bits and the list at a 16-bit
-/// length prefix plus `id_bits` per id, mirroring the flat encoding of the
-/// weak-reachability messages.
+/// Message kinds of the protocol. The kind tag (charged at 8 bits) selects
+/// which single payload list the message encodes: an id list for every kind
+/// except [`KsvKind::Knowledge`], whose payload is an adjacency-record list
+/// instead. The selected list is charged at a 16-bit length prefix plus its
+/// entries (`id_bits` per id; each record additionally pays its own id and a
+/// 16-bit length prefix for its neighbour list), mirroring the flat encoding
+/// of the weak-reachability messages.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum KsvKind {
     /// Init broadcast: the sender's open neighbourhood (network ids).
     Adjacency,
-    /// "I am in the dominating set" (empty id list).
+    /// Knowledge-gathering wave ≥ 2 (`r ≥ 2` only): adjacency records of
+    /// vertices the sender learnt about in the previous round.
+    Knowledge,
+    /// "I am in the dominating set": a `D₁`/`D₂` announcement, or a relay of
+    /// one. At `r = 1` the id list is empty (announcements travel one hop,
+    /// the sender is the announcer); at `r ≥ 2` it carries the announcer ids
+    /// being flooded.
     InDominatingSet,
     /// The sender's elected pseudo-cover members.
     Elect,
-    /// Forwarded election tokens for members two hops from their elector.
+    /// Forwarded election tokens for members more than one hop from their
+    /// elector.
     Forward,
 }
 
@@ -110,21 +153,44 @@ pub struct KsvMessage {
     pub kind: KsvKind,
     /// Network ids, sorted increasingly.
     pub ids: Vec<u64>,
+    /// Adjacency records `(vertex id, its open neighbourhood)` for the
+    /// knowledge-gathering waves; empty for every other kind.
+    pub records: Vec<(u64, Vec<u64>)>,
     /// Bits charged per id.
     pub id_bits: usize,
 }
 
 impl MessageSize for KsvMessage {
     fn size_bits(&self) -> usize {
-        // The modeled 16-bit length prefix must actually be able to encode
-        // the list (the adjacency broadcast is Θ(degree) ids) — overflow the
-        // accounting loudly, like every other wire-path bound.
-        assert!(
-            self.ids.len() <= u16::MAX as usize,
-            "KSV message carries {} ids — unencodable in the 16-bit length prefix",
-            self.ids.len()
+        // The modeled 16-bit length prefixes must actually be able to encode
+        // the lists (the adjacency broadcast is Θ(degree) ids, a knowledge
+        // wave Θ(ball frontier) records) — overflow the accounting loudly,
+        // like every other wire-path bound. Exactly one of the two lists is
+        // populated (the kind tag selects which one a decoder reads), so one
+        // 16-bit prefix covers the message's payload list.
+        debug_assert!(
+            self.ids.is_empty() || self.records.is_empty(),
+            "a KSV message encodes one payload list, selected by its kind"
         );
-        8 + 16 + self.ids.len() * self.id_bits
+        assert!(
+            self.ids.len() <= u16::MAX as usize && self.records.len() <= u16::MAX as usize,
+            "KSV message carries {} ids / {} records — unencodable in a 16-bit length prefix",
+            self.ids.len(),
+            self.records.len()
+        );
+        let record_bits: usize = self
+            .records
+            .iter()
+            .map(|(_, adj)| {
+                assert!(
+                    adj.len() <= u16::MAX as usize,
+                    "KSV adjacency record carries {} ids — unencodable in the 16-bit length prefix",
+                    adj.len()
+                );
+                self.id_bits + 16 + adj.len() * self.id_bits
+            })
+            .sum();
+        8 + 16 + self.ids.len() * self.id_bits + record_bits
     }
 }
 
@@ -133,9 +199,9 @@ fn set_bit(words: &mut [u64], i: usize) {
     words[i / 64] |= 1u64 << (i % 64);
 }
 
-/// Words of a coverage mask over the `degree + 1` positions of `N[v]`.
-fn cover_words(degree: usize) -> usize {
-    (degree + 1).div_ceil(64)
+/// Words of a coverage mask over the `deg_r + 1` positions of `N_r[v]`.
+fn cover_words(deg_r: usize) -> usize {
+    (deg_r + 1).div_ceil(64)
 }
 
 /// `popcount(mask & uncovered)` — the fresh coverage a candidate offers.
@@ -146,71 +212,140 @@ fn gain(mask: &[u64], uncovered: &[u64]) -> u32 {
         .sum()
 }
 
-/// Greedy maximum-coverage over bitmask candidates: repeatedly pick the
-/// candidate with the largest fresh coverage (ties broken towards the
-/// smallest id — the map iterates ascending), admitting a pick only while it
+/// Greedy maximum-coverage over bitmask candidates, lazily re-evaluated:
+/// repeatedly pick the candidate with the largest fresh coverage (ties
+/// broken towards the smallest network id), admitting a pick only while it
 /// newly covers at least `threshold` elements, up to `budget` picks.
-/// Clears covered bits from `uncovered` in place; returns the picked ids in
-/// pick order.
+/// `masks` is indexed by local ball position (an empty mask means "not a
+/// candidate"), `ids` maps positions back to network ids.
+///
+/// Gains only decrease as `uncovered` shrinks, so a popped heap entry whose
+/// recomputed gain still matches is globally maximal — the same
+/// lazy-deletion argument as the sequential greedy solver in
+/// `bedom_graph::domset`. Stale entries with equal true gain re-enter the
+/// heap behind smaller ids, so the selection (largest gain, then smallest
+/// network id) is *identical* to a full rescan per pick, at a fraction of
+/// the cost on high-degree balls. Clears covered bits from `uncovered` in
+/// place; returns the picked network ids in pick order.
 fn greedy_cover(
-    candidates: &BTreeMap<u64, Vec<u64>>,
+    ids: &[u64],
+    masks: &[Vec<u64>],
     uncovered: &mut [u64],
     budget: usize,
     threshold: u32,
 ) -> Vec<u64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<(u32, Reverse<u64>, u32)> = masks
+        .iter()
+        .enumerate()
+        .filter(|(_, mask)| !mask.is_empty())
+        .map(|(i, mask)| (gain(mask, uncovered), Reverse(ids[i]), i as u32))
+        .filter(|&(g, _, _)| g > 0)
+        .collect();
     let mut picked = Vec::new();
     while picked.len() < budget {
-        let mut best: Option<(u64, u32)> = None;
-        for (&id, mask) in candidates {
-            let g = gain(mask, uncovered);
-            if g > best.map_or(0, |(_, bg)| bg) {
-                best = Some((id, g));
+        let Some((claimed, Reverse(id), i)) = heap.pop() else {
+            break;
+        };
+        let mask = &masks[i as usize];
+        let actual = gain(mask, uncovered);
+        if actual < claimed {
+            if actual > 0 {
+                heap.push((actual, Reverse(id), i));
             }
+            continue;
         }
-        match best {
-            Some((id, g)) if g >= threshold => {
-                for (w, m) in uncovered.iter_mut().zip(&candidates[&id]) {
-                    *w &= !m;
-                }
-                picked.push(id);
-            }
-            _ => break,
+        if actual < threshold {
+            break;
         }
+        for (w, m) in uncovered.iter_mut().zip(mask) {
+            *w &= !m;
+        }
+        picked.push(id);
     }
     picked
 }
 
-/// Node state of the KSV protocol.
+/// Breadth-first search over locally gathered adjacency records, up to
+/// `depth` edges from `source`. Vertices whose record is absent are treated
+/// as leaves — during the protocol every vertex the search can reach within
+/// its depth budget has a known record (the knowledge horizon is `2r − 1`
+/// and searches run to depth ≤ `2r` from the holder, ≤ `r` from vertices at
+/// distance ≤ `r`), so the computed distances are exact. Returns `(vertex,
+/// distance)` pairs in BFS order.
+fn local_bfs(adj: &BTreeMap<u64, Vec<u64>>, source: u64, depth: u32) -> Vec<(u64, u32)> {
+    let mut order: Vec<(u64, u32)> = vec![(source, 0)];
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(source);
+    let mut head = 0;
+    while let Some(&(x, d)) = order.get(head) {
+        head += 1;
+        if d >= depth {
+            continue;
+        }
+        let Some(neighbors) = adj.get(&x) else {
+            continue;
+        };
+        for &w in neighbors {
+            if seen.insert(w) {
+                order.push((w, d + 1));
+            }
+        }
+    }
+    order
+}
+
+/// Node state of the distance-`r` KSV protocol.
 pub struct KsvNode {
     id: u64,
+    r: u32,
     id_bits: usize,
     /// `2∇`: the budget of the `D₁` greedy domination check.
     hard_budget: usize,
     /// Pseudo-cover admission threshold (≥ 1).
     threshold: u32,
-    /// Learnt in round 1: each neighbour's open neighbourhood, in ascending
-    /// neighbour-id order (delivery order), each list sorted.
-    neighbor_adj: Vec<(u64, Vec<u64>)>,
-    /// The pseudo-cover this vertex will elect in round 2 *if* it is still
-    /// undominated then. Precomputed in round 1 from the same coverage table
-    /// as the `D₁` check — the election depends only on round-1 knowledge,
-    /// and building the table is the protocol's dominant local computation,
-    /// so it must be built exactly once (and not retained: only this small
-    /// id list survives the round boundary).
+    /// Adjacency records gathered so far, keyed by vertex id (own record
+    /// included); each list sorted. Grown to the `2r − 1` knowledge horizon
+    /// by the decision round, then pruned back to the records the relay
+    /// filters still need (self + direct neighbours).
+    known_adj: BTreeMap<u64, Vec<u64>>,
+    /// Ids whose records were first learnt in the last receive round — the
+    /// payload of the next knowledge wave.
+    frontier: Vec<u64>,
+    /// Exact local distances from this vertex up to `2r`, sorted by id.
+    /// Computed once in the decision round; backs the hop-aware relay
+    /// filters of both flood phases.
+    local_dist: Vec<(u64, u32)>,
+    /// The pseudo-cover this vertex will elect *if* it is still undominated
+    /// at the election round. Precomputed in the decision round from the
+    /// same coverage table as the `D₁` check — the election depends only on
+    /// decision-round knowledge, and building the table is the protocol's
+    /// dominant local computation, so it must be built exactly once (and not
+    /// retained: only this small id list survives the round boundary).
     planned_election: Vec<u64>,
+    /// Announcer ids already heard (flood dedup, both announcement phases).
+    seen_announce: BTreeSet<u64>,
+    /// Election-token targets already processed (flood dedup).
+    seen_target: BTreeSet<u64>,
     membership: Option<KsvMembership>,
     dominated: bool,
 }
 
 impl KsvNode {
-    fn new(id: u64, id_bits: usize, hard_budget: usize, threshold: u32) -> Self {
+    fn new(id: u64, r: u32, id_bits: usize, hard_budget: usize, threshold: u32) -> Self {
         KsvNode {
             id,
+            r,
             id_bits,
             hard_budget,
             threshold,
-            neighbor_adj: Vec::new(),
+            known_adj: BTreeMap::new(),
+            frontier: Vec::new(),
+            local_dist: Vec::new(),
             planned_election: Vec::new(),
+            seen_announce: BTreeSet::new(),
+            seen_target: BTreeSet::new(),
             membership: None,
             dominated: false,
         }
@@ -220,49 +355,28 @@ impl KsvNode {
         Outgoing::Broadcast(KsvMessage {
             kind,
             ids,
+            records: Vec::new(),
             id_bits: self.id_bits,
         })
     }
 
-    /// The candidate → coverage-bitmask table over the positions of `N[v]`:
-    /// position `i` is the `i`-th neighbour in ascending id order, position
-    /// `degree` is `v` itself. A candidate `z ≠ v` (any vertex within
-    /// distance 2) covers neighbour `u` when `z = u` or `z ∈ N(u)`, and
-    /// covers `v` when `z ∈ N(v)` — all decidable from the adjacency lists
-    /// gathered in round 1.
-    fn coverage_candidates(&self) -> BTreeMap<u64, Vec<u64>> {
-        let deg = self.neighbor_adj.len();
-        let words = cover_words(deg);
-        let mut candidates: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
-        let mut touch = |id: u64, bit: usize| {
-            set_bit(
-                candidates.entry(id).or_insert_with(|| vec![0u64; words]),
-                bit,
-            );
-        };
-        for (i, (uid, adj)) in self.neighbor_adj.iter().enumerate() {
-            // u covers itself and covers v.
-            touch(*uid, i);
-            touch(*uid, deg);
-            for &z in adj {
-                if z != self.id {
-                    // z ∈ N(u) covers u.
-                    touch(z, i);
-                }
-            }
-        }
-        candidates
+    /// The exact local distance to `z`, if `z` is within the `2r` horizon.
+    fn local_distance(&self, z: u64) -> Option<u32> {
+        self.local_dist
+            .binary_search_by_key(&z, |&(id, _)| id)
+            .ok()
+            .map(|i| self.local_dist[i].1)
     }
 
-    /// Whether `z` is known (from round 1) to be in `N[from]` — used to skip
-    /// forwarding election tokens their target already heard directly.
+    /// Whether `z` is known to be in `N[from]` — used to skip forwarding
+    /// election tokens their target already heard directly.
     fn known_adjacent(&self, from: u64, z: u64) -> bool {
         if from == z {
             return true;
         }
-        self.neighbor_adj
-            .binary_search_by_key(&from, |&(id, _)| id)
-            .is_ok_and(|i| self.neighbor_adj[i].1.binary_search(&z).is_ok())
+        self.known_adj
+            .get(&from)
+            .is_some_and(|adj| adj.binary_search(&z).is_ok())
     }
 
     fn join(&mut self, membership: KsvMembership) {
@@ -271,6 +385,267 @@ impl KsvNode {
         }
         self.dominated = true;
     }
+
+    /// Absorbs a knowledge wave: stores fresh adjacency records and queues
+    /// them as the next wave's frontier.
+    fn absorb_knowledge(&mut self, inbox: Inbox<'_, KsvMessage>) {
+        let learn = |known_adj: &mut BTreeMap<u64, Vec<u64>>,
+                     frontier: &mut Vec<u64>,
+                     id: u64,
+                     adj: &Vec<u64>| {
+            if let std::collections::btree_map::Entry::Vacant(slot) = known_adj.entry(id) {
+                slot.insert(adj.clone());
+                frontier.push(id);
+            }
+        };
+        for msg in inbox {
+            match msg.payload.kind {
+                KsvKind::Adjacency => {
+                    learn(
+                        &mut self.known_adj,
+                        &mut self.frontier,
+                        msg.from,
+                        &msg.payload.ids,
+                    );
+                }
+                KsvKind::Knowledge => {
+                    for (id, adj) in &msg.payload.records {
+                        learn(&mut self.known_adj, &mut self.frontier, *id, adj);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Broadcasts the records first learnt last round (the flood frontier).
+    fn knowledge_wave(&mut self) -> Outgoing<KsvMessage> {
+        if self.frontier.is_empty() {
+            return Outgoing::Silent;
+        }
+        self.frontier.sort_unstable();
+        let records: Vec<(u64, Vec<u64>)> = std::mem::take(&mut self.frontier)
+            .into_iter()
+            .map(|id| (id, self.known_adj[&id].clone()))
+            .collect();
+        Outgoing::Broadcast(KsvMessage {
+            kind: KsvKind::Knowledge,
+            ids: Vec::new(),
+            records,
+            id_bits: self.id_bits,
+        })
+    }
+
+    /// A `D₁`/`D₂` announcement. At `r = 1` announcements travel one hop and
+    /// carry no ids (the sender *is* the announcer); at `r ≥ 2` the flood
+    /// relays need the announcer id.
+    fn announce(&mut self) -> Outgoing<KsvMessage> {
+        self.seen_announce.insert(self.id);
+        let ids = if self.r == 1 {
+            Vec::new()
+        } else {
+            vec![self.id]
+        };
+        self.message(KsvKind::InDominatingSet, ids)
+    }
+
+    /// Absorbs announcement-flood messages: any heard announcement proves a
+    /// dominator within distance `r` (floods travel at one hop per round and
+    /// each window spans `r` hops), so hearing one settles `dominated`.
+    /// Returns the announcer ids first heard this round, sorted.
+    fn absorb_announcements(&mut self, inbox: Inbox<'_, KsvMessage>) -> Vec<u64> {
+        let mut fresh = Vec::new();
+        let mut any = false;
+        for msg in inbox {
+            if msg.payload.kind != KsvKind::InDominatingSet {
+                continue;
+            }
+            any = true;
+            for &a in &msg.payload.ids {
+                if self.seen_announce.insert(a) {
+                    fresh.push(a);
+                }
+            }
+        }
+        if any {
+            self.dominated = true;
+        }
+        fresh.sort_unstable();
+        fresh
+    }
+
+    /// Relays fresh announcer ids onward — only for announcers strictly
+    /// inside the radius-`r` ball (a relay at distance `d` reaches vertices
+    /// at distance `d + 1` from the announcer, useful only while
+    /// `d + 1 ≤ r`). Vertices at distance exactly `r` hear and stop the
+    /// flood, which is what caps every announcement at `r` hops alongside
+    /// the window structure.
+    fn relay_announcements(&mut self, fresh: Vec<u64>) -> Outgoing<KsvMessage> {
+        let r = self.r;
+        let relay: Vec<u64> = fresh
+            .into_iter()
+            .filter(|&a| self.local_distance(a).is_some_and(|d| d < r))
+            .collect();
+        if relay.is_empty() {
+            Outgoing::Silent
+        } else {
+            self.message(KsvKind::InDominatingSet, relay)
+        }
+    }
+
+    /// Absorbs election-flood messages: joins `D₂` when targeted, forwards
+    /// fresh tokens that (a) the sender could not have delivered directly
+    /// and (b) this relay can still usefully advance — the token has
+    /// `fwd_limit` hops of budget left after our rebroadcast, so only
+    /// targets within local distance `fwd_limit` stay alive through us.
+    fn absorb_elections(
+        &mut self,
+        inbox: Inbox<'_, KsvMessage>,
+        fwd_limit: u32,
+    ) -> Outgoing<KsvMessage> {
+        let mut forward: Vec<u64> = Vec::new();
+        for msg in inbox {
+            if !matches!(msg.payload.kind, KsvKind::Elect | KsvKind::Forward) {
+                continue;
+            }
+            for &z in &msg.payload.ids {
+                if z == self.id {
+                    self.join(KsvMembership::PseudoCover);
+                } else if self.seen_target.insert(z)
+                    && !self.known_adjacent(msg.from, z)
+                    && fwd_limit > 0
+                    && self.local_distance(z).is_some_and(|d| d <= fwd_limit)
+                {
+                    forward.push(z);
+                }
+            }
+        }
+        if forward.is_empty() {
+            Outgoing::Silent
+        } else {
+            forward.sort_unstable();
+            self.message(KsvKind::Forward, forward)
+        }
+    }
+
+    /// The decision round (`2r − 1`): all knowledge is in. Computes local
+    /// distances, builds the candidate → coverage-bitmask table over the
+    /// positions of `N_r[v]` (position `i` is the `i`-th member of the open
+    /// `r`-neighbourhood in ascending id order, position `deg_r` is `v`
+    /// itself; a candidate `z ≠ v` covers `u` when `d(z, u) ≤ r`, decidable
+    /// exactly from the gathered records), runs the `D₁` check and — when it
+    /// passes — precomputes the pseudo-cover election from the same table.
+    ///
+    /// This is the protocol's dominant local computation, so the ball is
+    /// compressed to dense local indices first (one id hash per ball member)
+    /// and the per-position searches run over flat arrays with an
+    /// epoch-stamped visited array — the same scratch discipline as the
+    /// `WReachIndex` sweep — instead of id maps. On Apollonian-style hubs
+    /// this is the difference between minutes and seconds at 100k vertices.
+    fn decide(&mut self, ctx: &NodeContext) -> Outgoing<KsvMessage> {
+        let r = self.r;
+        let reach = local_bfs(&self.known_adj, self.id, 2 * r);
+        let k = reach.len();
+        let mut lid: HashMap<u64, u32> = HashMap::with_capacity(k);
+        for (i, &(id, _)) in reach.iter().enumerate() {
+            lid.insert(id, i as u32);
+        }
+        // Adjacency in local indices. 2r-boundary vertices have no gathered
+        // record and become leaves — exactly right, since no search below
+        // ever needs to expand them (depth r from a vertex at distance ≤ r).
+        let local_adj: Vec<Vec<u32>> = reach
+            .iter()
+            .map(|(id, _)| match self.known_adj.get(id) {
+                Some(list) => list.iter().map(|w| lid[w]).collect(),
+                None => Vec::new(),
+            })
+            .collect();
+        // Open r-neighbourhood in ascending network-id order: the coverage
+        // positions (and, against position deg_r, the candidates covering v).
+        let mut position_ids: Vec<u64> = reach
+            .iter()
+            .filter(|&&(_, d)| d >= 1 && d <= r)
+            .map(|&(z, _)| z)
+            .collect();
+        position_ids.sort_unstable();
+        let positions: Vec<u32> = position_ids.iter().map(|z| lid[z]).collect();
+        let deg_r = positions.len();
+        let words = cover_words(deg_r);
+
+        // masks[local idx] = which positions that candidate covers; the ids
+        // vector maps back to network ids for the greedy tie-break.
+        let ids: Vec<u64> = reach.iter().map(|&(id, _)| id).collect();
+        let mut masks: Vec<Vec<u64>> = vec![Vec::new(); k];
+        let mut stamp = vec![0u32; k];
+        let mut epoch = 0u32;
+        let mut queue: Vec<(u32, u32)> = Vec::new();
+        for (i, &p) in positions.iter().enumerate() {
+            epoch += 1;
+            queue.clear();
+            queue.push((p, 0));
+            stamp[p as usize] = epoch;
+            let mut head = 0;
+            while let Some(&(x, d)) = queue.get(head) {
+                head += 1;
+                if x != 0 {
+                    // Local index 0 is this vertex, excluded as a candidate.
+                    let mask = &mut masks[x as usize];
+                    if mask.is_empty() {
+                        *mask = vec![0u64; words];
+                    }
+                    set_bit(mask, i);
+                }
+                if d >= r {
+                    continue;
+                }
+                for &w in &local_adj[x as usize] {
+                    if stamp[w as usize] != epoch {
+                        stamp[w as usize] = epoch;
+                        queue.push((w, d + 1));
+                    }
+                }
+            }
+            // Position i is within r of v, so it covers v (position deg_r).
+            let mask = &mut masks[p as usize];
+            if mask.is_empty() {
+                *mask = vec![0u64; words];
+            }
+            set_bit(mask, deg_r);
+        }
+
+        // Keep the distances (the relay filters read them), drop the bulk of
+        // the gathered records — only the sender-adjacency checks remain,
+        // and those only ever ask about direct neighbours.
+        self.local_dist = reach;
+        self.local_dist.sort_unstable_by_key(|&(id, _)| id);
+        let id = self.id;
+        self.known_adj
+            .retain(|&key, _| key == id || ctx.is_neighbor(key));
+        self.frontier = Vec::new();
+
+        if deg_r > 0 {
+            let mut uncovered = vec![0u64; words];
+            for i in 0..deg_r {
+                set_bit(&mut uncovered, i);
+            }
+            greedy_cover(&ids, &masks, &mut uncovered, self.hard_budget, 1);
+            if uncovered.iter().any(|&w| w != 0) {
+                self.join(KsvMembership::HardCore);
+                return self.announce();
+            }
+        }
+        // Not in D₁: precompute the election-round pseudo-cover from the
+        // same table (it only depends on decision-round knowledge), so the
+        // table is built once and dropped here.
+        let mut uncovered = vec![0u64; words];
+        for i in 0..=deg_r {
+            set_bit(&mut uncovered, i);
+        }
+        self.planned_election =
+            greedy_cover(&ids, &masks, &mut uncovered, usize::MAX, self.threshold);
+        self.planned_election.sort_unstable();
+        Outgoing::Silent
+    }
 }
 
 impl NodeAlgorithm for KsvNode {
@@ -278,8 +653,8 @@ impl NodeAlgorithm for KsvNode {
     type Output = KsvVertexOutput;
 
     fn init(&mut self, ctx: &NodeContext) -> Outgoing<KsvMessage> {
-        // Round 0: exchange open neighbourhoods (the radius-2 information
-        // every later decision is made from).
+        // Round 0: exchange open neighbourhoods (the first knowledge wave).
+        self.known_adj.insert(ctx.id, ctx.neighbor_ids.clone());
         self.message(KsvKind::Adjacency, ctx.neighbor_ids.clone())
     }
 
@@ -289,107 +664,73 @@ impl NodeAlgorithm for KsvNode {
         round: usize,
         inbox: Inbox<'_, KsvMessage>,
     ) -> Outgoing<KsvMessage> {
-        match round {
-            // Learn neighbours' adjacency; decide D₁ membership.
-            1 => {
-                for msg in inbox {
-                    debug_assert_eq!(msg.payload.kind, KsvKind::Adjacency);
-                    // Delivery order is ascending sender id, so the store is
-                    // sorted by construction; each list arrives sorted.
-                    self.neighbor_adj.push((msg.from, msg.payload.ids.clone()));
-                }
-                let deg = ctx.degree();
-                let candidates = self.coverage_candidates();
-                if deg > 0 {
-                    let mut uncovered = vec![0u64; cover_words(deg)];
-                    for i in 0..deg {
-                        set_bit(&mut uncovered, i);
-                    }
-                    greedy_cover(&candidates, &mut uncovered, self.hard_budget, 1);
-                    if uncovered.iter().any(|&w| w != 0) {
-                        self.join(KsvMembership::HardCore);
-                        return self.message(KsvKind::InDominatingSet, Vec::new());
-                    }
-                }
-                // Not in D₁: precompute the round-2 pseudo-cover election
-                // from the same table (it only depends on round-1 knowledge),
-                // so the table is built once and dropped here.
-                let mut uncovered = vec![0u64; cover_words(deg)];
-                for i in 0..=deg {
-                    set_bit(&mut uncovered, i);
-                }
-                self.planned_election =
-                    greedy_cover(&candidates, &mut uncovered, usize::MAX, self.threshold);
-                self.planned_election.sort_unstable();
-                Outgoing::Silent
-            }
-            // Hear D₁; if still undominated, elect the precomputed
-            // pseudo-cover of N[v].
-            2 => {
-                let elected = std::mem::take(&mut self.planned_election);
-                if !inbox.is_empty() {
-                    self.dominated = true;
-                }
-                if self.dominated || elected.is_empty() {
-                    return Outgoing::Silent;
-                }
-                self.message(KsvKind::Elect, elected)
-            }
-            // Receive elections; join D₂ if elected directly; forward tokens
-            // for members two hops from their elector.
-            3 => {
-                let mut forward: Vec<u64> = Vec::new();
-                for msg in inbox {
-                    if msg.payload.kind != KsvKind::Elect {
-                        continue;
-                    }
-                    for &z in &msg.payload.ids {
-                        if z == self.id {
-                            self.join(KsvMembership::PseudoCover);
-                        } else if ctx.is_neighbor(z) && !self.known_adjacent(msg.from, z) {
-                            // z is two hops from the elector; we are the
-                            // relay. (Targets adjacent to the elector heard
-                            // the broadcast themselves.)
-                            forward.push(z);
-                        }
-                    }
-                }
-                if forward.is_empty() {
-                    return Outgoing::Silent;
-                }
-                forward.sort_unstable();
-                forward.dedup();
-                self.message(KsvKind::Forward, forward)
-            }
-            // Receive forwarded elections; all of D₂ announces itself.
-            4 => {
-                for msg in inbox {
-                    if msg.payload.kind == KsvKind::Forward && msg.payload.ids.contains(&self.id) {
-                        self.join(KsvMembership::PseudoCover);
-                    }
-                }
-                if self.membership == Some(KsvMembership::PseudoCover) {
-                    self.message(KsvKind::InDominatingSet, Vec::new())
-                } else {
-                    Outgoing::Silent
-                }
-            }
-            // Hear D₂; whoever is still undominated self-elects (D₃).
-            // Nothing needs announcing: a D₃ vertex dominates itself, and
-            // every one of its neighbours is already dominated *and aware*
-            // (it heard a D₁/D₂ announcement or self-elected too — an
-            // unaware neighbour would be in D₃ itself), so the protocol is
-            // complete after this round.
-            _ => {
-                if !inbox.is_empty() {
-                    self.dominated = true;
-                }
-                if !self.dominated {
-                    self.join(KsvMembership::SelfElected);
-                }
-                Outgoing::Silent
-            }
+        let r = self.r as usize;
+        let decide = 2 * r - 1;
+        let elect = 3 * r - 1;
+        let announce2 = 5 * r - 1;
+        let last = 6 * r - 1;
+        if round < decide {
+            // Knowledge waves (r ≥ 2): absorb fresh records, flood the
+            // frontier one hop further.
+            self.absorb_knowledge(inbox);
+            return self.knowledge_wave();
         }
+        if round == decide {
+            // Final knowledge wave is in: run the D₁ check; members start
+            // the announcement flood, everyone else precomputes and waits.
+            self.absorb_knowledge(inbox);
+            return self.decide(ctx);
+        }
+        if round < elect {
+            // D₁ announcement relays (r ≥ 2).
+            let fresh = self.absorb_announcements(inbox);
+            return self.relay_announcements(fresh);
+        }
+        if round == elect {
+            // Final D₁ announcement hop; whoever is still undominated elects
+            // its precomputed pseudo-cover.
+            let _ = self.absorb_announcements(inbox);
+            let elected = std::mem::take(&mut self.planned_election);
+            if self.dominated || elected.is_empty() {
+                return Outgoing::Silent;
+            }
+            for &z in &elected {
+                self.seen_target.insert(z);
+            }
+            return self.message(KsvKind::Elect, elected);
+        }
+        if round < announce2 {
+            // Election-token flood: after a rebroadcast at this round, a
+            // token has `2r + elect − round − 1` delivery hops spent, so the
+            // remaining useful reach from here is the difference.
+            let fwd_limit = (2 * r + elect - round) as u32;
+            return self.absorb_elections(inbox, fwd_limit);
+        }
+        if round == announce2 {
+            // Final election hop; all of D₂ starts the second announcement
+            // flood.
+            let _ = self.absorb_elections(inbox, 0);
+            if self.membership == Some(KsvMembership::PseudoCover) {
+                return self.announce();
+            }
+            return Outgoing::Silent;
+        }
+        if round < last {
+            // D₂ announcement relays (r ≥ 2).
+            let fresh = self.absorb_announcements(inbox);
+            return self.relay_announcements(fresh);
+        }
+        // Final round: hear the last D₂ hop; whoever is still undominated
+        // self-elects (D₃). Nothing needs announcing: a D₃ vertex dominates
+        // itself, and every one of its r-neighbours is already dominated
+        // *and aware* (it heard an announcement flood or self-elected too —
+        // an unaware r-neighbour would be in D₃ itself), so the protocol is
+        // complete after this round.
+        let _ = self.absorb_announcements(inbox);
+        if !self.dominated {
+            self.join(KsvMembership::SelfElected);
+        }
+        Outgoing::Silent
     }
 
     fn output(&self, _ctx: &NodeContext) -> KsvVertexOutput {
@@ -403,17 +744,23 @@ impl NodeAlgorithm for KsvNode {
 /// Configuration of the KSV protocol.
 #[derive(Clone, Copy, Debug)]
 pub struct KsvConfig {
+    /// Domination radius `r ≥ 1` (`r = 0` is rejected with a typed error —
+    /// distance-0 domination is the degenerate full vertex set, which the
+    /// pipeline short-circuits without communication).
+    pub r: u32,
     /// Identifier assignment (the protocol is correct under any ids; ids
     /// only break greedy ties).
     pub assignment: IdAssignment,
-    /// The promised depth-1 edge-density constant `∇` of the graph class
-    /// (the paper assumes it known, like the `c(r)` constants elsewhere in
-    /// this workspace). `None` estimates `⌈m/n⌉` from the instance.
+    /// The promised edge-density constant `∇` of the graph class at the
+    /// relevant depth (the papers assume it known, like the `c(r)` constants
+    /// elsewhere in this workspace; for `r ≥ 2` the faithful constant is the
+    /// depth-`r` density `∇_r`). `None` estimates `⌈m/n⌉` from the instance
+    /// — an underestimate only grows `D₁`, never breaks domination.
     pub nabla: Option<usize>,
     /// Pseudo-cover admission threshold: a pick must newly cover at least
-    /// this many elements of `N[v]`. `1` (the default) makes phase-2 covers
-    /// exhaustive, so only isolated vertices reach `D₃`; the paper's
-    /// counting argument uses a `Θ(∇)` threshold, selectable for
+    /// this many elements of `N_r[v]`. `1` (the default) makes phase-2
+    /// covers exhaustive, so only `r`-isolated vertices reach `D₃`; the
+    /// papers' counting argument uses a `Θ(∇)` threshold, selectable for
     /// experiments. Clamped to ≥ 1.
     pub threshold: u32,
     /// Engine execution strategy (sequential and parallel are
@@ -422,14 +769,23 @@ pub struct KsvConfig {
 }
 
 impl KsvConfig {
-    /// Defaults: shuffled ids, estimated `∇`, exhaustive covers, size-gated
-    /// automatic strategy.
+    /// Defaults: distance 1, shuffled ids, estimated `∇`, exhaustive covers,
+    /// size-gated automatic strategy.
     pub fn new() -> Self {
         KsvConfig {
+            r: 1,
             assignment: IdAssignment::Shuffled(0x5eed),
             nabla: None,
             threshold: 1,
             strategy: ExecutionStrategy::Auto,
+        }
+    }
+
+    /// Defaults at domination radius `r`.
+    pub fn for_radius(r: u32) -> Self {
+        KsvConfig {
+            r,
+            ..KsvConfig::new()
         }
     }
 
@@ -451,7 +807,9 @@ impl Default for KsvConfig {
 /// Result of a KSV run.
 #[derive(Clone, Debug)]
 pub struct KsvDomResult {
-    /// The computed distance-1 dominating set, sorted by vertex id.
+    /// The domination radius the protocol ran at.
+    pub r: u32,
+    /// The computed distance-`r` dominating set, sorted by vertex id.
     pub dominating_set: Vec<Vertex>,
     /// `D₁`: the hard core (sorted).
     pub hard_core: Vec<Vertex>,
@@ -459,8 +817,8 @@ pub struct KsvDomResult {
     pub cover_dominators: Vec<Vertex>,
     /// `D₃`: self-elected leftovers (sorted).
     pub self_elected: Vec<Vertex>,
-    /// Communication rounds — [`KSV_ROUNDS`] on any non-empty graph, 0 on
-    /// the empty graph. Never depends on `n`.
+    /// Communication rounds — [`ksv_rounds`]`(r)` on any non-empty graph, 0
+    /// on the empty graph. Never depends on `n`.
     pub rounds: usize,
     /// Wire statistics of the run.
     pub stats: RunStats,
@@ -487,16 +845,38 @@ fn estimate_nabla(graph: &Graph) -> usize {
     graph.num_edges().div_ceil(n).max(1)
 }
 
-/// Runs the KSV constant-round protocol on `graph`. The output dominates at
-/// distance 1 on every graph; the size guarantee (`O(f(∇))·γ`) holds on
-/// bounded-expansion classes, as in the paper.
+/// Runs the KSV constant-round protocol on `graph` at the radius in
+/// `config`. The output dominates at distance `config.r` on every graph; the
+/// size guarantee (`O(f(∇))·γ_r`) holds on bounded-expansion classes, as in
+/// the papers.
 pub fn distributed_ksv_domination(
     graph: &Graph,
     config: KsvConfig,
 ) -> Result<KsvDomResult, ModelViolation> {
+    distributed_ksv_domination_r(graph, config.r, config)
+}
+
+/// Runs the distance-`r` KSV protocol on `graph` (`r` overrides `config.r`).
+/// Exactly [`ksv_rounds`]`(r)` engine rounds on any non-empty graph; the
+/// output dominates at distance `r` on every graph. `r = 0` is rejected with
+/// [`ModelViolation::RadiusUnsupported`] — the degenerate distance-0 set is
+/// `V` and needs no protocol (the pipeline short-circuits it).
+pub fn distributed_ksv_domination_r(
+    graph: &Graph,
+    r: u32,
+    config: KsvConfig,
+) -> Result<KsvDomResult, ModelViolation> {
+    if r == 0 {
+        return Err(ModelViolation::RadiusUnsupported {
+            requested: 0,
+            minimum: 1,
+            what: "the KSV constant-round protocol (distance-0 domination is the degenerate full vertex set)",
+        });
+    }
     let n = graph.num_vertices();
     if n == 0 {
         return Ok(KsvDomResult {
+            r,
             dominating_set: Vec::new(),
             hard_core: Vec::new(),
             cover_dominators: Vec::new(),
@@ -510,10 +890,10 @@ pub fn distributed_ksv_domination(
     let threshold = config.threshold.max(1);
     let id_bits = bedom_distsim::id_bits(n);
     let mut network = Network::new(graph, Model::Local, config.assignment, |_, ctx| {
-        KsvNode::new(ctx.id, id_bits, hard_budget, threshold)
+        KsvNode::new(ctx.id, r, id_bits, hard_budget, threshold)
     });
     network.set_strategy(config.strategy);
-    Engine::new(&mut network).run(RunPolicy::fixed(KSV_ROUNDS))?;
+    Engine::new(&mut network).run(RunPolicy::fixed(ksv_rounds(r)))?;
     let outputs = network.outputs();
     let stats = network.stats().clone();
 
@@ -545,6 +925,7 @@ pub fn distributed_ksv_domination(
     }
 
     Ok(KsvDomResult {
+        r,
         dominating_set,
         hard_core,
         cover_dominators,
@@ -562,65 +943,82 @@ pub fn distributed_ksv_domination(
 pub struct KsvContextReport {
     /// The protocol result.
     pub result: KsvDomResult,
-    /// `wcol₂` of the context's elected order — the same witnessed sparsity
-    /// constant the Theorem 9 pipeline reports at `r = 1`, making the two
-    /// phase families directly comparable on one instance.
+    /// `wcol_2r` of the context's elected order — the same witnessed
+    /// sparsity constant the Theorem 9 pipeline reports at radius `r`,
+    /// making the two phase families directly comparable on one instance.
     pub witnessed_constant: usize,
-    /// Vertices whose domination the shared index *certifies* (one-sided,
-    /// no sweep; see
+    /// Vertices whose distance-`r` domination the shared index *certifies*
+    /// (one-sided, no sweep; see
     /// [`WReachIndex::certified_dominated`](bedom_wcol::WReachIndex::certified_dominated)).
     pub index_certified: usize,
-    /// Distance-1 domination check of the output: accepted straight from the
-    /// index certificate when it covers every vertex, with a full BFS
+    /// Distance-`r` domination check of the output: accepted straight from
+    /// the index certificate when it covers every vertex, with a full BFS
     /// fallback for inconclusive vertices otherwise. Always expected `true`
     /// — exposed rather than asserted so simulation-side harnesses can
     /// report it.
     pub verified: bool,
 }
 
-/// Runs the KSV protocol on a context's graph and verifies the output
-/// through the context's shared index — **no extra ball sweep**: the
-/// witnessed constant and the per-vertex certificates are reads of the one
-/// lazy index the order-based phases share.
-///
-/// The context must have been elected with reach radius ≥ 2 (the radius the
-/// `r = 1` analysis questions need — [`crate::context::DistContextConfig::for_domination`]
-/// with `r = 1` or larger); a smaller context fails loudly with
-/// [`ModelViolation::RadiusOutOfRange`] instead of verifying against
-/// truncated balls.
+/// Runs the distance-1 KSV protocol on a context's graph and verifies the
+/// output through the context's shared index — see
+/// [`distributed_ksv_domination_r_in`].
 pub fn distributed_ksv_domination_in(
     ctx: &DistContext<'_>,
 ) -> Result<KsvContextReport, ModelViolation> {
-    if ctx.max_radius() < 2 {
-        return Err(ModelViolation::RadiusOutOfRange {
-            requested: 2,
-            supported: ctx.max_radius(),
-            what: "KSV's context-backed verification (needs the radius-2 index)",
+    distributed_ksv_domination_r_in(ctx, 1)
+}
+
+/// Runs the distance-`r` KSV protocol on a context's graph and verifies the
+/// output through the context's shared index — **no extra ball sweep**: the
+/// witnessed constant and the per-vertex certificates are reads of the one
+/// lazy index the order-based phases share ([`WReachIndex::certified_dominated`](bedom_wcol::WReachIndex::certified_dominated)
+/// reads the stored depths, so a `2r` index answers the radius-`r`
+/// certificate without re-sweeping).
+///
+/// The context must have been elected with reach radius ≥ `2r` (the radius
+/// the radius-`r` analysis questions need —
+/// [`crate::context::DistContextConfig::for_domination`] with this `r` or
+/// larger); a smaller context fails loudly with
+/// [`ModelViolation::RadiusOutOfRange`] instead of verifying against
+/// truncated balls. `r = 0` is rejected with
+/// [`ModelViolation::RadiusUnsupported`], as in the standalone entry point.
+pub fn distributed_ksv_domination_r_in(
+    ctx: &DistContext<'_>,
+    r: u32,
+) -> Result<KsvContextReport, ModelViolation> {
+    if r == 0 {
+        return Err(ModelViolation::RadiusUnsupported {
+            requested: 0,
+            minimum: 1,
+            what: "the KSV constant-round protocol (distance-0 domination is the degenerate full vertex set)",
         });
     }
-    let result = distributed_ksv_domination(
+    if ctx.max_radius() < 2 * r {
+        return Err(ModelViolation::RadiusOutOfRange {
+            requested: 2 * r,
+            supported: ctx.max_radius(),
+            what: "KSV's context-backed verification (needs the radius-2r index)",
+        });
+    }
+    let result = distributed_ksv_domination_r(
         ctx.graph(),
+        r,
         KsvConfig {
             assignment: ctx.assignment(),
             strategy: ctx.strategy(),
             ..KsvConfig::new()
         },
     )?;
-    let witnessed_constant = ctx.witnessed_constant(2)?;
+    let witnessed_constant = ctx.witnessed_constant(2 * r)?;
     let mut in_set = vec![false; ctx.num_vertices()];
     for &v in &result.dominating_set {
         in_set[v as usize] = true;
     }
-    let index_certified = ctx
-        .index()
-        .certified_dominated(1, &in_set)
-        .into_iter()
-        .filter(|&c| c)
-        .count();
+    let index_certified = ctx.index().certified_count(r, &in_set);
     // The certificate is sound, so a fully-certified set needs no BFS; the
     // full check runs only as the fallback for inconclusive vertices.
     let verified = index_certified == ctx.num_vertices()
-        || is_distance_dominating_set(ctx.graph(), &result.dominating_set, 1);
+        || is_distance_dominating_set(ctx.graph(), &result.dominating_set, r);
     Ok(KsvContextReport {
         result,
         witnessed_constant,
@@ -640,11 +1038,11 @@ mod tests {
     };
     use bedom_graph::graph_from_edges;
 
-    fn check(graph: &Graph) -> KsvDomResult {
-        let result = distributed_ksv_domination(graph, KsvConfig::new()).unwrap();
+    fn check_r(graph: &Graph, r: u32) -> KsvDomResult {
+        let result = distributed_ksv_domination_r(graph, r, KsvConfig::new()).unwrap();
         assert!(
-            is_distance_dominating_set(graph, &result.dominating_set, 1),
-            "not a dominating set"
+            is_distance_dominating_set(graph, &result.dominating_set, r),
+            "not a distance-{r} dominating set"
         );
         // The three phases partition the set.
         let mut union: Vec<Vertex> = result
@@ -656,10 +1054,19 @@ mod tests {
             .collect();
         union.sort_unstable();
         assert_eq!(union, result.dominating_set, "phases must partition D");
+        assert_eq!(result.r, r);
         if graph.num_vertices() > 0 {
-            assert_eq!(result.rounds, KSV_ROUNDS, "rounds must be the constant");
+            assert_eq!(
+                result.rounds,
+                ksv_rounds(r),
+                "rounds must be the constant for r = {r}"
+            );
         }
         result
+    }
+
+    fn check(graph: &Graph) -> KsvDomResult {
+        check_r(graph, 1)
     }
 
     #[test]
@@ -679,6 +1086,40 @@ mod tests {
     }
 
     #[test]
+    fn distance_r_structured_graphs() {
+        for r in [2u32, 3] {
+            check_r(&path(40), r);
+            check_r(&cycle(30), r);
+            check_r(&grid(9, 9), r);
+            check_r(&random_tree(100, 3), r);
+            check_r(&star(12), r);
+        }
+    }
+
+    #[test]
+    fn distance_r_planar_and_sparse_random_graphs() {
+        check_r(&stacked_triangulation(200, 1), 2);
+        check_r(&maximal_outerplanar(150), 2);
+        check_r(&configuration_model_power_law(200, 2.5, 2, 8, 3), 2);
+        check_r(&stacked_triangulation(120, 4), 3);
+    }
+
+    #[test]
+    fn distance_r_sets_shrink_with_radius() {
+        // A distance-r dominating set is also distance-(r+1) dominating, so
+        // the protocol has more room at larger radii; on a long path the
+        // elected sets must actually use it.
+        let g = path(120);
+        let sizes: Vec<usize> = (1..=3u32)
+            .map(|r| check_r(&g, r).dominating_set.len())
+            .collect();
+        assert!(
+            sizes[0] > sizes[1] && sizes[1] > sizes[2],
+            "sizes should decrease with r on a path: {sizes:?}"
+        );
+    }
+
+    #[test]
     fn rounds_are_constant_across_sizes() {
         let mut rounds = Vec::new();
         for n in [50usize, 400, 3200] {
@@ -689,6 +1130,14 @@ mod tests {
             rounds.iter().all(|&r| r == KSV_ROUNDS),
             "round count grew with n: {rounds:?}"
         );
+    }
+
+    #[test]
+    fn round_formula_matches_the_distance_1_constant() {
+        assert_eq!(ksv_rounds(0), 0);
+        assert_eq!(ksv_rounds(1), KSV_ROUNDS);
+        assert_eq!(ksv_rounds(2), 11);
+        assert_eq!(ksv_rounds(3), 17);
     }
 
     #[test]
@@ -711,7 +1160,7 @@ mod tests {
     #[test]
     fn quality_is_comparable_to_the_greedy_baseline() {
         // Constant rounds trade set size for latency; the trade must stay
-        // bounded. Deterministic instance, so the bound cannot flake.
+        // bounded. Deterministic instances, so the bounds cannot flake.
         let g = stacked_triangulation(600, 4);
         let result = check(&g);
         let greedy = greedy_distance_dominating_set(&g, 1);
@@ -721,27 +1170,63 @@ mod tests {
             result.dominating_set.len(),
             greedy.len()
         );
+        // The distance-2 protocol must stay in the same regime against the
+        // distance-2 greedy.
+        let result = check_r(&g, 2);
+        let greedy = greedy_distance_dominating_set(&g, 2);
+        assert!(
+            result.dominating_set.len() <= 12 * greedy.len().max(1),
+            "distance-2 KSV set {} vs greedy {}",
+            result.dominating_set.len(),
+            greedy.len()
+        );
     }
 
     #[test]
     fn degenerate_inputs() {
         let empty = Graph::empty(0);
-        let result = distributed_ksv_domination(&empty, KsvConfig::new()).unwrap();
-        assert!(result.dominating_set.is_empty());
-        assert_eq!(result.rounds, 0);
+        for r in [1u32, 2] {
+            let result = distributed_ksv_domination_r(&empty, r, KsvConfig::new()).unwrap();
+            assert!(result.dominating_set.is_empty());
+            assert_eq!(result.rounds, 0);
+        }
 
-        // A single isolated vertex self-elects.
+        // A single isolated vertex self-elects at every radius.
         let single = Graph::empty(1);
-        let result = check(&single);
-        assert_eq!(result.dominating_set, vec![0]);
-        assert_eq!(result.self_elected, vec![0]);
+        for r in [1u32, 2, 3] {
+            let result = check_r(&single, r);
+            assert_eq!(result.dominating_set, vec![0]);
+            assert_eq!(result.self_elected, vec![0]);
+        }
 
         // Isolated vertices in a disconnected graph self-elect; edges are
         // covered by elected endpoints.
         let disconnected = graph_from_edges(7, &[(0, 1), (2, 3), (4, 5)]);
-        let result = check(&disconnected);
-        assert!(result.dominating_set.contains(&6));
-        assert!(result.self_elected.contains(&6));
+        for r in [1u32, 2] {
+            let result = check_r(&disconnected, r);
+            assert!(result.dominating_set.contains(&6));
+            assert!(result.self_elected.contains(&6));
+        }
+    }
+
+    #[test]
+    fn radius_zero_is_rejected_with_a_typed_error() {
+        let g = grid(4, 4);
+        let err = distributed_ksv_domination_r(&g, 0, KsvConfig::new()).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelViolation::RadiusUnsupported {
+                requested: 0,
+                minimum: 1,
+                ..
+            }
+        ));
+        // The same through the config-borne radius and the context entry.
+        let err = distributed_ksv_domination(&g, KsvConfig::for_radius(0)).unwrap_err();
+        assert!(matches!(err, ModelViolation::RadiusUnsupported { .. }));
+        let ctx = DistContext::elect(&g, DistContextConfig::for_domination(1)).unwrap();
+        let err = distributed_ksv_domination_r_in(&ctx, 0).unwrap_err();
+        assert!(matches!(err, ModelViolation::RadiusUnsupported { .. }));
     }
 
     #[test]
@@ -753,13 +1238,15 @@ mod tests {
             IdAssignment::ReverseBfs,
             IdAssignment::ReverseDegeneracy,
         ] {
-            let config = KsvConfig {
-                assignment,
-                ..KsvConfig::new()
-            };
-            let result = distributed_ksv_domination(&g, config).unwrap();
-            assert!(is_distance_dominating_set(&g, &result.dominating_set, 1));
-            assert_eq!(result.rounds, KSV_ROUNDS);
+            for r in [1u32, 2] {
+                let config = KsvConfig {
+                    assignment,
+                    ..KsvConfig::new()
+                };
+                let result = distributed_ksv_domination_r(&g, r, config).unwrap();
+                assert!(is_distance_dominating_set(&g, &result.dominating_set, r));
+                assert_eq!(result.rounds, ksv_rounds(r));
+            }
         }
     }
 
@@ -774,6 +1261,24 @@ mod tests {
             "{:?}",
             result.dominating_set
         );
+    }
+
+    #[test]
+    fn path_elections_stay_near_optimal_at_larger_radii() {
+        // γ_r(P_n) = ⌈n / (2r + 1)⌉. The union-of-pseudo-covers structure
+        // elects ~2 members per undominated vertex on a path, so the set is
+        // a constant factor of n — which is still ≤ (2r + 1)·OPT, the
+        // constant-for-fixed-r regime the papers promise.
+        let g = path(63);
+        for r in [2u32, 3] {
+            let result = check_r(&g, r);
+            let opt = (63 + 2 * r as usize) / (2 * r as usize + 1);
+            assert!(
+                result.dominating_set.len() <= (2 * r as usize + 1) * opt,
+                "r = {r}: {} vs opt {opt}",
+                result.dominating_set.len()
+            );
+        }
     }
 
     #[test]
@@ -798,6 +1303,32 @@ mod tests {
     }
 
     #[test]
+    fn context_backed_distance_2_run_verifies_sweep_free() {
+        use bedom_wcol::ball_sweeps_on_this_thread;
+        let g = stacked_triangulation(150, 8);
+        let ctx = DistContext::elect(&g, DistContextConfig::for_domination(2)).unwrap();
+        let before = ball_sweeps_on_this_thread();
+        let report = distributed_ksv_domination_r_in(&ctx, 2).unwrap();
+        assert_eq!(
+            ball_sweeps_on_this_thread() - before,
+            1,
+            "distance-2 verification must reuse the context's single sweep"
+        );
+        assert!(report.verified);
+        assert_eq!(report.result.rounds, ksv_rounds(2));
+        assert_eq!(
+            report.witnessed_constant,
+            bedom_wcol::wcol_of_order(&g, ctx.order(), 4)
+        );
+        // The r = 1 protocol runs against the same (radius-4) context with
+        // no further sweep — the certificates read stored depths.
+        let before = ball_sweeps_on_this_thread();
+        let report1 = distributed_ksv_domination_r_in(&ctx, 1).unwrap();
+        assert_eq!(ball_sweeps_on_this_thread() - before, 0);
+        assert!(report1.verified);
+    }
+
+    #[test]
     fn undersized_context_is_rejected_loudly() {
         let g = grid(5, 5);
         let ctx = DistContext::elect(&g, DistContextConfig::new(1)).unwrap();
@@ -810,20 +1341,43 @@ mod tests {
                 ..
             }
         ));
+        // A radius-1 context cannot verify a distance-2 run either.
+        let ctx = DistContext::elect(&g, DistContextConfig::for_domination(1)).unwrap();
+        let err = distributed_ksv_domination_r_in(&ctx, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelViolation::RadiusOutOfRange {
+                requested: 4,
+                supported: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn paper_threshold_still_dominates() {
-        // With the paper's Θ(∇) admission threshold, phase 2 may leave
+        // With the papers' Θ(∇) admission threshold, phase 2 may leave
         // leftovers — D₃ absorbs them and the output still dominates.
         let g = stacked_triangulation(300, 9);
         let nabla = estimate_nabla(&g);
-        let config = KsvConfig {
-            threshold: (2 * nabla as u32) + 1,
-            ..KsvConfig::new()
-        };
-        let result = distributed_ksv_domination(&g, config).unwrap();
-        assert!(is_distance_dominating_set(&g, &result.dominating_set, 1));
-        assert_eq!(result.rounds, KSV_ROUNDS);
+        for r in [1u32, 2] {
+            let config = KsvConfig {
+                threshold: (2 * nabla as u32) + 1,
+                ..KsvConfig::new()
+            };
+            let result = distributed_ksv_domination_r(&g, r, config).unwrap();
+            assert!(is_distance_dominating_set(&g, &result.dominating_set, r));
+            assert_eq!(result.rounds, ksv_rounds(r));
+        }
+    }
+
+    #[test]
+    fn config_radius_and_explicit_radius_agree() {
+        let g = grid(8, 8);
+        let via_config = distributed_ksv_domination(&g, KsvConfig::for_radius(2)).unwrap();
+        let via_arg = distributed_ksv_domination_r(&g, 2, KsvConfig::new()).unwrap();
+        assert_eq!(via_config.dominating_set, via_arg.dominating_set);
+        assert_eq!(via_config.rounds, via_arg.rounds);
+        assert_eq!(via_config.r, 2);
     }
 }

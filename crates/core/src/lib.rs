@@ -12,6 +12,7 @@
 //! | Theorem 10 (distributed *connected* approximation in CONGEST_BC) | [`dist_connected`] | [`dist_connected::distributed_connected_domination`] |
 //! | Lemmas 14–16, Theorem 17 (LOCAL connector, factor `2r·d`) | [`local_connect`] | [`local_connect::local_connect`] |
 //! | KSV constant-round protocol (arXiv:2012.02701, follow-up work) | [`dist_ksv`] | [`dist_ksv::distributed_ksv_domination`] |
+//! | Distance-`r` KSV generalisation (arXiv:2207.02669, follow-up work) | [`dist_ksv`] | [`dist_ksv::distributed_ksv_domination_r`] |
 //!
 //! The substrates live in sibling crates: graphs and generators in
 //! `bedom-graph`, the LOCAL/CONGEST/CONGEST_BC simulator in `bedom-distsim`,
@@ -42,8 +43,9 @@ pub use dist_domset::{
     DistDomSetResult,
 };
 pub use dist_ksv::{
-    distributed_ksv_domination, distributed_ksv_domination_in, KsvConfig, KsvContextReport,
-    KsvDomResult, KsvMembership, KSV_ROUNDS,
+    distributed_ksv_domination, distributed_ksv_domination_in, distributed_ksv_domination_r,
+    distributed_ksv_domination_r_in, ksv_rounds, KsvConfig, KsvContextReport, KsvDomResult,
+    KsvMembership, KSV_ROUNDS,
 };
 pub use dist_wreach::{
     distributed_weak_reachability, DistributedWReach, PathStore, WReachConfig, WReachInfo,

@@ -24,7 +24,7 @@
 use crate::context::{DistContext, DistContextConfig};
 use crate::dist_connected::distributed_connected_domination_in;
 use crate::dist_domset::distributed_distance_domination_in;
-use crate::dist_ksv::distributed_ksv_domination_in;
+use crate::dist_ksv::distributed_ksv_domination_r_in;
 use crate::local_connect::local_connect;
 use crate::seq_domset::domset_via_min_wreach_with;
 use bedom_distsim::scenario::{ScenarioReport, ScenarioRunner, ShardMetrics};
@@ -50,12 +50,13 @@ pub enum Algorithm {
     /// then weak reachability and the Theorem 9 election (or Theorem 5
     /// sequentially). Works for every radius `r`.
     OrderBased,
-    /// The Kublenz–Siebertz–Vigny constant-round protocol
-    /// ([`crate::dist_ksv`], arXiv:2012.02701): no order phase, exactly
-    /// [`crate::dist_ksv::KSV_ROUNDS`] rounds. Inherently a distributed,
-    /// distance-1 protocol — selecting it solves distributedly regardless of
-    /// [`Mode`], `r = 0` degenerates to the full vertex set, and `r ≥ 2`
-    /// fails loudly with [`ModelViolation::RadiusOutOfRange`].
+    /// The Kublenz–Siebertz–Vigny constant-round protocol family
+    /// ([`crate::dist_ksv`], arXiv:2012.02701) and its distance-`r`
+    /// generalisation (arXiv:2207.02669): no order phase, exactly
+    /// [`crate::dist_ksv::ksv_rounds`]`(r)` rounds at every radius `r ≥ 1`.
+    /// Inherently a distributed protocol — selecting it solves distributedly
+    /// regardless of [`Mode`]; `r = 0` degenerates to the full vertex set
+    /// without communication.
     KsvConstantRound,
 }
 
@@ -272,11 +273,12 @@ impl DominationPipeline {
 
 impl DominationPipeline {
     /// The KSV constant-round path: the protocol runs with **zero** order
-    /// phase and [`crate::dist_ksv::KSV_ROUNDS`] rounds; the reported round
-    /// and bit accounting covers the protocol only. The witnessed constant
-    /// and the output verification come from a `DistContext` elected on the
-    /// analysis side (one shared index sweep, like every distributed solve)
-    /// — simulation-side reads, not protocol rounds.
+    /// phase and [`crate::dist_ksv::ksv_rounds`]`(r)` rounds at every radius
+    /// `r ≥ 1`; the reported round and bit accounting covers the protocol
+    /// only. The witnessed constant and the output verification come from a
+    /// `DistContext` elected on the analysis side (one shared index sweep,
+    /// like every distributed solve) — simulation-side reads, not protocol
+    /// rounds.
     fn solve_ksv(
         &self,
         graph: &Graph,
@@ -300,29 +302,29 @@ impl DominationPipeline {
                     election_verified: true,
                 })
             }
-            1 => {
+            r => {
                 let ctx = DistContext::elect(
                     graph,
                     DistContextConfig {
                         assignment: IdAssignment::Shuffled(self.seed),
                         strategy: self.execution,
-                        ..DistContextConfig::for_domination(1)
+                        ..DistContextConfig::for_domination(r)
                     },
                 )?;
-                let report = distributed_ksv_domination_in(&ctx)?;
+                let report = distributed_ksv_domination_r_in(&ctx, r)?;
                 let connected = if self.connected {
                     // The LOCAL connector of Theorem 17, as in sequential
                     // mode (the Theorem 10 machinery is order-based).
                     let ids = IdAssignment::Shuffled(self.seed).assign(graph);
                     Some(
-                        local_connect(graph, &ids, &report.result.dominating_set, 1)
+                        local_connect(graph, &ids, &report.result.dominating_set, r)
                             .connected_dominating_set,
                     )
                 } else {
                     None
                 };
                 Ok(DominationReport {
-                    r: 1,
+                    r,
                     mode: Mode::Distributed,
                     dominating_set: report.result.dominating_set,
                     connected_dominating_set: connected,
@@ -334,11 +336,6 @@ impl DominationPipeline {
                     election_verified: report.verified,
                 })
             }
-            r => Err(ModelViolation::RadiusOutOfRange {
-                requested: r,
-                supported: 1,
-                what: "the KSV constant-round protocol (a distance-1 phase family)",
-            }),
         }
     }
 }
@@ -535,19 +532,25 @@ mod tests {
         assert_eq!(report.dominating_set.len(), g.num_vertices());
         assert_eq!(report.rounds, 0);
         assert!(is_distance_dominating_set(&g, &report.dominating_set, 0));
-        // r ≥ 2 is outside the phase family and fails loudly.
-        let err = DominationPipeline::new(2)
-            .algorithm(Algorithm::KsvConstantRound)
-            .solve(&g)
-            .unwrap_err();
-        assert!(matches!(
-            err,
-            ModelViolation::RadiusOutOfRange {
-                requested: 2,
-                supported: 1,
-                ..
-            }
-        ));
+    }
+
+    #[test]
+    fn ksv_pipeline_solves_distance_r_end_to_end() {
+        // The former "r ≥ 2 fails loudly" boundary is gone: the distance-r
+        // generalisation solves r = 2 and 3 in exactly ksv_rounds(r) engine
+        // rounds, verified through the shared index like every solve.
+        let g = stacked_triangulation(200, 8);
+        for r in [2u32, 3] {
+            let report = DominationPipeline::new(r)
+                .algorithm(Algorithm::KsvConstantRound)
+                .solve(&g)
+                .unwrap();
+            assert_eq!(report.mode, Mode::Distributed);
+            assert_eq!(report.rounds, crate::dist_ksv::ksv_rounds(r));
+            assert!(is_distance_dominating_set(&g, &report.dominating_set, r));
+            assert!(report.election_verified, "r = {r}: verification failed");
+            assert!(report.witnessed_constant >= 1);
+        }
     }
 
     #[test]
@@ -578,24 +581,30 @@ mod tests {
                 Graph::empty(1),
                 DominationPipeline::new(1).algorithm(Algorithm::KsvConstantRound),
             ),
+            // The distance-r generalisation rides in the same batch: a
+            // radius-2 KSV shard is a solve, not an error, since this PR.
+            (
+                grid(7, 7),
+                DominationPipeline::new(2).algorithm(Algorithm::KsvConstantRound),
+            ),
         ];
         let report = solve_scenario(&shards, ExecutionStrategy::Parallel).unwrap();
-        assert_eq!(report.num_shards(), 3);
+        assert_eq!(report.num_shards(), 4);
         assert!(report.missing_metrics().is_empty());
         assert_eq!(
             report.shards[0].expect_metrics().rounds,
             crate::dist_ksv::KSV_ROUNDS
         );
         assert_eq!(report.shards[2].output.dominating_set, vec![0]);
-
-        // A KSV shard at an unsupported radius fails the whole batch loudly
-        // (the metric-absence path: no zeroed metrics masquerade as success).
-        let bad: Vec<(Graph, DominationPipeline)> = vec![(
-            grid(4, 4),
-            DominationPipeline::new(2).algorithm(Algorithm::KsvConstantRound),
-        )];
-        let err = solve_scenario(&bad, ExecutionStrategy::Sequential).unwrap_err();
-        assert!(matches!(err, ModelViolation::RadiusOutOfRange { .. }));
+        assert_eq!(
+            report.shards[3].expect_metrics().rounds,
+            crate::dist_ksv::ksv_rounds(2)
+        );
+        assert!(is_distance_dominating_set(
+            &shards[3].0,
+            &report.shards[3].output.dominating_set,
+            2
+        ));
     }
 
     #[test]

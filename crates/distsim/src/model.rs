@@ -133,6 +133,19 @@ pub enum ModelViolation {
         /// What was queried (for the error message).
         what: &'static str,
     },
+    /// A radius-`requested` query was issued against a protocol or phase
+    /// that only operates at radii ≥ `minimum` (e.g. the degenerate `r = 0`
+    /// domination problem, whose answer is the full vertex set and needs no
+    /// protocol). The complement of [`ModelViolation::RadiusOutOfRange`]:
+    /// too *small* instead of too large.
+    RadiusUnsupported {
+        /// The radius the caller asked for.
+        requested: u32,
+        /// The smallest radius the queried protocol supports.
+        minimum: u32,
+        /// What was queried (for the error message).
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for ModelViolation {
@@ -166,6 +179,14 @@ impl std::fmt::Display for ModelViolation {
             } => write!(
                 f,
                 "radius-{requested} query on {what} prepared only up to radius {supported}"
+            ),
+            ModelViolation::RadiusUnsupported {
+                requested,
+                minimum,
+                what,
+            } => write!(
+                f,
+                "radius-{requested} query on {what}, which only supports radii >= {minimum}"
             ),
         }
     }
@@ -218,6 +239,25 @@ mod tests {
         };
         let text = v.to_string();
         assert!(text.contains('7') && text.contains('3') && text.contains("100"));
+    }
+
+    #[test]
+    fn radius_violation_displays_name_both_boundaries() {
+        let too_big = ModelViolation::RadiusOutOfRange {
+            requested: 5,
+            supported: 2,
+            what: "a test index",
+        };
+        assert!(too_big.to_string().contains("radius-5"));
+        assert!(too_big.to_string().contains("up to radius 2"));
+        let too_small = ModelViolation::RadiusUnsupported {
+            requested: 0,
+            minimum: 1,
+            what: "a test protocol",
+        };
+        assert!(too_small.to_string().contains("radius-0"));
+        assert!(too_small.to_string().contains(">= 1"));
+        assert!(too_small.to_string().contains("a test protocol"));
     }
 
     #[test]

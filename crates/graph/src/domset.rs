@@ -222,6 +222,56 @@ pub fn exact_distance_dominating_set(
     }
 }
 
+/// Largest instance [`bitmask_minimum_domination_number`] will solve: the
+/// full subset enumeration is `O(2ⁿ·n/64)`, so ~20 vertices is where "brute
+/// force as the oracle" stops being instant on a single core.
+pub const BITMASK_ORACLE_MAX_N: usize = 20;
+
+/// The exact minimum distance-`r` dominating set size by brute-force subset
+/// enumeration over `u32` coverage bitmasks — the ground-truth oracle of the
+/// conformance harness. Unlike [`exact_distance_dominating_set`] (branch and
+/// bound, heuristic pruning, a node budget that can give up), this is a
+/// direct check of all `2ⁿ` subsets with no search-tree cleverness to
+/// mistrust, which is exactly what makes it a useful *independent* oracle
+/// for the solvers **and** for the branch-and-bound solver itself.
+///
+/// Returns `None` when `n >` [`BITMASK_ORACLE_MAX_N`] (callers fall back to
+/// the packing bound). The empty graph has domination number 0.
+pub fn bitmask_minimum_domination_number(graph: &Graph, r: u32) -> Option<usize> {
+    let n = graph.num_vertices();
+    if n > BITMASK_ORACLE_MAX_N {
+        return None;
+    }
+    if n == 0 {
+        return Some(0);
+    }
+    // The size gate keeps n ≤ 20, so the shift cannot overflow.
+    let full: u32 = (1u32 << n) - 1;
+    // cover[v] = the closed r-neighbourhood of v as a bitmask.
+    let cover: Vec<u32> = all_closed_neighborhoods(graph, r)
+        .into_iter()
+        .map(|nb| nb.into_iter().fold(0u32, |m, w| m | (1u32 << w)))
+        .collect();
+    let mut best = n; // V always dominates.
+    for subset in 0u32..=full {
+        let size = subset.count_ones() as usize;
+        if size >= best {
+            continue;
+        }
+        let mut covered = 0u32;
+        let mut bits = subset;
+        while bits != 0 {
+            let v = bits.trailing_zeros() as usize;
+            covered |= cover[v];
+            bits &= bits - 1;
+        }
+        if covered == full {
+            best = size;
+        }
+    }
+    Some(best)
+}
+
 /// A lower bound on the minimum distance-`r` dominating set size via a
 /// greedily constructed `2r`-independent set (a set of vertices pairwise at
 /// distance > 2r): no vertex can distance-r dominate two of them, so the
@@ -385,6 +435,57 @@ mod tests {
             assert!(lb <= opt.len(), "lb {lb} > opt {}", opt.len());
             assert!(lb >= 1);
         }
+    }
+
+    #[test]
+    fn bitmask_oracle_matches_known_optima_and_the_branch_and_bound() {
+        // Known closed forms: γ_r(P_n) = γ_r(C_n) = ⌈n / (2r + 1)⌉.
+        for (n, r) in [(7usize, 1u32), (13, 1), (9, 2), (13, 2), (15, 3)] {
+            let g = path(n);
+            assert_eq!(
+                bitmask_minimum_domination_number(&g, r),
+                Some((n + 2 * r as usize) / (2 * r as usize + 1)),
+                "P_{n}, r={r}"
+            );
+        }
+        for (n, r) in [(9usize, 1u32), (12, 1), (15, 2)] {
+            let g = cycle(n);
+            assert_eq!(
+                bitmask_minimum_domination_number(&g, r),
+                Some((n + 2 * r as usize) / (2 * r as usize + 1)),
+                "C_{n}, r={r}"
+            );
+        }
+        // Independent implementations must agree where both apply.
+        for g in [
+            grid(3, 4),
+            star(11),
+            graph_from_edges(6, &[(0, 1), (2, 3), (4, 5)]),
+        ] {
+            for r in [1u32, 2] {
+                assert_eq!(
+                    bitmask_minimum_domination_number(&g, r).unwrap(),
+                    exact_distance_dominating_set(&g, r, 10_000_000)
+                        .unwrap()
+                        .len(),
+                    "r = {r}"
+                );
+            }
+        }
+        // Edge cases and the size gate.
+        assert_eq!(
+            bitmask_minimum_domination_number(&Graph::empty(0), 2),
+            Some(0)
+        );
+        assert_eq!(
+            bitmask_minimum_domination_number(&Graph::empty(1), 1),
+            Some(1)
+        );
+        assert_eq!(
+            bitmask_minimum_domination_number(&Graph::empty(3), 1),
+            Some(3)
+        );
+        assert_eq!(bitmask_minimum_domination_number(&path(21), 1), None);
     }
 
     #[test]

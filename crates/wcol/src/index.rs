@@ -422,6 +422,18 @@ impl WReachIndex {
         self.certified_dominated(r, in_set).into_iter().all(|c| c)
     }
 
+    /// Number of vertices whose distance-`r` domination by `in_set` the
+    /// index certifies (see [`WReachIndex::certified_dominated`]; one-sided,
+    /// no sweep). Equal to the vertex count exactly when
+    /// [`WReachIndex::certifies_domination`] holds — the count the
+    /// simulation-side reports expose.
+    pub fn certified_count(&self, r: u32, in_set: &[bool]) -> usize {
+        self.certified_dominated(r, in_set)
+            .into_iter()
+            .filter(|&c| c)
+            .count()
+    }
+
     /// Materialises all `WReach_radius` sets as ragged `Vec`s — the
     /// compatibility view behind the legacy
     /// [`weak_reachability_sets`](crate::wreach::weak_reachability_sets)

@@ -1,0 +1,270 @@
+//! Cross-algorithm oracle conformance: every dominating-set solver in the
+//! workspace — the sequential Theorem 5 pipeline, the Theorem 9 distributed
+//! pipeline, the constant-round KSV family at r ∈ {1, 2, 3}, and every
+//! baseline — is pinned against ground truth on one shared corpus of small
+//! instances.
+//!
+//! Ground truth is two independent brute-force artifacts from `bedom-graph`:
+//!
+//! * the distance-`r` domination *validator*
+//!   ([`is_distance_dominating_set`], a plain multi-source BFS with no
+//!   algorithmic cleverness to mistrust), and
+//! * the exact *minimum* ([`bitmask_minimum_domination_number`], full subset
+//!   enumeration over coverage bitmasks, exact for every corpus instance).
+//!
+//! Every solver output must (a) pass the validator, (b) never beat the
+//! enumerated minimum (a smaller "dominating set" would mean the solver and
+//! the validator disagree about the problem), and (c) never exceed `n`. The
+//! corpus deliberately includes the degenerate shapes — empty, single
+//! vertex, disconnected with isolated vertices — because those are where
+//! solvers historically diverge from the oracle first.
+
+use bedom::baselines::{
+    bucketed_greedy_dominating_set, dvorak_style_domination_default, greedy::greedy_baseline,
+    kutten_peleg_dominating_set, lenzen_planar_dominating_set,
+};
+use bedom::core::{
+    approximate_distance_domination, distributed_distance_domination, distributed_ksv_domination,
+    distributed_ksv_domination_r, ksv_rounds, Algorithm, DistDomSetConfig, DominationPipeline,
+    KsvConfig, Mode,
+};
+use bedom::distsim::IdAssignment;
+use bedom::graph::domset::{
+    bitmask_minimum_domination_number, exact_distance_dominating_set, is_distance_dominating_set,
+    packing_lower_bound, BITMASK_ORACLE_MAX_N,
+};
+use bedom::graph::generators::{
+    configuration_model_power_law, cycle, grid, path, stacked_triangulation, star,
+};
+use bedom::graph::{graph_from_edges, Graph};
+
+/// The shared corpus: every instance small enough for the exact bitmask
+/// oracle, covering the paper's structured families, a planar triangulation,
+/// a configuration-model draw, and the degenerate shapes.
+fn corpus() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("empty", Graph::empty(0)),
+        ("single-vertex", Graph::empty(1)),
+        ("two-isolated", Graph::empty(2)),
+        ("path-10", path(10)),
+        ("path-16", path(16)),
+        ("cycle-13", cycle(13)),
+        ("star-10", star(9)),
+        ("grid-3x4", grid(3, 4)),
+        ("grid-4x4", grid(4, 4)),
+        ("planar-tri-14", stacked_triangulation(14, 3)),
+        (
+            "config-model-14",
+            configuration_model_power_law(14, 2.5, 1, 5, 7),
+        ),
+        (
+            "disconnected",
+            graph_from_edges(12, &[(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (7, 8)]),
+        ),
+    ]
+}
+
+/// Oracle check of one solver output on one instance: validates against the
+/// brute-force BFS validator and sandwiches the size between the enumerated
+/// exact minimum and `n`.
+fn conforms(name: &str, instance: &str, graph: &Graph, set: &[u32], r: u32, opt: usize) {
+    assert!(
+        is_distance_dominating_set(graph, set, r),
+        "{name} on {instance} (r = {r}): output is not a distance-{r} dominating set: {set:?}"
+    );
+    assert!(
+        set.len() >= opt,
+        "{name} on {instance} (r = {r}): claims {} dominators, below the exact minimum {opt} — \
+         solver and oracle disagree about the problem",
+        set.len()
+    );
+    assert!(
+        set.len() <= graph.num_vertices(),
+        "{name} on {instance} (r = {r}): {} dominators exceed n",
+        set.len()
+    );
+    // Outputs are sets of distinct, in-range, sorted vertices.
+    assert!(
+        set.windows(2).all(|w| w[0] < w[1]),
+        "{name} on {instance} (r = {r}): output is not sorted-unique: {set:?}"
+    );
+    assert!(
+        set.iter().all(|&v| (v as usize) < graph.num_vertices()),
+        "{name} on {instance} (r = {r}): out-of-range vertex in {set:?}"
+    );
+}
+
+#[test]
+fn every_solver_conforms_to_the_brute_force_oracle() {
+    for (instance, graph) in corpus() {
+        assert!(
+            graph.num_vertices() <= BITMASK_ORACLE_MAX_N,
+            "{instance}: corpus instance too large for the exact oracle"
+        );
+        for r in [1u32, 2, 3] {
+            let opt = bitmask_minimum_domination_number(&graph, r)
+                .expect("corpus instances fit the exact oracle");
+
+            // Sequential Theorem 5.
+            let seq = approximate_distance_domination(&graph, r);
+            conforms("seq_domset", instance, &graph, &seq.dominating_set, r, opt);
+
+            // Distributed Theorem 9.
+            let t9 = distributed_distance_domination(&graph, DistDomSetConfig::new(r)).unwrap();
+            conforms("dist_domset", instance, &graph, &t9.dominating_set, r, opt);
+
+            // The constant-round KSV family at this radius (the r = 1 case
+            // is the PR 4 protocol; r ≥ 2 is the distance-r generalisation).
+            let ksv = distributed_ksv_domination_r(&graph, r, KsvConfig::new()).unwrap();
+            conforms("ksv", instance, &graph, &ksv.dominating_set, r, opt);
+            assert_eq!(
+                ksv.rounds,
+                if graph.num_vertices() == 0 {
+                    0
+                } else {
+                    ksv_rounds(r)
+                },
+                "ksv on {instance} (r = {r}): wrong round constant"
+            );
+
+            // Baselines.
+            conforms(
+                "greedy",
+                instance,
+                &graph,
+                &greedy_baseline(&graph, r),
+                r,
+                opt,
+            );
+            conforms(
+                "dvorak",
+                instance,
+                &graph,
+                &dvorak_style_domination_default(&graph, r),
+                r,
+                opt,
+            );
+            conforms(
+                "kutten-peleg",
+                instance,
+                &graph,
+                &kutten_peleg_dominating_set(&graph, r),
+                r,
+                opt,
+            );
+            conforms(
+                "bucketed-greedy",
+                instance,
+                &graph,
+                &bucketed_greedy_dominating_set(&graph, r),
+                r,
+                opt,
+            );
+            if r == 1 {
+                // Lenzen et al. solves the r = 1 problem only.
+                let ids = IdAssignment::Shuffled(9).assign(&graph);
+                conforms(
+                    "lenzen-planar",
+                    instance,
+                    &graph,
+                    &lenzen_planar_dominating_set(&graph, &ids),
+                    1,
+                    opt,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn distance_1_ksv_entry_point_agrees_with_the_family_at_r_1() {
+    // The PR 4 distance-1 entry point and the generalised family at r = 1
+    // are the same protocol — same sets, same rounds, same bits.
+    for (instance, graph) in corpus() {
+        let legacy = distributed_ksv_domination(&graph, KsvConfig::new()).unwrap();
+        let family = distributed_ksv_domination_r(&graph, 1, KsvConfig::new()).unwrap();
+        assert_eq!(
+            legacy.dominating_set, family.dominating_set,
+            "{instance}: r = 1 sets diverge"
+        );
+        assert_eq!(legacy.rounds, family.rounds, "{instance}");
+        assert_eq!(
+            legacy.stats.total_bits, family.stats.total_bits,
+            "{instance}: r = 1 wire accounting diverges"
+        );
+    }
+}
+
+#[test]
+fn pipeline_entry_points_conform_too() {
+    // The high-level pipeline (both modes, both algorithms) feeds the same
+    // oracle checks — what a user calls must be as correct as what the
+    // lower-level entry points produce.
+    for (instance, graph) in corpus() {
+        for r in [1u32, 2] {
+            let opt = bitmask_minimum_domination_number(&graph, r).unwrap();
+            let seq = DominationPipeline::new(r).solve(&graph).unwrap();
+            conforms(
+                "pipeline-seq",
+                instance,
+                &graph,
+                &seq.dominating_set,
+                r,
+                opt,
+            );
+            let dist = DominationPipeline::new(r)
+                .mode(Mode::Distributed)
+                .solve(&graph)
+                .unwrap();
+            conforms(
+                "pipeline-dist",
+                instance,
+                &graph,
+                &dist.dominating_set,
+                r,
+                opt,
+            );
+            let ksv = DominationPipeline::new(r)
+                .algorithm(Algorithm::KsvConstantRound)
+                .solve(&graph)
+                .unwrap();
+            conforms(
+                "pipeline-ksv",
+                instance,
+                &graph,
+                &ksv.dominating_set,
+                r,
+                opt,
+            );
+            assert!(ksv.election_verified, "{instance} (r = {r})");
+        }
+    }
+}
+
+#[test]
+fn reference_solvers_agree_with_the_oracle_on_the_corpus() {
+    // The branch-and-bound exact solver and the packing lower bound are
+    // themselves yardsticks elsewhere — pin them to the independent subset
+    // enumeration so a regression in either cannot silently skew every
+    // experiment that uses them.
+    for (instance, graph) in corpus() {
+        for r in [1u32, 2, 3] {
+            let opt = bitmask_minimum_domination_number(&graph, r).unwrap();
+            let bnb = exact_distance_dominating_set(&graph, r, 50_000_000)
+                .unwrap_or_else(|| panic!("{instance}: branch and bound gave up"));
+            assert!(
+                is_distance_dominating_set(&graph, &bnb, r),
+                "{instance} (r = {r}): branch-and-bound output invalid"
+            );
+            assert_eq!(
+                bnb.len(),
+                opt,
+                "{instance} (r = {r}): branch and bound disagrees with subset enumeration"
+            );
+            assert!(
+                packing_lower_bound(&graph, r) <= opt,
+                "{instance} (r = {r}): packing bound exceeds the optimum"
+            );
+        }
+    }
+}

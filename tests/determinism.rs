@@ -160,6 +160,109 @@ fn ksv_observer_streams_are_strategy_independent() {
     assert_eq!(a, b, "KSV per-round streams diverged");
 }
 
+/// The distance-r generalisation: sequential and parallel runs must be
+/// bit-identical in everything the protocol reports — sets, the D₁/D₂/D₃
+/// partition, rounds and full wire statistics — across the suite's graph
+/// families.
+#[test]
+fn distance_r_ksv_is_strategy_independent() {
+    use bedom::core::{distributed_ksv_domination_r, KsvConfig};
+
+    for (name, g) in instances() {
+        let run = |strategy| {
+            let config = KsvConfig {
+                assignment: IdAssignment::Shuffled(29),
+                ..KsvConfig::with_strategy(strategy)
+            };
+            let result = distributed_ksv_domination_r(&g, 2, config).unwrap();
+            (
+                result.dominating_set,
+                result.hard_core,
+                result.cover_dominators,
+                result.self_elected,
+                result.rounds,
+                result.stats,
+            )
+        };
+        let [a, b] = STRATEGIES.map(run);
+        assert_eq!(a, b, "{name}: distance-2 KSV diverged");
+    }
+}
+
+/// Distance-r KSV observed round by round: identical per-round statistic
+/// streams across strategies, stream length pinned to ksv_rounds(r).
+#[test]
+fn distance_r_ksv_observer_streams_are_strategy_independent() {
+    use bedom::core::{distributed_ksv_domination_r, ksv_rounds, KsvConfig};
+
+    let g = Family::Grid.generate(400, 5);
+    for r in [2u32, 3] {
+        let run = |strategy| {
+            let result =
+                distributed_ksv_domination_r(&g, r, KsvConfig::with_strategy(strategy)).unwrap();
+            assert_eq!(result.stats.per_round.len(), ksv_rounds(r));
+            result.stats.per_round.clone()
+        };
+        let [a, b] = STRATEGIES.map(run);
+        assert_eq!(a, b, "r = {r}: distance-r KSV per-round streams diverged");
+    }
+}
+
+/// A scenario batch mixing KSV radii across shards (r = 1, 2, 3 next to an
+/// order-based shard and a degenerate one): per-shard reports bit-identical
+/// across sequential and parallel shard execution, with each KSV shard
+/// pinned to its own round constant.
+#[test]
+fn scenario_batch_with_mixed_ksv_radii_is_strategy_independent() {
+    use bedom::core::{ksv_rounds, solve_scenario, Algorithm, DominationPipeline, Mode};
+
+    let shards: Vec<(Graph, DominationPipeline)> = vec![
+        (
+            Family::PlanarTriangulation.generate(200, 4),
+            DominationPipeline::new(1).algorithm(Algorithm::KsvConstantRound),
+        ),
+        (
+            Family::Grid.generate(150, 1),
+            DominationPipeline::new(2).algorithm(Algorithm::KsvConstantRound),
+        ),
+        (
+            Family::RandomTree.generate(180, 6),
+            DominationPipeline::new(3).algorithm(Algorithm::KsvConstantRound),
+        ),
+        (
+            Family::Grid.generate(100, 2),
+            DominationPipeline::new(1).mode(Mode::Distributed),
+        ),
+        (
+            Graph::empty(1),
+            DominationPipeline::new(2).algorithm(Algorithm::KsvConstantRound),
+        ),
+    ];
+
+    let run = |strategy| {
+        let report = solve_scenario(&shards, strategy).unwrap();
+        report
+            .shards
+            .iter()
+            .map(|s| {
+                (
+                    s.shard,
+                    s.output.dominating_set.clone(),
+                    s.output.rounds,
+                    s.metrics,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let [a, b] = STRATEGIES.map(run);
+    assert_eq!(a, b, "mixed-radius KSV batch diverged between strategies");
+    for (i, r) in [1u32, 2, 3].iter().copied().enumerate() {
+        assert_eq!(a[i].2, ksv_rounds(r), "shard {i} (r = {r})");
+    }
+    assert_eq!(a[4].1, vec![0], "single-vertex shard must self-elect");
+    assert_eq!(a[4].2, ksv_rounds(2));
+}
+
 #[test]
 fn neighborhood_cover_is_strategy_independent() {
     for (name, g) in instances() {

@@ -267,6 +267,36 @@ fn ksv_runs_in_constant_rounds_independent_of_n() {
 }
 
 #[test]
+fn distance_r_ksv_runs_in_exactly_ksv_rounds_r_independent_of_n() {
+    // The distance-r acceptance contract, mirroring the r = 1 test above:
+    // the generalised protocol uses exactly ksv_rounds(r) = 6r − 1 engine
+    // rounds at two graph sizes per family for every r in {1, 2, 3}, so
+    // constant-roundness cannot silently regress at any radius.
+    use bedom::core::{distributed_ksv_domination_r, ksv_rounds, KsvConfig};
+
+    for family in [Family::PlanarTriangulation, Family::ConfigurationModel] {
+        for r in [1u32, 2, 3] {
+            let mut rounds = Vec::new();
+            for n in [400usize, 1600] {
+                let graph = family.generate(n, 13);
+                let result = distributed_ksv_domination_r(&graph, r, KsvConfig::new()).unwrap();
+                assert!(
+                    is_distance_dominating_set(&graph, &result.dominating_set, r),
+                    "{family:?}, n = {n}, r = {r}"
+                );
+                assert_eq!(
+                    result.rounds,
+                    ksv_rounds(r),
+                    "{family:?}, n = {n}, r = {r}: rounds must not depend on n"
+                );
+                rounds.push(result.rounds);
+            }
+            assert_eq!(rounds[0], rounds[1], "{family:?}, r = {r}: O(1) rounds");
+        }
+    }
+}
+
+#[test]
 fn ksv_full_stack_comparison_on_one_instance() {
     // One instance, both phase families through the pipeline: same validity
     // guarantees, directly comparable accounting.
