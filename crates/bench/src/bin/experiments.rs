@@ -100,16 +100,22 @@ fn main() {
 /// K1 — the constant-round KSV phase family (arXiv:2012.02701 at r = 1, the
 /// arXiv:2207.02669 distance-r generalisation at r ≥ 2) against the
 /// order-based Theorem 9 pipeline on the same instances and seeds: rounds,
-/// wire bits and set sizes, with both verified through one shared
-/// `DistContext` per `(instance, r)` (single index sweep).
+/// wire bits (with the per-phase flood/announcement/token split), and set
+/// sizes, with both verified through one shared `DistContext` per
+/// `(instance, r)` (single index sweep). A second table sweeps the
+/// pseudo-cover admission threshold at r = 2 across {1, ∇, 2∇ + 1} — the
+/// exhaustive-cover default against the papers' Θ(∇) counting regime.
 fn table_k1(scale: &Scale) {
-    use bedom_core::{distributed_ksv_domination_r_in, ksv_rounds};
+    use bedom_core::{
+        distributed_ksv_domination_r_in, distributed_ksv_domination_r_in_with, ksv_rounds,
+        KsvConfig,
+    };
 
     println!(
         "\n===== K1: constant-round KSV vs the order-based pipeline (rounds / bits / |D|) ====="
     );
     println!(
-        "{:<14} {:>8} {:>3} {:>10} {:>9} {:>13} {:>12} {:>8} {:>8} {:>6} {:>6}",
+        "{:<14} {:>8} {:>3} {:>10} {:>9} {:>13} {:>12} {:>12} {:>9} {:>8} {:>8} {:>6} {:>6}",
         "family",
         "n",
         "r",
@@ -117,6 +123,8 @@ fn table_k1(scale: &Scale) {
         "ksv-rnds",
         "t9-bits",
         "ksv-bits",
+        "flood-bits",
+        "ann-bits",
         "|D-t9|",
         "|D-ksv|",
         "lb",
@@ -132,8 +140,9 @@ fn table_k1(scale: &Scale) {
                 assert!(ksv.verified, "KSV output failed verification");
                 assert_eq!(ksv.result.rounds, ksv_rounds(r));
                 let t9_bits: usize = t9.phase_stats.iter().map(|s| s.total_bits).sum();
+                let phases = ksv.result.phase_bits;
                 println!(
-                    "{:<14} {:>8} {:>3} {:>10} {:>9} {:>13} {:>12} {:>8} {:>8} {:>6} {:>6}",
+                    "{:<14} {:>8} {:>3} {:>10} {:>9} {:>13} {:>12} {:>12} {:>9} {:>8} {:>8} {:>6} {:>6}",
                     family.name(),
                     graph.num_vertices(),
                     r,
@@ -141,12 +150,71 @@ fn table_k1(scale: &Scale) {
                     ksv.result.rounds,
                     t9_bits,
                     ksv.result.stats.total_bits,
+                    phases.flood,
+                    phases.hard_core_announce + phases.cover_announce,
                     t9.dominating_set.len(),
                     ksv.result.dominating_set.len(),
                     packing_lower_bound(&graph, r),
                     ksv.witnessed_constant
                 );
             }
+        }
+    }
+
+    println!("\n===== K1b: pseudo-cover admission threshold sweep at r = 2 =====");
+    println!(
+        "{:<14} {:>8} {:>9} {:>8} {:>6} {:>6} {:>6} {:>6} {:>12} {:>9} {:>10}",
+        "family",
+        "n",
+        "thresh",
+        "|D|",
+        "D1",
+        "D2",
+        "D3",
+        "hubs",
+        "flood-bits",
+        "ann-bits",
+        "token-bits"
+    );
+    for family in [Family::PlanarTriangulation, Family::ConfigurationModel] {
+        let n = scale.n(16_000);
+        let graph = connected_instance(family, n, 11);
+        let nabla = graph
+            .num_edges()
+            .div_ceil(graph.num_vertices().max(1))
+            .max(1) as u32;
+        let ctx = DistContext::elect(&graph, DistContextConfig::for_domination(2)).unwrap();
+        for (label, threshold) in [("1", 1u32), ("nabla", nabla), ("2*nabla+1", 2 * nabla + 1)] {
+            let report = distributed_ksv_domination_r_in_with(
+                &ctx,
+                2,
+                KsvConfig {
+                    threshold,
+                    ..KsvConfig::new()
+                },
+            )
+            .unwrap();
+            assert!(
+                report.verified,
+                "threshold {threshold}: output failed verification"
+            );
+            let result = &report.result;
+            let phases = result.phase_bits;
+            println!(
+                "{:<14} {:>8} {:>6}={:>2} {:>8} {:>6} {:>6} {:>6} {:>6} {:>12} {:>9} {:>10}",
+                family.name(),
+                graph.num_vertices(),
+                label,
+                threshold,
+                result.dominating_set.len(),
+                result.hard_core.len(),
+                result.cover_dominators.len(),
+                result.self_elected.len(),
+                result.high_degree.len(),
+                phases.flood,
+                phases.hard_core_announce + phases.cover_announce,
+                phases.election
+            );
         }
     }
 }

@@ -15,13 +15,13 @@
 //!    `r`-neighbourhood `N_r(v)` cannot be (greedily) distance-`r` dominated
 //!    by at most `2∇` vertices other than `v`, where `∇` is the promised
 //!    edge-density constant of the class at the relevant depth (the papers
-//!    prove `|D₁| ≤ O(∇)·γ_r`). The check runs locally on radius-`2r`
-//!    knowledge gathered in `2r − 1` adjacency-exchange rounds. The papers'
-//!    existential test is replaced by the classical greedy max-coverage test
-//!    — polynomial local computation in place of LOCAL's unbounded
-//!    computation; failing greedy is a weaker certificate, so our `D₁` can
-//!    only be a superset of the papers' (the constants degrade by the usual
-//!    greedy factor, the structure does not).
+//!    prove `|D₁| ≤ O(∇)·γ_r`). The check runs locally on radius-`r`
+//!    domination questions answered by the knowledge flood (below). The
+//!    papers' existential test is replaced by the classical greedy
+//!    max-coverage test — polynomial local computation in place of LOCAL's
+//!    unbounded computation; failing greedy is a weaker certificate, so our
+//!    `D₁` can only be a superset of the papers' (the constants degrade by
+//!    the usual greedy factor, the structure does not).
 //! 2. **Pseudo-cover dominators `D₂`** — every vertex still undominated
 //!    after the `D₁` announcement flood computes a greedy pseudo-cover of
 //!    its *closed* `r`-neighbourhood `N_r[v]` from candidates within
@@ -39,6 +39,38 @@
 //!    round: a `D₃` vertex's `r`-neighbours are all already dominated and
 //!    aware, so no further announcement round follows.
 //!
+//! # The knowledge flood
+//!
+//! The `2r − 1` pre-decision rounds exist to answer the distance-≤ `r`
+//! questions of the `D₁` check and the election. Two interchangeable flood
+//! implementations are provided, selected by [`KsvConfig::flood`]; both
+//! produce **bit-identical elected sets** (a test pins this across modes):
+//!
+//! * [`KsvFlood::Records`] — the papers' LOCAL-style flood: every vertex
+//!   re-broadcasts whole adjacency records until radius-`2r` balls are
+//!   assembled. Simple, and the baseline the optimised flood is measured
+//!   against; its cost grows with the number of *paths*, not edges.
+//! * [`KsvFlood::Summaries`] (default) — the CONGEST-friendly flood. Each
+//!   vertex assembles only its radius-`r` ball membership (`r − 2` cheap
+//!   beacon waves of fresh ids), then broadcasts **one merged neighbourhood
+//!   summary** — its ball with exact distances — which relays flood with
+//!   per-vertex dedup so each summary crosses each edge **at most once**.
+//!   Summary relays reprice entry ids against the receiver-reconstructible
+//!   dictionary of the sender's own ball (id compression), and a relay
+//!   deferral rule silences a relayer whose distance-2 audience is fully
+//!   covered by a higher-degree common neighbour. In the spirit of the
+//!   papers' cluster-merging trick, low-order vertices near a high-order
+//!   vertex adopt it as their representative: a **hub** (degree >
+//!   [`KsvConfig::hub_cap`]) joins the dominating set outright
+//!   ([`KsvMembership::HighDegree`]), ships a 1-bit stub instead of its
+//!   (huge) summary, and every vertex that detects a hub within distance
+//!   `r` — decidable exactly from the flooded flag bits — skips the `D₁`
+//!   check and the election entirely. Hard-core checks and pseudo-cover
+//!   elections still read *exact* local distances: pruning is
+//!   all-or-nothing (a flagged vertex ships nothing, an unflagged vertex
+//!   ships its exact ball), so every coverage mask the greedy reads is
+//!   exact on the positions that remain.
+//!
 //! Announcements propagate `r` hops (a vertex within distance `r` of a
 //! dominator must learn it is dominated), so the protocol runs **exactly
 //! [`ksv_rounds`]`(r) = 6r − 1` engine rounds independent of `n`** (a
@@ -51,10 +83,11 @@
 //!
 //! The output dominates at distance `r` on *every* graph; bounded expansion
 //! is only needed for the size guarantee, exactly as in the papers.
-//! Messages carry whole adjacency records, so the protocol lives in the
-//! LOCAL model (the papers' setting) — the simulator still accounts every
-//! bit, which is what the `ksv_pipeline` bench compares against the
-//! Theorem 9 pipeline.
+//! Logical messages are charged through a framing layer
+//! ([`KSV_FRAME_PAYLOAD_BITS`]-bit frames, each re-paying the 24-bit
+//! header), so the per-round `max_message_bits` statistic reports bounded
+//! frames even on hub adjacency exchanges, while totals still charge every
+//! frame. Per-phase totals are bucketed in [`KsvPhaseBits`].
 //!
 //! [`distributed_ksv_domination_r`] runs the protocol standalone;
 //! [`distributed_ksv_domination_r_in`] runs it against a shared
@@ -62,7 +95,9 @@
 //! [`WReachIndex`](bedom_wcol::WReachIndex) sweep (witnessed constant +
 //! per-vertex domination certificates at radius `r`, read from the stored
 //! `2r` depths — no extra sweep), making it directly comparable to the
-//! order-based path in the pipeline and the experiments binary.
+//! order-based path in the pipeline and the experiments binary;
+//! [`distributed_ksv_domination_r_in_with`] does the same under explicit
+//! protocol tuning (threshold sweeps, flood selection).
 //! [`distributed_ksv_domination`] and [`distributed_ksv_domination_in`] are
 //! the distance-1 entry points of PR 4, now thin wrappers.
 
@@ -74,6 +109,7 @@ use bedom_distsim::{
 use bedom_graph::domset::is_distance_dominating_set;
 use bedom_graph::{Graph, Vertex};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 /// Communication rounds of the distance-1 KSV protocol — a constant,
 /// independent of the graph ([`ksv_rounds`]`(1)`): adjacency exchange, `D₁`
@@ -98,6 +134,28 @@ pub const fn ksv_rounds(r: u32) -> usize {
     }
 }
 
+/// Payload bits carried per wire frame. A logical KSV message is charged as
+/// `⌈payload / 4096⌉` frames, each re-paying [`KSV_FRAME_HEADER_BITS`]; the
+/// per-round `max_message_bits` statistic reports the largest *frame*
+/// (`≤ 24 + 4096` bits), so a hub's adjacency exchange no longer dominates
+/// the per-message statistic while bandwidth totals still charge every
+/// frame's header.
+pub const KSV_FRAME_PAYLOAD_BITS: usize = 4096;
+
+/// Frame header bits: the 8-bit kind tag plus a 16-bit length prefix, paid
+/// once per frame.
+pub const KSV_FRAME_HEADER_BITS: usize = 8 + 16;
+
+/// Bits needed to encode a distance in `0..=r` (at least 1).
+fn dist_bits(r: u32) -> usize {
+    (u32::BITS - r.leading_zeros()).max(1) as usize
+}
+
+/// Bits of a reference into a `k`-entry dictionary (at least 1).
+fn ceil_log2(k: usize) -> usize {
+    (usize::BITS - (k.max(2) - 1).leading_zeros()) as usize
+}
+
 /// Which phase put a vertex into the dominating set.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum KsvMembership {
@@ -108,6 +166,11 @@ pub enum KsvMembership {
     PseudoCover,
     /// `D₃`: still undominated after `D₂`, elected itself.
     SelfElected,
+    /// Degree above [`KsvConfig::hub_cap`] (`r ≥ 2` only): the vertex joined
+    /// at init as a cluster representative. Its members (everything within
+    /// distance `r`) detect it from the flooded flag bits and skip their own
+    /// `D₁` check and election.
+    HighDegree,
 }
 
 /// Per-vertex protocol output.
@@ -121,19 +184,30 @@ pub struct KsvVertexOutput {
 }
 
 /// Message kinds of the protocol. The kind tag (charged at 8 bits) selects
-/// which single payload list the message encodes: an id list for every kind
-/// except [`KsvKind::Knowledge`], whose payload is an adjacency-record list
-/// instead. The selected list is charged at a 16-bit length prefix plus its
-/// entries (`id_bits` per id; each record additionally pays its own id and a
-/// 16-bit length prefix for its neighbour list), mirroring the flat encoding
-/// of the weak-reachability messages.
+/// which payload lists the message encodes: an id list for most kinds, an
+/// adjacency-record list for [`KsvKind::Knowledge`], and summary items (plus
+/// stub ids) for the summary-flood kinds. Each populated list is charged at
+/// a 16-bit length prefix (folded into the frame header) plus its entries,
+/// mirroring the flat encoding of the weak-reachability messages.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum KsvKind {
     /// Init broadcast: the sender's open neighbourhood (network ids).
     Adjacency,
-    /// Knowledge-gathering wave ≥ 2 (`r ≥ 2` only): adjacency records of
-    /// vertices the sender learnt about in the previous round.
+    /// Record-flood knowledge wave ≥ 2 (`r ≥ 2`, [`KsvFlood::Records`]):
+    /// adjacency records of vertices the sender learnt about in the
+    /// previous round.
     Knowledge,
+    /// Summary-flood ball wave (`r ≥ 3`, [`KsvFlood::Summaries`]): ids the
+    /// sender first learnt last round — its ball frontier, which receivers
+    /// place one hop further out.
+    Beacon,
+    /// Summary-flood origin broadcast (round `r − 1`): the sender's own
+    /// merged neighbourhood summary (or a 1-bit stub when flagged).
+    Summary,
+    /// Summary-flood relay (rounds `r..2r − 2`): summaries and stub ids the
+    /// sender first received last round, entry ids repriced against the
+    /// sender's frozen ball dictionary.
+    SummaryRelay,
     /// "I am in the dominating set": a `D₁`/`D₂` announcement, or a relay of
     /// one. At `r = 1` the id list is empty (announcements travel one hop,
     /// the sender is the announcer); at `r ≥ 2` it carries the announcer ids
@@ -146,37 +220,71 @@ pub enum KsvKind {
     Forward,
 }
 
+/// Shared `(vertex id, exact distance from owner)` summary entries,
+/// ascending by id — `Arc`'d so relays never copy ball data.
+pub type SummaryEntries = Arc<[(u64, u8)]>;
+
+/// One flooded neighbourhood summary: the owner's exact radius-`r` ball with
+/// distances, or a stub when the owner is flagged (hub-adjacent). `entries`
+/// is shared (`Arc`) so relays never copy ball data; `wire_bits` is the
+/// sender-computed wire cost of this item under the encoding it was sent in
+/// (origin summaries encode inner entries implicitly, relays reprice ids
+/// against the sender's ball dictionary).
+#[derive(Clone, Debug)]
+pub struct KsvSummaryItem {
+    /// Whose ball this is.
+    pub owner: u64,
+    /// Flagged owners (hub, or hub in the open neighbourhood) ship no
+    /// entries: a hub within distance `r` already dominates every potential
+    /// reader of the pruned data.
+    pub flagged: bool,
+    /// `(vertex id, exact distance from owner)`, ascending by id; empty when
+    /// flagged.
+    pub entries: SummaryEntries,
+    /// Wire bits charged for this item.
+    pub wire_bits: usize,
+}
+
 /// The protocol's broadcast payload.
 #[derive(Clone, Debug)]
 pub struct KsvMessage {
-    /// What the id list means.
+    /// What the payload lists mean.
     pub kind: KsvKind,
-    /// Network ids, sorted increasingly.
+    /// Network ids, sorted increasingly. For [`KsvKind::SummaryRelay`] these
+    /// are stub owner ids (flagged summaries relay as bare ids).
     pub ids: Vec<u64>,
     /// Adjacency records `(vertex id, its open neighbourhood)` for the
-    /// knowledge-gathering waves; empty for every other kind.
+    /// record-flood knowledge waves; empty for every other kind.
     pub records: Vec<(u64, Vec<u64>)>,
-    /// Bits charged per id.
+    /// Summary items for the summary-flood kinds; empty for every other
+    /// kind.
+    pub summaries: Vec<KsvSummaryItem>,
+    /// Bits charged per raw id.
     pub id_bits: usize,
 }
 
-impl MessageSize for KsvMessage {
-    fn size_bits(&self) -> usize {
-        // The modeled 16-bit length prefixes must actually be able to encode
-        // the lists (the adjacency broadcast is Θ(degree) ids, a knowledge
-        // wave Θ(ball frontier) records) — overflow the accounting loudly,
-        // like every other wire-path bound. Exactly one of the two lists is
-        // populated (the kind tag selects which one a decoder reads), so one
-        // 16-bit prefix covers the message's payload list.
+impl KsvMessage {
+    /// Payload bits before framing. The modeled 16-bit length prefixes must
+    /// actually be able to encode the lists — overflow the accounting
+    /// loudly, like every other wire-path bound.
+    fn payload_bits(&self) -> usize {
         debug_assert!(
-            self.ids.is_empty() || self.records.is_empty(),
-            "a KSV message encodes one payload list, selected by its kind"
+            match self.kind {
+                KsvKind::Knowledge => self.ids.is_empty() && self.summaries.is_empty(),
+                KsvKind::Summary => self.ids.is_empty() && self.records.is_empty(),
+                KsvKind::SummaryRelay => self.records.is_empty(),
+                _ => self.records.is_empty() && self.summaries.is_empty(),
+            },
+            "KSV payload lists must match the message kind"
         );
         assert!(
-            self.ids.len() <= u16::MAX as usize && self.records.len() <= u16::MAX as usize,
-            "KSV message carries {} ids / {} records — unencodable in a 16-bit length prefix",
+            self.ids.len() <= u16::MAX as usize
+                && self.records.len() <= u16::MAX as usize
+                && self.summaries.len() <= u16::MAX as usize,
+            "KSV message carries {} ids / {} records / {} summaries — unencodable in a 16-bit length prefix",
             self.ids.len(),
-            self.records.len()
+            self.records.len(),
+            self.summaries.len()
         );
         let record_bits: usize = self
             .records
@@ -190,7 +298,36 @@ impl MessageSize for KsvMessage {
                 self.id_bits + 16 + adj.len() * self.id_bits
             })
             .sum();
-        8 + 16 + self.ids.len() * self.id_bits + record_bits
+        let summary_bits: usize = self
+            .summaries
+            .iter()
+            .map(|item| {
+                assert!(
+                    item.entries.len() <= u16::MAX as usize,
+                    "KSV summary carries {} entries — unencodable in the 16-bit length prefix",
+                    item.entries.len()
+                );
+                item.wire_bits
+            })
+            .sum();
+        self.ids.len() * self.id_bits + record_bits + summary_bits
+    }
+}
+
+impl MessageSize for KsvMessage {
+    fn size_bits(&self) -> usize {
+        // Framing: `⌈payload / frame⌉` frames (at least one — the kind tag
+        // must travel even on an empty payload), each paying the header.
+        // Messages that fit one frame cost exactly what the unframed
+        // encoding used to: 24 + payload.
+        let payload = self.payload_bits();
+        let frames = payload.div_ceil(KSV_FRAME_PAYLOAD_BITS).max(1);
+        frames * KSV_FRAME_HEADER_BITS + payload
+    }
+
+    fn max_frame_bits(&self) -> usize {
+        let payload = self.payload_bits();
+        KSV_FRAME_HEADER_BITS + payload.min(KSV_FRAME_PAYLOAD_BITS)
     }
 }
 
@@ -216,7 +353,7 @@ fn gain(mask: &[u64], uncovered: &[u64]) -> u32 {
 /// repeatedly pick the candidate with the largest fresh coverage (ties
 /// broken towards the smallest network id), admitting a pick only while it
 /// newly covers at least `threshold` elements, up to `budget` picks.
-/// `masks` is indexed by local ball position (an empty mask means "not a
+/// `masks` is indexed by candidate position (an empty mask means "not a
 /// candidate"), `ids` maps positions back to network ids.
 ///
 /// Gains only decrease as `uncovered` shrinks, so a popped heap entry whose
@@ -225,8 +362,10 @@ fn gain(mask: &[u64], uncovered: &[u64]) -> u32 {
 /// `bedom_graph::domset`. Stale entries with equal true gain re-enter the
 /// heap behind smaller ids, so the selection (largest gain, then smallest
 /// network id) is *identical* to a full rescan per pick, at a fraction of
-/// the cost on high-degree balls. Clears covered bits from `uncovered` in
-/// place; returns the picked network ids in pick order.
+/// the cost on high-degree balls. Selection depends only on `(gain, id)`,
+/// never on the index layout, which is what makes the two flood modes
+/// elect bit-identical sets from equal views. Clears covered bits from
+/// `uncovered` in place; returns the picked network ids in pick order.
 fn greedy_cover(
     ids: &[u64],
     masks: &[Vec<u64>],
@@ -269,11 +408,11 @@ fn greedy_cover(
 
 /// Breadth-first search over locally gathered adjacency records, up to
 /// `depth` edges from `source`. Vertices whose record is absent are treated
-/// as leaves — during the protocol every vertex the search can reach within
-/// its depth budget has a known record (the knowledge horizon is `2r − 1`
-/// and searches run to depth ≤ `2r` from the holder, ≤ `r` from vertices at
-/// distance ≤ `r`), so the computed distances are exact. Returns `(vertex,
-/// distance)` pairs in BFS order.
+/// as leaves — during the record flood every vertex the search can reach
+/// within its depth budget has a known record (the knowledge horizon is
+/// `2r − 1` and searches run to depth ≤ `2r` from the holder, ≤ `r` from
+/// vertices at distance ≤ `r`), so the computed distances are exact.
+/// Returns `(vertex, distance)` pairs in BFS order.
 fn local_bfs(adj: &BTreeMap<u64, Vec<u64>>, source: u64, depth: u32) -> Vec<(u64, u32)> {
     let mut order: Vec<(u64, u32)> = vec![(source, 0)];
     let mut seen: HashSet<u64> = HashSet::new();
@@ -296,6 +435,44 @@ fn local_bfs(adj: &BTreeMap<u64, Vec<u64>>, source: u64, depth: u32) -> Vec<(u64
     order
 }
 
+/// Knowledge-flood implementation (`r ≥ 2`; at `r = 1` the single adjacency
+/// exchange is the whole flood and the selector is ignored). Both modes
+/// elect bit-identical sets; they differ only in wire cost and local work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KsvFlood {
+    /// Deduplicated cluster-merged summary flood (default): each vertex
+    /// floods one merged radius-`r` summary, relayed at most once per edge,
+    /// with dictionary id compression, relay deferral, and the hub
+    /// short-circuit. The CONGEST-friendly path.
+    Summaries,
+    /// The papers' record flood: whole adjacency records re-broadcast until
+    /// radius-`2r` balls are assembled. The pre-optimisation baseline,
+    /// retained for conformance cross-checks and the bench comparison.
+    Records,
+}
+
+/// Default hub degree cap for the summary flood: `max(32, 16·∇)`. Scales
+/// with the promised density so bounded-expansion graphs keep few hubs
+/// (each hub costs one dominating-set slot but removes its whole cluster's
+/// flood and election load); the floor keeps tiny dense graphs hub-free so
+/// the protocol degenerates to the exact paper behaviour there.
+pub fn default_hub_cap(nabla: usize) -> usize {
+    (16 * nabla).max(32)
+}
+
+/// The decision-round view both flood modes reduce to: the radius-`r` ball
+/// with exact distances and flag bits, plus (for unflagged members) their
+/// exact radius-`r` summaries. Equal views make `decide_from_view`
+/// bit-identical across modes.
+struct KsvView {
+    /// `(id, distance from self, flagged)`, ascending by id; contains self
+    /// at distance 0.
+    ball: Vec<(u64, u32, bool)>,
+    /// Parallel to `ball`: the member's exact ball (id-sorted, with
+    /// distances from the member), `None` exactly when flagged.
+    summaries: Vec<Option<SummaryEntries>>,
+}
+
 /// Node state of the distance-`r` KSV protocol.
 pub struct KsvNode {
     id: u64,
@@ -305,17 +482,45 @@ pub struct KsvNode {
     hard_budget: usize,
     /// Pseudo-cover admission threshold (≥ 1).
     threshold: u32,
+    /// Knowledge-flood implementation (`r ≥ 2`).
+    flood: KsvFlood,
+    /// Degree above which a vertex is a hub (`usize::MAX` at `r = 1` and
+    /// when hubs are disabled).
+    hub_cap: usize,
     /// Adjacency records gathered so far, keyed by vertex id (own record
-    /// included); each list sorted. Grown to the `2r − 1` knowledge horizon
-    /// by the decision round, then pruned back to the records the relay
-    /// filters still need (self + direct neighbours).
+    /// included); each list sorted. The record flood grows this to the
+    /// `2r − 1` horizon; the summary flood keeps only self + neighbours.
+    /// Pruned back to self + neighbours at the decision round (the relay
+    /// filters only ask about direct neighbours).
     known_adj: BTreeMap<u64, Vec<u64>>,
-    /// Ids whose records were first learnt in the last receive round — the
-    /// payload of the next knowledge wave.
+    /// Record flood: ids whose records were first learnt in the last
+    /// receive round — the payload of the next knowledge wave.
     frontier: Vec<u64>,
-    /// Exact local distances from this vertex up to `2r`, sorted by id.
-    /// Computed once in the decision round; backs the hop-aware relay
-    /// filters of both flood phases.
+    /// Summary flood: the radius-`r` ball assembled so far, `(id, exact
+    /// distance)` ascending by id.
+    ball: Vec<(u64, u32)>,
+    /// Summary flood: ids first learnt in the last receive round — the next
+    /// beacon's payload.
+    ball_fresh: Vec<u64>,
+    /// Summary flood: whether this vertex is flagged (hub, or hub in the
+    /// open neighbourhood). Computed at the summary broadcast round.
+    my_flag: bool,
+    /// Summary flood: owners known to be flagged (their summaries are
+    /// stubs).
+    sum_flagged: HashSet<u64>,
+    /// Summary flood: received summaries by owner (own included).
+    sum_entries: HashMap<u64, Arc<[(u64, u8)]>>,
+    /// Summary flood: the frozen repricing dictionary announced by our own
+    /// summary broadcast — our ball ids (unflagged) or closed neighbourhood
+    /// (flagged), sorted. Receivers can reconstruct it, so relayed entry
+    /// ids found here are charged at `⌈log₂ |dict|⌉` bits.
+    dict: Vec<u64>,
+    /// Exact local distances from this vertex, sorted by id. Computed in
+    /// the decision round; backs the hop-aware relay filters of both flood
+    /// phases. (Record flood: exact to `2r`. Summary flood: exact wherever
+    /// an unflagged midpoint exists — in particular everywhere when the
+    /// graph has no hubs; a missing entry can only suppress a relay, which
+    /// `D₃` absorbs.)
     local_dist: Vec<(u64, u32)>,
     /// The pseudo-cover this vertex will elect *if* it is still undominated
     /// at the election round. Precomputed in the decision round from the
@@ -333,15 +538,32 @@ pub struct KsvNode {
 }
 
 impl KsvNode {
-    fn new(id: u64, r: u32, id_bits: usize, hard_budget: usize, threshold: u32) -> Self {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        id: u64,
+        r: u32,
+        id_bits: usize,
+        hard_budget: usize,
+        threshold: u32,
+        flood: KsvFlood,
+        hub_cap: usize,
+    ) -> Self {
         KsvNode {
             id,
             r,
             id_bits,
             hard_budget,
             threshold,
+            flood,
+            hub_cap,
             known_adj: BTreeMap::new(),
             frontier: Vec::new(),
+            ball: Vec::new(),
+            ball_fresh: Vec::new(),
+            my_flag: false,
+            sum_flagged: HashSet::new(),
+            sum_entries: HashMap::new(),
+            dict: Vec::new(),
             local_dist: Vec::new(),
             planned_election: Vec::new(),
             seen_announce: BTreeSet::new(),
@@ -356,16 +578,25 @@ impl KsvNode {
             kind,
             ids,
             records: Vec::new(),
+            summaries: Vec::new(),
             id_bits: self.id_bits,
         })
     }
 
-    /// The exact local distance to `z`, if `z` is within the `2r` horizon.
+    /// The exact local distance to `z`, if known.
     fn local_distance(&self, z: u64) -> Option<u32> {
         self.local_dist
             .binary_search_by_key(&z, |&(id, _)| id)
             .ok()
             .map(|i| self.local_dist[i].1)
+    }
+
+    /// The distance to `z` in the assembled radius-`r` ball, if present.
+    fn ball_distance(&self, z: u64) -> Option<u32> {
+        self.ball
+            .binary_search_by_key(&z, |&(id, _)| id)
+            .ok()
+            .map(|i| self.ball[i].1)
     }
 
     /// Whether `z` is known to be in `N[from]` — used to skip forwarding
@@ -386,8 +617,8 @@ impl KsvNode {
         self.dominated = true;
     }
 
-    /// Absorbs a knowledge wave: stores fresh adjacency records and queues
-    /// them as the next wave's frontier.
+    /// Absorbs a record-flood knowledge wave: stores fresh adjacency records
+    /// and queues them as the next wave's frontier.
     fn absorb_knowledge(&mut self, inbox: Inbox<'_, KsvMessage>) {
         let learn = |known_adj: &mut BTreeMap<u64, Vec<u64>>,
                      frontier: &mut Vec<u64>,
@@ -418,7 +649,8 @@ impl KsvNode {
         }
     }
 
-    /// Broadcasts the records first learnt last round (the flood frontier).
+    /// Broadcasts the records first learnt last round (the record-flood
+    /// frontier).
     fn knowledge_wave(&mut self) -> Outgoing<KsvMessage> {
         if self.frontier.is_empty() {
             return Outgoing::Silent;
@@ -432,6 +664,7 @@ impl KsvNode {
             kind: KsvKind::Knowledge,
             ids: Vec::new(),
             records,
+            summaries: Vec::new(),
             id_bits: self.id_bits,
         })
     }
@@ -528,22 +761,319 @@ impl KsvNode {
         }
     }
 
-    /// The decision round (`2r − 1`): all knowledge is in. Computes local
-    /// distances, builds the candidate → coverage-bitmask table over the
-    /// positions of `N_r[v]` (position `i` is the `i`-th member of the open
-    /// `r`-neighbourhood in ascending id order, position `deg_r` is `v`
-    /// itself; a candidate `z ≠ v` covers `u` when `d(z, u) ≤ r`, decidable
-    /// exactly from the gathered records), runs the `D₁` check and — when it
-    /// passes — precomputes the pseudo-cover election from the same table.
-    ///
-    /// This is the protocol's dominant local computation, so the ball is
-    /// compressed to dense local indices first (one id hash per ball member)
-    /// and the per-position searches run over flat arrays with an
-    /// epoch-stamped visited array — the same scratch discipline as the
-    /// `WReachIndex` sweep — instead of id maps. On Apollonian-style hubs
-    /// this is the difference between minutes and seconds at 100k vertices.
-    fn decide(&mut self, ctx: &NodeContext) -> Outgoing<KsvMessage> {
+    // ------------------------------------------------------------------
+    // Summary flood (`r ≥ 2`, `KsvFlood::Summaries`)
+    // ------------------------------------------------------------------
+
+    /// Merges one round's batch of newly heard ids into the ball at the
+    /// given distance. All ids arriving in one receive round share one
+    /// distance (the flood is a BFS wave), so the merge is a single
+    /// sort + dedup + filter against the present ball — no per-id map.
+    /// The surviving ids (first heard this round, hence at exactly this
+    /// distance) become the next beacon's payload.
+    fn ball_extend(&mut self, mut pending: Vec<u64>, distance: u32) {
+        pending.sort_unstable();
+        pending.dedup();
+        pending.retain(|&z| self.ball.binary_search_by_key(&z, |&(id, _)| id).is_err());
+        self.ball.extend(pending.iter().map(|&z| (z, distance)));
+        self.ball.sort_unstable_by_key(|&(id, _)| id);
+        self.ball_fresh = pending;
+    }
+
+    /// Records one received summary (or stub) if its owner is new; new
+    /// owners are queued for this round's relay decision. First arrival
+    /// wins, which is what makes each summary cross each edge at most once.
+    fn absorb_summary_item(
+        &mut self,
+        owner: u64,
+        flagged: bool,
+        entries: Option<&Arc<[(u64, u8)]>>,
+        fresh: &mut Vec<u64>,
+    ) {
+        if self.sum_flagged.contains(&owner) || self.sum_entries.contains_key(&owner) {
+            return;
+        }
+        if flagged {
+            self.sum_flagged.insert(owner);
+        } else {
+            let entries = entries.expect("unflagged summary items carry entries");
+            self.sum_entries.insert(owner, entries.clone());
+        }
+        fresh.push(owner);
+    }
+
+    /// One summary-flood round (calls `1..=2r − 1`): absorb whatever the
+    /// schedule delivered, then emit this round's wave — beacons while the
+    /// ball grows (calls `< r − 1`), the own summary at call `r − 1`,
+    /// relays of first-heard summaries at calls `r..=2r − 2`, and silence
+    /// at the decision call (absorb only; `decide` runs right after).
+    fn summary_flood_round(
+        &mut self,
+        ctx: &NodeContext,
+        round: usize,
+        inbox: Inbox<'_, KsvMessage>,
+    ) -> Outgoing<KsvMessage> {
+        let r = self.r as usize;
+        let mut pending: Vec<u64> = Vec::new();
+        let mut fresh: Vec<u64> = Vec::new();
+        for msg in inbox {
+            match msg.payload.kind {
+                KsvKind::Adjacency => {
+                    // A neighbour's neighbourhood: its members are at
+                    // distance ≤ 2 (kept for the ball), and the record
+                    // itself feeds the flag/deferral/forwarding checks,
+                    // which only ever ask about direct neighbours.
+                    pending.extend_from_slice(&msg.payload.ids);
+                    self.known_adj
+                        .entry(msg.from)
+                        .or_insert_with(|| msg.payload.ids.clone());
+                }
+                KsvKind::Beacon => pending.extend_from_slice(&msg.payload.ids),
+                KsvKind::Summary | KsvKind::SummaryRelay => {
+                    for item in &msg.payload.summaries {
+                        self.absorb_summary_item(
+                            item.owner,
+                            item.flagged,
+                            Some(&item.entries),
+                            &mut fresh,
+                        );
+                    }
+                    for &stub in &msg.payload.ids {
+                        self.absorb_summary_item(stub, true, None, &mut fresh);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Ids first heard at call t sit at distance exactly t + 1 (the
+        // init adjacency exchange seeded distances 0 and 1).
+        self.ball_extend(pending, round as u32 + 1);
+        if round + 1 < r {
+            let wave = std::mem::take(&mut self.ball_fresh);
+            if wave.is_empty() {
+                return Outgoing::Silent;
+            }
+            return self.message(KsvKind::Beacon, wave);
+        }
+        if round == r - 1 {
+            return self.broadcast_summary(ctx);
+        }
+        if round <= 2 * r - 2 {
+            return self.relay_summaries(ctx, fresh);
+        }
+        Outgoing::Silent
+    }
+
+    /// The origin summary broadcast (call `r − 1`, ball complete): computes
+    /// the flag, freezes the repricing dictionary, and ships either the
+    /// exact ball (unflagged: inner entries implicit against the already
+    /// broadcast adjacency, frontier entries explicit) or a 1-bit stub
+    /// (flagged: a hub within distance `r` dominates every potential reader
+    /// of this data, so none of it is needed). Also records the own
+    /// summary locally so the decision view treats self uniformly.
+    fn broadcast_summary(&mut self, ctx: &NodeContext) -> Outgoing<KsvMessage> {
+        let cap = self.hub_cap;
+        let deg = ctx.neighbor_ids.len();
+        self.my_flag = deg > cap
+            || ctx
+                .neighbor_ids
+                .iter()
+                .any(|w| self.known_adj.get(w).is_some_and(|adj| adj.len() > cap));
+        let item = if self.my_flag {
+            // Dictionary receivers can reconstruct from a stub sender: the
+            // closed neighbourhood (adjacency was broadcast at init).
+            let mut dict: Vec<u64> = ctx.neighbor_ids.clone();
+            dict.push(self.id);
+            dict.sort_unstable();
+            self.dict = dict;
+            self.sum_flagged.insert(self.id);
+            KsvSummaryItem {
+                owner: self.id,
+                flagged: true,
+                entries: Arc::from(&[][..]),
+                wire_bits: 1,
+            }
+        } else {
+            // Dictionary = the ball ids, all announced by this message
+            // (inner part = the init adjacency, frontier explicit below).
+            self.dict = self.ball.iter().map(|&(z, _)| z).collect();
+            let entries: Arc<[(u64, u8)]> = self.ball.iter().map(|&(z, d)| (z, d as u8)).collect();
+            let frontier = self.ball.iter().filter(|&&(_, d)| d >= 2).count();
+            // 1 flag bit + a deg-bit membership mask over N(v) (the inner
+            // part, reconstructed by receivers who know N(v)) + explicit
+            // frontier entries.
+            let wire_bits = 1 + deg + frontier * (self.id_bits + dist_bits(self.r));
+            self.sum_entries.insert(self.id, entries.clone());
+            KsvSummaryItem {
+                owner: self.id,
+                flagged: false,
+                entries,
+                wire_bits,
+            }
+        };
+        Outgoing::Broadcast(KsvMessage {
+            kind: KsvKind::Summary,
+            ids: Vec::new(),
+            records: Vec::new(),
+            summaries: vec![item],
+            id_bits: self.id_bits,
+        })
+    }
+
+    /// Relay deferral at distance 1: when relaying neighbour `u`'s summary,
+    /// the audience that needs it is `N(v) ∖ N[u]` (everyone else heard the
+    /// origin broadcast). Defer iff every such needy `w` has a *superior*
+    /// common relay `y ∈ N(u) ∩ N(w) ∩ N(v)`, `y ≠ v`, with
+    /// `(deg(y), id(y)) > (deg(v), id(v))`. The `(deg, id)`-maximum member
+    /// of `N(u) ∩ N(w)` can never find a superior for `w`, so it always
+    /// relays — every distance-2 vertex is covered, and usually by exactly
+    /// the high-degree relays whose balls overlap most. All reads are local
+    /// (`y` is restricted to `N(v)`, whose degrees the init exchange
+    /// delivered), so every vertex evaluates the same global rule.
+    fn defer_relay(&self, ctx: &NodeContext, u: u64) -> bool {
+        let Some(nu) = self.known_adj.get(&u) else {
+            return false;
+        };
+        let deg_v = ctx.neighbor_ids.len();
+        'needy: for &w in &ctx.neighbor_ids {
+            if w == u || nu.binary_search(&w).is_ok() {
+                continue; // w heard the origin broadcast itself
+            }
+            let Some(nw) = self.known_adj.get(&w) else {
+                return false;
+            };
+            for &y in nw {
+                if y != self.id
+                    && ctx.is_neighbor(y)
+                    && nu.binary_search(&y).is_ok()
+                    && self
+                        .known_adj
+                        .get(&y)
+                        .is_some_and(|ny| (ny.len(), y) > (deg_v, self.id))
+                {
+                    continue 'needy;
+                }
+            }
+            return false; // w has no superior relay: we must carry it
+        }
+        true
+    }
+
+    /// Reprices a summary for relaying: entry ids found in our frozen
+    /// dictionary cost a dictionary reference, the rest a raw id; every
+    /// entry pays a 1-bit hit flag and its distance. The item header is the
+    /// owner id plus a 16-bit entry count.
+    fn repriced_item(
+        &self,
+        owner: u64,
+        entries: Arc<[(u64, u8)]>,
+        dict_bits: usize,
+    ) -> KsvSummaryItem {
+        let db = dist_bits(self.r);
+        let mut wire_bits = self.id_bits + 16;
+        for &(z, _) in entries.iter() {
+            let ref_bits = if self.dict.binary_search(&z).is_ok() {
+                dict_bits
+            } else {
+                self.id_bits
+            };
+            wire_bits += 1 + ref_bits + db;
+        }
+        KsvSummaryItem {
+            owner,
+            flagged: false,
+            entries,
+            wire_bits,
+        }
+    }
+
+    /// Relays the summaries first heard this round (calls `r..=2r − 2`).
+    /// Owners at ball distance ≥ r need no further hops (their summaries
+    /// would only reach vertices outside the owner's audience); owners at
+    /// distance 1 are subject to the deferral rule; everything else relays
+    /// unconditionally — once, this being its first arrival. Flagged
+    /// owners relay as bare stub ids.
+    fn relay_summaries(&mut self, ctx: &NodeContext, mut fresh: Vec<u64>) -> Outgoing<KsvMessage> {
+        fresh.sort_unstable();
         let r = self.r;
+        let dict_bits = ceil_log2(self.dict.len());
+        let mut stubs: Vec<u64> = Vec::new();
+        let mut items: Vec<KsvSummaryItem> = Vec::new();
+        for owner in fresh {
+            let Some(d) = self.ball_distance(owner) else {
+                continue;
+            };
+            if d >= r {
+                continue;
+            }
+            if d == 1 && self.defer_relay(ctx, owner) {
+                continue;
+            }
+            if self.sum_flagged.contains(&owner) {
+                stubs.push(owner);
+            } else {
+                let entries = self.sum_entries[&owner].clone();
+                items.push(self.repriced_item(owner, entries, dict_bits));
+            }
+        }
+        if stubs.is_empty() && items.is_empty() {
+            return Outgoing::Silent;
+        }
+        Outgoing::Broadcast(KsvMessage {
+            kind: KsvKind::SummaryRelay,
+            ids: stubs,
+            records: Vec::new(),
+            summaries: items,
+            id_bits: self.id_bits,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Decision round
+    // ------------------------------------------------------------------
+
+    /// Builds the decision view from the summary flood. Every ball member's
+    /// summary or stub must have arrived by now (origin broadcast at call
+    /// `r − 1`, one hop per relay round, deferral-safe at distance 2,
+    /// unconditional beyond), so a missing one is a protocol bug, not a
+    /// recoverable condition. Drops the flood state.
+    fn view_from_summaries(&mut self) -> KsvView {
+        let ball = std::mem::take(&mut self.ball);
+        let mut view_ball = Vec::with_capacity(ball.len());
+        let mut summaries = Vec::with_capacity(ball.len());
+        for &(z, d) in &ball {
+            let (flag, entries) = if self.sum_flagged.contains(&z) {
+                (true, None)
+            } else if let Some(e) = self.sum_entries.get(&z) {
+                (false, Some(e.clone()))
+            } else {
+                panic!(
+                    "vertex {}: the summary of ball member {z} (distance {d}) never arrived — \
+                     the flood coverage invariant is broken",
+                    self.id
+                );
+            };
+            view_ball.push((z, d, flag));
+            summaries.push(entries);
+        }
+        self.sum_entries = HashMap::new();
+        self.sum_flagged = HashSet::new();
+        self.dict = Vec::new();
+        self.ball_fresh = Vec::new();
+        KsvView {
+            ball: view_ball,
+            summaries,
+        }
+    }
+
+    /// Builds the same decision view from the record flood: flags from the
+    /// gathered degrees (a member's neighbours sit within the `2r − 1`
+    /// horizon whenever `r ≥ 2`), summaries by dense depth-`r` searches
+    /// over local indices — the same epoch-stamped scratch discipline as
+    /// the `WReachIndex` sweep.
+    fn view_from_records(&mut self) -> KsvView {
+        let r = self.r;
+        let cap = self.hub_cap;
         let reach = local_bfs(&self.known_adj, self.id, 2 * r);
         let k = reach.len();
         let mut lid: HashMap<u64, u32> = HashMap::with_capacity(k);
@@ -553,6 +1083,86 @@ impl KsvNode {
         // Adjacency in local indices. 2r-boundary vertices have no gathered
         // record and become leaves — exactly right, since no search below
         // ever needs to expand them (depth r from a vertex at distance ≤ r).
+        let local_adj: Vec<Vec<u32>> = reach
+            .iter()
+            .map(|(id, _)| match self.known_adj.get(id) {
+                Some(list) => list.iter().map(|w| lid[w]).collect(),
+                None => Vec::new(),
+            })
+            .collect();
+        let mut members: Vec<(u64, u32)> =
+            reach.iter().filter(|&&(_, d)| d <= r).copied().collect();
+        members.sort_unstable_by_key(|&(id, _)| id);
+        let mut ball = Vec::with_capacity(members.len());
+        let mut summaries = Vec::with_capacity(members.len());
+        let mut stamp = vec![0u32; k];
+        let mut epoch = 0u32;
+        let mut queue: Vec<(u32, u32)> = Vec::new();
+        for &(z, dz) in &members {
+            let zi = lid[&z] as usize;
+            let flag = local_adj[zi].len() > cap
+                || local_adj[zi]
+                    .iter()
+                    .any(|&w| local_adj[w as usize].len() > cap);
+            ball.push((z, dz, flag));
+            if flag {
+                summaries.push(None);
+                continue;
+            }
+            epoch += 1;
+            queue.clear();
+            queue.push((zi as u32, 0));
+            stamp[zi] = epoch;
+            let mut out: Vec<(u64, u8)> = Vec::new();
+            let mut head = 0;
+            while let Some(&(x, d)) = queue.get(head) {
+                head += 1;
+                out.push((reach[x as usize].0, d as u8));
+                if d >= r {
+                    continue;
+                }
+                for &w in &local_adj[x as usize] {
+                    if stamp[w as usize] != epoch {
+                        stamp[w as usize] = epoch;
+                        queue.push((w, d + 1));
+                    }
+                }
+            }
+            out.sort_unstable_by_key(|&(id, _)| id);
+            summaries.push(Some(out.into_iter().collect()));
+        }
+        KsvView { ball, summaries }
+    }
+
+    /// The decision round (call `2r − 1`): all knowledge is in. Dispatches
+    /// to the original distance-1 table build at `r = 1` (byte-identical to
+    /// the PR 4 protocol) and to the shared view-based decision otherwise.
+    fn decide(&mut self, ctx: &NodeContext) -> Outgoing<KsvMessage> {
+        if self.r == 1 {
+            return self.decide_r1(ctx);
+        }
+        let view = match self.flood {
+            KsvFlood::Summaries => self.view_from_summaries(),
+            KsvFlood::Records => self.view_from_records(),
+        };
+        self.decide_from_view(ctx, view)
+    }
+
+    /// The `r = 1` decision: builds the candidate → coverage-bitmask table
+    /// over the positions of `N[v]` straight from the adjacency exchange
+    /// (position `i` is the `i`-th neighbour in ascending id order,
+    /// position `deg` is `v` itself), runs the `D₁` check and — when it
+    /// passes — precomputes the pseudo-cover election from the same table.
+    /// Kept verbatim from the pre-flood-rework protocol: the distance-1
+    /// path has no hubs, no summaries, and no behaviour change.
+    fn decide_r1(&mut self, ctx: &NodeContext) -> Outgoing<KsvMessage> {
+        let r = self.r;
+        let reach = local_bfs(&self.known_adj, self.id, 2 * r);
+        let k = reach.len();
+        let mut lid: HashMap<u64, u32> = HashMap::with_capacity(k);
+        for (i, &(id, _)) in reach.iter().enumerate() {
+            lid.insert(id, i as u32);
+        }
         let local_adj: Vec<Vec<u32>> = reach
             .iter()
             .map(|(id, _)| match self.known_adj.get(id) {
@@ -646,6 +1256,114 @@ impl KsvNode {
         self.planned_election.sort_unstable();
         Outgoing::Silent
     }
+
+    /// The shared `r ≥ 2` decision, identical for both flood modes given
+    /// equal views. Computes the pruned local distances, applies the hub
+    /// short-circuit, then builds the candidate → coverage-bitmask table
+    /// over the *unflagged* positions of `N_r(v)` (position `i` is the
+    /// `i`-th unflagged member of the open `r`-neighbourhood in ascending
+    /// id order, position `deg_r` is `v` itself; a candidate `z ≠ v`
+    /// covers `u` exactly when `z ∈ ball_r(u)`, read off `u`'s exact
+    /// summary), runs the `D₁` check and — when it passes — precomputes
+    /// the pseudo-cover election from the same table. Flagged positions
+    /// need no coverage: a flagged vertex has a hub within distance 1 and
+    /// is dominated by it.
+    fn decide_from_view(&mut self, ctx: &NodeContext, view: KsvView) -> Outgoing<KsvMessage> {
+        let r = self.r;
+        // Pruned local distances: the ball itself plus one unflagged
+        // midpoint hop (`d(v,u) + d_u(z)`). Exact wherever an unflagged
+        // midpoint exists — everywhere, when no hubs are near. Sorted
+        // lexicographically, the first entry per id is the minimum.
+        let mut pairs: Vec<(u64, u32)> = Vec::new();
+        for &(z, d, _) in &view.ball {
+            pairs.push((z, d));
+        }
+        for (i, &(_, du, flag)) in view.ball.iter().enumerate() {
+            if flag {
+                continue;
+            }
+            if let Some(entries) = &view.summaries[i] {
+                for &(z, dz) in entries.iter() {
+                    pairs.push((z, du + dz as u32));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup_by_key(|p| p.0);
+        self.local_dist = pairs;
+        let id = self.id;
+        self.known_adj
+            .retain(|&key, _| key == id || ctx.is_neighbor(key));
+        self.frontier = Vec::new();
+
+        // Hub short-circuit: a flagged vertex within distance r − 1 proves
+        // a hub within distance r (and conversely — the nearest flagged
+        // vertex on a shortest path to a hub sits one hop earlier), and
+        // every hub is in the dominating set from init. Nothing to check,
+        // nothing to elect; membership stays as-is (hubs already joined).
+        if view.ball.iter().any(|&(_, d, f)| f && d < r) {
+            self.dominated = true;
+            return Outgoing::Silent;
+        }
+
+        let positions: Vec<usize> = view
+            .ball
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(_, d, f))| d >= 1 && !f)
+            .map(|(i, _)| i)
+            .collect();
+        let deg_r = positions.len();
+        let words = cover_words(deg_r);
+        let mut cand_idx: HashMap<u64, u32> = HashMap::new();
+        let mut cand_ids: Vec<u64> = Vec::new();
+        let mut masks: Vec<Vec<u64>> = Vec::new();
+        for (i, &bi) in positions.iter().enumerate() {
+            let entries = view.summaries[bi]
+                .as_ref()
+                .expect("unflagged positions carry their exact summary");
+            for &(z, _) in entries.iter() {
+                if z == self.id {
+                    continue;
+                }
+                let zi = *cand_idx.entry(z).or_insert_with(|| {
+                    cand_ids.push(z);
+                    masks.push(vec![0u64; words]);
+                    (cand_ids.len() - 1) as u32
+                }) as usize;
+                set_bit(&mut masks[zi], i);
+            }
+            // Position i is within r of v, so it covers v (position deg_r);
+            // it appears in its own summary, so its mask already exists.
+            let pi = cand_idx[&view.ball[bi].0] as usize;
+            set_bit(&mut masks[pi], deg_r);
+        }
+
+        if deg_r > 0 {
+            let mut uncovered = vec![0u64; words];
+            for i in 0..deg_r {
+                set_bit(&mut uncovered, i);
+            }
+            greedy_cover(&cand_ids, &masks, &mut uncovered, self.hard_budget, 1);
+            if uncovered.iter().any(|&w| w != 0) {
+                self.join(KsvMembership::HardCore);
+                return self.announce();
+            }
+        }
+        let mut uncovered = vec![0u64; words];
+        for i in 0..=deg_r {
+            set_bit(&mut uncovered, i);
+        }
+        self.planned_election = greedy_cover(
+            &cand_ids,
+            &masks,
+            &mut uncovered,
+            usize::MAX,
+            self.threshold,
+        );
+        self.planned_election.sort_unstable();
+        Outgoing::Silent
+    }
 }
 
 impl NodeAlgorithm for KsvNode {
@@ -655,6 +1373,16 @@ impl NodeAlgorithm for KsvNode {
     fn init(&mut self, ctx: &NodeContext) -> Outgoing<KsvMessage> {
         // Round 0: exchange open neighbourhoods (the first knowledge wave).
         self.known_adj.insert(ctx.id, ctx.neighbor_ids.clone());
+        if ctx.neighbor_ids.len() > self.hub_cap {
+            // Cluster representative: in the set from the start, visibly so
+            // (every neighbour reads the degree off this same broadcast).
+            self.join(KsvMembership::HighDegree);
+        }
+        if self.r >= 2 && self.flood == KsvFlood::Summaries {
+            self.ball.push((ctx.id, 0));
+            self.ball.extend(ctx.neighbor_ids.iter().map(|&w| (w, 1)));
+            self.ball.sort_unstable_by_key(|&(z, _)| z);
+        }
         self.message(KsvKind::Adjacency, ctx.neighbor_ids.clone())
     }
 
@@ -669,9 +1397,18 @@ impl NodeAlgorithm for KsvNode {
         let elect = 3 * r - 1;
         let announce2 = 5 * r - 1;
         let last = 6 * r - 1;
+        if round <= decide && r >= 2 && self.flood == KsvFlood::Summaries {
+            // Summary flood: beacons, the summary broadcast, relays — and
+            // at the decision call, absorb-only before deciding.
+            let wave = self.summary_flood_round(ctx, round, inbox);
+            if round < decide {
+                return wave;
+            }
+            return self.decide(ctx);
+        }
         if round < decide {
-            // Knowledge waves (r ≥ 2): absorb fresh records, flood the
-            // frontier one hop further.
+            // Record-flood knowledge waves (r ≥ 2): absorb fresh records,
+            // flood the frontier one hop further.
             self.absorb_knowledge(inbox);
             return self.knowledge_wave();
         }
@@ -761,8 +1498,18 @@ pub struct KsvConfig {
     /// this many elements of `N_r[v]`. `1` (the default) makes phase-2
     /// covers exhaustive, so only `r`-isolated vertices reach `D₃`; the
     /// papers' counting argument uses a `Θ(∇)` threshold, selectable for
-    /// experiments. Clamped to ≥ 1.
+    /// experiments (the `k1` experiment sweeps it). Clamped to ≥ 1.
     pub threshold: u32,
+    /// Knowledge-flood implementation at `r ≥ 2` (ignored at `r = 1`).
+    /// Both modes elect bit-identical sets.
+    pub flood: KsvFlood,
+    /// Hub degree cap of the summary-flood cluster merge at `r ≥ 2`:
+    /// vertices of larger degree join the set at init and excuse their
+    /// whole distance-`r` zone from the election. `None` uses
+    /// [`default_hub_cap`] of the (promised or estimated) `∇`;
+    /// `Some(usize::MAX)` disables hubs entirely, recovering the exact
+    /// paper behaviour at a higher flood cost. Ignored at `r = 1`.
+    pub hub_cap: Option<usize>,
     /// Engine execution strategy (sequential and parallel are
     /// bit-identical).
     pub strategy: ExecutionStrategy,
@@ -770,13 +1517,16 @@ pub struct KsvConfig {
 
 impl KsvConfig {
     /// Defaults: distance 1, shuffled ids, estimated `∇`, exhaustive covers,
-    /// size-gated automatic strategy.
+    /// summary flood with the default hub cap, size-gated automatic
+    /// strategy.
     pub fn new() -> Self {
         KsvConfig {
             r: 1,
             assignment: IdAssignment::Shuffled(0x5eed),
             nabla: None,
             threshold: 1,
+            flood: KsvFlood::Summaries,
+            hub_cap: None,
             strategy: ExecutionStrategy::Auto,
         }
     }
@@ -804,6 +1554,49 @@ impl Default for KsvConfig {
     }
 }
 
+/// Wire bits of a KSV run bucketed by protocol phase, charged at the round
+/// the bits are delivered. The buckets partition `stats.total_bits`:
+/// knowledge flood (rounds `1..=2r − 1`), `D₁` announcements
+/// (`2r..=3r − 1`), election tokens (`3r..=5r − 1`), and `D₂`
+/// announcements (`5r..=6r − 1`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KsvPhaseBits {
+    /// Knowledge-flood bits: adjacency exchange plus record waves or
+    /// beacon/summary/relay waves, depending on the flood mode.
+    pub flood: usize,
+    /// `D₁` (hard core) announcement-flood bits.
+    pub hard_core_announce: usize,
+    /// Election-token bits (the `Elect` broadcasts and their forwards).
+    pub election: usize,
+    /// `D₂` (pseudo-cover) announcement-flood bits.
+    pub cover_announce: usize,
+}
+
+impl KsvPhaseBits {
+    /// Sum of all buckets — equals the run's `total_bits`.
+    pub fn total(&self) -> usize {
+        self.flood + self.hard_core_announce + self.election + self.cover_announce
+    }
+
+    fn from_stats(stats: &RunStats, r: u32) -> Self {
+        let r = r as usize;
+        let mut out = KsvPhaseBits::default();
+        for round in &stats.per_round {
+            let bucket = if round.round < 2 * r {
+                &mut out.flood
+            } else if round.round < 3 * r {
+                &mut out.hard_core_announce
+            } else if round.round < 5 * r {
+                &mut out.election
+            } else {
+                &mut out.cover_announce
+            };
+            *bucket += round.bits_sent;
+        }
+        out
+    }
+}
+
 /// Result of a KSV run.
 #[derive(Clone, Debug)]
 pub struct KsvDomResult {
@@ -817,11 +1610,18 @@ pub struct KsvDomResult {
     pub cover_dominators: Vec<Vertex>,
     /// `D₃`: self-elected leftovers (sorted).
     pub self_elected: Vec<Vertex>,
+    /// Hubs: cluster representatives that joined at init because their
+    /// degree exceeded the hub cap (sorted; empty at `r = 1` and with hubs
+    /// disabled).
+    pub high_degree: Vec<Vertex>,
     /// Communication rounds — [`ksv_rounds`]`(r)` on any non-empty graph, 0
     /// on the empty graph. Never depends on `n`.
     pub rounds: usize,
     /// Wire statistics of the run.
     pub stats: RunStats,
+    /// Wire bits bucketed by protocol phase (partitions
+    /// `stats.total_bits`).
+    pub phase_bits: KsvPhaseBits,
     /// The `2∇` budget the `D₁` check ran with.
     pub hard_budget: usize,
 }
@@ -832,7 +1632,7 @@ impl KsvDomResult {
         self.rounds
     }
 
-    /// Largest single message of the run, in bits.
+    /// Largest single wire frame of the run, in bits.
     pub fn max_message_bits(&self) -> usize {
         self.stats.max_message_bits
     }
@@ -881,16 +1681,29 @@ pub fn distributed_ksv_domination_r(
             hard_core: Vec::new(),
             cover_dominators: Vec::new(),
             self_elected: Vec::new(),
+            high_degree: Vec::new(),
             rounds: 0,
             stats: RunStats::default(),
+            phase_bits: KsvPhaseBits::default(),
             hard_budget: 0,
         });
     }
-    let hard_budget = 2 * config.nabla.unwrap_or_else(|| estimate_nabla(graph));
+    assert!(
+        config.flood == KsvFlood::Records || r <= u8::MAX as u32,
+        "summary-flood distances are encoded in 8 bits — run radii above 255 with KsvFlood::Records"
+    );
+    let nabla = config.nabla.unwrap_or_else(|| estimate_nabla(graph));
+    let hard_budget = 2 * nabla;
+    let hub_cap = if r >= 2 {
+        config.hub_cap.unwrap_or_else(|| default_hub_cap(nabla))
+    } else {
+        usize::MAX
+    };
+    let flood = config.flood;
     let threshold = config.threshold.max(1);
     let id_bits = bedom_distsim::id_bits(n);
     let mut network = Network::new(graph, Model::Local, config.assignment, |_, ctx| {
-        KsvNode::new(ctx.id, r, id_bits, hard_budget, threshold)
+        KsvNode::new(ctx.id, r, id_bits, hard_budget, threshold, flood, hub_cap)
     });
     network.set_strategy(config.strategy);
     Engine::new(&mut network).run(RunPolicy::fixed(ksv_rounds(r)))?;
@@ -901,6 +1714,7 @@ pub fn distributed_ksv_domination_r(
     let mut hard_core = Vec::new();
     let mut cover_dominators = Vec::new();
     let mut self_elected = Vec::new();
+    let mut high_degree = Vec::new();
     for (v, out) in outputs.iter().enumerate() {
         let v = v as Vertex;
         assert!(
@@ -920,18 +1734,25 @@ pub fn distributed_ksv_domination_r(
                 self_elected.push(v);
                 dominating_set.push(v);
             }
+            Some(KsvMembership::HighDegree) => {
+                high_degree.push(v);
+                dominating_set.push(v);
+            }
             None => {}
         }
     }
 
+    let phase_bits = KsvPhaseBits::from_stats(&stats, r);
     Ok(KsvDomResult {
         r,
         dominating_set,
         hard_core,
         cover_dominators,
         self_elected,
+        high_degree,
         rounds: stats.rounds,
         stats,
+        phase_bits,
         hard_budget,
     })
 }
@@ -986,6 +1807,19 @@ pub fn distributed_ksv_domination_r_in(
     ctx: &DistContext<'_>,
     r: u32,
 ) -> Result<KsvContextReport, ModelViolation> {
+    distributed_ksv_domination_r_in_with(ctx, r, KsvConfig::new())
+}
+
+/// [`distributed_ksv_domination_r_in`] under explicit protocol tuning: the
+/// `threshold`, `flood`, `hub_cap`, and `nabla` knobs of `tuning` are
+/// honoured (the `k1` experiment sweeps the admission threshold through
+/// this), while the id assignment and execution strategy always come from
+/// the context so runs stay comparable against the order-based path.
+pub fn distributed_ksv_domination_r_in_with(
+    ctx: &DistContext<'_>,
+    r: u32,
+    tuning: KsvConfig,
+) -> Result<KsvContextReport, ModelViolation> {
     if r == 0 {
         return Err(ModelViolation::RadiusUnsupported {
             requested: 0,
@@ -1006,7 +1840,7 @@ pub fn distributed_ksv_domination_r_in(
         KsvConfig {
             assignment: ctx.assignment(),
             strategy: ctx.strategy(),
-            ..KsvConfig::new()
+            ..tuning
         },
     )?;
     let witnessed_constant = ctx.witnessed_constant(2 * r)?;
@@ -1044,12 +1878,13 @@ mod tests {
             is_distance_dominating_set(graph, &result.dominating_set, r),
             "not a distance-{r} dominating set"
         );
-        // The three phases partition the set.
+        // The membership classes partition the set.
         let mut union: Vec<Vertex> = result
             .hard_core
             .iter()
             .chain(&result.cover_dominators)
             .chain(&result.self_elected)
+            .chain(&result.high_degree)
             .copied()
             .collect();
         union.sort_unstable();
@@ -1062,6 +1897,11 @@ mod tests {
                 "rounds must be the constant for r = {r}"
             );
         }
+        assert_eq!(
+            result.phase_bits.total(),
+            result.stats.total_bits,
+            "phase buckets must partition the wire total"
+        );
         result
     }
 
@@ -1379,5 +2219,107 @@ mod tests {
         assert_eq!(via_config.dominating_set, via_arg.dominating_set);
         assert_eq!(via_config.rounds, via_arg.rounds);
         assert_eq!(via_config.r, 2);
+    }
+
+    #[test]
+    fn summary_and_record_floods_elect_identical_sets() {
+        // The two flood implementations answer the same distance-≤ r
+        // questions, so under every hub-cap setting (including hubs
+        // disabled) they must elect bit-identical sets.
+        let shapes: Vec<Graph> = vec![
+            stacked_triangulation(200, 6),
+            star(40),
+            configuration_model_power_law(200, 2.5, 2, 8, 3),
+            path(50),
+        ];
+        for g in &shapes {
+            for r in [2u32, 3] {
+                for hub_cap in [Some(8), None, Some(usize::MAX)] {
+                    let run = |flood| {
+                        distributed_ksv_domination_r(
+                            g,
+                            r,
+                            KsvConfig {
+                                flood,
+                                hub_cap,
+                                ..KsvConfig::new()
+                            },
+                        )
+                        .unwrap()
+                    };
+                    let summaries = run(KsvFlood::Summaries);
+                    let records = run(KsvFlood::Records);
+                    assert!(is_distance_dominating_set(g, &summaries.dominating_set, r));
+                    assert_eq!(summaries.dominating_set, records.dominating_set);
+                    assert_eq!(summaries.hard_core, records.hard_core);
+                    assert_eq!(summaries.cover_dominators, records.cover_dominators);
+                    assert_eq!(summaries.self_elected, records.self_elected);
+                    assert_eq!(summaries.high_degree, records.high_degree);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn high_degree_hubs_join_and_dominate_their_balls() {
+        // star(40): the centre's degree (40) exceeds the automatic hub cap
+        // (∇ estimates to 1, cap 32), so it joins at init and every leaf is
+        // hub-dominated — nobody else elects anything.
+        let g = star(40);
+        let result = check_r(&g, 2);
+        assert_eq!(result.high_degree.len(), 1);
+        assert_eq!(result.dominating_set, result.high_degree);
+        assert!(result.hard_core.is_empty());
+        assert!(result.cover_dominators.is_empty());
+        assert!(result.self_elected.is_empty());
+    }
+
+    #[test]
+    fn phase_bits_partition_the_total() {
+        let g = stacked_triangulation(200, 3);
+        for r in [1u32, 2] {
+            let result = distributed_ksv_domination_r(&g, r, KsvConfig::new()).unwrap();
+            assert_eq!(result.phase_bits.total(), result.stats.total_bits);
+            assert!(result.phase_bits.flood > 0, "the flood is never free");
+        }
+    }
+
+    #[test]
+    fn summary_flood_is_cheaper_than_record_flood_at_distance_2() {
+        let g = stacked_triangulation(1000, 3);
+        let run = |flood| {
+            distributed_ksv_domination_r(
+                &g,
+                2,
+                KsvConfig {
+                    flood,
+                    ..KsvConfig::new()
+                },
+            )
+            .unwrap()
+        };
+        let summaries = run(KsvFlood::Summaries);
+        let records = run(KsvFlood::Records);
+        assert_eq!(summaries.dominating_set, records.dominating_set);
+        assert!(
+            summaries.phase_bits.flood * 3 < records.phase_bits.flood * 2,
+            "summary flood {} must save ≥ 1.5× over record flood {}",
+            summaries.phase_bits.flood,
+            records.phase_bits.flood
+        );
+    }
+
+    #[test]
+    fn hub_adjacency_messages_are_framed_for_the_max_message_statistic() {
+        // The star centre's adjacency broadcast is ~2000 ids; framing must
+        // keep the per-round max *frame* bounded regardless.
+        let g = star(2000);
+        let result = distributed_ksv_domination_r(&g, 1, KsvConfig::new()).unwrap();
+        assert!(
+            result.max_message_bits() <= KSV_FRAME_HEADER_BITS + KSV_FRAME_PAYLOAD_BITS,
+            "max frame {} exceeds the framing bound",
+            result.max_message_bits()
+        );
+        assert!(is_distance_dominating_set(&g, &result.dominating_set, 1));
     }
 }

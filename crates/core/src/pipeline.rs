@@ -24,7 +24,7 @@
 use crate::context::{DistContext, DistContextConfig};
 use crate::dist_connected::distributed_connected_domination_in;
 use crate::dist_domset::distributed_distance_domination_in;
-use crate::dist_ksv::distributed_ksv_domination_r_in;
+use crate::dist_ksv::{distributed_ksv_domination_r_in_with, KsvConfig};
 use crate::local_connect::local_connect;
 use crate::seq_domset::domset_via_min_wreach_with;
 use bedom_distsim::scenario::{ScenarioReport, ScenarioRunner, ShardMetrics};
@@ -111,6 +111,7 @@ pub struct DominationPipeline {
     strategy: OrderingStrategy,
     seed: u64,
     execution: ExecutionStrategy,
+    ksv_threshold: u32,
 }
 
 impl DominationPipeline {
@@ -126,6 +127,7 @@ impl DominationPipeline {
             strategy: OrderingStrategy::Degeneracy,
             seed: 0x5eed,
             execution: ExecutionStrategy::Auto,
+            ksv_threshold: 1,
         }
     }
 
@@ -167,6 +169,15 @@ impl DominationPipeline {
     /// `Sequential` inside its shard workers.
     pub fn execution(mut self, execution: ExecutionStrategy) -> Self {
         self.execution = execution;
+        self
+    }
+
+    /// Pseudo-cover admission threshold for the KSV path (clamped to ≥ 1,
+    /// default 1 — exhaustive covers). The papers' counting argument uses a
+    /// `Θ(∇)` value; the `k1` experiment sweeps it through this knob. No
+    /// effect on the order-based algorithm.
+    pub fn ksv_threshold(mut self, threshold: u32) -> Self {
+        self.ksv_threshold = threshold;
         self
     }
 
@@ -311,7 +322,14 @@ impl DominationPipeline {
                         ..DistContextConfig::for_domination(r)
                     },
                 )?;
-                let report = distributed_ksv_domination_r_in(&ctx, r)?;
+                let report = distributed_ksv_domination_r_in_with(
+                    &ctx,
+                    r,
+                    KsvConfig {
+                        threshold: self.ksv_threshold,
+                        ..KsvConfig::new()
+                    },
+                )?;
                 let connected = if self.connected {
                     // The LOCAL connector of Theorem 17, as in sequential
                     // mode (the Theorem 10 machinery is order-based).

@@ -10,6 +10,20 @@
 pub trait MessageSize {
     /// Number of bits this payload occupies.
     fn size_bits(&self) -> usize;
+
+    /// The largest single wire *frame* this payload occupies, in bits.
+    ///
+    /// Payload types that model a framing layer — splitting one logical
+    /// message into bounded frames, each re-paying the header — override
+    /// this so the per-round `max_message_bits` statistic reports the
+    /// bounded frame size instead of the unbounded logical size (the KSV
+    /// adjacency exchange on a hub vertex is the motivating case). The
+    /// default is the whole message: unframed payloads are their own single
+    /// frame. `size_bits` stays the *total* cost, framing overhead included,
+    /// so bandwidth totals and CONGEST validation are unaffected.
+    fn max_frame_bits(&self) -> usize {
+        self.size_bits()
+    }
 }
 
 /// Unit messages ("I am present" beacons) are counted as a single bit.
@@ -106,6 +120,14 @@ mod tests {
         let v = vec![1u32, 2, 3];
         assert_eq!(v.size_bits(), 32 + 96);
         assert_eq!((1u32, true).size_bits(), 33);
+    }
+
+    #[test]
+    fn max_frame_defaults_to_the_whole_message() {
+        // Unframed payloads are their own single frame.
+        assert_eq!(7u64.max_frame_bits(), 7u64.size_bits());
+        let v = vec![1u32, 2, 3];
+        assert_eq!(v.max_frame_bits(), v.size_bits());
     }
 
     #[test]

@@ -212,7 +212,12 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
                     round_stats.senders += 1;
                     round_stats.deliveries += self.graph.degree(v as Vertex);
                     round_stats.bits_sent += bits;
-                    round_stats.max_message_bits = round_stats.max_message_bits.max(bits);
+                    // The per-round maximum is frame-granular: payloads that
+                    // model a framing layer report their largest frame, so a
+                    // hub's split broadcast no longer dominates the statistic
+                    // while its full (framed) cost still lands in bits_sent.
+                    round_stats.max_message_bits =
+                        round_stats.max_message_bits.max(m.max_frame_bits());
                     self.stats.max_vertex_round_bits = self.stats.max_vertex_round_bits.max(bits);
                 }
                 Outgoing::Unicast(messages) => {
@@ -226,7 +231,8 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
                         round_stats.deliveries += 1;
                         round_stats.bits_sent += bits;
                         vertex_bits += bits;
-                        round_stats.max_message_bits = round_stats.max_message_bits.max(bits);
+                        round_stats.max_message_bits =
+                            round_stats.max_message_bits.max(m.max_frame_bits());
                     }
                     self.stats.max_vertex_round_bits =
                         self.stats.max_vertex_round_bits.max(vertex_bits);

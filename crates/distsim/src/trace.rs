@@ -20,7 +20,10 @@ pub struct RoundStats {
     /// Total bits put on the wire this round (a broadcast's payload is counted
     /// once per sending vertex, as in the CONGEST_BC accounting).
     pub bits_sent: usize,
-    /// Largest single message in bits this round.
+    /// Largest single wire frame in bits this round (payloads that model a
+    /// framing layer report per-frame maxima via
+    /// [`crate::MessageSize::max_frame_bits`]; unframed payloads count as one
+    /// frame, so this is the largest whole message for them).
     pub max_message_bits: usize,
 }
 
@@ -35,7 +38,8 @@ pub struct RunStats {
     pub total_deliveries: usize,
     /// Total bits sent over the whole execution.
     pub total_bits: usize,
-    /// Largest single message observed, in bits.
+    /// Largest single wire frame observed, in bits (the largest whole
+    /// message for unframed payloads — see [`RoundStats::max_message_bits`]).
     pub max_message_bits: usize,
     /// Largest number of bits any single vertex sent in any single round.
     pub max_vertex_round_bits: usize,

@@ -189,6 +189,46 @@ fn distance_r_ksv_is_strategy_independent() {
     }
 }
 
+/// The clustered summary flood with hubs forced on (a tiny hub cap): the
+/// beacon/summary/relay waves, the hub memberships, and the per-phase bit
+/// buckets must all be bit-identical across strategies — and the elected
+/// sets must match the record flood's, which pins the cluster merge to the
+/// exact-distance semantics under parallel execution too.
+#[test]
+fn clustered_summary_flood_is_strategy_independent() {
+    use bedom::core::{distributed_ksv_domination_r, KsvConfig, KsvFlood};
+
+    for (name, g) in instances() {
+        let run = |flood, strategy| {
+            let config = KsvConfig {
+                assignment: IdAssignment::Shuffled(31),
+                flood,
+                hub_cap: Some(8),
+                ..KsvConfig::with_strategy(strategy)
+            };
+            let result = distributed_ksv_domination_r(&g, 2, config).unwrap();
+            (
+                result.dominating_set,
+                result.hard_core,
+                result.cover_dominators,
+                result.self_elected,
+                result.high_degree,
+                result.rounds,
+                result.phase_bits,
+                result.stats,
+            )
+        };
+        let [a, b] = STRATEGIES.map(|s| run(KsvFlood::Summaries, s));
+        assert_eq!(a, b, "{name}: clustered summary flood diverged");
+        let records = run(KsvFlood::Records, ExecutionStrategy::Parallel);
+        assert_eq!(
+            (&a.0, &a.1, &a.2, &a.3, &a.4),
+            (&records.0, &records.1, &records.2, &records.3, &records.4),
+            "{name}: summary and record floods elected different sets"
+        );
+    }
+}
+
 /// Distance-r KSV observed round by round: identical per-round statistic
 /// streams across strategies, stream length pinned to ksv_rounds(r).
 #[test]

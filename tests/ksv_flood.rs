@@ -1,0 +1,223 @@
+//! Adversarial-shape coverage for the KSV knowledge flood rework: the
+//! summary flood (per-edge dedup, dictionary compression, cluster-merged
+//! summaries with hub representatives) must elect **bit-identical** sets to
+//! the pre-optimisation record flood on every shape that stresses it —
+//! hub-heavy Apollonian-style stacks, long paths at r = 3, disconnected
+//! unions, and the whole exact-oracle conformance corpus.
+
+use bedom::core::{
+    default_hub_cap, distributed_ksv_domination_r, ksv_rounds, KsvConfig, KsvFlood,
+    KSV_FRAME_HEADER_BITS, KSV_FRAME_PAYLOAD_BITS,
+};
+use bedom::distsim::IdAssignment;
+use bedom::graph::domset::is_distance_dominating_set;
+use bedom::graph::generators::{
+    configuration_model_power_law, cycle, grid, path, stacked_triangulation, star,
+};
+use bedom::graph::{graph_from_edges, Graph, Vertex};
+
+/// The conformance corpus (mirrors `tests/conformance.rs`): every instance
+/// small enough for the exact bitmask oracle there; here they pin the
+/// reworked flood to the pre-optimisation election bit for bit.
+fn corpus() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("empty", Graph::empty(0)),
+        ("single-vertex", Graph::empty(1)),
+        ("two-isolated", Graph::empty(2)),
+        ("path-10", path(10)),
+        ("path-16", path(16)),
+        ("cycle-13", cycle(13)),
+        ("star-10", star(9)),
+        ("grid-3x4", grid(3, 4)),
+        ("grid-4x4", grid(4, 4)),
+        ("planar-tri-14", stacked_triangulation(14, 3)),
+        (
+            "config-model-14",
+            configuration_model_power_law(14, 2.5, 1, 5, 7),
+        ),
+        (
+            "disconnected",
+            graph_from_edges(12, &[(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (7, 8)]),
+        ),
+    ]
+}
+
+/// An Apollonian-style stack: start from a triangle and repeatedly plant a
+/// new vertex inside a face, joined to all three corners. Deterministic
+/// rotation through the face list produces deeply nested hubs — the early
+/// corners accumulate large degree, which is exactly the shape the cluster
+/// merge targets.
+fn apollonian(levels: usize) -> Graph {
+    let mut edges: Vec<(Vertex, Vertex)> = vec![(0, 1), (1, 2), (0, 2)];
+    let mut faces: Vec<[Vertex; 3]> = vec![[0, 1, 2]];
+    let mut next: Vertex = 3;
+    for step in 0..levels {
+        let [a, b, c] = faces[step % faces.len()];
+        let v = next;
+        next += 1;
+        edges.extend([(v, a), (v, b), (v, c)]);
+        faces.extend([[a, b, v], [a, c, v], [b, c, v]]);
+    }
+    graph_from_edges(next as usize, &edges)
+}
+
+/// A disconnected union of heterogeneous components: a hubbed star, a long
+/// path, a small triangulation, and isolated vertices — the flood must keep
+/// every component's election independent and exact.
+fn disconnected_union() -> Graph {
+    let mut edges: Vec<(Vertex, Vertex)> = Vec::new();
+    let mut base: Vertex = 0;
+    // Star on 41 vertices (centre `base`).
+    for leaf in 1..=40 {
+        edges.push((base, base + leaf));
+    }
+    base += 41;
+    // Path on 30 vertices.
+    for i in 0..29 {
+        edges.push((base + i, base + i + 1));
+    }
+    base += 30;
+    // Triangulated strip on 12 vertices.
+    for i in 0..10 {
+        edges.push((base + i, base + i + 1));
+        edges.push((base + i, base + i + 2));
+    }
+    base += 12;
+    // Three isolated vertices.
+    graph_from_edges(base as usize + 3, &edges)
+}
+
+/// Runs both flood modes under one configuration and asserts the entire
+/// election — D, D₁, D₂, D₃, hubs, the round constant — is identical, plus
+/// validity of the output.
+fn assert_flood_parity(name: &str, g: &Graph, r: u32, hub_cap: Option<usize>) {
+    let run = |flood| {
+        distributed_ksv_domination_r(
+            g,
+            r,
+            KsvConfig {
+                assignment: IdAssignment::Shuffled(0xf10d),
+                flood,
+                hub_cap,
+                ..KsvConfig::new()
+            },
+        )
+        .unwrap()
+    };
+    let summaries = run(KsvFlood::Summaries);
+    let records = run(KsvFlood::Records);
+    assert!(
+        is_distance_dominating_set(g, &summaries.dominating_set, r),
+        "{name} (r = {r}, cap {hub_cap:?}): summary-flood output invalid"
+    );
+    assert_eq!(
+        summaries.dominating_set, records.dominating_set,
+        "{name} (r = {r}, cap {hub_cap:?}): floods elected different sets"
+    );
+    assert_eq!(summaries.hard_core, records.hard_core, "{name} D₁");
+    assert_eq!(
+        summaries.cover_dominators, records.cover_dominators,
+        "{name} D₂"
+    );
+    assert_eq!(summaries.self_elected, records.self_elected, "{name} D₃");
+    assert_eq!(summaries.high_degree, records.high_degree, "{name} hubs");
+    if g.num_vertices() > 0 {
+        assert_eq!(summaries.rounds, ksv_rounds(r), "{name} round constant");
+        assert_eq!(records.rounds, ksv_rounds(r), "{name} round constant");
+    }
+}
+
+#[test]
+fn conformance_corpus_is_bit_identical_across_floods() {
+    // Default hub cap on the corpus (n ≤ 14 < 32) means no hubs: the
+    // summary flood must reproduce the pre-optimisation elections exactly —
+    // the same sets `tests/conformance.rs` certifies against the exact
+    // oracle.
+    for (name, g) in corpus() {
+        for r in [2u32, 3] {
+            assert_flood_parity(name, &g, r, None);
+            assert_flood_parity(name, &g, r, Some(usize::MAX));
+        }
+    }
+}
+
+#[test]
+fn apollonian_hub_stacks_agree_across_floods() {
+    // Deep hub nesting: the original corners reach large degree and many
+    // vertices sit within distance 1–2 of several hubs at once.
+    let g = apollonian(120);
+    for r in [2u32, 3] {
+        for hub_cap in [Some(6), None, Some(usize::MAX)] {
+            assert_flood_parity("apollonian-120", &g, r, hub_cap);
+        }
+    }
+}
+
+#[test]
+fn long_paths_at_r3_agree_across_floods() {
+    // No hubs ever fire on a path; this pins the beacon/summary/relay wave
+    // timing at the largest supported test radius, where the relay window
+    // (rounds r..2r−2) is longest.
+    let g = path(200);
+    assert_flood_parity("path-200", &g, 3, None);
+    let g = cycle(150);
+    assert_flood_parity("cycle-150", &g, 3, None);
+}
+
+#[test]
+fn disconnected_unions_agree_across_floods() {
+    let g = disconnected_union();
+    for r in [2u32, 3] {
+        for hub_cap in [Some(8), None] {
+            assert_flood_parity("disconnected-union", &g, r, hub_cap);
+        }
+    }
+}
+
+#[test]
+fn clustered_flood_smoke_test_at_distance_2() {
+    // Tier-1 smoke test for the summary flood on a small planar instance:
+    // the default configuration (summaries, automatic hub cap) must elect a
+    // valid set in the constant round count with bounded frames — the new
+    // path can't silently rot behind the bench-only flag.
+    let g = stacked_triangulation(500, 4);
+    let result = distributed_ksv_domination_r(&g, 2, KsvConfig::new()).unwrap();
+    assert!(is_distance_dominating_set(&g, &result.dominating_set, 2));
+    assert_eq!(result.rounds, ksv_rounds(2));
+    assert_eq!(result.phase_bits.total(), result.stats.total_bits);
+    assert!(
+        result.stats.max_message_bits <= KSV_FRAME_HEADER_BITS + KSV_FRAME_PAYLOAD_BITS,
+        "max frame {} exceeds the framing bound",
+        result.stats.max_message_bits
+    );
+}
+
+#[test]
+fn hub_cap_knob_controls_the_cluster_merge() {
+    // star(40): centre degree 40. The automatic cap (∇ ≈ 1 → 32) makes the
+    // centre a hub; an explicit cap of 64 does not; usize::MAX never does.
+    let g = star(40);
+    let run = |hub_cap| {
+        distributed_ksv_domination_r(
+            &g,
+            2,
+            KsvConfig {
+                hub_cap,
+                ..KsvConfig::new()
+            },
+        )
+        .unwrap()
+    };
+    assert_eq!(run(None).high_degree.len(), 1);
+    assert_eq!(default_hub_cap(1), 32);
+    assert!(run(Some(64)).high_degree.is_empty());
+    assert!(run(Some(usize::MAX)).high_degree.is_empty());
+    // All three still dominate, whichever way the knob points.
+    for hub_cap in [None, Some(64), Some(usize::MAX)] {
+        assert!(is_distance_dominating_set(
+            &g,
+            &run(hub_cap).dominating_set,
+            2
+        ));
+    }
+}
