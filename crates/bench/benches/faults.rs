@@ -1,0 +1,200 @@
+//! The PR 7 robustness benchmark: what checkpoint-based self-healing costs
+//! on the 100k-vertex headline instances.
+//!
+//! Four distance-2 KSV runs per instance, same graph and seeds throughout:
+//!
+//! * **clean**: the fault-free baseline (`distributed_ksv_domination_r`);
+//! * **checkpointed**: the same run under a [`RecoveryPolicy`] with an empty
+//!   [`FaultPlan`] — no fault ever fires, so the delta over *clean* is the
+//!   pure snapshot-taking overhead;
+//! * **lossy**: a 50% message-drop window over the early rounds with no
+//!   recovery — must come back as a typed [`ModelViolation`], never a
+//!   silently wrong set;
+//! * **healed**: the same lossy plan under recovery — the supervisor walks
+//!   checkpoints backwards, clears the faults on restore, and must reproduce
+//!   the *clean* dominating set bit for bit.
+//!
+//! The recorded quantities are the wall times, the overhead ratios
+//! (`checkpoint_overhead`, `recovery_overhead`), and the supervisor's
+//! accounting (retries, restored rounds, replayed rounds). Run with
+//! `BEDOM_BENCH_JSON=BENCH_faults.json` to commit the numbers.
+
+use bedom_bench::connected_instance;
+use bedom_core::{
+    distributed_ksv_domination_r, distributed_ksv_domination_r_faulty, ksv_rounds, KsvConfig,
+};
+use bedom_distsim::{ExecutionStrategy, FaultPlan, IdAssignment, RecoveryPolicy};
+use bedom_graph::domset::is_distance_dominating_set;
+use bedom_graph::generators::{stacked_triangulation, Family};
+use bedom_graph::Graph;
+use criterion::{criterion_group, criterion_main, record_metric, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+const N: usize = 100_000;
+const SEED: u64 = 0xd15d;
+const R: u32 = 2;
+
+fn ksv_config() -> KsvConfig {
+    KsvConfig {
+        assignment: IdAssignment::Shuffled(SEED),
+        // Pinned Sequential so the numbers are engine-work for engine-work on
+        // any machine (the container is single-core anyway); fault decisions
+        // are stateless hashes, so the strategy does not change the outcome.
+        ..KsvConfig::with_strategy(ExecutionStrategy::Sequential)
+    }
+}
+
+/// The lossy plan: drop half of all deliveries while the adjacency exchange
+/// and knowledge flood are on the wire. Early-round drops are the ones the
+/// typed coverage checks are guaranteed to catch.
+fn lossy_plan() -> FaultPlan {
+    FaultPlan::seeded(SEED).drop_messages(0.5).during(1, 4)
+}
+
+fn recovery_policy() -> RecoveryPolicy {
+    RecoveryPolicy::new(4, 8)
+}
+
+fn bench_fault_recovery(_c: &mut Criterion) {
+    let instances: Vec<(&str, Graph)> = vec![
+        ("planar-tri-faults", stacked_triangulation(N, 3)),
+        (
+            "config-model-faults",
+            connected_instance(Family::ConfigurationModel, N, 5),
+        ),
+    ];
+
+    for (name, graph) in &instances {
+        let n = graph.num_vertices();
+        record_metric(&format!("{name}_n"), n as f64);
+        record_metric(&format!("{name}_r"), R as f64);
+
+        // Validity and the acceptance contract, checked before timing — this
+        // untimed run also warms the allocator so the timed runs below are
+        // comparable to each other (and to `BENCH_ksv.json`).
+        let clean = distributed_ksv_domination_r(graph, R, ksv_config()).unwrap();
+        assert!(is_distance_dominating_set(graph, &clean.dominating_set, R));
+        assert_eq!(clean.rounds, ksv_rounds(R));
+
+        // Fault-free baseline.
+        let clean_secs = {
+            let start = Instant::now();
+            black_box(distributed_ksv_domination_r(graph, R, ksv_config()).unwrap());
+            start.elapsed().as_secs_f64()
+        };
+
+        // Checkpointing without faults: the pure snapshot cost.
+        let (checkpointed, checkpointed_secs) = {
+            let start = Instant::now();
+            let result = black_box(
+                distributed_ksv_domination_r_faulty(
+                    graph,
+                    R,
+                    ksv_config(),
+                    FaultPlan::seeded(SEED),
+                    Some(recovery_policy()),
+                )
+                .unwrap(),
+            );
+            (result, start.elapsed().as_secs_f64())
+        };
+        let checkpoint_report = checkpointed.recovery.as_ref().unwrap();
+        assert_eq!(
+            checkpoint_report.retries, 0,
+            "{name}: an empty fault plan must not trigger recovery"
+        );
+        assert_eq!(checkpointed.dominating_set, clean.dominating_set);
+
+        // Lossy without recovery: must degrade to a typed violation.
+        let (lossy, lossy_secs) = {
+            let start = Instant::now();
+            let result = black_box(distributed_ksv_domination_r_faulty(
+                graph,
+                R,
+                ksv_config(),
+                lossy_plan(),
+                None,
+            ));
+            (result, start.elapsed().as_secs_f64())
+        };
+        let violation = lossy.expect_err("a 50% drop window at n = 100k must be detected");
+
+        // Lossy under recovery: must heal to the fault-free set.
+        let (healed, healed_secs) = {
+            let start = Instant::now();
+            let result = black_box(
+                distributed_ksv_domination_r_faulty(
+                    graph,
+                    R,
+                    ksv_config(),
+                    lossy_plan(),
+                    Some(recovery_policy()),
+                )
+                .unwrap(),
+            );
+            (result, start.elapsed().as_secs_f64())
+        };
+        let report = healed.recovery.as_ref().unwrap();
+        assert!(report.retries >= 1, "{name}: recovery must have fired");
+        assert_eq!(
+            healed.dominating_set, clean.dominating_set,
+            "{name}: the healed set must be bit-identical to the fault-free run"
+        );
+
+        println!(
+            "{name} (n = {n}, r = {R}): clean = {clean_secs:.2} s, checkpointed = \
+             {checkpointed_secs:.2} s ({:.2}×), lossy = {lossy_secs:.2} s ({violation}), healed = \
+             {healed_secs:.2} s ({:.2}×, {} retries, {} rounds replayed)",
+            checkpointed_secs / clean_secs,
+            healed_secs / clean_secs,
+            report.retries,
+            report.replayed_rounds,
+        );
+        record_metric(&format!("{name}_clean_seconds"), clean_secs);
+        record_metric(&format!("{name}_checkpointed_seconds"), checkpointed_secs);
+        record_metric(&format!("{name}_lossy_seconds"), lossy_secs);
+        record_metric(&format!("{name}_healed_seconds"), healed_secs);
+        record_metric(
+            &format!("{name}_checkpoint_overhead"),
+            checkpointed_secs / clean_secs,
+        );
+        record_metric(
+            &format!("{name}_recovery_overhead"),
+            healed_secs / clean_secs,
+        );
+        record_metric(
+            &format!("{name}_clean_set"),
+            clean.dominating_set.len() as f64,
+        );
+        record_metric(
+            &format!("{name}_healed_set"),
+            healed.dominating_set.len() as f64,
+        );
+        record_metric(
+            &format!("{name}_clean_total_bits"),
+            clean.stats.total_bits as f64,
+        );
+        record_metric(
+            &format!("{name}_healed_total_bits"),
+            healed.stats.total_bits as f64,
+        );
+        record_metric(&format!("{name}_retries"), report.retries as f64);
+        record_metric(
+            &format!("{name}_replayed_rounds"),
+            report.replayed_rounds as f64,
+        );
+        record_metric(
+            &format!("{name}_restores"),
+            report.restored_rounds.len() as f64,
+        );
+        record_metric(
+            &format!("{name}_violations_recovered"),
+            report.violations.len() as f64,
+        );
+        record_metric(&format!("{name}_lossy_typed_error"), 1.0);
+    }
+}
+
+criterion_group!(benches, bench_fault_recovery);
+criterion_main!(benches);

@@ -304,6 +304,22 @@ pub fn distributed_distance_domination_in(
         })
         .collect();
     let dominating_set: Vec<Vertex> = graph.vertices().filter(|&v| in_set[v as usize]).collect();
+    // Token-routing invariant: the set of vertices whose token route
+    // completed must equal exactly `{ dominator_of[w] : w ∈ V }`. On a
+    // reliable network this always holds (tokens travel ≤ r stored-path
+    // hops in r forwarding rounds); a mismatch means messages were lost in
+    // transit, and the run fails with a typed error instead of returning a
+    // set that silently fails to dominate.
+    let mut elected: Vec<Vertex> = dominator_of.clone();
+    elected.sort_unstable();
+    elected.dedup();
+    if elected != dominating_set {
+        return Err(ModelViolation::TokenLost {
+            round: r as usize + 1,
+            expected: elected.len(),
+            received: dominating_set.len(),
+        });
+    }
     // Theorem 9's constant is c(2r); on a shared context with a larger reach
     // radius, count only stored paths of ≤ 2r edges (restricted shortest
     // paths, so the filter recovers |WReach_2r| exactly — same as the cover

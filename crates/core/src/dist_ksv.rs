@@ -103,8 +103,9 @@
 
 use crate::context::DistContext;
 use bedom_distsim::{
-    Engine, ExecutionStrategy, IdAssignment, Inbox, MessageSize, Model, ModelViolation, Network,
-    NodeAlgorithm, NodeContext, Outgoing, RunPolicy, RunStats,
+    run_with_recovery, Engine, ExecutionStrategy, FaultPlan, IdAssignment, Inbox, MessageSize,
+    Model, ModelViolation, Network, NodeAlgorithm, NodeContext, Outgoing, RecoveryPolicy,
+    RecoveryReport, RunPolicy, RunStats,
 };
 use bedom_graph::domset::is_distance_dominating_set;
 use bedom_graph::{Graph, Vertex};
@@ -174,13 +175,21 @@ pub enum KsvMembership {
 }
 
 /// Per-vertex protocol output.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct KsvVertexOutput {
     /// Set membership, if the vertex ended up in the dominating set.
     pub membership: Option<KsvMembership>,
     /// Whether the vertex learnt of a dominator in `N_r[v]` (itself
-    /// included). The protocol guarantees this ends `true` at every vertex.
+    /// included). On a fault-free run the protocol guarantees this ends
+    /// `true` at every vertex.
     pub knows_dominated: bool,
+    /// The first locally checkable invariant this vertex saw broken — lost
+    /// messages (drops, outages, crashes) leaving it with incomplete
+    /// knowledge at a decision point. `None` on a fault-free run; a vertex
+    /// with a violation skips its decision instead of deciding on truncated
+    /// knowledge, and the run-level entry points surface the violation as a
+    /// typed error.
+    pub violation: Option<ModelViolation>,
 }
 
 /// Message kinds of the protocol. The kind tag (charged at 8 bits) selects
@@ -473,7 +482,9 @@ struct KsvView {
     summaries: Vec<Option<SummaryEntries>>,
 }
 
-/// Node state of the distance-`r` KSV protocol.
+/// Node state of the distance-`r` KSV protocol. `Clone` so the engine's
+/// checkpoint/recovery machinery can snapshot it.
+#[derive(Clone)]
 pub struct KsvNode {
     id: u64,
     r: u32,
@@ -535,6 +546,10 @@ pub struct KsvNode {
     seen_target: BTreeSet<u64>,
     membership: Option<KsvMembership>,
     dominated: bool,
+    /// First broken knowledge invariant observed at a decision point (lost
+    /// messages); the vertex skips the decision and reports it in its
+    /// output instead of deciding on truncated knowledge.
+    violation: Option<ModelViolation>,
 }
 
 impl KsvNode {
@@ -570,6 +585,7 @@ impl KsvNode {
             seen_target: BTreeSet::new(),
             membership: None,
             dominated: false,
+            violation: None,
         }
     }
 
@@ -1032,27 +1048,28 @@ impl KsvNode {
     // Decision round
     // ------------------------------------------------------------------
 
-    /// Builds the decision view from the summary flood. Every ball member's
-    /// summary or stub must have arrived by now (origin broadcast at call
-    /// `r − 1`, one hop per relay round, deferral-safe at distance 2,
-    /// unconditional beyond), so a missing one is a protocol bug, not a
-    /// recoverable condition. Drops the flood state.
-    fn view_from_summaries(&mut self) -> KsvView {
+    /// Builds the decision view from the summary flood. On a reliable
+    /// network every ball member's summary or stub has arrived by now
+    /// (origin broadcast at call `r − 1`, one hop per relay round,
+    /// deferral-safe at distance 2, unconditional beyond) — this *is* the
+    /// flood coverage invariant, and it is locally checkable. A gap means
+    /// messages were lost in transit, and the vertex reports it as a typed
+    /// [`ModelViolation::IncompleteKnowledge`] instead of deciding on a
+    /// truncated view. Drops the flood state either way.
+    fn view_from_summaries(&mut self) -> Result<KsvView, ModelViolation> {
         let ball = std::mem::take(&mut self.ball);
         let mut view_ball = Vec::with_capacity(ball.len());
         let mut summaries = Vec::with_capacity(ball.len());
+        let mut received = 0usize;
         for &(z, d) in &ball {
             let (flag, entries) = if self.sum_flagged.contains(&z) {
                 (true, None)
             } else if let Some(e) = self.sum_entries.get(&z) {
                 (false, Some(e.clone()))
             } else {
-                panic!(
-                    "vertex {}: the summary of ball member {z} (distance {d}) never arrived — \
-                     the flood coverage invariant is broken",
-                    self.id
-                );
+                continue;
             };
+            received += 1;
             view_ball.push((z, d, flag));
             summaries.push(entries);
         }
@@ -1060,10 +1077,18 @@ impl KsvNode {
         self.sum_flagged = HashSet::new();
         self.dict = Vec::new();
         self.ball_fresh = Vec::new();
-        KsvView {
+        if received != ball.len() {
+            return Err(ModelViolation::IncompleteKnowledge {
+                vertex: self.id,
+                round: 2 * self.r as usize - 1,
+                expected: ball.len(),
+                received,
+            });
+        }
+        Ok(KsvView {
             ball: view_ball,
             summaries,
-        }
+        })
     }
 
     /// Builds the same decision view from the record flood: flags from the
@@ -1134,15 +1159,52 @@ impl KsvNode {
         KsvView { ball, summaries }
     }
 
+    /// Cheap locally checkable knowledge invariant, valid in every flood
+    /// mode: the init round broadcast every open neighbourhood, so by the
+    /// decision round this vertex must hold an adjacency record for each of
+    /// its direct neighbours (plus its own). A gap proves the adjacency
+    /// exchange was lost in transit.
+    fn check_adjacency_coverage(&self, ctx: &NodeContext) -> Result<(), ModelViolation> {
+        let received = 1 + ctx
+            .neighbor_ids
+            .iter()
+            .filter(|w| self.known_adj.contains_key(w))
+            .count();
+        let expected = 1 + ctx.neighbor_ids.len();
+        if received != expected {
+            return Err(ModelViolation::IncompleteKnowledge {
+                vertex: self.id,
+                round: 2 * self.r as usize - 1,
+                expected,
+                received,
+            });
+        }
+        Ok(())
+    }
+
     /// The decision round (call `2r − 1`): all knowledge is in. Dispatches
     /// to the original distance-1 table build at `r = 1` (byte-identical to
     /// the PR 4 protocol) and to the shared view-based decision otherwise.
+    /// If the knowledge invariants fail — messages were lost — the vertex
+    /// records the violation and skips the decision instead of deciding on
+    /// truncated knowledge (it will self-elect in the final round, and the
+    /// run-level entry point surfaces the violation as a typed error).
     fn decide(&mut self, ctx: &NodeContext) -> Outgoing<KsvMessage> {
+        if let Err(violation) = self.check_adjacency_coverage(ctx) {
+            self.violation = Some(violation);
+            return Outgoing::Silent;
+        }
         if self.r == 1 {
             return self.decide_r1(ctx);
         }
         let view = match self.flood {
-            KsvFlood::Summaries => self.view_from_summaries(),
+            KsvFlood::Summaries => match self.view_from_summaries() {
+                Ok(view) => view,
+                Err(violation) => {
+                    self.violation = Some(violation);
+                    return Outgoing::Silent;
+                }
+            },
             KsvFlood::Records => self.view_from_records(),
         };
         self.decide_from_view(ctx, view)
@@ -1474,6 +1536,7 @@ impl NodeAlgorithm for KsvNode {
         KsvVertexOutput {
             membership: self.membership,
             knows_dominated: self.dominated,
+            violation: self.violation.clone(),
         }
     }
 }
@@ -1624,6 +1687,11 @@ pub struct KsvDomResult {
     pub phase_bits: KsvPhaseBits,
     /// The `2∇` budget the `D₁` check ran with.
     pub hard_budget: usize,
+    /// Checkpoint/rollback log of a self-healing run
+    /// ([`distributed_ksv_domination_r_faulty`] with a
+    /// [`RecoveryPolicy`]); `None` on plain runs. When present, `stats`
+    /// covers only the final (clean) attempt.
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl KsvDomResult {
@@ -1666,6 +1734,62 @@ pub fn distributed_ksv_domination_r(
     r: u32,
     config: KsvConfig,
 ) -> Result<KsvDomResult, ModelViolation> {
+    run_ksv_network(graph, r, config, None, None)
+}
+
+/// [`distributed_ksv_domination_r`] on an unreliable network: the seeded
+/// `fault` plan injects message drops, link outages and crash windows into
+/// the run. Degradation is **typed**: a lossy run either still produces a
+/// correct result or fails with a [`ModelViolation`] (usually
+/// [`ModelViolation::IncompleteKnowledge`]) — never a silently wrong set.
+///
+/// With a [`RecoveryPolicy`], the engine checkpoints every
+/// `checkpoint_every` rounds and, on a violation, rolls back to the last
+/// checkpoint strictly before the failure, clears the fault plan
+/// (crash-restore semantics) and replays — the recovered output is
+/// bit-identical to the fault-free run, and the rollback log is returned in
+/// [`KsvDomResult::recovery`]. An exhausted retry budget fails with the last
+/// violation observed.
+pub fn distributed_ksv_domination_r_faulty(
+    graph: &Graph,
+    r: u32,
+    config: KsvConfig,
+    fault: FaultPlan,
+    recovery: Option<RecoveryPolicy>,
+) -> Result<KsvDomResult, ModelViolation> {
+    run_ksv_network(graph, r, config, Some(fault), recovery)
+}
+
+/// Every vertex must finish with its knowledge invariants intact and a
+/// dominator in range; the first violated vertex fails the run. `rounds` is
+/// the protocol's final round index (for the `knows_dominated` coordinate).
+fn validate_ksv_outputs(outputs: &[KsvVertexOutput], rounds: usize) -> Result<(), ModelViolation> {
+    for (v, out) in outputs.iter().enumerate() {
+        if let Some(violation) = &out.violation {
+            return Err(violation.clone());
+        }
+        if !out.knows_dominated {
+            // A healthy vertex always ends dominated (D₃ is a local
+            // self-election); a vertex that didn't was crashed or cut off.
+            return Err(ModelViolation::IncompleteKnowledge {
+                vertex: v as u64,
+                round: rounds,
+                expected: 1,
+                received: 0,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Shared body of the plain and faulty entry points.
+fn run_ksv_network(
+    graph: &Graph,
+    r: u32,
+    config: KsvConfig,
+    fault: Option<FaultPlan>,
+    recovery: Option<RecoveryPolicy>,
+) -> Result<KsvDomResult, ModelViolation> {
     if r == 0 {
         return Err(ModelViolation::RadiusUnsupported {
             requested: 0,
@@ -1686,6 +1810,7 @@ pub fn distributed_ksv_domination_r(
             stats: RunStats::default(),
             phase_bits: KsvPhaseBits::default(),
             hard_budget: 0,
+            recovery: None,
         });
     }
     assert!(
@@ -1706,7 +1831,33 @@ pub fn distributed_ksv_domination_r(
         KsvNode::new(ctx.id, r, id_bits, hard_budget, threshold, flood, hub_cap)
     });
     network.set_strategy(config.strategy);
-    Engine::new(&mut network).run(RunPolicy::fixed(ksv_rounds(r)))?;
+    if let Some(plan) = fault {
+        network.set_fault_plan(plan);
+    }
+    let total_rounds = ksv_rounds(r);
+    let recovery_report = match recovery {
+        None => {
+            Engine::new(&mut network).run(RunPolicy::fixed(total_rounds))?;
+            validate_ksv_outputs(&network.outputs(), total_rounds)?;
+            None
+        }
+        Some(policy) => {
+            let report = run_with_recovery(
+                &mut network,
+                RunPolicy::fixed(total_rounds),
+                policy,
+                |net| validate_ksv_outputs(&net.outputs(), total_rounds),
+            )
+            .map_err(|exhausted| {
+                exhausted
+                    .violations
+                    .last()
+                    .cloned()
+                    .expect("an exhausted recovery carries at least one violation")
+            })?;
+            Some(report)
+        }
+    };
     let outputs = network.outputs();
     let stats = network.stats().clone();
 
@@ -1717,10 +1868,6 @@ pub fn distributed_ksv_domination_r(
     let mut high_degree = Vec::new();
     for (v, out) in outputs.iter().enumerate() {
         let v = v as Vertex;
-        assert!(
-            out.knows_dominated,
-            "vertex {v} finished the KSV protocol without a dominator — protocol invariant broken"
-        );
         match out.membership {
             Some(KsvMembership::HardCore) => {
                 hard_core.push(v);
@@ -1754,6 +1901,7 @@ pub fn distributed_ksv_domination_r(
         stats,
         phase_bits,
         hard_budget,
+        recovery: recovery_report,
     })
 }
 

@@ -353,6 +353,28 @@ pub fn distributed_weak_reachability(
     network.set_strategy(config.strategy);
     Engine::new(&mut network).run(RunPolicy::fixed(config.rho as usize))?;
     let info = network.outputs();
+    // Unconditional-path invariant, O(m): the first exchange round delivers
+    // every vertex's unit path to all its neighbours, and an offered
+    // one-edge extension is never discarded (it is minimal for its start),
+    // so for every edge the higher-sid endpoint must store a path from the
+    // lower-sid endpoint. A gap proves messages were lost in transit — the
+    // run fails with a typed error instead of returning truncated
+    // reachability sets.
+    if config.rho >= 1 {
+        for w in graph.vertices() {
+            let my_sid = super_ids[w as usize];
+            for &u in graph.neighbors(w) {
+                let u_sid = super_ids[u as usize];
+                if u_sid < my_sid && info[w as usize].paths.get(u_sid).is_none() {
+                    return Err(ModelViolation::PathMissing {
+                        vertex: my_sid,
+                        neighbor: u_sid,
+                        round: 1,
+                    });
+                }
+            }
+        }
+    }
     let stats = network.stats().clone();
     Ok(DistributedWReach {
         info,

@@ -24,11 +24,16 @@
 use crate::context::{DistContext, DistContextConfig};
 use crate::dist_connected::distributed_connected_domination_in;
 use crate::dist_domset::distributed_distance_domination_in;
-use crate::dist_ksv::{distributed_ksv_domination_r_in_with, KsvConfig};
+use crate::dist_ksv::{
+    distributed_ksv_domination_r_faulty, distributed_ksv_domination_r_in_with, KsvConfig,
+    KsvDomResult,
+};
 use crate::local_connect::local_connect;
 use crate::seq_domset::domset_via_min_wreach_with;
 use bedom_distsim::scenario::{ScenarioReport, ScenarioRunner, ShardMetrics};
-use bedom_distsim::{ExecutionStrategy, IdAssignment, ModelViolation, RunStats};
+use bedom_distsim::{
+    ExecutionStrategy, FaultPlan, IdAssignment, ModelViolation, RecoveryPolicy, RunStats,
+};
 use bedom_graph::bfs::BfsScratch;
 use bedom_graph::domset::{is_distance_dominating_set, packing_lower_bound};
 use bedom_graph::{Graph, Vertex};
@@ -355,6 +360,37 @@ impl DominationPipeline {
                 })
             }
         }
+    }
+
+    /// Runs the KSV constant-round solve of this pipeline's configuration on
+    /// an **unreliable network**: `fault` injects seeded message drops, link
+    /// outages and crash windows. Degradation is typed — a lossy run either
+    /// returns a correct result or a [`ModelViolation`], never a silently
+    /// wrong set. With a [`RecoveryPolicy`] the engine checkpoints, rolls
+    /// back on violations and replays; the recovered output is bit-identical
+    /// to the fault-free solve (the rollback log rides along in
+    /// [`KsvDomResult::recovery`]). The pipeline's radius, seed, threshold
+    /// and execution strategy are honoured; the fault plan is a call
+    /// argument because [`DominationPipeline`] is a `Copy` configuration.
+    pub fn solve_ksv_under_faults(
+        &self,
+        graph: &Graph,
+        fault: FaultPlan,
+        recovery: Option<RecoveryPolicy>,
+    ) -> Result<KsvDomResult, ModelViolation> {
+        distributed_ksv_domination_r_faulty(
+            graph,
+            self.r,
+            KsvConfig {
+                r: self.r,
+                assignment: IdAssignment::Shuffled(self.seed),
+                threshold: self.ksv_threshold,
+                strategy: self.execution,
+                ..KsvConfig::new()
+            },
+            fault,
+            recovery,
+        )
     }
 }
 

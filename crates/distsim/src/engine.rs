@@ -226,6 +226,12 @@ impl<A: NodeAlgorithm> SnapshotObserver<A> {
     pub fn into_latest(mut self) -> Option<NetworkSnapshot<A>> {
         self.snapshots.pop()
     }
+
+    /// Consumes the observer, returning every captured snapshot in round
+    /// order.
+    pub fn into_snapshots(self) -> Vec<NetworkSnapshot<A>> {
+        self.snapshots
+    }
 }
 
 impl<A> StateObserver<A> for SnapshotObserver<A>
@@ -243,6 +249,180 @@ where
             self.snapshots.push(network.snapshot());
         }
         RoundControl::Continue
+    }
+}
+
+/// Checkpoint-and-retry parameters for [`run_with_recovery`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Snapshot the network every `checkpoint_every` global rounds (via
+    /// [`SnapshotObserver::every`]).
+    pub checkpoint_every: usize,
+    /// How many restore-and-replay attempts to spend before giving up.
+    pub max_retries: usize,
+}
+
+impl RecoveryPolicy {
+    /// A policy checkpointing every `checkpoint_every` rounds with
+    /// `max_retries` replay attempts.
+    ///
+    /// # Panics
+    /// Panics if `checkpoint_every == 0`.
+    pub fn new(checkpoint_every: usize, max_retries: usize) -> Self {
+        assert!(
+            checkpoint_every > 0,
+            "checkpoint interval must be at least 1 round"
+        );
+        RecoveryPolicy {
+            checkpoint_every,
+            max_retries,
+        }
+    }
+}
+
+/// What [`run_with_recovery`] did to finish the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The violations detected and recovered from, in detection order.
+    pub violations: Vec<ModelViolation>,
+    /// Retry attempts consumed (0 on a clean run).
+    pub retries: usize,
+    /// The global round each retry restored to, in retry order. Strictly
+    /// decreasing: a checkpoint that failed to recover is never retried.
+    pub restored_rounds: Vec<usize>,
+    /// Communication rounds discarded by restores and re-executed.
+    pub replayed_rounds: usize,
+    /// The final (successful) attempt's outcome.
+    pub outcome: RunOutcome,
+}
+
+/// [`run_with_recovery`] spent its whole retry budget without producing a
+/// run that passes the protocol check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryExhausted {
+    /// Attempts made (initial run plus retries).
+    pub attempts: usize,
+    /// Every violation encountered, in detection order.
+    pub violations: Vec<ModelViolation>,
+}
+
+impl std::fmt::Display for RecoveryExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "recovery budget exhausted after {} attempt(s); violations in order:",
+            self.attempts
+        )?;
+        for (i, violation) in self.violations.iter().enumerate() {
+            writeln!(f, "  {}: {violation}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RecoveryExhausted {}
+
+/// Runs `network` to completion under a checkpoint-and-retry supervisor:
+/// the self-healing counterpart of [`Engine::run`].
+///
+/// The supervisor snapshots every [`RecoveryPolicy::checkpoint_every`] rounds
+/// (plus a genesis snapshot right after initialisation). When the run aborts
+/// with a [`ModelViolation`] — from the executor's model enforcement or from
+/// the caller's protocol-level `check`, which runs once after every
+/// successful attempt — it restores the most recent checkpoint, **clears the
+/// installed fault plan** (crash-restore semantics: the fault condition is
+/// assumed repaired for the replay), and re-runs the remaining window.
+///
+/// Checkpoints are consumed strictly backwards: a checkpoint whose replay
+/// failed again is discarded along with everything taken after it, so a
+/// snapshot corrupted by an earlier fault cannot be retried forever — the
+/// walk-back bottoms out at the genesis snapshot, whose replay is the
+/// fault-free run. Combined with deterministic replay this yields the
+/// recovery guarantee: **a recovered run's outputs are bit-identical to the
+/// fault-free run's** (asserted by `tests/determinism.rs` and certified
+/// against the conformance oracle).
+///
+/// `policy.max_rounds` counts the rounds the protocol still needs from here
+/// (replays do not consume extra budget: after a restore the supervisor
+/// re-runs exactly what is missing to reach the same target round).
+pub fn run_with_recovery<A, F>(
+    network: &mut Network<'_, A>,
+    policy: RunPolicy,
+    recovery: RecoveryPolicy,
+    check: F,
+) -> Result<RecoveryReport, RecoveryExhausted>
+where
+    A: NodeAlgorithm + Clone,
+    A::Message: Clone,
+    F: Fn(&Network<'_, A>) -> Result<(), ModelViolation>,
+{
+    if let Err(violation) = network.init() {
+        return Err(RecoveryExhausted {
+            attempts: 1,
+            violations: vec![violation],
+        });
+    }
+    let initial_rounds = network.stats().rounds;
+    let target_rounds = initial_rounds + policy.max_rounds;
+    let mut checkpoints = vec![network.snapshot()];
+    let mut violations: Vec<ModelViolation> = Vec::new();
+    let mut restored_rounds: Vec<usize> = Vec::new();
+    let mut replayed_rounds = 0usize;
+    // Rounds at or past this bound are tainted by the last failed replay.
+    let mut rollback_bound = usize::MAX;
+    let mut retries = 0usize;
+
+    loop {
+        let attempt_policy = RunPolicy {
+            max_rounds: target_rounds - network.stats().rounds,
+            stop_when_quiet: policy.stop_when_quiet,
+        };
+        let mut observer = SnapshotObserver::every(recovery.checkpoint_every);
+        let result = Engine::new(network)
+            .observe_state(&mut observer)
+            .run(attempt_policy)
+            .and_then(|outcome| check(network).map(|()| outcome));
+        // Bank the attempt's checkpoints either way: on failure the restore
+        // point may well be one of them.
+        checkpoints.extend(observer.into_snapshots());
+        match result {
+            Ok(outcome) => {
+                return Ok(RecoveryReport {
+                    violations,
+                    retries,
+                    restored_rounds,
+                    replayed_rounds,
+                    outcome,
+                });
+            }
+            Err(violation) => {
+                violations.push(violation);
+                if retries >= recovery.max_retries {
+                    return Err(RecoveryExhausted {
+                        attempts: retries + 1,
+                        violations,
+                    });
+                }
+                retries += 1;
+                // Strictly-backward walk: drop every checkpoint taken at or
+                // after the previous restore point (they descend from a
+                // state that already failed to recover). Genesis survives.
+                while checkpoints.len() > 1
+                    && checkpoints
+                        .last()
+                        .is_some_and(|s| s.rounds() >= rollback_bound)
+                {
+                    checkpoints.pop();
+                }
+                let snapshot = checkpoints.last().expect("genesis checkpoint remains");
+                rollback_bound = snapshot.rounds();
+                restored_rounds.push(snapshot.rounds());
+                replayed_rounds += network.stats().rounds - snapshot.rounds();
+                network.restore(snapshot);
+                // Crash-restore semantics: replay with the fault repaired.
+                network.clear_fault_plan();
+            }
+        }
     }
 }
 
@@ -588,6 +768,147 @@ mod tests {
         Network::new(g, Model::Local, IdAssignment::Shuffled(11), |_, _| {
             Accumulator { total: 0 }
         })
+    }
+
+    /// Chatter with receipt counting: every vertex always broadcasts, so the
+    /// protocol-level invariant "each round delivers exactly `degree`
+    /// messages" is checkable after the run — the test harness for typed
+    /// degradation and recovery.
+    #[derive(Clone)]
+    struct CountingChatter {
+        total: u64,
+        received: Vec<usize>,
+    }
+
+    impl NodeAlgorithm for CountingChatter {
+        type Message = u64;
+        type Output = u64;
+
+        fn init(&mut self, ctx: &NodeContext) -> Outgoing<u64> {
+            self.total = ctx.id + 1;
+            Outgoing::Broadcast(self.total)
+        }
+
+        fn round(&mut self, _: &NodeContext, _: usize, inbox: Inbox<'_, u64>) -> Outgoing<u64> {
+            self.received.push(inbox.len());
+            self.total += inbox.iter().map(|m| *m.payload).sum::<u64>();
+            Outgoing::Broadcast(self.total)
+        }
+
+        fn output(&self, _: &NodeContext) -> u64 {
+            self.total
+        }
+    }
+
+    fn counting_net(g: &bedom_graph::Graph) -> Network<'_, CountingChatter> {
+        Network::new(g, Model::Local, IdAssignment::Shuffled(5), |_, _| {
+            CountingChatter {
+                total: 0,
+                received: Vec::new(),
+            }
+        })
+    }
+
+    fn full_delivery_check(
+        g: &bedom_graph::Graph,
+    ) -> impl Fn(&Network<'_, CountingChatter>) -> Result<(), crate::ModelViolation> + '_ {
+        |net| {
+            for v in g.vertices() {
+                let expected = g.degree(v);
+                for (i, &received) in net.node(v).received.iter().enumerate() {
+                    if received != expected {
+                        return Err(crate::ModelViolation::IncompleteKnowledge {
+                            vertex: net.id_of(v),
+                            round: i + 1,
+                            expected,
+                            received,
+                        });
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn recovery_on_a_clean_run_is_a_plain_run() {
+        let g = star(7);
+        let rounds = 9;
+        let mut reference = counting_net(&g);
+        Engine::new(&mut reference)
+            .run(RunPolicy::fixed(rounds))
+            .unwrap();
+
+        let mut net = counting_net(&g);
+        let report = run_with_recovery(
+            &mut net,
+            RunPolicy::fixed(rounds),
+            RecoveryPolicy::new(3, 2),
+            full_delivery_check(&g),
+        )
+        .unwrap();
+        assert_eq!(report.retries, 0);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.outcome.rounds, rounds);
+        assert_eq!(net.outputs(), reference.outputs());
+    }
+
+    #[test]
+    fn recovery_walks_checkpoints_back_to_a_clean_one_and_matches_fault_free() {
+        use crate::fault::FaultPlan;
+        let g = star(9);
+        let rounds = 12;
+
+        let mut reference = counting_net(&g);
+        Engine::new(&mut reference)
+            .run(RunPolicy::fixed(rounds))
+            .unwrap();
+
+        // Rounds 1–4 are clean, rounds 5+ drop everything: checkpoints at 4
+        // are sound, the ones at 8 and 12 hold corrupted state. The
+        // supervisor must discard the corrupt ones (each replay re-detects
+        // the old gaps) and resume from round 4.
+        let mut net = counting_net(&g);
+        net.set_fault_plan(
+            FaultPlan::seeded(1)
+                .drop_messages(1.0)
+                .during(5, rounds + 1),
+        );
+        let report = run_with_recovery(
+            &mut net,
+            RunPolicy::fixed(rounds),
+            RecoveryPolicy::new(4, 8),
+            full_delivery_check(&g),
+        )
+        .unwrap();
+        assert_eq!(report.restored_rounds, vec![12, 8, 4]);
+        assert_eq!(report.retries, 3);
+        assert_eq!(report.violations.len(), 3);
+        // (12−12) + (12−8) + (12−4) rounds re-executed across the restores.
+        assert_eq!(report.replayed_rounds, 12);
+        assert_eq!(net.outputs(), reference.outputs(), "recovered ≠ fault-free");
+        assert_eq!(net.stats().rounds, rounds);
+        assert!(net.fault_plan().is_none(), "recovery clears the fault plan");
+    }
+
+    #[test]
+    fn recovery_budget_exhaustion_reports_every_violation() {
+        use crate::fault::FaultPlan;
+        let g = star(5);
+        let mut net = counting_net(&g);
+        net.set_fault_plan(FaultPlan::seeded(2).drop_messages(1.0));
+        let err = run_with_recovery(
+            &mut net,
+            RunPolicy::fixed(6),
+            RecoveryPolicy::new(3, 1),
+            full_delivery_check(&g),
+        )
+        .unwrap_err();
+        assert_eq!(err.attempts, 2);
+        assert_eq!(err.violations.len(), 2);
+        let text = err.to_string();
+        assert!(text.contains("exhausted after 2 attempt(s)"), "{text}");
+        assert!(text.contains("required knowledge"), "{text}");
     }
 
     #[test]

@@ -28,8 +28,19 @@
 //!
 //! Both styles are deterministic; parallel and sequential evaluation are
 //! bit-identical (asserted by the workspace's determinism test suite).
+//!
+//! The engine also supports **fault injection and self-healing**: a seeded
+//! [`fault::FaultPlan`] schedules message drops, link outages and crash
+//! windows inside [`network::Network::step`] (deterministically — the same
+//! plan produces the same faults under every [`engine::ExecutionStrategy`]),
+//! algorithms surface lost knowledge as typed [`model::ModelViolation`]s
+//! instead of silently wrong outputs, and [`engine::run_with_recovery`]
+//! rolls back to periodic [`engine::SnapshotObserver`] checkpoints and
+//! replays until a run passes its invariant check. Snapshots serialise
+//! through the versioned, checksummed [`snapshot_codec`].
 
 pub mod engine;
+pub mod fault;
 pub mod ids;
 pub mod local;
 pub mod message;
@@ -37,19 +48,23 @@ pub mod model;
 pub mod network;
 pub mod node;
 pub mod scenario;
+pub mod snapshot_codec;
 pub mod trace;
 
 pub use engine::{
-    EarlyStop, Engine, ExecutionStrategy, RoundControl, RoundLog, RoundObserver, RunOutcome,
-    RunPolicy, SnapshotObserver, StateObserver, StopReason,
+    run_with_recovery, EarlyStop, Engine, ExecutionStrategy, RecoveryExhausted, RecoveryPolicy,
+    RecoveryReport, RoundControl, RoundLog, RoundObserver, RunOutcome, RunPolicy, SnapshotObserver,
+    StateObserver, StopReason,
 };
+pub use fault::{CrashWindow, FaultPlan};
 pub use ids::IdAssignment;
 pub use local::{build_view, run_local, run_local_with, LocalView};
 pub use message::{MessageSize, WireId};
 pub use model::{id_bits, log2_ceil, Model, ModelViolation};
 pub use network::{Network, NetworkSnapshot};
 pub use node::{Inbox, Incoming, NodeAlgorithm, NodeContext, Outgoing};
-pub use scenario::{ScenarioReport, ScenarioRunner, ShardMetrics, ShardReport};
+pub use scenario::{ScenarioReport, ScenarioRunner, ShardFailure, ShardMetrics, ShardReport};
+pub use snapshot_codec::{decode_snapshot, encode_snapshot, ByteCodec, CodecError};
 pub use trace::{RoundStats, RunStats};
 
 #[cfg(test)]

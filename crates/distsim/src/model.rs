@@ -146,6 +146,43 @@ pub enum ModelViolation {
         /// What was queried (for the error message).
         what: &'static str,
     },
+    /// A vertex finished a knowledge-flood phase with less information than
+    /// its locally checkable invariants require — lost messages (drops,
+    /// outages, crashes) left it with incomplete distance-r knowledge, and
+    /// deciding on it would risk a silently wrong output.
+    IncompleteKnowledge {
+        /// The vertex with the knowledge gap (network id).
+        vertex: u64,
+        /// The round at which the gap was detected.
+        round: usize,
+        /// Units of knowledge (summaries, records, announcements) required.
+        expected: usize,
+        /// Units actually received.
+        received: usize,
+    },
+    /// Election token routing lost tokens in transit: the set of vertices
+    /// that completed a token route does not match the set of elected
+    /// dominators, so the "every vertex has a dominator in range" argument
+    /// no longer holds.
+    TokenLost {
+        /// The round by which routing should have completed.
+        round: usize,
+        /// Dominators the election elected.
+        expected: usize,
+        /// Dominators actually reachable through completed token routes.
+        received: usize,
+    },
+    /// A path-exchange protocol is missing a path that must unconditionally
+    /// be present (e.g. the length-1 weak-reachability path of a direct
+    /// neighbour, established by the very first exchange round).
+    PathMissing {
+        /// The vertex missing the path (order position / protocol id).
+        vertex: u64,
+        /// The neighbour whose path is absent (order position / protocol id).
+        neighbor: u64,
+        /// The round by which the path should have arrived.
+        round: usize,
+    },
 }
 
 impl std::fmt::Display for ModelViolation {
@@ -187,6 +224,31 @@ impl std::fmt::Display for ModelViolation {
             } => write!(
                 f,
                 "radius-{requested} query on {what}, which only supports radii >= {minimum}"
+            ),
+            ModelViolation::IncompleteKnowledge {
+                vertex,
+                round,
+                expected,
+                received,
+            } => write!(
+                f,
+                "vertex {vertex} ended round {round} with {received}/{expected} of its required knowledge — messages were lost"
+            ),
+            ModelViolation::TokenLost {
+                round,
+                expected,
+                received,
+            } => write!(
+                f,
+                "election token routing lost tokens: {received}/{expected} dominators reachable after round {round}"
+            ),
+            ModelViolation::PathMissing {
+                vertex,
+                neighbor,
+                round,
+            } => write!(
+                f,
+                "vertex {vertex} is missing the unconditional path of neighbour {neighbor} after round {round}"
             ),
         }
     }
@@ -258,6 +320,30 @@ mod tests {
         assert!(too_small.to_string().contains("radius-0"));
         assert!(too_small.to_string().contains(">= 1"));
         assert!(too_small.to_string().contains("a test protocol"));
+    }
+
+    #[test]
+    fn degradation_violations_display_their_coordinates() {
+        let gap = ModelViolation::IncompleteKnowledge {
+            vertex: 12,
+            round: 3,
+            expected: 5,
+            received: 4,
+        };
+        assert!(gap.to_string().contains("vertex 12"));
+        assert!(gap.to_string().contains("4/5"));
+        let lost = ModelViolation::TokenLost {
+            round: 4,
+            expected: 9,
+            received: 7,
+        };
+        assert!(lost.to_string().contains("7/9"));
+        let path = ModelViolation::PathMissing {
+            vertex: 3,
+            neighbor: 1,
+            round: 1,
+        };
+        assert!(path.to_string().contains("neighbour 1"));
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! per delivery; the `engine_delivery` bench in `bedom-bench` measures the
 //! difference.
 
+use crate::fault::{DeliveryFilter, FaultPlan};
 use crate::ids::IdAssignment;
 use crate::message::MessageSize;
 use crate::model::{Model, ModelViolation};
@@ -65,6 +66,12 @@ pub struct Network<'g, A: NodeAlgorithm> {
     /// Every vertex's neighbours sorted by network id — the deterministic
     /// delivery order, precomputed once.
     delivery_order: Vec<Vertex>,
+    /// Inverse of `ids` (ids are always a dense permutation of `0..n`), used
+    /// to resolve unicast targets back to graph vertices for fault checks.
+    vertex_of: Vec<Vertex>,
+    /// The installed fault schedule, if any. Configuration, not execution
+    /// state: snapshots do not capture it and restores do not touch it.
+    fault: Option<FaultPlan>,
     stats: RunStats,
     strategy: ExecutionStrategy,
     initialized: bool,
@@ -113,6 +120,12 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
                 ));
         }
 
+        let mut vertex_of: Vec<Vertex> = vec![0; n];
+        for (v, &id) in ids.iter().enumerate() {
+            debug_assert!((id as usize) < n, "id assignments are dense permutations");
+            vertex_of[id as usize] = v as Vertex;
+        }
+
         Network {
             graph,
             model,
@@ -125,6 +138,8 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
             inbox_arena: Vec::new(),
             nbr_offsets,
             delivery_order,
+            vertex_of,
+            fault: None,
             stats: RunStats::default(),
             strategy: ExecutionStrategy::Sequential,
             initialized: false,
@@ -146,6 +161,28 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
     /// The communication model in force.
     pub fn model(&self) -> Model {
         self.model
+    }
+
+    /// Installs a fault schedule. All subsequent [`Network::step`]s honour
+    /// it: drops and outages suppress individual deliveries (tracked in
+    /// [`RoundStats::dropped_deliveries`]), crashed vertices neither send,
+    /// receive nor transition for their windows
+    /// ([`RoundStats::crashed`]). Round 0 is never faulted.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Removes the installed fault schedule — the crash-restore step of the
+    /// recovery supervisor ([`crate::engine::run_with_recovery`]). Returns
+    /// the removed plan, if any.
+    pub fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault.take()
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     /// The network id assigned to graph vertex `v`.
@@ -196,21 +233,61 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
         let n = self.graph.num_vertices();
         let round_index = self.stats.rounds + 1;
 
+        // Fault preamble. Crashed senders lose whatever they queued last
+        // round: silencing their outboxes up front keeps the accounting and
+        // both delivery paths consistent without per-path special cases.
+        // `active_at` gates all of this, so fault-free rounds (and fault-free
+        // networks) pay nothing.
+        let fault_active = self
+            .fault
+            .as_ref()
+            .is_some_and(|plan| plan.active_at(round_index));
+        let mut crashed = 0usize;
+        if fault_active {
+            let plan = self.fault.as_ref().expect("fault_active implies a plan");
+            for v in 0..n {
+                if plan.is_crashed(round_index, v as Vertex) {
+                    crashed += 1;
+                    self.outboxes[v] = Outgoing::Silent;
+                }
+            }
+        }
+
         // Account for what is about to be delivered, and detect whether any
         // sender unicast (broadcast-only rounds — all of CONGEST_BC — take a
-        // delivery fast path that needs no arena at all).
+        // delivery fast path that needs no arena at all). Under a fault plan
+        // the sender still pays the wire cost of every message it offers
+        // (`bits_sent`), but suppressed deliveries move from `deliveries`
+        // to `dropped_deliveries`.
         let mut round_stats = RoundStats {
             round: round_index,
+            crashed,
             ..RoundStats::default()
         };
         let mut any_unicast = false;
+        let graph = self.graph;
+        let fault = if fault_active {
+            self.fault.as_ref()
+        } else {
+            None
+        };
         for (v, out) in self.outboxes.iter().enumerate() {
             match out {
                 Outgoing::Silent => {}
                 Outgoing::Broadcast(m) => {
                     let bits = m.size_bits();
                     round_stats.senders += 1;
-                    round_stats.deliveries += self.graph.degree(v as Vertex);
+                    let degree = graph.degree(v as Vertex);
+                    let delivered = match fault {
+                        Some(plan) => graph
+                            .neighbors(v as Vertex)
+                            .iter()
+                            .filter(|&&w| plan.delivers(round_index, v as Vertex, w))
+                            .count(),
+                        None => degree,
+                    };
+                    round_stats.deliveries += delivered;
+                    round_stats.dropped_deliveries += degree - delivered;
                     round_stats.bits_sent += bits;
                     // The per-round maximum is frame-granular: payloads that
                     // model a framing layer report their largest frame, so a
@@ -226,9 +303,23 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
                         round_stats.senders += 1;
                     }
                     let mut vertex_bits = 0;
-                    for (_, m) in messages {
+                    for (target, m) in messages {
                         let bits = m.size_bits();
-                        round_stats.deliveries += 1;
+                        let delivered = match fault {
+                            // Targets passed validation last round, so the
+                            // inverse id map resolves them to real vertices.
+                            Some(plan) => plan.delivers(
+                                round_index,
+                                v as Vertex,
+                                self.vertex_of[*target as usize],
+                            ),
+                            None => true,
+                        };
+                        if delivered {
+                            round_stats.deliveries += 1;
+                        } else {
+                            round_stats.dropped_deliveries += 1;
+                        }
                         round_stats.bits_sent += bits;
                         vertex_bits += bits;
                         round_stats.max_message_bits =
@@ -241,14 +332,20 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
         }
 
         if any_unicast {
-            self.build_inboxes();
+            self.build_inboxes(fault_active.then_some(round_index));
         }
+        let fault = if fault_active {
+            self.fault.as_ref()
+        } else {
+            None
+        };
 
         // Evaluate every vertex's transition through the one execution path;
         // results land in the second outbox buffer by index. Broadcast-only
         // rounds read straight off the pre-sorted neighbour CSR; rounds with
         // unicasts go through the freshly built packet arena. Both sources
-        // deliver in the same deterministic order.
+        // deliver in the same deterministic order; under a fault plan the
+        // arena was built pre-filtered and the fast path filters on read.
         {
             let contexts = &self.contexts;
             let outboxes = &self.outboxes;
@@ -259,12 +356,25 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
             let delivery_order = &self.delivery_order;
             self.strategy
                 .zip_apply(&mut self.nodes, &mut self.next_outboxes, |w, node, slot| {
+                    if let Some(plan) = fault {
+                        if plan.is_crashed(round_index, w as Vertex) {
+                            // A crashed vertex neither receives nor
+                            // transitions; its state freezes until restore.
+                            *slot = Outgoing::Silent;
+                            return;
+                        }
+                    }
                     let source = if any_unicast {
                         InboxSource::Packets(&arena[offsets[w] as usize..offsets[w + 1] as usize])
                     } else {
                         InboxSource::Broadcasts(
                             &delivery_order[nbr_offsets[w] as usize..nbr_offsets[w + 1] as usize],
                             ids,
+                            fault.map(|plan| DeliveryFilter {
+                                plan,
+                                round: round_index,
+                                receiver: w as Vertex,
+                            }),
                         )
                     };
                     let inbox = Inbox { source, outboxes };
@@ -286,12 +396,22 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
 
     /// Rebuilds the flat inbox arena from the current outboxes: counts per
     /// receiver, prefix sums, then a fill pass over disjoint arena segments.
-    fn build_inboxes(&mut self) {
+    /// With `fault_round` set, deliveries the installed fault plan suppresses
+    /// in that round are excluded at build time, so the arena only ever
+    /// contains surviving packets.
+    fn build_inboxes(&mut self, fault_round: Option<usize>) {
         let n = self.graph.num_vertices();
         let ids = &self.ids;
         let outboxes = &self.outboxes;
         let nbr_offsets = &self.nbr_offsets;
         let delivery_order = &self.delivery_order;
+        let fault = fault_round.and_then(|round| self.fault.as_ref().map(|plan| (plan, round)));
+        let delivers = move |u: Vertex, w: usize| -> bool {
+            match fault {
+                Some((plan, round)) => plan.delivers(round, u, w as Vertex),
+                None => true,
+            }
+        };
 
         // How many messages does receiver `w` get this round?
         let count_for = |w: usize| -> u32 {
@@ -299,9 +419,15 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
             for &u in &delivery_order[nbr_offsets[w] as usize..nbr_offsets[w + 1] as usize] {
                 match &outboxes[u as usize] {
                     Outgoing::Silent => {}
-                    Outgoing::Broadcast(_) => count += 1,
+                    Outgoing::Broadcast(_) => {
+                        if delivers(u, w) {
+                            count += 1;
+                        }
+                    }
                     Outgoing::Unicast(messages) => {
-                        count += messages.iter().filter(|(t, _)| *t == ids[w]).count() as u32;
+                        if delivers(u, w) {
+                            count += messages.iter().filter(|(t, _)| *t == ids[w]).count() as u32;
+                        }
                     }
                 }
             }
@@ -328,22 +454,26 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
                 match &outboxes[u as usize] {
                     Outgoing::Silent => {}
                     Outgoing::Broadcast(_) => {
-                        segment[cursor] = Packet {
-                            from: ids[u as usize],
-                            sender: u,
-                            unicast_idx: 0,
-                        };
-                        cursor += 1;
+                        if delivers(u, w) {
+                            segment[cursor] = Packet {
+                                from: ids[u as usize],
+                                sender: u,
+                                unicast_idx: 0,
+                            };
+                            cursor += 1;
+                        }
                     }
                     Outgoing::Unicast(messages) => {
-                        for (k, (target, _)) in messages.iter().enumerate() {
-                            if *target == ids[w] {
-                                segment[cursor] = Packet {
-                                    from: ids[u as usize],
-                                    sender: u,
-                                    unicast_idx: k as u32,
-                                };
-                                cursor += 1;
+                        if delivers(u, w) {
+                            for (k, (target, _)) in messages.iter().enumerate() {
+                                if *target == ids[w] {
+                                    segment[cursor] = Packet {
+                                        from: ids[u as usize],
+                                        sender: u,
+                                        unicast_idx: k as u32,
+                                    };
+                                    cursor += 1;
+                                }
                             }
                         }
                     }
@@ -505,10 +635,10 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
 /// statistics (including the global round counter); the engine-side delivery
 /// buffers are derived state and are rebuilt on resume.
 pub struct NetworkSnapshot<A: NodeAlgorithm> {
-    nodes: Vec<A>,
-    outboxes: Vec<Outgoing<A::Message>>,
-    stats: RunStats,
-    initialized: bool,
+    pub(crate) nodes: Vec<A>,
+    pub(crate) outboxes: Vec<Outgoing<A::Message>>,
+    pub(crate) stats: RunStats,
+    pub(crate) initialized: bool,
 }
 
 impl<A: NodeAlgorithm> NetworkSnapshot<A> {
@@ -520,6 +650,17 @@ impl<A: NodeAlgorithm> NetworkSnapshot<A> {
     /// Number of vertices of the snapshotted network.
     pub fn num_vertices(&self) -> usize {
         self.nodes.len()
+    }
+}
+
+// Manual impl: summarises the snapshot without requiring `A: Debug`.
+impl<A: NodeAlgorithm> std::fmt::Debug for NetworkSnapshot<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkSnapshot")
+            .field("rounds", &self.stats.rounds)
+            .field("num_vertices", &self.nodes.len())
+            .field("initialized", &self.initialized)
+            .finish_non_exhaustive()
     }
 }
 
@@ -814,6 +955,146 @@ mod tests {
         );
         run_fixed(&mut net, 20).unwrap();
         assert!(net.outputs().iter().all(|&b| b == 63));
+    }
+
+    #[test]
+    fn dropped_broadcasts_move_from_deliveries_to_dropped() {
+        use crate::fault::FaultPlan;
+        let g = cycle(6);
+        let mut net = new_flood(&g, Model::congest_bc_scaled(32));
+        net.set_fault_plan(FaultPlan::seeded(1).drop_messages(1.0).during(1, 2));
+        run_fixed(&mut net, 2).unwrap();
+        let stats = net.stats();
+        // Round 1: every init broadcast offered, none delivered.
+        assert_eq!(stats.per_round[0].senders, 6);
+        assert_eq!(stats.per_round[0].deliveries, 0);
+        assert_eq!(stats.per_round[0].dropped_deliveries, 12);
+        assert!(
+            stats.per_round[0].bits_sent > 0,
+            "senders still pay the wire"
+        );
+        // Round 2 is outside the fault window; nobody heard anything in
+        // round 1, so nobody has news to flood and the round is silent.
+        assert_eq!(stats.per_round[1].dropped_deliveries, 0);
+        assert_eq!(stats.dropped_deliveries, 12);
+    }
+
+    #[test]
+    fn crashed_vertex_freezes_and_blocks_the_flood() {
+        use crate::fault::FaultPlan;
+        let g = path(10);
+        // Vertex 5 is down for the whole run: the max id 9 cannot cross it.
+        let mut net = new_flood(&g, Model::congest_bc_scaled(32));
+        net.set_fault_plan(FaultPlan::seeded(0).crash(5, 1, 100));
+        run_fixed(&mut net, 9).unwrap();
+        let outputs = net.outputs();
+        assert!(
+            outputs[..5].iter().all(|&b| b <= 4),
+            "flood crossed a crashed vertex"
+        );
+        assert_eq!(outputs[5], 5, "crashed vertex keeps its frozen init state");
+        assert!(outputs[6..].iter().all(|&b| b == 9));
+        assert_eq!(net.stats().crashed_vertex_rounds, 9);
+        assert!(net.stats().dropped_deliveries > 0);
+    }
+
+    #[test]
+    fn crash_window_end_restores_the_vertex() {
+        use crate::fault::FaultPlan;
+        // A flood that re-broadcasts its best every round: unlike the
+        // event-driven `MaxIdFlood` (whose neighbours fall silent and never
+        // retransmit), it keeps offering state to a restored vertex.
+        struct ChattyFlood(u64);
+        impl NodeAlgorithm for ChattyFlood {
+            type Message = u64;
+            type Output = u64;
+            fn init(&mut self, ctx: &NodeContext) -> Outgoing<u64> {
+                self.0 = ctx.id;
+                Outgoing::Broadcast(self.0)
+            }
+            fn round(&mut self, _: &NodeContext, _: usize, inbox: Inbox<'_, u64>) -> Outgoing<u64> {
+                self.0 = inbox.iter().map(|m| *m.payload).fold(self.0, u64::max);
+                Outgoing::Broadcast(self.0)
+            }
+            fn output(&self, _: &NodeContext) -> u64 {
+                self.0
+            }
+        }
+        let g = path(5);
+        let mut net = Network::new(
+            &g,
+            Model::congest_bc_scaled(32),
+            IdAssignment::Natural,
+            |_, _| ChattyFlood(0),
+        );
+        net.set_fault_plan(FaultPlan::seeded(0).crash(2, 1, 3));
+        run_fixed(&mut net, 10).unwrap();
+        // After the restore round the flood crosses the revived vertex and
+        // still converges everywhere.
+        assert!(net.outputs().iter().all(|&b| b == 4));
+        assert_eq!(net.stats().crashed_vertex_rounds, 2);
+    }
+
+    #[test]
+    fn unicast_arena_honours_the_fault_plan() {
+        use crate::fault::FaultPlan;
+        struct UniFloodState(usize);
+        impl NodeAlgorithm for UniFloodState {
+            type Message = u64;
+            type Output = usize;
+            fn init(&mut self, ctx: &NodeContext) -> Outgoing<u64> {
+                Outgoing::Unicast(ctx.neighbor_ids.iter().map(|&t| (t, ctx.id)).collect())
+            }
+            fn round(&mut self, _: &NodeContext, _: usize, inbox: Inbox<'_, u64>) -> Outgoing<u64> {
+                self.0 = inbox.len();
+                Outgoing::Silent
+            }
+            fn output(&self, _: &NodeContext) -> usize {
+                self.0
+            }
+        }
+        let g = cycle(6);
+        let mut net = Network::new(&g, Model::Local, IdAssignment::Natural, |_, _| {
+            UniFloodState(usize::MAX)
+        });
+        net.set_fault_plan(FaultPlan::seeded(0).crash(3, 1, 2));
+        run_fixed(&mut net, 1).unwrap();
+        let outputs = net.outputs();
+        // Vertex 3 crashed: it received nothing (state frozen at MAX) and
+        // its two unicasts were lost, so its neighbours got one message.
+        assert_eq!(outputs[3], usize::MAX);
+        assert_eq!(outputs[2], 1);
+        assert_eq!(outputs[4], 1);
+        assert_eq!(outputs[0], 2);
+        let stats = net.stats();
+        // The crashed sender's queued unicasts are silenced before they
+        // reach the wire (a dead vertex offers nothing), so only the two
+        // messages inbound to the crashed vertex count as dropped.
+        assert_eq!(stats.per_round[0].dropped_deliveries, 2);
+        assert_eq!(stats.per_round[0].senders, 5);
+        assert_eq!(stats.per_round[0].deliveries, 8);
+        assert_eq!(stats.per_round[0].crashed, 1);
+    }
+
+    #[test]
+    fn faulty_runs_are_bit_identical_across_strategies() {
+        use crate::fault::FaultPlan;
+        let g = grid(10, 10);
+        let plan = FaultPlan::seeded(0xfa57)
+            .drop_messages(0.2)
+            .link_outages(0.05)
+            .crash(17, 2, 5);
+        let run = |strategy: ExecutionStrategy| {
+            let mut net = new_flood(&g, Model::congest_bc_scaled(32));
+            net.set_strategy(strategy);
+            net.set_fault_plan(plan.clone());
+            run_fixed(&mut net, 25).unwrap();
+            (net.outputs(), net.stats().clone())
+        };
+        let seq = run(ExecutionStrategy::Sequential);
+        let par = run(ExecutionStrategy::Parallel);
+        assert_eq!(seq, par);
+        assert!(seq.1.dropped_deliveries > 0, "the plan should bite");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! resolves each received message to a *reference* into the sender's outbox
 //! (see the `engine` module for the delivery machinery).
 
+use crate::fault::DeliveryFilter;
 use crate::message::MessageSize;
 
 /// Static, locally known information of a vertex.
@@ -103,11 +104,14 @@ impl<M> Copy for Incoming<'_, M> {}
 /// delivery structure and no arena needs building at all.
 #[derive(Clone, Copy, Debug)]
 pub(crate) enum InboxSource<'a> {
-    /// Packets from the delivery arena.
+    /// Packets from the delivery arena. Fault filtering (if any) happened at
+    /// arena-build time, so the packets are exactly the surviving deliveries.
     Packets(&'a [Packet]),
     /// The receiver's neighbours (sorted by network id); silent senders are
     /// skipped during iteration. The second slice maps vertex → network id.
-    Broadcasts(&'a [u32], &'a [u64]),
+    /// The filter, when present, additionally suppresses deliveries the
+    /// installed [`crate::FaultPlan`] kills this round.
+    Broadcasts(&'a [u32], &'a [u64], Option<DeliveryFilter<'a>>),
 }
 
 /// A vertex's inbox for one round: a flat, allocation-free view over the
@@ -142,9 +146,12 @@ impl<'a, M> Inbox<'a, M> {
     pub fn len(&self) -> usize {
         match self.source {
             InboxSource::Packets(packets) => packets.len(),
-            InboxSource::Broadcasts(neighbors, _) => neighbors
+            InboxSource::Broadcasts(neighbors, _, filter) => neighbors
                 .iter()
-                .filter(|&&u| !self.outboxes[u as usize].is_silent())
+                .filter(|&&u| {
+                    !self.outboxes[u as usize].is_silent()
+                        && filter.is_none_or(|f| f.delivers_from(u))
+                })
                 .count(),
         }
     }
@@ -153,9 +160,9 @@ impl<'a, M> Inbox<'a, M> {
     pub fn is_empty(&self) -> bool {
         match self.source {
             InboxSource::Packets(packets) => packets.is_empty(),
-            InboxSource::Broadcasts(neighbors, _) => neighbors
-                .iter()
-                .all(|&u| self.outboxes[u as usize].is_silent()),
+            InboxSource::Broadcasts(neighbors, _, filter) => neighbors.iter().all(|&u| {
+                self.outboxes[u as usize].is_silent() || filter.is_some_and(|f| !f.delivers_from(u))
+            }),
         }
     }
 
@@ -216,9 +223,14 @@ impl<'a, M> Iterator for InboxIter<'a, M> {
                     payload,
                 })
             }
-            InboxSource::Broadcasts(neighbors, ids) => loop {
+            InboxSource::Broadcasts(neighbors, ids, filter) => loop {
                 let &u = neighbors.get(self.next)?;
                 self.next += 1;
+                if let Some(filter) = filter {
+                    if !filter.delivers_from(u) {
+                        continue;
+                    }
+                }
                 match &self.inbox.outboxes[u as usize] {
                     Outgoing::Silent => continue,
                     Outgoing::Broadcast(m) => {
@@ -241,7 +253,7 @@ impl<'a, M> Iterator for InboxIter<'a, M> {
                 let remaining = packets.len() - self.next;
                 (remaining, Some(remaining))
             }
-            InboxSource::Broadcasts(neighbors, _) => (0, Some(neighbors.len() - self.next)),
+            InboxSource::Broadcasts(neighbors, _, _) => (0, Some(neighbors.len() - self.next)),
         }
     }
 }
@@ -341,13 +353,39 @@ mod tests {
         let ids = vec![10u64, 11, 12];
         let neighbors = vec![0u32, 1, 2];
         let inbox = Inbox {
-            source: InboxSource::Broadcasts(&neighbors, &ids),
+            source: InboxSource::Broadcasts(&neighbors, &ids, None),
             outboxes: &outboxes,
         };
         assert_eq!(inbox.len(), 2);
         assert!(!inbox.is_empty());
         let received: Vec<(u64, u32)> = inbox.iter().map(|m| (m.from, *m.payload)).collect();
         assert_eq!(received, vec![(10, 70), (12, 72)]);
+    }
+
+    #[test]
+    fn inbox_broadcast_fast_path_honours_delivery_filter() {
+        use crate::fault::FaultPlan;
+        let outboxes: Vec<Outgoing<u32>> = vec![
+            Outgoing::Broadcast(70),
+            Outgoing::Broadcast(71),
+            Outgoing::Broadcast(72),
+        ];
+        let ids = vec![10u64, 11, 12];
+        let neighbors = vec![0u32, 1, 2];
+        let plan = FaultPlan::seeded(0).crash(1, 1, 2);
+        let filter = DeliveryFilter {
+            plan: &plan,
+            round: 1,
+            receiver: 3,
+        };
+        let inbox = Inbox {
+            source: InboxSource::Broadcasts(&neighbors, &ids, Some(filter)),
+            outboxes: &outboxes,
+        };
+        assert_eq!(inbox.len(), 2);
+        assert!(!inbox.is_empty());
+        let received: Vec<(u64, u32)> = inbox.iter().map(|m| (m.from, *m.payload)).collect();
+        assert_eq!(received, vec![(10, 70), (12, 72)], "vertex 1 is crashed");
     }
 
     #[test]

@@ -32,8 +32,54 @@
 //! [`ExecutionStrategy::nested`] strategy — a parallel batch that also forked
 //! per shard would oversubscribe the machine.
 
+use crate::model::ModelViolation;
 use crate::trace::RunStats;
 use bedom_par::ExecutionStrategy;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Why a shard failed without producing an output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardFailure {
+    /// The shard body panicked; contained by [`ScenarioRunner::try_run`] so
+    /// one bad shard no longer poisons the batch.
+    Panicked {
+        /// The panic payload, when it was a string (the usual case).
+        message: String,
+    },
+    /// Every attempt [`ScenarioRunner::run_with_retry`] budgeted for the
+    /// shard failed with a typed violation; this is the last one.
+    RetriesExhausted {
+        /// Attempts made (initial run plus retries).
+        attempts: usize,
+        /// The violation of the final attempt.
+        last: ModelViolation,
+    },
+}
+
+impl std::fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardFailure::Panicked { message } => write!(f, "shard panicked: {message}"),
+            ShardFailure::RetriesExhausted { attempts, last } => write!(
+                f,
+                "shard retry budget exhausted after {attempts} attempt(s); last violation: {last}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardFailure {}
+
+/// Renders a panic payload for [`ShardFailure::Panicked`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
 
 /// Per-shard measurement record, filled in by the job and aggregated by
 /// [`ScenarioReport`].
@@ -174,6 +220,45 @@ impl<T> ScenarioReport<T> {
     }
 }
 
+impl<T> ScenarioReport<Result<T, ShardFailure>> {
+    /// The failed shards as `(shard index, failure)` pairs, in shard order.
+    pub fn failures(&self) -> Vec<(usize, &ShardFailure)> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.output.as_ref().err().map(|e| (s.shard, e)))
+            .collect()
+    }
+
+    /// Unwraps a fully-successful report, panicking with **every** failed
+    /// shard's cause when any failed — the loud end of the
+    /// [`ScenarioReport::missing_metrics`] path for callers that cannot
+    /// tolerate partial batches.
+    ///
+    /// # Panics
+    /// Panics if any shard failed, listing all failures.
+    pub fn expect_all(self) -> ScenarioReport<T> {
+        let failures = self.failures();
+        if !failures.is_empty() {
+            let mut lines = String::new();
+            for (shard, failure) in &failures {
+                lines.push_str(&format!("\n  shard {shard}: {failure}"));
+            }
+            panic!("{} shard(s) failed:{lines}", failures.len());
+        }
+        ScenarioReport {
+            shards: self
+                .shards
+                .into_iter()
+                .map(|s| ShardReport {
+                    shard: s.shard,
+                    output: s.output.expect("checked above"),
+                    metrics: s.metrics,
+                })
+                .collect(),
+        }
+    }
+}
+
 impl<T, E> ScenarioReport<Result<T, E>> {
     /// Lifts per-shard `Result` outputs into one `Result` over the whole
     /// report, failing with the error of the **lowest-indexed** failing shard
@@ -245,6 +330,108 @@ impl ScenarioRunner {
             shards: chunks.into_iter().flatten().collect(),
         }
     }
+
+    /// Like [`ScenarioRunner::run`], but a panicking shard no longer poisons
+    /// the batch: each shard body runs under `catch_unwind`, a panic becomes
+    /// a [`ShardFailure::Panicked`] report with `None` metrics, and the
+    /// remaining shards keep going. The worker's scratch is rebuilt via
+    /// `init` after a panic, so no shard ever sees a scratch the unwound
+    /// shard may have left mid-mutation.
+    pub fn try_run<In, Sc, T>(
+        &self,
+        inputs: &[In],
+        init: impl Fn() -> Sc + Sync,
+        job: impl Fn(&mut Sc, usize, &In) -> (T, Option<ShardMetrics>) + Sync,
+    ) -> ScenarioReport<Result<T, ShardFailure>>
+    where
+        In: Sync,
+        T: Send,
+    {
+        let chunks = self
+            .strategy
+            .chunk_collect_with(inputs.len(), &init, |scratch, range| {
+                range
+                    .map(|shard| {
+                        // AssertUnwindSafe: on unwind the scratch is replaced
+                        // wholesale below, and `inputs`/`job` are only shared
+                        // immutably, so no broken invariant can leak.
+                        let attempt =
+                            catch_unwind(AssertUnwindSafe(|| job(scratch, shard, &inputs[shard])));
+                        match attempt {
+                            Ok((output, metrics)) => ShardReport {
+                                shard,
+                                output: Ok(output),
+                                metrics,
+                            },
+                            Err(payload) => {
+                                *scratch = init();
+                                ShardReport {
+                                    shard,
+                                    output: Err(ShardFailure::Panicked {
+                                        message: panic_message(payload),
+                                    }),
+                                    metrics: None,
+                                }
+                            }
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            });
+        ScenarioReport {
+            shards: chunks.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Per-shard retry on typed violations: runs `job` up to
+    /// `1 + max_retries` times per shard (the attempt index is passed as the
+    /// job's last argument, starting at 0) and keeps the first success. A
+    /// shard that fails every attempt reports
+    /// [`ShardFailure::RetriesExhausted`] with the final violation and `None`
+    /// metrics — loud in [`ScenarioReport::failures`] /
+    /// [`ScenarioReport::expect_all`], and visible through the existing
+    /// [`ScenarioReport::missing_metrics`] path. Panics are not retried
+    /// (they indicate bugs, not environmental faults) and surface as
+    /// [`ShardFailure::Panicked`].
+    pub fn run_with_retry<In, Sc, T>(
+        &self,
+        inputs: &[In],
+        max_retries: usize,
+        init: impl Fn() -> Sc + Sync,
+        job: impl Fn(&mut Sc, usize, &In, usize) -> (Result<T, ModelViolation>, Option<ShardMetrics>)
+            + Sync,
+    ) -> ScenarioReport<Result<T, ShardFailure>>
+    where
+        In: Sync,
+        T: Send,
+    {
+        let report = self.try_run(inputs, init, |scratch, shard, input| {
+            let mut last: Option<ModelViolation> = None;
+            for attempt in 0..=max_retries {
+                match job(scratch, shard, input, attempt) {
+                    (Ok(output), metrics) => return (Ok(output), metrics),
+                    (Err(violation), _) => last = Some(violation),
+                }
+            }
+            let failure = ShardFailure::RetriesExhausted {
+                attempts: max_retries + 1,
+                last: last.expect("at least one attempt ran"),
+            };
+            (Err(failure), None)
+        });
+        // Flatten the panic layer over the retry layer: either failure kind
+        // surfaces as the shard's single `ShardFailure`.
+        ScenarioReport {
+            shards: report
+                .shards
+                .into_iter()
+                .map(|s| ShardReport {
+                    shard: s.shard,
+                    output: s.output.and_then(|inner| inner),
+                    metrics: s.metrics,
+                })
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -312,6 +499,7 @@ mod tests {
             deliveries: 4,
             bits_sent: 100,
             max_message_bits: 60,
+            ..Default::default()
         });
         let mut b = RunStats::default();
         b.push_round(crate::trace::RoundStats {
@@ -320,6 +508,7 @@ mod tests {
             deliveries: 1,
             bits_sent: 10,
             max_message_bits: 10,
+            ..Default::default()
         });
         m.record(&a);
         m.record(&b);
@@ -385,6 +574,131 @@ mod tests {
         );
         assert_eq!(report.missing_metrics(), vec![2]);
         let _ = report.total_rounds();
+    }
+
+    #[test]
+    fn try_run_contains_shard_panics_under_both_strategies() {
+        let inputs: Vec<usize> = (0..12).collect();
+        for strategy in [ExecutionStrategy::Sequential, ExecutionStrategy::Parallel] {
+            let report = ScenarioRunner::new(strategy).try_run(
+                &inputs,
+                Vec::<usize>::new,
+                |scratch, shard, &input| {
+                    scratch.push(shard);
+                    assert!(shard != 5, "shard 5 exploded");
+                    (input * 2, Some(ShardMetrics::default()))
+                },
+            );
+            assert_eq!(report.num_shards(), 12, "{strategy:?}");
+            let failures = report.failures();
+            assert_eq!(failures.len(), 1, "{strategy:?}");
+            assert_eq!(failures[0].0, 5);
+            match failures[0].1 {
+                ShardFailure::Panicked { message } => {
+                    assert!(message.contains("shard 5 exploded"), "{message}")
+                }
+                other => panic!("unexpected failure {other:?}"),
+            }
+            // The failed shard reports no metrics; the others all succeeded.
+            assert_eq!(report.missing_metrics(), vec![5], "{strategy:?}");
+            for shard in &report.shards {
+                if shard.shard != 5 {
+                    assert_eq!(shard.output, Ok(shard.shard * 2), "{strategy:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_run_rebuilds_the_scratch_after_a_panic() {
+        let inputs: Vec<usize> = (0..4).collect();
+        let report = ScenarioRunner::new(ExecutionStrategy::Sequential).try_run(
+            &inputs,
+            Vec::<usize>::new,
+            |scratch, shard, _| {
+                scratch.push(shard);
+                assert!(shard != 1, "boom");
+                // A scratch polluted by the panicking shard would still
+                // contain its entry; the rebuilt one must not.
+                (scratch.clone(), Some(ShardMetrics::default()))
+            },
+        );
+        assert_eq!(report.shards[0].output, Ok(vec![0]));
+        assert!(report.shards[1].output.is_err());
+        assert_eq!(
+            report.shards[2].output,
+            Ok(vec![2]),
+            "scratch must be rebuilt after the shard-1 panic"
+        );
+        assert_eq!(report.shards[3].output, Ok(vec![2, 3]));
+    }
+
+    #[test]
+    fn run_with_retry_recovers_flaky_shards_and_reports_exhaustion() {
+        use crate::model::ModelViolation;
+        let inputs: Vec<usize> = (0..6).collect();
+        let violation = |shard: usize| ModelViolation::IncompleteKnowledge {
+            vertex: shard as u64,
+            round: 1,
+            expected: 2,
+            received: 1,
+        };
+        for strategy in [ExecutionStrategy::Sequential, ExecutionStrategy::Parallel] {
+            let report = ScenarioRunner::new(strategy).run_with_retry(
+                &inputs,
+                2,
+                || (),
+                |(), shard, &input, attempt| {
+                    // Shard 2 needs one retry, shard 4 never succeeds.
+                    let fails = (shard == 2 && attempt == 0) || shard == 4;
+                    if fails {
+                        (Err(violation(shard)), None)
+                    } else {
+                        (Ok((input, attempt)), Some(ShardMetrics::default()))
+                    }
+                },
+            );
+            let failures = report.failures();
+            assert_eq!(failures.len(), 1, "{strategy:?}");
+            assert_eq!(failures[0].0, 4);
+            match failures[0].1 {
+                ShardFailure::RetriesExhausted { attempts, last } => {
+                    assert_eq!(*attempts, 3);
+                    assert_eq!(last, &violation(4));
+                }
+                other => panic!("unexpected failure {other:?}"),
+            }
+            assert_eq!(report.shards[2].output, Ok((2, 1)), "one retry used");
+            assert_eq!(report.shards[0].output, Ok((0, 0)));
+            assert_eq!(report.missing_metrics(), vec![4]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard 3: shard retry budget exhausted")]
+    fn expect_all_panics_loudly_listing_failures() {
+        use crate::model::ModelViolation;
+        let inputs: Vec<usize> = (0..5).collect();
+        let report = ScenarioRunner::new(ExecutionStrategy::Sequential).run_with_retry(
+            &inputs,
+            0,
+            || (),
+            |(), shard, &input, _| {
+                if shard == 3 {
+                    (
+                        Err(ModelViolation::TokenLost {
+                            round: 2,
+                            expected: 4,
+                            received: 3,
+                        }),
+                        None,
+                    )
+                } else {
+                    (Ok(input), Some(ShardMetrics::default()))
+                }
+            },
+        );
+        let _ = report.expect_all();
     }
 
     #[test]

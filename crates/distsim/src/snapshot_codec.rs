@@ -1,0 +1,495 @@
+//! In-tree byte codec for [`NetworkSnapshot`] — the first step toward
+//! on-disk checkpoints (ROADMAP item 2).
+//!
+//! The workspace is dependency-free, so the wire format is hand-rolled and
+//! deliberately simple: a versioned header, little-endian fixed-width
+//! integers, length-prefixed sequences, and an FNV-1a checksum over the
+//! payload. The frame is self-contained:
+//!
+//! ```text
+//! "BDSN" | version: u16 LE | payload | fnv1a64(payload): u64 LE
+//! ```
+//!
+//! The payload is the snapshot's fields in order: node states, pending
+//! outboxes, accumulated [`RunStats`], and the initialisation flag. Node and
+//! message types supply their own [`ByteCodec`] impls (the engine cannot
+//! know their layout); everything else ships impls here.
+//!
+//! Decoding is strict: wrong magic, unknown version, short input, checksum
+//! mismatch, unknown enum tags and leftover bytes each fail with a distinct
+//! [`CodecError`] instead of producing a half-read snapshot.
+
+use crate::network::NetworkSnapshot;
+use crate::node::{NodeAlgorithm, Outgoing};
+use crate::trace::{RoundStats, RunStats};
+
+const MAGIC: &[u8; 4] = b"BDSN";
+const VERSION: u16 = 1;
+/// Bytes of framing around the payload: magic + version + checksum.
+const FRAME_BYTES: usize = 4 + 2 + 8;
+
+/// Why decoding failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input does not start with the snapshot magic.
+    BadMagic,
+    /// The frame's version is newer than this build understands.
+    UnsupportedVersion(u16),
+    /// The input ended before the structure was complete.
+    Truncated,
+    /// The payload checksum does not match — the bytes were corrupted.
+    Checksum,
+    /// A structurally invalid value (unknown tag, impossible count, …).
+    Malformed(&'static str),
+    /// The payload parsed but bytes were left over.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a snapshot frame (bad magic)"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (this build reads {VERSION})"
+                )
+            }
+            CodecError::Truncated => write!(f, "snapshot frame is truncated"),
+            CodecError::Checksum => write!(f, "snapshot payload failed its checksum"),
+            CodecError::Malformed(what) => write!(f, "malformed snapshot payload: {what}"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after the snapshot payload"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// FNV-1a, 64-bit — cheap, dependency-free corruption detection.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Consumes exactly `n` bytes from the front of `input`.
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
+    if input.len() < n {
+        return Err(CodecError::Truncated);
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+/// A type that can write itself to bytes and read itself back. Implement it
+/// for node-algorithm state and message types to make their snapshots
+/// serialisable with [`encode_snapshot`] / [`decode_snapshot`].
+pub trait ByteCodec: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Reads one value from the front of `input`, advancing it.
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError>;
+}
+
+impl ByteCodec for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let bytes = take(input, 8)?;
+        Ok(u64::from_le_bytes(
+            bytes.try_into().expect("take returned 8 bytes"),
+        ))
+    }
+}
+
+impl ByteCodec for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let bytes = take(input, 4)?;
+        Ok(u32::from_le_bytes(
+            bytes.try_into().expect("take returned 4 bytes"),
+        ))
+    }
+}
+
+impl ByteCodec for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        usize::try_from(u64::decode(input)?)
+            .map_err(|_| CodecError::Malformed("count exceeds the platform's usize"))
+    }
+}
+
+impl ByteCodec for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match take(input, 1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Malformed("boolean tag out of range")),
+        }
+    }
+}
+
+impl<T: ByteCodec> ByteCodec for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = usize::decode(input)?;
+        // Cap the pre-allocation by what the input could possibly hold so a
+        // corrupt length cannot trigger an absurd allocation.
+        let mut items = Vec::with_capacity(len.min(input.len()));
+        for _ in 0..len {
+            items.push(T::decode(input)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<M: ByteCodec> ByteCodec for Outgoing<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Outgoing::Silent => out.push(0),
+            Outgoing::Broadcast(m) => {
+                out.push(1);
+                m.encode(out);
+            }
+            Outgoing::Unicast(messages) => {
+                out.push(2);
+                messages.len().encode(out);
+                for (target, m) in messages {
+                    target.encode(out);
+                    m.encode(out);
+                }
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match take(input, 1)?[0] {
+            0 => Ok(Outgoing::Silent),
+            1 => Ok(Outgoing::Broadcast(M::decode(input)?)),
+            2 => {
+                let len = usize::decode(input)?;
+                let mut messages = Vec::with_capacity(len.min(input.len()));
+                for _ in 0..len {
+                    let target = u64::decode(input)?;
+                    messages.push((target, M::decode(input)?));
+                }
+                Ok(Outgoing::Unicast(messages))
+            }
+            _ => Err(CodecError::Malformed("outgoing tag out of range")),
+        }
+    }
+}
+
+impl ByteCodec for RoundStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.round.encode(out);
+        self.senders.encode(out);
+        self.deliveries.encode(out);
+        self.bits_sent.encode(out);
+        self.max_message_bits.encode(out);
+        self.dropped_deliveries.encode(out);
+        self.crashed.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(RoundStats {
+            round: usize::decode(input)?,
+            senders: usize::decode(input)?,
+            deliveries: usize::decode(input)?,
+            bits_sent: usize::decode(input)?,
+            max_message_bits: usize::decode(input)?,
+            dropped_deliveries: usize::decode(input)?,
+            crashed: usize::decode(input)?,
+        })
+    }
+}
+
+impl ByteCodec for RunStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.rounds.encode(out);
+        self.total_sends.encode(out);
+        self.total_deliveries.encode(out);
+        self.total_bits.encode(out);
+        self.max_message_bits.encode(out);
+        self.max_vertex_round_bits.encode(out);
+        self.dropped_deliveries.encode(out);
+        self.crashed_vertex_rounds.encode(out);
+        self.per_round.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(RunStats {
+            rounds: usize::decode(input)?,
+            total_sends: usize::decode(input)?,
+            total_deliveries: usize::decode(input)?,
+            total_bits: usize::decode(input)?,
+            max_message_bits: usize::decode(input)?,
+            max_vertex_round_bits: usize::decode(input)?,
+            dropped_deliveries: usize::decode(input)?,
+            crashed_vertex_rounds: usize::decode(input)?,
+            per_round: Vec::decode(input)?,
+        })
+    }
+}
+
+/// Serialises a snapshot into a self-contained, checksummed byte frame.
+pub fn encode_snapshot<A>(snapshot: &NetworkSnapshot<A>) -> Vec<u8>
+where
+    A: NodeAlgorithm + ByteCodec,
+    A::Message: ByteCodec,
+{
+    let mut payload = Vec::new();
+    snapshot.nodes.encode(&mut payload);
+    snapshot.outboxes.encode(&mut payload);
+    snapshot.stats.encode(&mut payload);
+    snapshot.initialized.encode(&mut payload);
+
+    let mut out = Vec::with_capacity(payload.len() + FRAME_BYTES);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    out
+}
+
+/// Deserialises a frame produced by [`encode_snapshot`]. The returned
+/// snapshot restores into an identically-constructed [`crate::Network`]
+/// exactly like an in-memory one — resumes are bit-identical.
+pub fn decode_snapshot<A>(bytes: &[u8]) -> Result<NetworkSnapshot<A>, CodecError>
+where
+    A: NodeAlgorithm + ByteCodec,
+    A::Message: ByteCodec,
+{
+    if bytes.len() < FRAME_BYTES {
+        return if bytes.len() >= 4 && &bytes[..4] != MAGIC {
+            Err(CodecError::BadMagic)
+        } else {
+            Err(CodecError::Truncated)
+        };
+    }
+    if &bytes[..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let payload = &bytes[6..bytes.len() - 8];
+    let stored = u64::from_le_bytes(
+        bytes[bytes.len() - 8..]
+            .try_into()
+            .expect("checksum slice is 8 bytes"),
+    );
+    if fnv1a(payload) != stored {
+        return Err(CodecError::Checksum);
+    }
+
+    let mut input = payload;
+    let nodes: Vec<A> = Vec::decode(&mut input)?;
+    let outboxes: Vec<Outgoing<A::Message>> = Vec::decode(&mut input)?;
+    let stats = RunStats::decode(&mut input)?;
+    let initialized = bool::decode(&mut input)?;
+    if !input.is_empty() {
+        return Err(CodecError::TrailingBytes);
+    }
+    if nodes.len() != outboxes.len() {
+        return Err(CodecError::Malformed("node and outbox counts disagree"));
+    }
+    Ok(NetworkSnapshot {
+        nodes,
+        outboxes,
+        stats,
+        initialized,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, RunPolicy, SnapshotObserver};
+    use crate::ids::IdAssignment;
+    use crate::model::Model;
+    use crate::network::Network;
+    use crate::node::{Inbox, NodeContext};
+    use bedom_graph::generators::grid;
+
+    /// A stateful protocol whose divergence compounds (same shape as the
+    /// engine's snapshot tests), with a hand-written codec.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Summer {
+        total: u64,
+        rounds_seen: u32,
+    }
+
+    impl NodeAlgorithm for Summer {
+        type Message = u64;
+        type Output = u64;
+
+        fn init(&mut self, ctx: &NodeContext) -> Outgoing<u64> {
+            self.total = ctx.id + 1;
+            Outgoing::Broadcast(self.total)
+        }
+
+        fn round(&mut self, _: &NodeContext, _: usize, inbox: Inbox<'_, u64>) -> Outgoing<u64> {
+            self.rounds_seen += 1;
+            self.total += inbox.iter().map(|m| *m.payload).sum::<u64>();
+            Outgoing::Broadcast(self.total)
+        }
+
+        fn output(&self, _: &NodeContext) -> u64 {
+            self.total
+        }
+    }
+
+    impl ByteCodec for Summer {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.total.encode(out);
+            self.rounds_seen.encode(out);
+        }
+        fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+            Ok(Summer {
+                total: u64::decode(input)?,
+                rounds_seen: u32::decode(input)?,
+            })
+        }
+    }
+
+    fn summer_net(g: &bedom_graph::Graph) -> Network<'_, Summer> {
+        Network::new(g, Model::Local, IdAssignment::Shuffled(3), |_, _| Summer {
+            total: 0,
+            rounds_seen: 0,
+        })
+    }
+
+    fn encoded_midrun_snapshot(g: &bedom_graph::Graph) -> Vec<u8> {
+        let mut net = summer_net(g);
+        let mut snapshots = SnapshotObserver::every(3);
+        Engine::new(&mut net)
+            .observe_state(&mut snapshots)
+            .run(RunPolicy::fixed(4))
+            .unwrap();
+        encode_snapshot(&snapshots.into_latest().unwrap())
+    }
+
+    #[test]
+    fn round_trip_resume_is_bit_identical() {
+        let g = grid(5, 5);
+        let total_rounds = 8;
+
+        let mut reference = summer_net(&g);
+        Engine::new(&mut reference)
+            .run(RunPolicy::fixed(total_rounds))
+            .unwrap();
+
+        let bytes = encoded_midrun_snapshot(&g);
+        let snapshot = decode_snapshot::<Summer>(&bytes).unwrap();
+        assert_eq!(snapshot.rounds(), 3);
+        assert_eq!(snapshot.num_vertices(), 25);
+
+        let mut resumed = summer_net(&g);
+        resumed.restore(&snapshot);
+        Engine::new(&mut resumed)
+            .run(RunPolicy::fixed(total_rounds - 3))
+            .unwrap();
+        assert_eq!(resumed.outputs(), reference.outputs());
+        assert_eq!(resumed.stats(), reference.stats());
+    }
+
+    #[test]
+    fn unicast_outboxes_round_trip() {
+        let outbox: Outgoing<u64> = Outgoing::Unicast(vec![(9, 41), (3, 42)]);
+        let mut bytes = Vec::new();
+        outbox.encode(&mut bytes);
+        let mut input = bytes.as_slice();
+        let decoded = Outgoing::<u64>::decode(&mut input).unwrap();
+        assert!(input.is_empty());
+        match decoded {
+            Outgoing::Unicast(messages) => assert_eq!(messages, vec![(9, 41), (3, 42)]),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_checksum() {
+        let g = grid(4, 4);
+        let mut bytes = encoded_midrun_snapshot(&g);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert_eq!(
+            decode_snapshot::<Summer>(&bytes).unwrap_err(),
+            CodecError::Checksum
+        );
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let g = grid(4, 4);
+        let bytes = encoded_midrun_snapshot(&g);
+        for len in [0, 3, 6, FRAME_BYTES - 1, bytes.len() - 1] {
+            let err = decode_snapshot::<Summer>(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated | CodecError::Checksum),
+                "prefix of {len} bytes gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_distinct_errors() {
+        let g = grid(4, 4);
+        let mut bytes = encoded_midrun_snapshot(&g);
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert_eq!(
+            decode_snapshot::<Summer>(&wrong_magic).unwrap_err(),
+            CodecError::BadMagic
+        );
+        bytes[4] = 0xfe;
+        bytes[5] = 0xff;
+        assert_eq!(
+            decode_snapshot::<Summer>(&bytes).unwrap_err(),
+            CodecError::UnsupportedVersion(0xfffe)
+        );
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_rejected() {
+        let g = grid(3, 3);
+        let mut net = summer_net(&g);
+        net.init().unwrap();
+        let snapshot = net.snapshot();
+
+        // Re-frame the valid payload with a stray byte and a fixed-up
+        // checksum: only the strict length check can catch this.
+        let mut payload = Vec::new();
+        snapshot.nodes.encode(&mut payload);
+        snapshot.outboxes.encode(&mut payload);
+        snapshot.stats.encode(&mut payload);
+        snapshot.initialized.encode(&mut payload);
+        payload.push(0x5a);
+        let mut framed = Vec::new();
+        framed.extend_from_slice(MAGIC);
+        framed.extend_from_slice(&VERSION.to_le_bytes());
+        framed.extend_from_slice(&payload);
+        framed.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        assert_eq!(
+            decode_snapshot::<Summer>(&framed).unwrap_err(),
+            CodecError::TrailingBytes
+        );
+    }
+}

@@ -25,6 +25,14 @@ pub struct RoundStats {
     /// [`crate::MessageSize::max_frame_bits`]; unframed payloads count as one
     /// frame, so this is the largest whole message for them).
     pub max_message_bits: usize,
+    /// Deliveries suppressed by the installed [`crate::FaultPlan`] this round
+    /// (dropped messages, link outages, crashed endpoints). The sender still
+    /// pays the wire cost — `bits_sent` counts what was *offered* — but the
+    /// message never reaches its receiver and is not in `deliveries`.
+    pub dropped_deliveries: usize,
+    /// Vertices down for this round under the installed fault plan's crash
+    /// windows (they neither sent, received, nor transitioned).
+    pub crashed: usize,
 }
 
 /// Aggregate statistics of a full execution.
@@ -43,6 +51,12 @@ pub struct RunStats {
     pub max_message_bits: usize,
     /// Largest number of bits any single vertex sent in any single round.
     pub max_vertex_round_bits: usize,
+    /// Total deliveries suppressed by fault injection (see
+    /// [`RoundStats::dropped_deliveries`]). Zero on a fault-free run.
+    pub dropped_deliveries: usize,
+    /// Total vertex-rounds lost to crash windows (a vertex down for `k`
+    /// rounds contributes `k`). Zero on a fault-free run.
+    pub crashed_vertex_rounds: usize,
     /// Per-round breakdown.
     pub per_round: Vec<RoundStats>,
 }
@@ -55,6 +69,8 @@ impl RunStats {
         self.total_deliveries += round.deliveries;
         self.total_bits += round.bits_sent;
         self.max_message_bits = self.max_message_bits.max(round.max_message_bits);
+        self.dropped_deliveries += round.dropped_deliveries;
+        self.crashed_vertex_rounds += round.crashed;
         self.per_round.push(round);
     }
 
@@ -81,6 +97,7 @@ mod tests {
             deliveries: 30,
             bits_sent: 100,
             max_message_bits: 12,
+            ..RoundStats::default()
         });
         stats.push_round(RoundStats {
             round: 2,
@@ -88,6 +105,7 @@ mod tests {
             deliveries: 15,
             bits_sent: 60,
             max_message_bits: 20,
+            ..RoundStats::default()
         });
         assert_eq!(stats.rounds, 2);
         assert_eq!(stats.total_sends, 15);
@@ -95,6 +113,30 @@ mod tests {
         assert_eq!(stats.total_bits, 160);
         assert_eq!(stats.max_message_bits, 20);
         assert!((stats.average_bits_per_round() - 80.0).abs() < 1e-9);
+        assert_eq!(stats.dropped_deliveries, 0);
+        assert_eq!(stats.crashed_vertex_rounds, 0);
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let mut stats = RunStats::default();
+        stats.push_round(RoundStats {
+            round: 1,
+            deliveries: 8,
+            dropped_deliveries: 2,
+            crashed: 1,
+            ..RoundStats::default()
+        });
+        stats.push_round(RoundStats {
+            round: 2,
+            deliveries: 10,
+            dropped_deliveries: 3,
+            crashed: 1,
+            ..RoundStats::default()
+        });
+        assert_eq!(stats.dropped_deliveries, 5);
+        assert_eq!(stats.crashed_vertex_rounds, 2);
+        assert_eq!(stats.total_deliveries, 18);
     }
 
     #[test]

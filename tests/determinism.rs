@@ -558,3 +558,72 @@ fn observers_see_identical_round_streams() {
     let [a, b] = STRATEGIES.map(run);
     assert_eq!(a, b, "observer streams diverged between strategies");
 }
+
+#[test]
+fn faulty_ksv_runs_are_strategy_independent() {
+    // Fault decisions are pure per-(round, edge) hashes of the plan seed, so
+    // the same plan must produce the same drops, the same typed violations,
+    // and the same surviving statistics under both strategies — whether the
+    // lossy run happens to succeed or to fail.
+    use bedom::core::{distributed_ksv_domination_r_faulty, KsvConfig};
+    use bedom::distsim::FaultPlan;
+    for (name, g) in instances() {
+        let plan = FaultPlan::seeded(0xbad_5eed)
+            .drop_messages(0.25)
+            .link_outages(0.05)
+            .crash(3, 2, 4);
+        let run = |strategy| {
+            let config = KsvConfig {
+                strategy,
+                assignment: IdAssignment::Shuffled(9),
+                ..KsvConfig::for_radius(2)
+            };
+            match distributed_ksv_domination_r_faulty(&g, 2, config, plan.clone(), None) {
+                Ok(res) => Ok((res.dominating_set, res.stats)),
+                Err(violation) => Err(violation),
+            }
+        };
+        let [a, b] = STRATEGIES.map(run);
+        assert_eq!(a, b, "{name}: faulty KSV run diverged across strategies");
+    }
+}
+
+#[test]
+fn recovered_ksv_runs_match_the_fault_free_run_across_strategies() {
+    // Checkpoint-based recovery walks back to a clean snapshot and replays
+    // with the fault cleared, so the healed output must be bit-identical to
+    // the fault-free run — and the whole rollback history must be identical
+    // across strategies.
+    use bedom::core::{
+        distributed_ksv_domination_r, distributed_ksv_domination_r_faulty, KsvConfig,
+    };
+    use bedom::distsim::{FaultPlan, RecoveryPolicy};
+    let g = Family::PlanarTriangulation.generate(300, 5);
+    let config = |strategy| KsvConfig {
+        strategy,
+        assignment: IdAssignment::Shuffled(4),
+        ..KsvConfig::for_radius(2)
+    };
+    let reference =
+        distributed_ksv_domination_r(&g, 2, config(ExecutionStrategy::Sequential)).unwrap();
+    // Heavy loss on the knowledge flood (rounds 1..=3 at r = 2).
+    let plan = FaultPlan::seeded(0xfa11).drop_messages(0.4).during(1, 4);
+    let [a, b] = STRATEGIES.map(|strategy| {
+        let res = distributed_ksv_domination_r_faulty(
+            &g,
+            2,
+            config(strategy),
+            plan.clone(),
+            Some(RecoveryPolicy::new(2, 8)),
+        )
+        .unwrap();
+        let recovery = res.recovery.clone().expect("recovery report missing");
+        assert!(recovery.retries >= 1, "the fault plan never fired");
+        (res.dominating_set, res.stats, recovery.restored_rounds)
+    });
+    assert_eq!(
+        a.0, reference.dominating_set,
+        "recovered set differs from the fault-free run"
+    );
+    assert_eq!(a, b, "recovery diverged across strategies");
+}
