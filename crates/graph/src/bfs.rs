@@ -6,10 +6,31 @@
 //! the quality of neighbourhood covers (radius ≤ 2r, Theorem 4).
 
 use crate::graph::{Graph, Vertex};
+use std::cell::RefCell;
 use std::collections::VecDeque;
 
 /// Distance value used for "unreachable".
 pub const UNREACHABLE: u32 = u32::MAX;
+
+thread_local! {
+    /// One [`BfsScratch`] per thread backing the whole-graph entry points
+    /// ([`multi_source_distances`], [`eccentricity`],
+    /// [`closed_set_neighborhood`]): repeated calls reuse a single
+    /// epoch-stamped visited array instead of allocating and zeroing a fresh
+    /// `vec![UNREACHABLE; n]` queue + marks pair per call.
+    static SHARED_SCRATCH: RefCell<BfsScratch> = RefCell::new(BfsScratch::new(0));
+}
+
+/// Runs `f` with the thread's shared scratch, grown to cover `n` vertices.
+/// The closure must not re-enter another `bfs` entry point that also takes
+/// the shared scratch (the `RefCell` would panic) — none of them do.
+fn with_shared_scratch<T>(n: usize, f: impl FnOnce(&mut BfsScratch) -> T) -> T {
+    SHARED_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        scratch.ensure_capacity(n);
+        f(&mut scratch)
+    })
+}
 
 /// Single-source BFS distances from `source`. `UNREACHABLE` marks vertices in
 /// other components.
@@ -17,27 +38,30 @@ pub fn bfs_distances(graph: &Graph, source: Vertex) -> Vec<u32> {
     multi_source_distances(graph, std::slice::from_ref(&source))
 }
 
-/// Multi-source BFS: distance from the nearest vertex of `sources`.
+/// Multi-source BFS: distance from the nearest vertex of `sources`
+/// (duplicates allowed and ignored). Only the returned distance vector is
+/// allocated; the traversal itself runs through the thread's shared
+/// [`BfsScratch`].
 pub fn multi_source_distances(graph: &Graph, sources: &[Vertex]) -> Vec<u32> {
     let n = graph.num_vertices();
-    let mut dist = vec![UNREACHABLE; n];
-    let mut queue = VecDeque::new();
-    for &s in sources {
-        if dist[s as usize] != 0 || !queue.contains(&s) {
-            dist[s as usize] = 0;
-            queue.push_back(s);
+    with_shared_scratch(n, |scratch| {
+        scratch.begin();
+        for &s in sources {
+            scratch.try_visit(s, 0);
         }
-    }
-    while let Some(v) = queue.pop_front() {
-        let d = dist[v as usize];
-        for &w in graph.neighbors(v) {
-            if dist[w as usize] == UNREACHABLE {
-                dist[w as usize] = d + 1;
-                queue.push_back(w);
+        let mut head = 0;
+        while let Some(&(x, d)) = scratch.entries().get(head) {
+            head += 1;
+            for &w in graph.neighbors(x) {
+                scratch.try_visit(w, d + 1);
             }
         }
-    }
-    dist
+        let mut dist = vec![UNREACHABLE; n];
+        for &(v, d) in scratch.entries() {
+            dist[v as usize] = d;
+        }
+        dist
+    })
 }
 
 /// Distance between `u` and `v`, or `None` if they are disconnected.
@@ -225,23 +249,48 @@ impl BfsScratch {
 }
 
 /// Closed `r`-neighbourhood of a set: `N_r[A] = ∪_{v∈A} N_r[v]`, sorted.
+/// A depth-bounded multi-source sweep through the thread's shared
+/// [`BfsScratch`]: touches `O(|N_r[A]|)` memory, not `Θ(n)` per call.
 pub fn closed_set_neighborhood(graph: &Graph, set: &[Vertex], r: u32) -> Vec<Vertex> {
-    let dist = multi_source_distances(graph, set);
-    let mut result: Vec<Vertex> = (0..graph.num_vertices() as Vertex)
-        .filter(|&v| dist[v as usize] <= r)
-        .collect();
-    result.sort_unstable();
-    result
+    with_shared_scratch(graph.num_vertices(), |scratch| {
+        scratch.begin();
+        for &s in set {
+            scratch.try_visit(s, 0);
+        }
+        let mut head = 0;
+        while let Some(&(x, d)) = scratch.entries().get(head) {
+            head += 1;
+            if d >= r {
+                continue;
+            }
+            for &w in graph.neighbors(x) {
+                scratch.try_visit(w, d + 1);
+            }
+        }
+        scratch.sort_entries_by_vertex();
+        scratch.entries().iter().map(|&(w, _)| w).collect()
+    })
 }
 
 /// Eccentricity of `v` within its connected component (max distance to a
-/// reachable vertex).
+/// reachable vertex). Runs through the thread's shared [`BfsScratch`], so no
+/// distance vector is materialised — FIFO order makes depths non-decreasing,
+/// so the last depth seen is the maximum.
 pub fn eccentricity(graph: &Graph, v: Vertex) -> u32 {
-    bfs_distances(graph, v)
-        .into_iter()
-        .filter(|&d| d != UNREACHABLE)
-        .max()
-        .unwrap_or(0)
+    with_shared_scratch(graph.num_vertices(), |scratch| {
+        scratch.begin();
+        scratch.try_visit(v, 0);
+        let mut head = 0;
+        let mut ecc = 0;
+        while let Some(&(x, d)) = scratch.entries().get(head) {
+            head += 1;
+            ecc = d;
+            for &w in graph.neighbors(x) {
+                scratch.try_visit(w, d + 1);
+            }
+        }
+        ecc
+    })
 }
 
 /// Radius of a connected graph: `min_v ecc(v)`.
@@ -493,6 +542,28 @@ mod tests {
         let g = path_graph(9);
         let nbh = closed_set_neighborhood(&g, &[0, 8], 1);
         assert_eq!(nbh, vec![0, 1, 7, 8]);
+        // Duplicate sources collapse, and r = 0 is the (sorted) set itself.
+        assert_eq!(closed_set_neighborhood(&g, &[4, 4, 0], 0), vec![0, 4]);
+    }
+
+    #[test]
+    fn shared_scratch_entry_points_agree_with_naive_references() {
+        // The rewired entry points reuse one thread-local scratch; repeated
+        // interleaved calls must each still match a from-scratch computation.
+        let g = graph_from_edges(9, &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (7, 8)]);
+        for _ in 0..3 {
+            for v in 0..9u32 {
+                let d = bfs_distances(&g, v);
+                let naive_ecc = d.iter().copied().filter(|&x| x != UNREACHABLE).max();
+                assert_eq!(eccentricity(&g, v), naive_ecc.unwrap_or(0), "v={v}");
+                for r in 0..=2u32 {
+                    let want: Vec<u32> = (0..9u32).filter(|&w| d[w as usize] <= r).collect();
+                    assert_eq!(closed_set_neighborhood(&g, &[v], r), want, "v={v} r={r}");
+                }
+            }
+            let multi = multi_source_distances(&g, &[0, 6, 6]);
+            assert_eq!(multi, vec![0, 1, 2, 1, 2, 1, 0, UNREACHABLE, UNREACHABLE]);
+        }
     }
 
     #[test]

@@ -7,14 +7,27 @@
 //! contribution; the paper's own algorithms live in `bedom-core`.
 
 use crate::bfs::{closed_neighborhood, multi_source_distances, UNREACHABLE};
+use crate::bitset::{reach_words64, ReachMatrix};
 use crate::graph::{Graph, Vertex};
 use crate::power::all_closed_neighborhoods;
 use std::collections::BinaryHeap;
 
+/// Largest `n` for which the brute-force validator routes through the
+/// word-parallel `N_r[·]` bitset rows ([`ReachMatrix`]) instead of a scalar
+/// multi-source BFS. At these sizes the rows cost about as much as the one
+/// scalar BFS while the membership test collapses to word ANDs — and the
+/// conformance corpus then exercises the bitset kernel inside the validator
+/// itself. Beyond the gate a single `O(n + m)` scalar BFS is strictly
+/// cheaper than building `n²/64` words of rows, so large instances keep the
+/// scalar path.
+const BITSET_VALIDATOR_MAX_N: usize = 512;
+
 /// Checks that `set` is a distance-`r` dominating set of `graph`: every vertex
 /// is within distance `r` of some member of `set`.
 ///
-/// The empty set dominates only the empty graph.
+/// The empty set dominates only the empty graph. Small instances (up to
+/// [`BITSET_VALIDATOR_MAX_N`]) are checked against word-parallel `N_r[·]`
+/// bitset rows; larger ones by one scalar multi-source BFS.
 pub fn is_distance_dominating_set(graph: &Graph, set: &[Vertex], r: u32) -> bool {
     let n = graph.num_vertices();
     if n == 0 {
@@ -23,17 +36,26 @@ pub fn is_distance_dominating_set(graph: &Graph, set: &[Vertex], r: u32) -> bool
     if set.is_empty() {
         return false;
     }
+    if n <= BITSET_VALIDATOR_MAX_N {
+        return ReachMatrix::build(graph, r).covers(set);
+    }
     let dist = multi_source_distances(graph, set);
     dist.iter().all(|&d| d != UNREACHABLE && d <= r)
 }
 
-/// Vertices *not* dominated by `set` at distance `r` (sorted).
+/// Vertices *not* dominated by `set` at distance `r` (sorted). Routed like
+/// [`is_distance_dominating_set`]: bitset rows below the size gate, scalar
+/// multi-source BFS above it.
 pub fn undominated_vertices(graph: &Graph, set: &[Vertex], r: u32) -> Vec<Vertex> {
-    if graph.num_vertices() == 0 {
+    let n = graph.num_vertices();
+    if n == 0 {
         return Vec::new();
     }
     if set.is_empty() {
         return graph.vertices().collect();
+    }
+    if n <= BITSET_VALIDATOR_MAX_N {
+        return ReachMatrix::build(graph, r).uncovered(set);
     }
     let dist = multi_source_distances(graph, set);
     graph
@@ -222,18 +244,25 @@ pub fn exact_distance_dominating_set(
     }
 }
 
-/// Largest instance [`bitmask_minimum_domination_number`] will solve: the
-/// full subset enumeration is `O(2ⁿ·n/64)`, so ~20 vertices is where "brute
-/// force as the oracle" stops being instant on a single core.
-pub const BITMASK_ORACLE_MAX_N: usize = 20;
+/// Largest instance [`bitmask_minimum_domination_number`] will solve.
+/// Raised from 20 to 26 by the word-parallel rework: the `N_r[·]` rows come
+/// from the bitset BFS kernel ([`reach_words64`]) as one `u64` word per
+/// vertex, and subsets are enumerated in increasing size (Gosper's hack per
+/// size class), so the oracle checks `Σ_{k ≤ γ} C(n, k)` candidates at
+/// `O(k)` word ORs each instead of all `2ⁿ` — instant on a single core for
+/// every corpus instance up to 26 vertices.
+pub const BITMASK_ORACLE_MAX_N: usize = 26;
 
 /// The exact minimum distance-`r` dominating set size by brute-force subset
-/// enumeration over `u32` coverage bitmasks — the ground-truth oracle of the
+/// enumeration over `u64` coverage bitmasks — the ground-truth oracle of the
 /// conformance harness. Unlike [`exact_distance_dominating_set`] (branch and
-/// bound, heuristic pruning, a node budget that can give up), this is a
-/// direct check of all `2ⁿ` subsets with no search-tree cleverness to
-/// mistrust, which is exactly what makes it a useful *independent* oracle
-/// for the solvers **and** for the branch-and-bound solver itself.
+/// bound, heuristic pruning, a node budget that can give up), this has no
+/// search-tree cleverness to mistrust: subsets are enumerated exhaustively
+/// in increasing size (all `C(n, k)` size-`k` candidates via Gosper's hack,
+/// then `k + 1`), so the first size with a covering subset **is** the
+/// minimum — every smaller size was checked in full. The coverage test is
+/// the OR of the members' `N_r[·]` rows (built by the word-parallel bitset
+/// kernel) against the all-ones word: `O(k · n/64)` word ops per candidate.
 ///
 /// Returns `None` when `n >` [`BITMASK_ORACLE_MAX_N`] (callers fall back to
 /// the packing bound). The empty graph has domination number 0.
@@ -245,31 +274,35 @@ pub fn bitmask_minimum_domination_number(graph: &Graph, r: u32) -> Option<usize>
     if n == 0 {
         return Some(0);
     }
-    // The size gate keeps n ≤ 20, so the shift cannot overflow.
-    let full: u32 = (1u32 << n) - 1;
-    // cover[v] = the closed r-neighbourhood of v as a bitmask.
-    let cover: Vec<u32> = all_closed_neighborhoods(graph, r)
-        .into_iter()
-        .map(|nb| nb.into_iter().fold(0u32, |m, w| m | (1u32 << w)))
-        .collect();
-    let mut best = n; // V always dominates.
-    for subset in 0u32..=full {
-        let size = subset.count_ones() as usize;
-        if size >= best {
-            continue;
-        }
-        let mut covered = 0u32;
-        let mut bits = subset;
-        while bits != 0 {
-            let v = bits.trailing_zeros() as usize;
-            covered |= cover[v];
-            bits &= bits - 1;
-        }
-        if covered == full {
-            best = size;
+    // The size gate keeps n ≤ 26 ≤ 64: one lane word holds every vertex.
+    let limit: u64 = 1u64 << n;
+    let full: u64 = limit - 1;
+    // rows[v] = N_r[v] as a bitmask, via the word-parallel BFS kernel.
+    let rows: Vec<u64> = reach_words64(graph, r);
+    for k in 1..=n {
+        // All size-k subsets in Gosper order; first success is the minimum.
+        let mut subset: u64 = (1u64 << k) - 1;
+        while subset < limit {
+            let mut covered = 0u64;
+            let mut bits = subset;
+            while bits != 0 {
+                covered |= rows[bits.trailing_zeros() as usize];
+                if covered == full {
+                    break;
+                }
+                bits &= bits - 1;
+            }
+            if covered == full {
+                return Some(k);
+            }
+            // Gosper's hack: the next subset with k bits set.
+            let c = subset & subset.wrapping_neg();
+            let up = subset + c;
+            subset = up | (((subset ^ up) >> 2) / c);
         }
     }
-    Some(best)
+    // V itself always dominates at any radius, so k = n succeeded above.
+    Some(n)
 }
 
 /// A lower bound on the minimum distance-`r` dominating set size via a
@@ -439,8 +472,18 @@ mod tests {
 
     #[test]
     fn bitmask_oracle_matches_known_optima_and_the_branch_and_bound() {
-        // Known closed forms: γ_r(P_n) = γ_r(C_n) = ⌈n / (2r + 1)⌉.
-        for (n, r) in [(7usize, 1u32), (13, 1), (9, 2), (13, 2), (15, 3)] {
+        // Known closed forms: γ_r(P_n) = γ_r(C_n) = ⌈n / (2r + 1)⌉. The
+        // n ∈ (20, 26] cases exercise the enlarged size-ordered oracle.
+        for (n, r) in [
+            (7usize, 1u32),
+            (13, 1),
+            (9, 2),
+            (13, 2),
+            (15, 3),
+            (21, 2),
+            (25, 2),
+            (26, 3),
+        ] {
             let g = path(n);
             assert_eq!(
                 bitmask_minimum_domination_number(&g, r),
@@ -448,7 +491,7 @@ mod tests {
                 "P_{n}, r={r}"
             );
         }
-        for (n, r) in [(9usize, 1u32), (12, 1), (15, 2)] {
+        for (n, r) in [(9usize, 1u32), (12, 1), (15, 2), (24, 2), (26, 3)] {
             let g = cycle(n);
             assert_eq!(
                 bitmask_minimum_domination_number(&g, r),
@@ -485,7 +528,10 @@ mod tests {
             bitmask_minimum_domination_number(&Graph::empty(3), 1),
             Some(3)
         );
-        assert_eq!(bitmask_minimum_domination_number(&path(21), 1), None);
+        // Within the enlarged gate a former refusal now has an exact answer;
+        // past the gate the oracle still declines rather than guessing.
+        assert_eq!(bitmask_minimum_domination_number(&path(21), 1), Some(7));
+        assert_eq!(bitmask_minimum_domination_number(&path(27), 1), None);
     }
 
     #[test]

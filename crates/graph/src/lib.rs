@@ -10,6 +10,7 @@
 //! * a compact CSR [`Graph`](graph::Graph) type with a safe builder,
 //! * BFS/distance/radius utilities matching the paper's definitions
 //!   ([`bfs`]),
+//! * word-parallel `u64`-packed multi-source BFS kernels ([`bitset`]),
 //! * connectivity and union–find ([`components`]),
 //! * degeneracy / core decomposition and degenerate orientations
 //!   ([`degeneracy`]),
@@ -22,6 +23,7 @@
 //! execution model lives in `bedom-distsim`.
 
 pub mod bfs;
+pub mod bitset;
 pub mod components;
 pub mod degeneracy;
 pub mod domset;

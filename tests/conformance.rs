@@ -61,7 +61,26 @@ fn corpus() -> Vec<(&'static str, Graph)> {
             "disconnected",
             graph_from_edges(12, &[(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (7, 8)]),
         ),
+        // The n ∈ (20, 26] band unlocked by the word-parallel oracle rework
+        // (BITMASK_ORACLE_MAX_N: 20 → 26): the closed-form families at sizes
+        // the old u32 enumeration refused, a larger grid and triangulation,
+        // and a disconnected union mixing all of the above with an isolate.
+        ("path-26", path(26)),
+        ("cycle-24", cycle(24)),
+        ("grid-5x5", grid(5, 5)),
+        ("planar-tri-26", stacked_triangulation(26, 5)),
+        ("disconnected-23", disconnected_union_23()),
     ]
+}
+
+/// A 23-vertex disconnected instance: a path on {0..7}, a cycle on {8..16},
+/// a path on {17..21}, and the isolated vertex 22.
+fn disconnected_union_23() -> Graph {
+    let mut edges: Vec<(u32, u32)> = (0..7).map(|i| (i, i + 1)).collect();
+    edges.extend((8..16).map(|i| (i, i + 1)));
+    edges.push((16, 8));
+    edges.extend((17..21).map(|i| (i, i + 1)));
+    graph_from_edges(23, &edges)
 }
 
 /// Oracle check of one solver output on one instance: validates against the
@@ -174,6 +193,31 @@ fn every_solver_conforms_to_the_brute_force_oracle() {
             }
         }
     }
+}
+
+#[test]
+fn enlarged_corpus_oracle_matches_closed_forms() {
+    // The new (20, 26] instances of the closed-form families pin the
+    // enlarged oracle itself: γ_r(P_n) = γ_r(C_n) = ⌈n / (2r + 1)⌉.
+    for r in [1u32, 2, 3] {
+        let span = 2 * r as usize + 1;
+        assert_eq!(
+            bitmask_minimum_domination_number(&path(26), r),
+            Some(26usize.div_ceil(span)),
+            "P_26, r = {r}"
+        );
+        assert_eq!(
+            bitmask_minimum_domination_number(&cycle(24), r),
+            Some(24usize.div_ceil(span)),
+            "C_24, r = {r}"
+        );
+    }
+    // And the disconnected union is the sum of its parts:
+    // γ_1 = γ_1(P_8) + γ_1(C_9) + γ_1(P_5) + 1 = 3 + 3 + 2 + 1.
+    assert_eq!(
+        bitmask_minimum_domination_number(&disconnected_union_23(), 1),
+        Some(9)
+    );
 }
 
 #[test]

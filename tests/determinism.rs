@@ -36,10 +36,12 @@ fn instances() -> Vec<(&'static str, Graph)> {
 
 #[test]
 fn wreach_index_build_is_strategy_independent() {
-    // The shared flat index is built through bedom-par's thread-local-scratch
-    // chunked sweep; sequential and parallel builds must be bit-identical
+    // The shared flat index is built through the word-parallel 64-lane
+    // batched sweep; sequential and parallel builds must be bit-identical
     // (same CSR offsets, data, depths and elected minima), because every
-    // analysis quantity downstream is read straight out of the index.
+    // analysis quantity downstream is read straight out of the index. Both
+    // must also equal the scalar reference path — batching (worker chunks
+    // are aligned to whole 64-source batches) never changes the artifact.
     use bedom::wcol::{degeneracy_based_order, WReachIndex};
     for (name, g) in instances() {
         let order = degeneracy_based_order(&g);
@@ -47,6 +49,12 @@ fn wreach_index_build_is_strategy_independent() {
             let [a, b] =
                 STRATEGIES.map(|strategy| WReachIndex::build_with(&g, &order, radius, strategy));
             assert_eq!(a, b, "{name}, radius {radius}: index build diverged");
+            let scalar =
+                WReachIndex::build_scalar_with(&g, &order, radius, ExecutionStrategy::Sequential);
+            assert_eq!(
+                a, scalar,
+                "{name}, radius {radius}: batched sweep diverged from the scalar reference"
+            );
         }
     }
 }

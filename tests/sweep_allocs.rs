@@ -1,0 +1,60 @@
+//! Allocation regression for the word-parallel batched ball sweep. The
+//! batched path must stay `O(workers + batches)` in allocation count — one
+//! `SweepScratch` per worker, one chunk buffer per batch range, one final
+//! CSR — never `Θ(n)` fresh vectors (the seed's per-ball `vec![false; n]`
+//! pattern this whole line of work replaced).
+//!
+//! Lives in its own integration-test binary so the counting global allocator
+//! sees no interference from unrelated tests running on sibling threads.
+
+use bedom::distsim::ExecutionStrategy;
+use bedom::graph::generators::stacked_triangulation;
+use bedom::wcol::{degeneracy_based_order, WReachIndex};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn batched_sweep_allocation_count_stays_sublinear_in_n() {
+    let n = 20_000;
+    let g = stacked_triangulation(n, 3);
+    let order = degeneracy_based_order(&g);
+    // Warm thread-local scratch (BALL_SWEEPS counters etc.) out of the count.
+    let warm = WReachIndex::build_with(&g, &order, 2, ExecutionStrategy::Sequential);
+    let allocs = count_allocs(|| {
+        let index = WReachIndex::build_with(&g, &order, 2, ExecutionStrategy::Sequential);
+        assert_eq!(index, warm);
+    });
+    // n/64 ≈ 313 batches; the budget allows the per-worker scratch (a few
+    // hundred vectors incl. the 64 lane buffers), amortised growth, the
+    // chunk buffers and the final CSR — with comfortable headroom — but a
+    // Θ(n) per-source allocation regression (≥ 20 000) still trips it.
+    assert!(
+        allocs < 8_000,
+        "batched sweep performed {allocs} allocations on n = {n} \
+         (budget 8000): a per-source allocation has crept back in"
+    );
+}
