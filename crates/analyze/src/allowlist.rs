@@ -1,0 +1,247 @@
+//! The committed allowlist (`analyze.toml`): pre-existing debt, explicit and
+//! burn-downable.
+//!
+//! Each `[[allow]]` entry grants one lint a *budget* of findings in one file.
+//! The budget ratchets: when a file's actual count exceeds its budget the run
+//! fails (new debt), and when it drops below, the analyzer reports the entry
+//! as stale so the budget can be tightened in the same PR that paid it down.
+//!
+//! The file is a small TOML subset parsed in-tree (the workspace is
+//! dependency-free): top-level `key = value`, `[[allow]]` array-of-tables
+//! headers, string and integer values, `#` comments.
+
+/// One allowlist entry: `lint` may fire up to `max` times in `file`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Lint name, as printed by `--list-lints`.
+    pub lint: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Maximum permitted findings.
+    pub max: usize,
+    /// Why the debt is acceptable (required: debt without a reason is just
+    /// debt).
+    pub reason: String,
+    /// 1-based line of the `[[allow]]` header, for error reporting.
+    pub line: usize,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Allowlist {
+    /// All entries, in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// The budget for `(lint, file)`, 0 when absent.
+    pub fn budget(&self, lint: &str, file: &str) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.lint == lint && e.file == file)
+            .map(|e| e.max)
+            .sum()
+    }
+
+    /// Parses the `analyze.toml` subset. Errors carry the offending line.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        // The entry currently being filled.
+        let mut current: Option<PartialEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(partial) = current.take() {
+                    entries.push(partial.finish()?);
+                }
+                current = Some(PartialEntry::new(line_no));
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!(
+                    "line {line_no}: unsupported table {line:?} (only [[allow]] is known)"
+                ));
+            }
+            let (key, value) = split_key_value(line, line_no)?;
+            match &mut current {
+                None => {
+                    // Top-level keys: only a version marker is accepted.
+                    if key != "version" {
+                        return Err(format!(
+                            "line {line_no}: unknown top-level key {key:?} (entries live under [[allow]])"
+                        ));
+                    }
+                }
+                Some(partial) => partial.set(key, value, line_no)?,
+            }
+        }
+        if let Some(partial) = current.take() {
+            entries.push(partial.finish()?);
+        }
+        Ok(Allowlist { entries })
+    }
+}
+
+/// An `[[allow]]` entry mid-parse: the header line plus whichever fields
+/// have been seen so far.
+struct PartialEntry {
+    line: usize,
+    lint: Option<String>,
+    file: Option<String>,
+    max: Option<usize>,
+    reason: Option<String>,
+}
+
+impl PartialEntry {
+    fn new(line: usize) -> PartialEntry {
+        PartialEntry {
+            line,
+            lint: None,
+            file: None,
+            max: None,
+            reason: None,
+        }
+    }
+
+    fn set(&mut self, key: &str, value: &str, line_no: usize) -> Result<(), String> {
+        match key {
+            "lint" => self.lint = Some(parse_string(value, line_no)?),
+            "file" => self.file = Some(parse_string(value, line_no)?),
+            "reason" => self.reason = Some(parse_string(value, line_no)?),
+            "max" => {
+                self.max =
+                    Some(value.parse::<usize>().map_err(|_| {
+                        format!("line {line_no}: `max` must be a non-negative integer")
+                    })?)
+            }
+            other => {
+                return Err(format!(
+                    "line {line_no}: unknown [[allow]] key {other:?} \
+                     (expected lint/file/max/reason)"
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<AllowEntry, String> {
+        let line = self.line;
+        let missing = |field: &str| format!("line {line}: [[allow]] entry is missing `{field}`");
+        Ok(AllowEntry {
+            lint: self.lint.ok_or_else(|| missing("lint"))?,
+            file: self.file.ok_or_else(|| missing("file"))?,
+            max: self.max.ok_or_else(|| missing("max"))?,
+            reason: self.reason.ok_or_else(|| missing("reason"))?,
+            line,
+        })
+    }
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string => escaped = !escaped,
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+fn split_key_value(line: &str, line_no: usize) -> Result<(&str, &str), String> {
+    match line.split_once('=') {
+        Some((k, v)) => Ok((k.trim(), v.trim())),
+        None => Err(format!(
+            "line {line_no}: expected `key = value`, got {line:?}"
+        )),
+    }
+}
+
+fn parse_string(value: &str, line_no: usize) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or(format!(
+            "line {line_no}: expected a double-quoted string, got {value:?}"
+        ))?;
+    // The subset forbids escapes — paths and reasons never need them.
+    if inner.contains('\\') || inner.contains('"') {
+        return Err(format!(
+            "line {line_no}: escape sequences are not supported"
+        ));
+    }
+    Ok(inner.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_budgets() {
+        let text = r#"
+# pre-existing debt
+version = 1
+
+[[allow]]
+lint = "no-unwrap"
+file = "crates/core/src/pipeline.rs"
+max = 3
+reason = "legacy guards"
+
+[[allow]]
+lint = "hash-order" # lookup-only
+file = "crates/core/src/dist_ksv.rs"
+max = 11
+reason = "local-id compression maps, never iterated"
+"#;
+        let list = Allowlist::parse(text).unwrap();
+        assert_eq!(list.entries.len(), 2);
+        assert_eq!(list.budget("no-unwrap", "crates/core/src/pipeline.rs"), 3);
+        assert_eq!(list.budget("hash-order", "crates/core/src/dist_ksv.rs"), 11);
+        assert_eq!(list.budget("no-unwrap", "crates/core/src/dist_ksv.rs"), 0);
+    }
+
+    #[test]
+    fn missing_fields_are_rejected() {
+        let text = "[[allow]]\nlint = \"no-unwrap\"\nmax = 1\nreason = \"x\"\n";
+        let err = Allowlist::parse(text).unwrap_err();
+        assert!(err.contains("missing `file`"), "{err}");
+        let text = "[[allow]]\nlint = \"no-unwrap\"\nfile = \"a.rs\"\nmax = 1\n";
+        let err = Allowlist::parse(text).unwrap_err();
+        assert!(err.contains("missing `reason`"), "{err}");
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let err = Allowlist::parse("[[allow]]\nlintt = \"x\"\n").unwrap_err();
+        assert!(err.contains("unknown"), "{err}");
+        let err = Allowlist::parse("stray = \"x\"\n").unwrap_err();
+        assert!(err.contains("unknown top-level key"), "{err}");
+    }
+
+    #[test]
+    fn comments_in_strings_survive() {
+        let text = "[[allow]]\nlint = \"no-unwrap\"\nfile = \"a#b.rs\"\nmax = 1\nreason = \"has # inside\"\n";
+        let list = Allowlist::parse(text).unwrap();
+        assert_eq!(list.entries[0].file, "a#b.rs");
+        assert_eq!(list.entries[0].reason, "has # inside");
+    }
+
+    #[test]
+    fn empty_allowlist_is_fine() {
+        assert_eq!(Allowlist::parse("").unwrap().entries.len(), 0);
+        assert_eq!(
+            Allowlist::parse("# only comments\n").unwrap().entries.len(),
+            0
+        );
+    }
+}

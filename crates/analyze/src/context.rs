@@ -1,0 +1,269 @@
+//! Per-file analysis context: the token stream, the file's role in the
+//! workspace, and which token spans are test-only code.
+
+use crate::tokenizer::{tokenize, Token, TokenKind};
+
+/// The compilation role of a file, derived from its workspace-relative path.
+/// Lints scope themselves by kind: e.g. the unwrap ban applies to library
+/// code only, never to tests or benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source (`crates/*/src`, root `src/`).
+    Lib,
+    /// Integration tests (`tests/` directories).
+    Test,
+    /// Benchmarks (`benches/` directories).
+    Bench,
+    /// Examples (`examples/` directories).
+    Example,
+    /// Binaries (`src/bin/`).
+    Bin,
+}
+
+impl FileKind {
+    /// Classifies a normalized workspace-relative path.
+    pub fn of_path(path: &str) -> FileKind {
+        let segment =
+            |s: &str| path.starts_with(&format!("{s}/")) || path.contains(&format!("/{s}/"));
+        if segment("tests") {
+            FileKind::Test
+        } else if segment("benches") {
+            FileKind::Bench
+        } else if segment("examples") {
+            FileKind::Example
+        } else if path.contains("/src/bin/") || path.starts_with("src/bin/") {
+            FileKind::Bin
+        } else {
+            FileKind::Lib
+        }
+    }
+}
+
+/// Everything a lint pass sees for one file.
+#[derive(Debug)]
+pub struct FileContext {
+    /// Workspace-relative path with forward slashes (`crates/core/src/x.rs`).
+    pub path: String,
+    /// Role of the file.
+    pub kind: FileKind,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// `in_test[i]` — token `i` is inside a `#[cfg(test)]` / `#[test]` item.
+    pub in_test: Vec<bool>,
+}
+
+impl FileContext {
+    /// Tokenizes `src` and computes test regions.
+    pub fn from_source(path: &str, src: &str) -> FileContext {
+        let tokens = tokenize(src);
+        let in_test = test_region_mask(&tokens);
+        FileContext {
+            path: path.replace('\\', "/"),
+            kind: FileKind::of_path(path),
+            tokens,
+            in_test,
+        }
+    }
+
+    /// Whether token `i` should be skipped as test-only code: either the
+    /// whole file is a test file or the token sits under a test attribute.
+    pub fn is_test_code(&self, i: usize) -> bool {
+        self.kind == FileKind::Test || self.in_test.get(i).copied().unwrap_or(false)
+    }
+}
+
+/// Whether the attribute token slice (the tokens between `#[` and `]`)
+/// gates test-only code: `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ..))]`.
+/// `#[cfg(not(test))]` gates *non*-test code and must not match.
+fn is_test_attribute(attr: &[Token]) -> bool {
+    let first = attr.iter().find_map(Token::ident);
+    match first {
+        Some("test") => true,
+        Some("cfg") => {
+            attr.iter().any(|t| t.is_ident("test")) && !attr.iter().any(|t| t.is_ident("not"))
+        }
+        _ => false,
+    }
+}
+
+/// Marks the token span of every item annotated with a test attribute.
+///
+/// The scan is syntactic, not a full parse: after a `#[test]`-like outer
+/// attribute (and any further attributes on the same item) the item extends
+/// to its matching close brace, or to the first `;` at bracket depth zero
+/// for brace-less items (`#[cfg(test)] use foo;`).
+pub fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let (attr_tokens, after_attr) = match bracketed_span(tokens, i + 1) {
+            Some(span) => span,
+            None => break,
+        };
+        if !is_test_attribute(attr_tokens) {
+            i = after_attr;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        let mut j = after_attr;
+        while j < tokens.len()
+            && tokens[j].is_punct('#')
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            match bracketed_span(tokens, j + 1) {
+                Some((_, next)) => j = next,
+                None => break,
+            }
+        }
+        // Find the item extent: matching `{...}` or a top-level `;`.
+        let mut depth = 0i64;
+        let mut end = tokens.len();
+        while j < tokens.len() {
+            match tokens[j].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                TokenKind::Punct('{') if depth == 0 => {
+                    end = matching_brace(tokens, j);
+                    break;
+                }
+                TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct('}') => depth -= 1,
+                TokenKind::Punct(';') if depth == 0 => {
+                    end = j + 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for slot in mask.iter_mut().take(end.min(tokens.len())).skip(attr_start) {
+            *slot = true;
+        }
+        i = end.min(tokens.len()).max(after_attr);
+    }
+    mask
+}
+
+/// For `tokens[open]` == `[`, returns the attribute body slice and the index
+/// one past the matching `]`.
+fn bracketed_span(tokens: &[Token], open: usize) -> Option<(&[Token], usize)> {
+    let mut depth = 0i64;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((&tokens[open + 1..k], k + 1));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// For `tokens[open]` == `{`, returns the index one past the matching `}`
+/// (or the end of the stream for unbalanced input).
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_idents(src: &str) -> Vec<(String, bool)> {
+        let ctx = FileContext::from_source("crates/x/src/lib.rs", src);
+        ctx.tokens
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.ident().map(|s| (s.to_string(), ctx.in_test[i])))
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "fn lib_code() {}\n#[cfg(test)]\nmod tests {\n fn helper() {}\n}\nfn more() {}";
+        let marks = test_idents(src);
+        let get = |name: &str| marks.iter().find(|(s, _)| s == name).map(|(_, m)| *m);
+        assert_eq!(get("lib_code"), Some(false));
+        assert_eq!(get("helper"), Some(true));
+        assert_eq!(get("more"), Some(false));
+    }
+
+    #[test]
+    fn test_fn_is_marked() {
+        let src = "#[test]\nfn check() { body(); }\nfn after() {}";
+        let marks = test_idents(src);
+        assert!(marks.iter().any(|(s, m)| s == "body" && *m));
+        assert!(marks.iter().any(|(s, m)| s == "after" && !*m));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_marked() {
+        let src = "#[cfg(not(test))]\nfn shipped() { body(); }";
+        let marks = test_idents(src);
+        assert!(marks.iter().any(|(s, m)| s == "body" && !*m));
+    }
+
+    #[test]
+    fn stacked_attributes_and_semicolon_items() {
+        let src =
+            "#[cfg(test)]\n#[allow(dead_code)]\nuse std::collections::HashMap;\nfn after() {}";
+        let marks = test_idents(src);
+        assert!(marks.iter().any(|(s, m)| s == "HashMap" && *m));
+        assert!(marks.iter().any(|(s, m)| s == "after" && !*m));
+    }
+
+    #[test]
+    fn braces_inside_signature_positions_do_not_truncate() {
+        let src = "#[cfg(test)]\nfn f(x: [u8; 3]) -> (u8, u8) { inner(); }\nfn out() {}";
+        let marks = test_idents(src);
+        assert!(marks.iter().any(|(s, m)| s == "inner" && *m));
+        assert!(marks.iter().any(|(s, m)| s == "out" && !*m));
+    }
+
+    #[test]
+    fn cfg_all_with_test_is_marked() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nfn f() { body(); }";
+        let marks = test_idents(src);
+        assert!(marks.iter().any(|(s, m)| s == "body" && *m));
+    }
+
+    #[test]
+    fn file_kinds() {
+        assert_eq!(FileKind::of_path("crates/core/src/lib.rs"), FileKind::Lib);
+        assert_eq!(FileKind::of_path("tests/determinism.rs"), FileKind::Test);
+        assert_eq!(
+            FileKind::of_path("crates/bench/benches/faults.rs"),
+            FileKind::Bench
+        );
+        assert_eq!(
+            FileKind::of_path("examples/quickstart.rs"),
+            FileKind::Example
+        );
+        assert_eq!(
+            FileKind::of_path("crates/bench/src/bin/experiments.rs"),
+            FileKind::Bin
+        );
+    }
+}

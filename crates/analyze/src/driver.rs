@@ -1,0 +1,203 @@
+//! Workspace walker and report builder: discovers the `.rs` files, runs the
+//! battery, resolves findings against the allowlist and produces the report
+//! the CLI (and the self-test suite) renders.
+
+use crate::allowlist::Allowlist;
+use crate::lints::{analyze_source, Finding};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// The source directories scanned, relative to the workspace root. `target/`
+/// and anything hidden is never entered.
+const SCAN_ROOTS: [&str; 5] = ["crates", "src", "tests", "examples", "benches"];
+
+/// Outcome of one full analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings *not* covered by the allowlist — these fail `--deny`.
+    pub violations: Vec<Finding>,
+    /// Findings absorbed by allowlist budgets.
+    pub allowed: Vec<Finding>,
+    /// Allowlist entries whose budget exceeds the actual count — candidates
+    /// for tightening (`(entry description, actual, budget)`).
+    pub stale: Vec<(String, usize, usize)>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the tree is clean under the allowlist.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Analyzes the workspace rooted at `root` against `allowlist`.
+pub fn run(root: &Path, allowlist: &Allowlist) -> Result<Report, String> {
+    let mut files = Vec::new();
+    for scan in SCAN_ROOTS {
+        collect_rust_files(&root.join(scan), &mut files)?;
+    }
+    files.sort();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for file in &files {
+        let rel = relative_path(root, file);
+        let src = std::fs::read_to_string(file)
+            .map_err(|e| format!("reading {}: {e}", file.display()))?;
+        findings.extend(analyze_source(&rel, &src));
+    }
+
+    Ok(resolve(findings, allowlist, files.len()))
+}
+
+/// Splits raw findings into violations and allowlisted debt.
+///
+/// Budgets are per `(lint, file)`: the first `max` findings (in line order)
+/// are absorbed, everything beyond is a violation. An entry whose budget is
+/// not fully used is reported stale so it can be ratcheted down.
+pub fn resolve(findings: Vec<Finding>, allowlist: &Allowlist, files_scanned: usize) -> Report {
+    let mut groups: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+    for f in findings {
+        groups
+            .entry((f.lint.to_string(), f.file.clone()))
+            .or_default()
+            .push(f);
+    }
+    let mut report = Report {
+        files_scanned,
+        ..Report::default()
+    };
+    for ((lint, file), mut group) in groups {
+        group.sort_by_key(|f| f.line);
+        let budget = allowlist.budget(&lint, &file);
+        for (i, f) in group.into_iter().enumerate() {
+            if i < budget {
+                report.allowed.push(f);
+            } else {
+                report.violations.push(f);
+            }
+        }
+    }
+    for entry in &allowlist.entries {
+        let actual = report
+            .allowed
+            .iter()
+            .filter(|f| f.lint == entry.lint && f.file == entry.file)
+            .count()
+            + report
+                .violations
+                .iter()
+                .filter(|f| f.lint == entry.lint && f.file == entry.file)
+                .count();
+        if actual < entry.max {
+            report.stale.push((
+                format!(
+                    "[[allow]] {} in {} (analyze.toml line {})",
+                    entry.lint, entry.file, entry.line
+                ),
+                actual,
+                entry.max,
+            ));
+        }
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    report
+}
+
+/// Recursively collects `.rs` files under `dir` (missing dirs are fine).
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return Ok(()), // absent scan root (e.g. no root benches/)
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walking {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        let kind = entry
+            .file_type()
+            .map_err(|e| format!("stat {}: {e}", path.display()))?;
+        if kind.is_dir() {
+            collect_rust_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `file` relative to `root`, normalized to forward slashes.
+fn relative_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allowlist::Allowlist;
+
+    fn f(lint: &'static str, file: &str, line: u32) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            lint,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn budgets_absorb_in_line_order_and_overflow_violates() {
+        let allow = Allowlist::parse(
+            "[[allow]]\nlint = \"no-unwrap\"\nfile = \"a.rs\"\nmax = 2\nreason = \"debt\"\n",
+        )
+        .unwrap();
+        let report = resolve(
+            vec![
+                f("no-unwrap", "a.rs", 30),
+                f("no-unwrap", "a.rs", 10),
+                f("no-unwrap", "a.rs", 20),
+                f("no-unwrap", "b.rs", 1),
+            ],
+            &allow,
+            2,
+        );
+        assert_eq!(report.allowed.len(), 2);
+        assert_eq!(
+            report.allowed.iter().map(|x| x.line).collect::<Vec<_>>(),
+            vec![10, 20]
+        );
+        assert_eq!(report.violations.len(), 2);
+        assert!(!report.is_clean());
+        assert!(report.stale.is_empty());
+    }
+
+    #[test]
+    fn underused_budget_is_reported_stale() {
+        let allow = Allowlist::parse(
+            "[[allow]]\nlint = \"hash-order\"\nfile = \"a.rs\"\nmax = 5\nreason = \"debt\"\n",
+        )
+        .unwrap();
+        let report = resolve(vec![f("hash-order", "a.rs", 1)], &allow, 1);
+        assert!(report.is_clean());
+        assert_eq!(report.stale.len(), 1);
+        assert_eq!(report.stale[0].1, 1);
+        assert_eq!(report.stale[0].2, 5);
+    }
+
+    #[test]
+    fn clean_tree_with_empty_allowlist() {
+        let report = resolve(Vec::new(), &Allowlist::default(), 0);
+        assert!(report.is_clean());
+        assert!(report.stale.is_empty());
+    }
+}

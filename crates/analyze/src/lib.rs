@@ -1,0 +1,35 @@
+//! # bedom-analyze
+//!
+//! An in-tree lint engine: mechanically enforces the invariants the test
+//! suite can only sample.
+//!
+//! Every correctness guarantee this reproduction leans on — bit-identical
+//! `Sequential`/`Parallel` runs, fully-accounted wire bits with checked
+//! narrowing casts, fault decisions as stateless hashes — used to be
+//! enforced by convention plus spot-check tests. This crate turns those
+//! conventions into machine-checked passes over a comment- and
+//! raw-string-aware token stream:
+//!
+//! | lint | invariant |
+//! |------|-----------|
+//! | `narrow-cast` | no unchecked `as u8/u16/u32` on wire paths |
+//! | `hash-order`  | no `HashMap`/`HashSet` in deterministic protocol crates |
+//! | `wall-clock`  | no `Instant::now`/`SystemTime`/`RandomState` outside the bench harness |
+//! | `no-unwrap`   | no `.unwrap()`/`.expect()` in library non-test code |
+//! | `raw-thread`  | `std::thread` confined to `bedom-par` |
+//!
+//! Pre-existing debt lives in the committed allowlist `analyze.toml` as
+//! per-file budgets with reasons; `--deny` (the CI mode) exits nonzero the
+//! moment a file exceeds its budget. The crate is dependency-free like the
+//! rest of the workspace.
+
+pub mod allowlist;
+pub mod context;
+pub mod driver;
+pub mod lints;
+pub mod tokenizer;
+
+pub use allowlist::Allowlist;
+pub use context::{FileContext, FileKind};
+pub use driver::{run, Report};
+pub use lints::{all_lints, analyze_source, Finding, Lint};

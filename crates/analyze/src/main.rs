@@ -1,0 +1,127 @@
+//! CLI for the in-tree lint engine.
+//!
+//! ```text
+//! bedom-analyze [--deny] [--all] [--list-lints] [--root DIR] [--allowlist FILE]
+//! ```
+//!
+//! Exit status: 0 when the tree is clean under `analyze.toml`; 1 with
+//! `--deny` when any finding exceeds its allowlist budget (the CI mode);
+//! 2 on usage or I/O errors.
+
+use bedom_analyze::{all_lints, Allowlist};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    allowlist: Option<PathBuf>,
+    deny: bool,
+    show_allowed: bool,
+    list_lints: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        allowlist: None,
+        deny: false,
+        show_allowed: false,
+        list_lints: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => opts.deny = true,
+            "--all" => opts.show_allowed = true,
+            "--list-lints" => opts.list_lints = true,
+            "--root" => opts.root = PathBuf::from(args.next().ok_or("--root needs a directory")?),
+            "--allowlist" => {
+                opts.allowlist = Some(PathBuf::from(
+                    args.next().ok_or("--allowlist needs a file")?,
+                ))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "bedom-analyze [--deny] [--all] [--list-lints] [--root DIR] [--allowlist FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?} (see --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("bedom-analyze: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_lints {
+        for lint in all_lints() {
+            println!("{:<12} {}", lint.name(), lint.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let allowlist_path = opts
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| opts.root.join("analyze.toml"));
+    let allowlist = if allowlist_path.exists() {
+        let text = match std::fs::read_to_string(&allowlist_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bedom-analyze: reading {}: {e}", allowlist_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match Allowlist::parse(&text) {
+            Ok(list) => list,
+            Err(message) => {
+                eprintln!("bedom-analyze: {}: {message}", allowlist_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Allowlist::default()
+    };
+
+    let report = match bedom_analyze::run(&opts.root, &allowlist) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("bedom-analyze: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &report.violations {
+        println!("{finding}");
+    }
+    if opts.show_allowed {
+        for finding in &report.allowed {
+            println!("{finding} (allowlisted)");
+        }
+    }
+    for (entry, actual, budget) in &report.stale {
+        eprintln!(
+            "stale allowlist budget: {entry}: {actual} findings, budget {budget} — tighten it"
+        );
+    }
+    eprintln!(
+        "bedom-analyze: {} files, {} violation(s), {} allowlisted, {} stale budget(s)",
+        report.files_scanned,
+        report.violations.len(),
+        report.allowed.len(),
+        report.stale.len(),
+    );
+
+    if opts.deny && !report.is_clean() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

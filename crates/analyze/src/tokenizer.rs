@@ -1,0 +1,419 @@
+//! A comment- and raw-string-aware Rust tokenizer.
+//!
+//! The lint passes only ever need to see *code*: identifiers, punctuation and
+//! the fact that a literal occurred. Everything that routinely produces false
+//! positives in grep-based enforcement — `HashMap` mentioned in a doc
+//! comment, `Instant::now` inside a string literal, `as u32` in a `//`
+//! explanation — is consumed here and never reaches a pass. The tokenizer is
+//! deliberately lossy (multi-character operators arrive as single-character
+//! punctuation tokens) because no lint needs more.
+
+/// What a token is. Literal *content* is dropped on purpose: a string literal
+/// containing `HashMap` must be indistinguishable from any other string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`as`, `HashMap`, `unwrap`, ...).
+    Ident(String),
+    /// A raw identifier (`r#as`). Kept distinct so `r#as` never matches the
+    /// `as` keyword.
+    RawIdent(String),
+    /// A numeric literal (`0x3f`, `1_000`, `1.5e3`).
+    Number,
+    /// Any string-ish literal: `"..."`, `r#"..."#`, `b"..."`, `c"..."`,
+    /// `'x'`, `b'x'`.
+    Literal,
+    /// A lifetime (`'a`, `'_`, `'static`).
+    Lifetime,
+    /// A single punctuation character (`#`, `[`, `(`, `.`, `:`, ...).
+    Punct(char),
+}
+
+/// One token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `name` (raw identifiers never
+    /// match: `r#as` is not the keyword `as`).
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(s) if s == name)
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// The identifier text, if this is a (non-raw) identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one character, keeping the line counter in sync.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(ch) = c {
+            self.pos += 1;
+            if ch == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        // Called with the cursor on the opening `/*`. Rust block comments
+        // nest.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Skips a `"..."` body (cursor on the opening quote), honouring `\"`.
+    fn skip_quoted_string(&mut self) {
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Skips `#...#"..."#...#` with `hashes` leading hashes already counted
+    /// and consumed; the cursor sits on the opening quote.
+    fn skip_raw_string(&mut self, hashes: usize) {
+        self.bump();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+    }
+
+    /// Skips a character literal body (cursor on the opening `'`).
+    fn skip_char_literal(&mut self) {
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Tokenizes Rust source. Unterminated constructs are tolerated (the rest of
+/// the file is simply consumed); the analyzer lints code that `rustc` already
+/// accepts, so malformed input only has to not panic.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let line = cur.line;
+        if c.is_whitespace() {
+            cur.bump();
+        } else if c == '/' && cur.peek(1) == Some('/') {
+            cur.skip_line_comment();
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            cur.skip_block_comment();
+        } else if c == '"' {
+            cur.skip_quoted_string();
+            out.push(Token {
+                kind: TokenKind::Literal,
+                line,
+            });
+        } else if c == '\'' {
+            // Lifetime or char literal. `'\...'` and `'x'` are chars;
+            // anything else (`'a`, `'static`, `'_`) is a lifetime with no
+            // closing quote.
+            if cur.peek(1) == Some('\\') || (cur.peek(2) == Some('\'') && cur.peek(1) != Some('\''))
+            {
+                cur.skip_char_literal();
+                out.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+            } else {
+                cur.bump();
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.push(Token {
+                    kind: TokenKind::Lifetime,
+                    line,
+                });
+            }
+        } else if is_ident_start(c) {
+            let start = cur.pos;
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            let word: String = cur.chars[start..cur.pos].iter().collect();
+            // Literal prefixes and raw identifiers.
+            match (word.as_str(), cur.peek(0)) {
+                ("r" | "br" | "cr", Some('"')) => {
+                    cur.skip_raw_string(0);
+                    out.push(Token {
+                        kind: TokenKind::Literal,
+                        line,
+                    });
+                }
+                ("r" | "br" | "cr", Some('#')) => {
+                    let mut hashes = 0;
+                    while cur.peek(hashes) == Some('#') {
+                        hashes += 1;
+                    }
+                    if cur.peek(hashes) == Some('"') {
+                        for _ in 0..hashes {
+                            cur.bump();
+                        }
+                        cur.skip_raw_string(hashes);
+                        out.push(Token {
+                            kind: TokenKind::Literal,
+                            line,
+                        });
+                    } else if word == "r" && hashes == 1 && cur.peek(1).is_some_and(is_ident_start)
+                    {
+                        // Raw identifier r#name.
+                        cur.bump();
+                        let istart = cur.pos;
+                        while cur.peek(0).is_some_and(is_ident_continue) {
+                            cur.bump();
+                        }
+                        let name: String = cur.chars[istart..cur.pos].iter().collect();
+                        out.push(Token {
+                            kind: TokenKind::RawIdent(name),
+                            line,
+                        });
+                    } else {
+                        out.push(Token {
+                            kind: TokenKind::Ident(word),
+                            line,
+                        });
+                    }
+                }
+                ("b" | "c", Some('"')) => {
+                    cur.skip_quoted_string();
+                    out.push(Token {
+                        kind: TokenKind::Literal,
+                        line,
+                    });
+                }
+                ("b", Some('\'')) => {
+                    cur.skip_char_literal();
+                    out.push(Token {
+                        kind: TokenKind::Literal,
+                        line,
+                    });
+                }
+                _ => out.push(Token {
+                    kind: TokenKind::Ident(word),
+                    line,
+                }),
+            }
+        } else if c.is_ascii_digit() {
+            // Numbers, loosely: digits, `_`, type suffixes, hex letters, and
+            // a decimal point only when followed by a digit (so `0..n` stays
+            // three tokens).
+            cur.bump();
+            loop {
+                match cur.peek(0) {
+                    Some(d) if is_ident_continue(d) => {
+                        cur.bump();
+                    }
+                    Some('.') if cur.peek(1).is_some_and(|d| d.is_ascii_digit()) => {
+                        cur.bump();
+                    }
+                    _ => break,
+                }
+            }
+            out.push(Token {
+                kind: TokenKind::Number,
+                line,
+            });
+        } else {
+            cur.bump();
+            out.push(Token {
+                kind: TokenKind::Punct(c),
+                line,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_invisible() {
+        let src = "// HashMap\n/* Instant::now */ let x = 1; /* /* nested */ as u32 */";
+        assert_eq!(idents(src), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn string_contents_are_invisible() {
+        let src = r####"let s = "HashMap"; let r = r#"Instant::now"#; let c = 'H';"####;
+        assert_eq!(idents(src), vec!["let", "s", "let", "r", "let", "c"]);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = r#"let s = "a\"HashMap\""; done"#;
+        assert_eq!(idents(src), vec!["let", "s", "done"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { x } let c = 'x';";
+        let toks = tokenize(src);
+        let lifetimes = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(lifetimes, 3);
+        assert_eq!(chars, 1);
+        // The identifiers after the lifetimes are intact.
+        assert!(idents(src).contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_match_keywords() {
+        let toks = tokenize("let r#as = 3; x as u32");
+        assert!(!toks[1].is_ident("as"));
+        assert_eq!(toks[1].kind, TokenKind::RawIdent("as".into()));
+        assert!(toks.iter().any(|t| t.is_ident("as")));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "let a = 1;\n/* two\nlines */\nlet b = \"x\ny\";\nlet c = 2;";
+        let toks = tokenize(src);
+        let line_of = |name: &str| {
+            toks.iter()
+                .find(|t| t.is_ident(name))
+                .map(|t| t.line)
+                .unwrap_or(0)
+        };
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 4);
+        assert_eq!(line_of("c"), 6);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_dots() {
+        let toks = tokenize("for i in 0..n {}");
+        assert!(toks.iter().any(|t| t.is_punct('.')));
+        assert!(toks.iter().any(|t| t.is_ident("n")));
+        let floats = tokenize("let x = 1.5e3 + 0x_ff;");
+        assert_eq!(
+            floats
+                .iter()
+                .filter(|t| t.kind == TokenKind::Number)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn byte_and_c_strings_are_literals() {
+        let src =
+            "let a = b\"HashMap\"; let b2 = c\"SystemTime\"; let c3 = b'x'; let d = br#\"as u8\"#;";
+        assert_eq!(
+            idents(src),
+            vec!["let", "a", "let", "b2", "let", "c3", "let", "d"]
+        );
+    }
+
+    #[test]
+    fn unterminated_input_does_not_panic() {
+        tokenize("let s = \"unterminated");
+        tokenize("let s = r#\"unterminated");
+        tokenize("/* unterminated");
+        tokenize("'");
+    }
+}

@@ -30,6 +30,8 @@
 //!
 //! Run with `BEDOM_BENCH_JSON=BENCH_bitset.json` to commit the numbers.
 
+#![allow(unsafe_code)] // the counting allocator implements `GlobalAlloc`
+
 use bedom_bench::connected_instance;
 use bedom_graph::bfs::{multi_source_distances, UNREACHABLE};
 use bedom_graph::bitset::{reach_words64, ReachMatrix};

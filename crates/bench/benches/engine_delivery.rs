@@ -18,6 +18,8 @@
 //! starts, and a counting global allocator reports the allocation totals the
 //! two delivery schemes incur for one identical run.
 
+#![allow(unsafe_code)] // the counting allocator implements `GlobalAlloc`
+
 use bedom_bench::legacy::{LegacyAlgorithm, LegacyIncoming, LegacyNetwork};
 use bedom_distsim::{
     Engine, ExecutionStrategy, IdAssignment, Inbox, Model, Network, NodeAlgorithm, NodeContext,

@@ -19,6 +19,8 @@
 //!
 //! Run with `BEDOM_BENCH_JSON=BENCH_wreach.json` to commit the numbers.
 
+#![allow(unsafe_code)] // the counting allocator implements `GlobalAlloc`
+
 use bedom_bench::connected_instance;
 use bedom_bench::legacy_wreach::seed_election_and_constant;
 use bedom_core::dist_wreach::{PathSetMessage, WReachConfig};

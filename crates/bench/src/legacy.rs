@@ -14,6 +14,7 @@ use bedom_distsim::MessageSize;
 use bedom_graph::{Graph, Vertex};
 
 /// An owned received message, exactly as the seed delivered it.
+#[derive(Debug)]
 pub struct LegacyIncoming<M> {
     /// Sender's network id.
     pub from: u64,
@@ -58,6 +59,15 @@ pub struct LegacyNetwork<'g, A: LegacyAlgorithm> {
     nodes: Vec<A>,
     outboxes: Vec<Option<A::Message>>,
     stats: LegacyStats,
+}
+
+impl<A: LegacyAlgorithm> std::fmt::Debug for LegacyNetwork<'_, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LegacyNetwork")
+            .field("num_vertices", &self.ids.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'g, A: LegacyAlgorithm> LegacyNetwork<'g, A> {

@@ -93,6 +93,18 @@ pub struct DistContext<'g> {
     index: OnceCell<WReachIndex>,
 }
 
+impl std::fmt::Debug for DistContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistContext")
+            .field("num_vertices", &self.graph.num_vertices())
+            .field("config", &self.config)
+            .field("id_bits", &self.id_bits)
+            .field("wreach_ran", &self.wreach.get().is_some())
+            .field("index_built", &self.index.get().is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'g> DistContext<'g> {
     /// Runs the order phase (the Theorem 3 substitute) on `graph` and wraps
     /// the result as the context every later phase reads from.

@@ -28,6 +28,7 @@ use bedom_graph::{Graph, Vertex};
 use std::collections::BTreeSet;
 
 /// Per-vertex state of the path-flooding phase.
+#[derive(Debug)]
 pub struct PathFloodNode {
     sid: u64,
     id_bits: usize,

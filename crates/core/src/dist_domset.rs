@@ -43,6 +43,7 @@ use std::collections::BTreeMap;
 /// itself popped off, and the vertex whose super-id now terminates the path
 /// becomes the next holder. A token of length 1 has reached its target, which
 /// thereby learns it is in the dominating set.
+#[derive(Debug)]
 pub struct ElectionNode {
     sid: u64,
     id_bits: usize,

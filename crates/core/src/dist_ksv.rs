@@ -107,6 +107,7 @@ use bedom_distsim::{
     Model, ModelViolation, Network, NodeAlgorithm, NodeContext, Outgoing, RecoveryPolicy,
     RecoveryReport, RunPolicy, RunStats,
 };
+use bedom_graph::cast;
 use bedom_graph::domset::is_distance_dominating_set;
 use bedom_graph::{Graph, Vertex};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
@@ -388,7 +389,13 @@ fn greedy_cover(
         .iter()
         .enumerate()
         .filter(|(_, mask)| !mask.is_empty())
-        .map(|(i, mask)| (gain(mask, uncovered), Reverse(ids[i]), i as u32))
+        .map(|(i, mask)| {
+            (
+                gain(mask, uncovered),
+                Reverse(ids[i]),
+                cast::u32_from_usize(i),
+            )
+        })
         .filter(|&(g, _, _)| g > 0)
         .collect();
     let mut picked = Vec::new();
@@ -484,7 +491,7 @@ struct KsvView {
 
 /// Node state of the distance-`r` KSV protocol. `Clone` so the engine's
 /// checkpoint/recovery machinery can snapshot it.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct KsvNode {
     id: u64,
     r: u32,
@@ -863,7 +870,7 @@ impl KsvNode {
         }
         // Ids first heard at call t sit at distance exactly t + 1 (the
         // init adjacency exchange seeded distances 0 and 1).
-        self.ball_extend(pending, round as u32 + 1);
+        self.ball_extend(pending, cast::u32_from_usize(round) + 1);
         if round + 1 < r {
             let wave = std::mem::take(&mut self.ball_fresh);
             if wave.is_empty() {
@@ -913,7 +920,11 @@ impl KsvNode {
             // Dictionary = the ball ids, all announced by this message
             // (inner part = the init adjacency, frontier explicit below).
             self.dict = self.ball.iter().map(|&(z, _)| z).collect();
-            let entries: Arc<[(u64, u8)]> = self.ball.iter().map(|&(z, d)| (z, d as u8)).collect();
+            let entries: Arc<[(u64, u8)]> = self
+                .ball
+                .iter()
+                .map(|&(z, d)| (z, cast::u8_from_u32(d)))
+                .collect();
             let frontier = self.ball.iter().filter(|&&(_, d)| d >= 2).count();
             // 1 flag bit + a deg-bit membership mask over N(v) (the inner
             // part, reconstructed by receivers who know N(v)) + explicit
@@ -1103,7 +1114,7 @@ impl KsvNode {
         let k = reach.len();
         let mut lid: HashMap<u64, u32> = HashMap::with_capacity(k);
         for (i, &(id, _)) in reach.iter().enumerate() {
-            lid.insert(id, i as u32);
+            lid.insert(id, cast::u32_from_usize(i));
         }
         // Adjacency in local indices. 2r-boundary vertices have no gathered
         // record and become leaves — exactly right, since no search below
@@ -1136,13 +1147,13 @@ impl KsvNode {
             }
             epoch += 1;
             queue.clear();
-            queue.push((zi as u32, 0));
+            queue.push((cast::u32_from_usize(zi), 0));
             stamp[zi] = epoch;
             let mut out: Vec<(u64, u8)> = Vec::new();
             let mut head = 0;
             while let Some(&(x, d)) = queue.get(head) {
                 head += 1;
-                out.push((reach[x as usize].0, d as u8));
+                out.push((reach[x as usize].0, cast::u8_from_u32(d)));
                 if d >= r {
                     continue;
                 }
@@ -1223,7 +1234,7 @@ impl KsvNode {
         let k = reach.len();
         let mut lid: HashMap<u64, u32> = HashMap::with_capacity(k);
         for (i, &(id, _)) in reach.iter().enumerate() {
-            lid.insert(id, i as u32);
+            lid.insert(id, cast::u32_from_usize(i));
         }
         let local_adj: Vec<Vec<u32>> = reach
             .iter()
@@ -1346,7 +1357,7 @@ impl KsvNode {
             }
             if let Some(entries) = &view.summaries[i] {
                 for &(z, dz) in entries.iter() {
-                    pairs.push((z, du + dz as u32));
+                    pairs.push((z, du + u32::from(dz)));
                 }
             }
         }
@@ -1391,7 +1402,7 @@ impl KsvNode {
                 let zi = *cand_idx.entry(z).or_insert_with(|| {
                     cand_ids.push(z);
                     masks.push(vec![0u64; words]);
-                    (cand_ids.len() - 1) as u32
+                    cast::u32_from_usize(cand_ids.len() - 1)
                 }) as usize;
                 set_bit(&mut masks[zi], i);
             }
@@ -1502,7 +1513,7 @@ impl NodeAlgorithm for KsvNode {
             // Election-token flood: after a rebroadcast at this round, a
             // token has `2r + elect − round − 1` delivery hops spent, so the
             // remaining useful reach from here is the difference.
-            let fwd_limit = (2 * r + elect - round) as u32;
+            let fwd_limit = cast::u32_from_usize(2 * r + elect - round);
             return self.absorb_elections(inbox, fwd_limit);
         }
         if round == announce2 {
@@ -1814,7 +1825,7 @@ fn run_ksv_network(
         });
     }
     assert!(
-        config.flood == KsvFlood::Records || r <= u8::MAX as u32,
+        config.flood == KsvFlood::Records || r <= u32::from(u8::MAX),
         "summary-flood distances are encoded in 8 bits — run radii above 255 with KsvFlood::Records"
     );
     let nabla = config.nabla.unwrap_or_else(|| estimate_nabla(graph));

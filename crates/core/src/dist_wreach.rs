@@ -158,6 +158,7 @@ impl WReachInfo {
 }
 
 /// Node state of the parallel restricted-BFS protocol (paper's Algorithm 4).
+#[derive(Debug)]
 pub struct WReachNode {
     sid: u64,
     rho: u32,

@@ -61,8 +61,9 @@ fn lex_shortest_path(
     // BFS distances from w restricted to the view, so we can walk greedily
     // from u towards w always decreasing the distance and picking the
     // smallest-id next hop — which yields the lexicographically least
-    // shortest path.
-    let mut dist: std::collections::HashMap<Vertex, u32> = std::collections::HashMap::new();
+    // shortest path. The map is lookup-only (never iterated), but a BTreeMap
+    // keeps the whole protocol crate free of randomised hash state.
+    let mut dist: std::collections::BTreeMap<Vertex, u32> = std::collections::BTreeMap::new();
     dist.insert(w, 0);
     let mut queue = VecDeque::new();
     queue.push_back(w);
@@ -72,7 +73,7 @@ fn lex_shortest_path(
             continue;
         }
         for y in view.neighbors_in_view(x) {
-            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(y) {
+            if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(y) {
                 e.insert(d + 1);
                 queue.push_back(y);
             }

@@ -132,6 +132,7 @@ fn render_json(report: &Report) -> String {
 }
 
 /// Entry point handed to every bench function, mirroring `criterion::Criterion`.
+#[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
@@ -177,6 +178,7 @@ impl Criterion {
 }
 
 /// A group of benchmarks sharing sampling settings.
+#[derive(Debug)]
 pub struct BenchmarkGroup<'c> {
     criterion: &'c mut Criterion,
     sample_size: Option<usize>,
@@ -251,7 +253,7 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 }
 
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, Debug)]
 struct Settings {
     sample_size: usize,
     measurement_time: Duration,
@@ -259,6 +261,7 @@ struct Settings {
 }
 
 /// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Debug)]
 pub struct BenchmarkId {
     text: String,
 }
@@ -301,6 +304,7 @@ pub enum Throughput {
 }
 
 /// Measurement driver passed to the bench closure.
+#[derive(Debug)]
 pub struct Bencher {
     samples: Vec<Duration>,
     settings: Settings,

@@ -148,6 +148,14 @@ pub struct EarlyStop<F: FnMut(usize, &RoundStats) -> bool> {
     pub fired_at: Option<usize>,
 }
 
+impl<F: FnMut(usize, &RoundStats) -> bool> std::fmt::Debug for EarlyStop<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EarlyStop")
+            .field("fired_at", &self.fired_at)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<F: FnMut(usize, &RoundStats) -> bool> EarlyStop<F> {
     /// Stops when `predicate` holds.
     pub fn when(predicate: F) -> Self {
@@ -197,6 +205,15 @@ pub struct RunOutcome {
 pub struct SnapshotObserver<A: NodeAlgorithm> {
     every: usize,
     snapshots: Vec<NetworkSnapshot<A>>,
+}
+
+impl<A: NodeAlgorithm> std::fmt::Debug for SnapshotObserver<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotObserver")
+            .field("every", &self.every)
+            .field("snapshots", &self.snapshots.len())
+            .finish()
+    }
 }
 
 impl<A: NodeAlgorithm> SnapshotObserver<A> {
@@ -432,6 +449,16 @@ pub struct Engine<'e, 'g, A: NodeAlgorithm> {
     network: &'e mut Network<'g, A>,
     observers: Vec<&'e mut dyn RoundObserver>,
     state_observers: Vec<&'e mut dyn StateObserver<A>>,
+}
+
+impl<A: NodeAlgorithm> std::fmt::Debug for Engine<'_, '_, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("network", &self.network)
+            .field("observers", &self.observers.len())
+            .field("state_observers", &self.state_observers.len())
+            .finish()
+    }
 }
 
 impl<'e, 'g, A: NodeAlgorithm> Engine<'e, 'g, A> {

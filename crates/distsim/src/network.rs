@@ -77,6 +77,18 @@ pub struct Network<'g, A: NodeAlgorithm> {
     initialized: bool,
 }
 
+impl<A: NodeAlgorithm> std::fmt::Debug for Network<'_, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("num_vertices", &self.ids.len())
+            .field("model", &self.model)
+            .field("strategy", &self.strategy)
+            .field("initialized", &self.initialized)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'g, A: NodeAlgorithm> Network<'g, A> {
     /// Builds a network over `graph` where vertex `v` runs the instance
     /// produced by `factory(v, &context_of_v)`.
@@ -426,7 +438,9 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
                     }
                     Outgoing::Unicast(messages) => {
                         if delivers(u, w) {
-                            count += messages.iter().filter(|(t, _)| *t == ids[w]).count() as u32;
+                            count += bedom_graph::cast::u32_from_usize(
+                                messages.iter().filter(|(t, _)| *t == ids[w]).count(),
+                            );
                         }
                     }
                 }
@@ -470,7 +484,7 @@ impl<'g, A: NodeAlgorithm> Network<'g, A> {
                                     segment[cursor] = Packet {
                                         from: ids[u as usize],
                                         sender: u,
-                                        unicast_idx: k as u32,
+                                        unicast_idx: bedom_graph::cast::u32_from_usize(k),
                                     };
                                     cursor += 1;
                                 }

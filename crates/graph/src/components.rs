@@ -17,7 +17,7 @@ impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
         UnionFind {
-            parent: (0..n as u32).collect(),
+            parent: (0..crate::cast::u32_from_usize(n)).collect(),
             size: vec![1; n],
             components: n,
         }
@@ -81,7 +81,7 @@ pub fn connected_components(graph: &Graph) -> (Vec<u32>, usize) {
     let mut comp = vec![u32::MAX; n];
     let mut next = 0u32;
     let mut stack = Vec::new();
-    for v in 0..n as u32 {
+    for v in 0..crate::cast::u32_from_usize(n) {
         if comp[v as usize] != u32::MAX {
             continue;
         }
@@ -153,13 +153,17 @@ pub fn largest_component(graph: &Graph) -> Vec<Vertex> {
     for &c in &comp {
         sizes[c as usize] += 1;
     }
-    let best = sizes
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, &s)| s)
-        .map(|(i, _)| i as u32)
-        .unwrap();
-    (0..graph.num_vertices() as u32)
+    // Largest component, later ids winning ties (as `max_by_key` did before
+    // this was rewritten cast- and unwrap-free).
+    let mut best = 0u32;
+    let mut best_size = 0usize;
+    for (i, &s) in sizes.iter().enumerate() {
+        if s >= best_size {
+            best_size = s;
+            best = crate::cast::u32_from_usize(i);
+        }
+    }
+    (0..crate::cast::u32_from_usize(graph.num_vertices()))
         .filter(|&v| comp[v as usize] == best)
         .collect()
 }

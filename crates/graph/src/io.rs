@@ -51,6 +51,19 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Converts a file-format id into the vertex id space: `Some` iff it fits in
+/// [`Vertex`] *and* is below the declared count `n`. Replaces the former
+/// `as Vertex` narrowings, which would wrap ids above `u32::MAX` into valid
+/// vertices instead of rejecting the document.
+fn checked_vertex(id: u64, n: usize) -> Option<Vertex> {
+    let v = Vertex::try_from(id).ok()?;
+    if (v as usize) < n {
+        Some(v)
+    } else {
+        None
+    }
+}
+
 /// Parses an edge-list document. Lines are `u v` (whitespace separated,
 /// 0-based ids); empty lines and lines starting with `#` are ignored. An
 /// optional first non-comment line `n` or `n m` fixes the vertex count;
@@ -75,7 +88,13 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
         })?;
         match (saw_header_candidate, numbers.len()) {
             (false, 1) => {
-                declared_n = Some(numbers[0] as usize);
+                declared_n =
+                    Some(
+                        usize::try_from(numbers[0]).map_err(|_| ParseError::Malformed {
+                            line: line_no,
+                            message: format!("vertex count {} does not fit in usize", numbers[0]),
+                        })?,
+                    );
                 saw_header_candidate = true;
             }
             (false, 2) | (true, 2) => {
@@ -98,22 +117,25 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
             }
         }
     }
-    let n = declared_n.unwrap_or_else(|| {
-        if edges.is_empty() {
-            0
-        } else {
-            max_id as usize + 1
-        }
-    });
+    let n = match declared_n {
+        Some(n) => n,
+        None if edges.is_empty() => 0,
+        // The inferred count is max id + 1; ids are checked into the vertex
+        // id space instead of being narrowed with wrapping casts.
+        None => crate::cast::usize_from_u64(max_id) + 1,
+    };
     let mut builder = GraphBuilder::new(n);
     for (u, v, line) in edges {
-        if u as usize >= n || v as usize >= n {
-            return Err(ParseError::VertexOutOfRange {
-                line,
-                vertex: u.max(v),
-            });
-        }
-        builder.add_edge(u as Vertex, v as Vertex);
+        let (u, v) = match (checked_vertex(u, n), checked_vertex(v, n)) {
+            (Some(u), Some(v)) => (u, v),
+            _ => {
+                return Err(ParseError::VertexOutOfRange {
+                    line,
+                    vertex: u.max(v),
+                })
+            }
+        };
+        builder.add_edge(u, v);
     }
     Ok(builder.build())
 }
@@ -177,13 +199,19 @@ pub fn parse_dimacs(text: &str) -> Result<Graph, ParseError> {
                 line: line_no,
                 message: "bad endpoint".into(),
             })?;
-            if u == 0 || v == 0 || u as usize > n || v as usize > n {
-                return Err(ParseError::VertexOutOfRange {
-                    line: line_no,
-                    vertex: u.max(v),
-                });
-            }
-            builder.add_edge((u - 1) as Vertex, (v - 1) as Vertex);
+            // DIMACS ids are 1-based; shift before the checked conversion.
+            let shifted = match (u.checked_sub(1), v.checked_sub(1)) {
+                (Some(u0), Some(v0)) => match (checked_vertex(u0, n), checked_vertex(v0, n)) {
+                    (Some(u0), Some(v0)) => Some((u0, v0)),
+                    _ => None,
+                },
+                _ => None,
+            };
+            let (u0, v0) = shifted.ok_or(ParseError::VertexOutOfRange {
+                line: line_no,
+                vertex: u.max(v),
+            })?;
+            builder.add_edge(u0, v0);
             continue;
         }
         return Err(ParseError::Malformed {
@@ -284,6 +312,21 @@ mod tests {
         assert!(matches!(
             parse_dimacs("p edge 3 1\nq 1 2\n"),
             Err(ParseError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn ids_beyond_the_vertex_space_are_rejected_not_wrapped() {
+        // 2^32 + 1 used to wrap to vertex 1 through `as Vertex`; it must be
+        // rejected as out of range in both formats.
+        let big = (1u64 << 32) + 1;
+        assert!(matches!(
+            parse_edge_list(&format!("{big} 1\n")),
+            Err(ParseError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            parse_dimacs(&format!("p edge 3 1\ne {big} 1\n")),
+            Err(ParseError::VertexOutOfRange { .. })
         ));
     }
 

@@ -24,6 +24,7 @@
 
 pub mod bfs;
 pub mod bitset;
+pub mod cast;
 pub mod components;
 pub mod degeneracy;
 pub mod domset;

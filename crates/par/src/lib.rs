@@ -20,9 +20,12 @@
 
 use std::num::NonZeroUsize;
 
+#[cfg(debug_assertions)]
+pub mod sanitizer;
+
 /// How an embarrassingly parallel loop is executed.
 ///
-/// The two variants produce bit-identical results; `Parallel` merely spreads
+/// All variants produce bit-identical results; `Parallel` merely spreads
 /// the index range over OS threads. `Parallel` on a single-core machine
 /// degrades to sequential execution without spawning.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -35,6 +38,14 @@ pub enum ExecutionStrategy {
     /// (`n > 4096`) to amortise thread handoff, sequential otherwise. The
     /// right default for configs built before the instance size is known.
     Auto,
+    /// `Parallel` with a seeded schedule perturbation: each worker yields a
+    /// seed-derived number of times before touching its chunk, and the
+    /// fork-join primitives harvest worker results in a seed-shuffled order
+    /// (still *placing* them by index). Output must be bit-identical to
+    /// `Sequential` — any divergence means a combinator's result depends on
+    /// scheduling, which is exactly the bug class the determinism suite runs
+    /// this mode to flush out.
+    Perturbed(u64),
 }
 
 impl ExecutionStrategy {
@@ -68,7 +79,40 @@ impl ExecutionStrategy {
 
     /// Whether this strategy may use more than one thread.
     pub fn is_parallel(self) -> bool {
-        matches!(self, ExecutionStrategy::Parallel | ExecutionStrategy::Auto)
+        matches!(
+            self,
+            ExecutionStrategy::Parallel | ExecutionStrategy::Auto | ExecutionStrategy::Perturbed(_)
+        )
+    }
+
+    /// [`ExecutionStrategy::Perturbed`] seeded from the `BEDOM_PERTURB_SEED`
+    /// environment variable, if set to an integer. The determinism suite uses
+    /// this to re-run its cross-strategy assertions under a perturbed
+    /// schedule without a dedicated binary.
+    pub fn perturbed_from_env() -> Option<ExecutionStrategy> {
+        std::env::var("BEDOM_PERTURB_SEED")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<u64>().ok())
+            .map(ExecutionStrategy::Perturbed)
+    }
+
+    /// The perturbation seed, if this strategy carries one.
+    fn perturb_seed(self) -> Option<u64> {
+        match self {
+            ExecutionStrategy::Perturbed(seed) => Some(seed),
+            _ => None,
+        }
+    }
+
+    /// Seed-derived busy-yield executed by worker `worker` before it starts
+    /// its chunk; a no-op for unperturbed strategies.
+    fn stagger(self, worker: usize) {
+        if let Some(seed) = self.perturb_seed() {
+            let yields = splitmix64(seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) % 8;
+            for _ in 0..yields {
+                std::thread::yield_now();
+            }
+        }
     }
 
     /// The strategy for loops running *inside* one unit of work of this
@@ -93,7 +137,9 @@ impl ExecutionStrategy {
     pub fn threads_for(self, n: usize) -> usize {
         match self {
             ExecutionStrategy::Sequential => 1,
-            ExecutionStrategy::Parallel => available_threads().max(2).min(n.max(1)),
+            ExecutionStrategy::Parallel | ExecutionStrategy::Perturbed(_) => {
+                available_threads().max(2).min(n.max(1))
+            }
             ExecutionStrategy::Auto => {
                 if n > 4096 {
                     available_threads().min(n)
@@ -113,30 +159,9 @@ impl ExecutionStrategy {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        let threads = self.threads_for(n);
-        if threads <= 1 || n == 0 {
-            return (0..n).map(f).collect();
-        }
-        let chunk = n.div_ceil(threads);
-        let mut parts: Vec<Vec<T>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..n)
-                .step_by(chunk)
-                .map(|start| {
-                    let end = (start + chunk).min(n);
-                    let f = &f;
-                    scope.spawn(move || (start..end).map(f).collect::<Vec<T>>())
-                })
-                .collect();
-            for handle in handles {
-                parts.push(handle.join().expect("bedom-par worker panicked"));
-            }
-        });
-        let mut out = Vec::with_capacity(n);
-        for part in parts {
-            out.extend(part);
-        }
-        out
+        let parts =
+            self.chunk_collect_with(n, || (), |(), range| range.map(&f).collect::<Vec<T>>());
+        concat_parts(n, parts)
     }
 
     /// `(0..n).map(f).collect()` with a **worker-local scratch**: every worker
@@ -153,17 +178,10 @@ impl ExecutionStrategy {
         I: Fn() -> S + Sync,
         F: Fn(&mut S, usize) -> T + Sync,
     {
-        let mut parts = self.chunk_collect_with(n, init, |scratch, range| {
+        let parts = self.chunk_collect_with(n, init, |scratch, range| {
             range.map(|i| f(scratch, i)).collect::<Vec<T>>()
         });
-        if parts.len() == 1 {
-            return parts.pop().unwrap();
-        }
-        let mut out = Vec::with_capacity(n);
-        for part in parts {
-            out.extend(part);
-        }
-        out
+        concat_parts(n, parts)
     }
 
     /// Splits `0..n` into one contiguous chunk per worker thread and calls
@@ -183,27 +201,45 @@ impl ExecutionStrategy {
         let threads = self.threads_for(n);
         if threads <= 1 || n == 0 {
             let mut scratch = init();
+            #[cfg(debug_assertions)]
+            let _guard = sanitizer::ScratchGuard::acquire(&scratch);
             return vec![f(&mut scratch, 0..n)];
         }
         let chunk = n.div_ceil(threads);
-        let mut parts: Vec<T> = Vec::with_capacity(threads);
+        let num_chunks = n.div_ceil(chunk);
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(num_chunks);
+        slots.resize_with(num_chunks, || None);
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..n)
+            let mut handles: Vec<Option<std::thread::ScopedJoinHandle<'_, T>>> = (0..n)
                 .step_by(chunk)
-                .map(|start| {
+                .enumerate()
+                .map(|(worker, start)| {
                     let end = (start + chunk).min(n);
                     let init = &init;
                     let f = &f;
-                    scope.spawn(move || {
+                    Some(scope.spawn(move || {
+                        self.stagger(worker);
                         let mut scratch = init();
+                        #[cfg(debug_assertions)]
+                        let _guard = sanitizer::ScratchGuard::acquire(&scratch);
                         f(&mut scratch, start..end)
-                    })
+                    }))
                 })
                 .collect();
-            for handle in handles {
-                parts.push(handle.join().expect("bedom-par worker panicked"));
+            // Harvest in (possibly seed-shuffled) order, but place by index:
+            // completion order must never leak into the result.
+            for idx in join_permutation(self.perturb_seed(), handles.len()) {
+                if let Some(handle) = handles[idx].take() {
+                    slots[idx] = Some(join_worker(handle));
+                }
             }
         });
+        let parts: Vec<T> = slots.into_iter().flatten().collect();
+        assert_eq!(
+            parts.len(),
+            num_chunks,
+            "bedom-par: a worker chunk produced no result"
+        );
         parts
     }
 
@@ -255,6 +291,7 @@ impl ExecutionStrategy {
                 let base = idx * chunk;
                 let f = &f;
                 scope.spawn(move || {
+                    self.stagger(idx);
                     for (i, slot) in part.iter_mut().enumerate() {
                         f(base + i, slot);
                     }
@@ -290,6 +327,7 @@ impl ExecutionStrategy {
                 let base = idx * chunk;
                 let f = &f;
                 scope.spawn(move || {
+                    self.stagger(idx);
                     for (i, (x, y)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
                         f(base + i, x, y);
                     }
@@ -314,9 +352,12 @@ impl ExecutionStrategy {
             return;
         }
         std::thread::scope(|scope| {
-            for job in jobs {
+            for (idx, job) in jobs.into_iter().enumerate() {
                 let f = &f;
-                scope.spawn(move || f(job));
+                scope.spawn(move || {
+                    self.stagger(idx);
+                    f(job)
+                });
             }
         });
     }
@@ -327,6 +368,55 @@ pub fn available_threads() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// SplitMix64 step — the crate stays dependency-free, so the schedule
+/// perturbation derives its yield counts and join shuffle from this inline
+/// mixer instead of pulling in `bedom-rng` (which sits *above* this crate).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The order in which worker handles are joined: identity without a seed,
+/// a seeded Fisher–Yates shuffle with one.
+fn join_permutation(seed: Option<u64>, len: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..len).collect();
+    if let Some(seed) = seed {
+        let mut state = seed ^ 0xA076_1D64_78BD_642F;
+        for i in (1..len).rev() {
+            state = splitmix64(state);
+            let j = (state % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+    }
+    order
+}
+
+/// Joins a worker, re-raising its panic payload on the calling thread so a
+/// panicking loop body surfaces with its original message.
+fn join_worker<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    match handle.join() {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Concatenates per-chunk vectors into one `n`-element result, skipping the
+/// copy when a single chunk already holds everything (the sequential path).
+fn concat_parts<T>(n: usize, mut parts: Vec<Vec<T>>) -> Vec<T> {
+    if parts.len() == 1 {
+        if let Some(only) = parts.pop() {
+            return only;
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    for part in parts {
+        out.extend(part);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -500,9 +590,82 @@ mod tests {
             ExecutionStrategy::Sequential,
             ExecutionStrategy::Parallel,
             ExecutionStrategy::Auto,
+            ExecutionStrategy::Perturbed(7),
         ] {
             assert_eq!(strategy.nested(), ExecutionStrategy::Sequential);
         }
+    }
+
+    #[test]
+    fn perturbed_agrees_with_sequential_on_every_combinator() {
+        let n = 4099;
+        for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            let perturbed = ExecutionStrategy::Perturbed(seed);
+            assert!(perturbed.is_parallel());
+            assert!(perturbed.threads_for(n) >= 2);
+
+            let seq_map = ExecutionStrategy::Sequential.map_collect(n, |i| i * 31 + 7);
+            assert_eq!(seq_map, perturbed.map_collect(n, |i| i * 31 + 7));
+
+            let with = |strategy: ExecutionStrategy| {
+                strategy.map_collect_with(n, Vec::new, |scratch: &mut Vec<usize>, i| {
+                    scratch.clear();
+                    scratch.extend(0..i % 5);
+                    scratch.iter().sum::<usize>() + i
+                })
+            };
+            assert_eq!(with(ExecutionStrategy::Sequential), with(perturbed));
+
+            let apply = |strategy: ExecutionStrategy| {
+                let mut out = vec![0usize; n];
+                strategy.apply(&mut out, |i, slot| *slot = i ^ 0x5555);
+                out
+            };
+            assert_eq!(apply(ExecutionStrategy::Sequential), apply(perturbed));
+
+            let chunks = perturbed.chunk_collect_with(n, || (), |(), range| range);
+            let mut expected_start = 0;
+            for range in &chunks {
+                assert_eq!(range.start, expected_start, "seed {seed}");
+                expected_start = range.end;
+            }
+            assert_eq!(expected_start, n, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn perturbed_from_env_parses_the_seed() {
+        // Avoid mutating the process environment (other tests run in
+        // parallel); the parse path is covered via the public constructor
+        // plus the env read returning None when unset here.
+        match ExecutionStrategy::perturbed_from_env() {
+            None => {}
+            Some(ExecutionStrategy::Perturbed(_)) => {}
+            Some(other) => panic!("unexpected strategy {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_permutation_is_a_permutation() {
+        for len in [0usize, 1, 2, 13] {
+            for seed in [None, Some(0u64), Some(42)] {
+                let mut order = join_permutation(seed, len);
+                order.sort_unstable();
+                assert_eq!(order, (0..len).collect::<Vec<_>>());
+            }
+        }
+        assert_eq!(join_permutation(None, 5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn worker_panics_propagate_with_their_payload() {
+        let result = std::panic::catch_unwind(|| {
+            ExecutionStrategy::Parallel.map_collect(5000, |i| {
+                assert!(i != 2500, "boom at {i}");
+                i
+            });
+        });
+        assert!(result.is_err());
     }
 
     #[test]

@@ -31,6 +31,7 @@ use bedom_graph::{Graph, Vertex};
 /// active (not yet assigned to a block) and `false` in the first round after
 /// its removal; thereafter it stays silent. One bit per message, well within
 /// the CONGEST_BC budget.
+#[derive(Debug)]
 pub struct HPartitionNode {
     threshold: usize,
     total_phases: usize,
@@ -87,7 +88,7 @@ impl NodeAlgorithm for HPartitionNode {
                 // in the next round's broadcast.
                 self.active = false;
                 self.just_removed = true;
-                self.block = round as u32;
+                self.block = bedom_graph::cast::u32_from_usize(round);
                 return Outgoing::Broadcast(false);
             }
             return Outgoing::Broadcast(true);

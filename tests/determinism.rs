@@ -20,8 +20,16 @@ use bedom::graph::generators::Family;
 use bedom::graph::Graph;
 use bedom::wcol::{default_threshold, distributed_wcol_order_with};
 
-const STRATEGIES: [ExecutionStrategy; 2] =
-    [ExecutionStrategy::Sequential, ExecutionStrategy::Parallel];
+/// The strategy pair every assertion compares: `Sequential` against
+/// `Parallel` by default, or — when `BEDOM_PERTURB_SEED` is set to an
+/// integer — against [`ExecutionStrategy::Perturbed`], which staggers worker
+/// start-up and shuffles the join order with that seed. CI runs the whole
+/// suite a second time under a perturbed schedule this way; any output that
+/// depends on worker completion order fails the same assertions.
+fn strategies() -> [ExecutionStrategy; 2] {
+    let adversary = ExecutionStrategy::perturbed_from_env().unwrap_or(ExecutionStrategy::Parallel);
+    [ExecutionStrategy::Sequential, adversary]
+}
 
 /// The instances every algorithm is checked on: a shuffled-id random family
 /// and planar families, per the determinism suite's charter.
@@ -47,7 +55,7 @@ fn wreach_index_build_is_strategy_independent() {
         let order = degeneracy_based_order(&g);
         for radius in [1u32, 3] {
             let [a, b] =
-                STRATEGIES.map(|strategy| WReachIndex::build_with(&g, &order, radius, strategy));
+                strategies().map(|strategy| WReachIndex::build_with(&g, &order, radius, strategy));
             assert_eq!(a, b, "{name}, radius {radius}: index build diverged");
             let scalar =
                 WReachIndex::build_scalar_with(&g, &order, radius, ExecutionStrategy::Sequential);
@@ -72,7 +80,7 @@ fn wcol_order_is_strategy_independent() {
             .unwrap();
             (result.super_ids, result.blocks, result.rounds)
         };
-        let [a, b] = STRATEGIES.map(run);
+        let [a, b] = strategies().map(run);
         assert_eq!(a, b, "{name}: order phase diverged");
     }
 }
@@ -96,7 +104,7 @@ fn weak_reachability_is_strategy_independent() {
             let paths: Vec<_> = result.info.iter().map(|i| i.paths.clone()).collect();
             (paths, result.rounds, result.stats.total_bits)
         };
-        let [a, b] = STRATEGIES.map(run);
+        let [a, b] = strategies().map(run);
         assert_eq!(a, b, "{name}: weak reachability diverged");
     }
 }
@@ -119,7 +127,7 @@ fn distance_domination_is_strategy_independent() {
                     .collect();
                 (result.dominating_set, result.dominator_of, rounds, phases)
             };
-            let [a, b] = STRATEGIES.map(run);
+            let [a, b] = strategies().map(run);
             assert_eq!(a, b, "{name}, r = {r}: dominating set diverged");
         }
     }
@@ -145,7 +153,7 @@ fn ksv_domination_is_strategy_independent() {
                 result.stats,
             )
         };
-        let [a, b] = STRATEGIES.map(run);
+        let [a, b] = strategies().map(run);
         assert_eq!(a, b, "{name}: KSV diverged");
     }
 }
@@ -164,7 +172,7 @@ fn ksv_observer_streams_are_strategy_independent() {
         assert_eq!(result.stats.per_round.len(), KSV_ROUNDS);
         result.stats.per_round.clone()
     };
-    let [a, b] = STRATEGIES.map(run);
+    let [a, b] = strategies().map(run);
     assert_eq!(a, b, "KSV per-round streams diverged");
 }
 
@@ -192,7 +200,7 @@ fn distance_r_ksv_is_strategy_independent() {
                 result.stats,
             )
         };
-        let [a, b] = STRATEGIES.map(run);
+        let [a, b] = strategies().map(run);
         assert_eq!(a, b, "{name}: distance-2 KSV diverged");
     }
 }
@@ -226,7 +234,7 @@ fn clustered_summary_flood_is_strategy_independent() {
                 result.stats,
             )
         };
-        let [a, b] = STRATEGIES.map(|s| run(KsvFlood::Summaries, s));
+        let [a, b] = strategies().map(|s| run(KsvFlood::Summaries, s));
         assert_eq!(a, b, "{name}: clustered summary flood diverged");
         let records = run(KsvFlood::Records, ExecutionStrategy::Parallel);
         assert_eq!(
@@ -251,7 +259,7 @@ fn distance_r_ksv_observer_streams_are_strategy_independent() {
             assert_eq!(result.stats.per_round.len(), ksv_rounds(r));
             result.stats.per_round.clone()
         };
-        let [a, b] = STRATEGIES.map(run);
+        let [a, b] = strategies().map(run);
         assert_eq!(a, b, "r = {r}: distance-r KSV per-round streams diverged");
     }
 }
@@ -302,7 +310,7 @@ fn scenario_batch_with_mixed_ksv_radii_is_strategy_independent() {
             })
             .collect::<Vec<_>>()
     };
-    let [a, b] = STRATEGIES.map(run);
+    let [a, b] = strategies().map(run);
     assert_eq!(a, b, "mixed-radius KSV batch diverged between strategies");
     for (i, r) in [1u32, 2, 3].iter().copied().enumerate() {
         assert_eq!(a[i].2, ksv_rounds(r), "shard {i} (r = {r})");
@@ -323,7 +331,7 @@ fn neighborhood_cover_is_strategy_independent() {
             let rounds = cover.total_rounds();
             (cover.memberships, rounds)
         };
-        let [a, b] = STRATEGIES.map(run);
+        let [a, b] = strategies().map(run);
         assert_eq!(a, b, "{name}: cover diverged");
     }
 }
@@ -344,7 +352,7 @@ fn connected_domination_is_strategy_independent() {
                 rounds,
             )
         };
-        let [a, b] = STRATEGIES.map(run);
+        let [a, b] = strategies().map(run);
         assert_eq!(a, b, "{name}: connected dominating set diverged");
     }
 }
@@ -402,7 +410,7 @@ fn scenario_batch_is_strategy_independent_and_in_shard_order() {
             })
             .collect::<Vec<_>>()
     };
-    let [a, b] = STRATEGIES.map(run);
+    let [a, b] = strategies().map(run);
     assert_eq!(a, b, "scenario batch diverged between strategies");
     for (i, shard) in a.iter().enumerate() {
         assert_eq!(shard.0, i, "reports must come back in shard order");
@@ -493,7 +501,7 @@ fn scenario_shard_observer_streams_are_strategy_independent() {
             },
         )
     };
-    let [a, b] = STRATEGIES.map(run);
+    let [a, b] = strategies().map(run);
     assert_eq!(
         a, b,
         "per-shard observer streams diverged between strategies"
@@ -563,8 +571,39 @@ fn observers_see_identical_round_streams() {
         assert_eq!(outcome.reason, StopReason::Observer);
         (net.outputs(), log.per_round, stop.fired_at, outcome.rounds)
     };
-    let [a, b] = STRATEGIES.map(run);
+    let [a, b] = strategies().map(run);
     assert_eq!(a, b, "observer streams diverged between strategies");
+}
+
+/// The seeded schedule-perturbing mode, exercised unconditionally (not just
+/// when `BEDOM_PERTURB_SEED` re-runs the whole suite): a full distributed
+/// domination pipeline must produce bit-identical output under perturbed
+/// schedules with several seeds, including everything the run reports.
+#[test]
+fn perturbed_schedules_match_sequential_output() {
+    let g = Family::PlanarTriangulation.generate(400, 7);
+    let run = |strategy| {
+        let config = DistDomSetConfig {
+            assignment: IdAssignment::Shuffled(9),
+            ..DistDomSetConfig::with_strategy(1, strategy)
+        };
+        let result = distributed_distance_domination(&g, config).unwrap();
+        let rounds = result.total_rounds();
+        let phases: Vec<_> = result
+            .phase_stats
+            .iter()
+            .map(|s| (s.rounds, s.total_bits, s.total_deliveries))
+            .collect();
+        (result.dominating_set, result.dominator_of, rounds, phases)
+    };
+    let reference = run(ExecutionStrategy::Sequential);
+    for seed in [0u64, 1, 0xC0FFEE, u64::MAX] {
+        assert_eq!(
+            reference,
+            run(ExecutionStrategy::Perturbed(seed)),
+            "seed {seed}: perturbed schedule changed the output"
+        );
+    }
 }
 
 #[test]
@@ -591,7 +630,7 @@ fn faulty_ksv_runs_are_strategy_independent() {
                 Err(violation) => Err(violation),
             }
         };
-        let [a, b] = STRATEGIES.map(run);
+        let [a, b] = strategies().map(run);
         assert_eq!(a, b, "{name}: faulty KSV run diverged across strategies");
     }
 }
@@ -616,7 +655,7 @@ fn recovered_ksv_runs_match_the_fault_free_run_across_strategies() {
         distributed_ksv_domination_r(&g, 2, config(ExecutionStrategy::Sequential)).unwrap();
     // Heavy loss on the knowledge flood (rounds 1..=3 at r = 2).
     let plan = FaultPlan::seeded(0xfa11).drop_messages(0.4).during(1, 4);
-    let [a, b] = STRATEGIES.map(|strategy| {
+    let [a, b] = strategies().map(|strategy| {
         let res = distributed_ksv_domination_r_faulty(
             &g,
             2,

@@ -7,6 +7,8 @@
 //! Lives in its own integration-test binary so the counting global allocator
 //! sees no interference from unrelated tests running on sibling threads.
 
+#![allow(unsafe_code)] // the counting allocator implements `GlobalAlloc`
+
 use bedom::distsim::ExecutionStrategy;
 use bedom::graph::generators::stacked_triangulation;
 use bedom::wcol::{degeneracy_based_order, WReachIndex};
