@@ -54,7 +54,8 @@ pub use dist_wreach::{
 };
 pub use local_connect::{local_connect, LocalConnectResult};
 pub use pipeline::{
-    solve_checked, solve_scenario, Algorithm, DominationPipeline, DominationReport, Mode,
+    solve_checked, solve_scenario, solve_scenario_resumable, solve_scenario_streaming, Algorithm,
+    BatchError, DominationPipeline, DominationReport, Mode,
 };
 pub use seq_domset::{
     approximate_distance_domination, domset_algorithm1, domset_via_min_wreach,

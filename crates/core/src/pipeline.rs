@@ -30,7 +30,11 @@ use crate::dist_ksv::{
 };
 use crate::local_connect::local_connect;
 use crate::seq_domset::domset_via_min_wreach_with;
-use bedom_distsim::scenario::{ScenarioReport, ScenarioRunner, ShardMetrics};
+use bedom_distsim::journal::{DurabilityMode, JournalError};
+use bedom_distsim::scenario::{
+    ReportSink, ScenarioReport, ScenarioRunner, ShardMetrics, ShardReport,
+};
+use bedom_distsim::snapshot_codec::{ByteCodec, CodecError};
 use bedom_distsim::{
     ExecutionStrategy, FaultPlan, IdAssignment, ModelViolation, RecoveryPolicy, RunStats,
 };
@@ -66,7 +70,7 @@ pub enum Algorithm {
 }
 
 /// A solved instance, with the measured quantities attached.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DominationReport {
     /// Radius parameter.
     pub r: u32,
@@ -103,6 +107,52 @@ impl DominationReport {
     /// `|D| / lower bound` — an upper bound on the true approximation ratio.
     pub fn ratio_upper_bound(&self) -> f64 {
         self.dominating_set.len() as f64 / self.optimum_lower_bound.max(1) as f64
+    }
+}
+
+impl ByteCodec for Mode {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self == Mode::Distributed).encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(if bool::decode(input)? {
+            Mode::Distributed
+        } else {
+            Mode::Sequential
+        })
+    }
+}
+
+/// The wire form of a solved shard — what [`solve_scenario_resumable`]
+/// checkpoints into its [`bedom_distsim::BatchJournal`]. Field order is the
+/// declaration order; resumed reports are bit-identical to freshly computed
+/// ones because the codec stores the report verbatim, not a summary.
+impl ByteCodec for DominationReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.r.encode(out);
+        self.mode.encode(out);
+        self.dominating_set.encode(out);
+        self.connected_dominating_set.encode(out);
+        self.witnessed_constant.encode(out);
+        self.optimum_lower_bound.encode(out);
+        self.rounds.encode(out);
+        self.total_message_bits.encode(out);
+        self.max_message_bits.encode(out);
+        self.election_verified.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(DominationReport {
+            r: u32::decode(input)?,
+            mode: Mode::decode(input)?,
+            dominating_set: Vec::decode(input)?,
+            connected_dominating_set: Option::decode(input)?,
+            witnessed_constant: usize::decode(input)?,
+            optimum_lower_bound: usize::decode(input)?,
+            rounds: usize::decode(input)?,
+            total_message_bits: usize::decode(input)?,
+            max_message_bits: usize::decode(input)?,
+            election_verified: bool::decode(input)?,
+        })
     }
 }
 
@@ -439,30 +489,208 @@ pub fn solve_scenario(
     let report = runner.run(
         shards,
         || BfsScratch::new(0),
-        |scratch, shard, (graph, pipeline)| {
-            let sweeps_before = ball_sweeps_on_this_thread();
-            match pipeline.execution(inner).solve(graph) {
-                Ok(solved) => {
-                    scratch.ensure_capacity(graph.num_vertices());
-                    assert!(
-                        dominates_with(graph, &solved.dominating_set, solved.r, scratch),
-                        "shard {shard} produced an invalid dominating set"
-                    );
-                    let metrics = ShardMetrics {
-                        rounds: solved.rounds,
-                        total_bits: solved.total_message_bits,
-                        max_message_bits: solved.max_message_bits,
-                        ball_sweeps: ball_sweeps_on_this_thread() - sweeps_before,
-                    };
-                    (Ok(solved), Some(metrics))
-                }
-                // No metrics for a failed shard: absence is the signal — a
-                // failure must never read as a "0 rounds, 0 bits" success.
-                Err(violation) => (Err(violation), None),
-            }
-        },
+        |scratch, shard, (graph, pipeline)| solve_shard(inner, scratch, shard, graph, pipeline),
     );
     report.transpose()
+}
+
+/// The per-shard body shared by every batch entry point: solve, re-validate
+/// the dominating set through the worker's reusable scratch, and measure.
+/// A failed shard reports `None` metrics — absence is the signal; a failure
+/// must never read as a "0 rounds, 0 bits" success.
+fn solve_shard(
+    inner: ExecutionStrategy,
+    scratch: &mut BfsScratch,
+    shard: usize,
+    graph: &Graph,
+    pipeline: &DominationPipeline,
+) -> (
+    Result<DominationReport, ModelViolation>,
+    Option<ShardMetrics>,
+) {
+    let sweeps_before = ball_sweeps_on_this_thread();
+    match pipeline.execution(inner).solve(graph) {
+        Ok(solved) => {
+            scratch.ensure_capacity(graph.num_vertices());
+            assert!(
+                dominates_with(graph, &solved.dominating_set, solved.r, scratch),
+                "shard {shard} produced an invalid dominating set"
+            );
+            let metrics = ShardMetrics {
+                rounds: solved.rounds,
+                total_bits: solved.total_message_bits,
+                max_message_bits: solved.max_message_bits,
+                ball_sweeps: ball_sweeps_on_this_thread() - sweeps_before,
+            };
+            (Ok(solved), Some(metrics))
+        }
+        Err(violation) => (Err(violation), None),
+    }
+}
+
+/// Why a resumable batch failed: either a shard's protocol run hit a typed
+/// [`ModelViolation`], or the checkpoint journal itself was unusable.
+#[derive(Debug)]
+pub enum BatchError {
+    /// The lowest-indexed failing shard's violation (violated shards are not
+    /// checkpointed, so a rerun re-attempts them).
+    Violation(ModelViolation),
+    /// The journal could not be opened, read, or appended to.
+    Journal(JournalError),
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::Violation(v) => write!(f, "a shard violated the model: {v}"),
+            BatchError::Journal(e) => write!(f, "batch checkpointing failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BatchError::Violation(v) => Some(v),
+            BatchError::Journal(e) => Some(e),
+        }
+    }
+}
+
+impl From<JournalError> for BatchError {
+    fn from(e: JournalError) -> Self {
+        BatchError::Journal(e)
+    }
+}
+
+/// Absorbs successful shards into the caller's sink and parks the
+/// lowest-indexed violation (absorption happens in ascending shard order, so
+/// the first violation seen is the lowest-indexed one).
+struct OkShards<'a, S> {
+    inner: &'a mut S,
+    first_violation: Option<ModelViolation>,
+}
+
+impl<S: ReportSink<DominationReport>> ReportSink<Result<DominationReport, ModelViolation>>
+    for OkShards<'_, S>
+{
+    fn absorb(&mut self, report: ShardReport<Result<DominationReport, ModelViolation>>) {
+        match report.output {
+            Ok(output) => self.inner.absorb(ShardReport {
+                shard: report.shard,
+                output,
+                metrics: report.metrics,
+            }),
+            Err(violation) => {
+                if self.first_violation.is_none() {
+                    self.first_violation = Some(violation);
+                }
+            }
+        }
+    }
+}
+
+/// Like [`solve_scenario`], but each solved shard is folded into `sink` in
+/// shard order as soon as it (and every lower-indexed shard) finishes —
+/// nothing is retained but the sink, so a million-instance batch runs in
+/// the memory of its reorder window. Streaming into a fresh
+/// [`bedom_distsim::ScenarioReport`] reproduces [`solve_scenario`]; a
+/// [`bedom_distsim::MetricsDigest`] keeps only the aggregate numbers.
+///
+/// On a [`ModelViolation`] the batch fails with the **lowest-indexed**
+/// failing shard's error; the sink keeps every successful shard it already
+/// absorbed (violated shards are skipped, never absorbed).
+pub fn solve_scenario_streaming(
+    shards: &[(Graph, DominationPipeline)],
+    strategy: ExecutionStrategy,
+    sink: &mut impl ReportSink<DominationReport>,
+) -> Result<(), ModelViolation> {
+    let inner = strategy.nested();
+    let runner = ScenarioRunner::new(strategy);
+    let mut adapter = OkShards {
+        inner: sink,
+        first_violation: None,
+    };
+    runner.run_streaming(
+        shards,
+        || BfsScratch::new(0),
+        |scratch, shard, (graph, pipeline)| solve_shard(inner, scratch, shard, graph, pipeline),
+        &mut adapter,
+    );
+    match adapter.first_violation {
+        Some(violation) => Err(violation),
+        None => Ok(()),
+    }
+}
+
+/// Like [`solve_scenario`], but checkpointed through a
+/// [`bedom_distsim::BatchJournal`] at `journal_path` (per `durability`):
+/// every successfully solved shard is appended as a durable record, and a
+/// rerun with the same shards and path **skips** everything the journal
+/// already holds — the resumed report is bit-identical to an uninterrupted
+/// run, because the journal stores each shard's actual
+/// [`DominationReport`].
+///
+/// Shards that fail with a [`ModelViolation`] are *not* checkpointed; the
+/// batch fails with the lowest-indexed violation and a rerun re-attempts
+/// exactly the unjournaled shards.
+pub fn solve_scenario_resumable(
+    shards: &[(Graph, DominationPipeline)],
+    strategy: ExecutionStrategy,
+    journal_path: &std::path::Path,
+    durability: DurabilityMode,
+) -> Result<ScenarioReport<DominationReport>, BatchError> {
+    let inner = strategy.nested();
+    let runner = ScenarioRunner::new(strategy);
+    // `run_resumable` journals only metric-bearing shards, so a violated
+    // shard (always metric-less) is re-attempted on resume; its violation is
+    // parked here because the journaled output type has no error channel.
+    let first_violation: std::sync::Mutex<Option<(usize, ModelViolation)>> =
+        std::sync::Mutex::new(None);
+    let report = runner.run_resumable(
+        shards,
+        journal_path,
+        durability,
+        || BfsScratch::new(0),
+        |scratch, shard, (graph, pipeline)| match solve_shard(
+            inner, scratch, shard, graph, pipeline,
+        ) {
+            (Ok(solved), metrics) => (Some(solved), metrics),
+            (Err(violation), _) => {
+                let mut slot = first_violation
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if slot.as_ref().is_none_or(|(s, _)| shard < *s) {
+                    *slot = Some((shard, violation));
+                }
+                (None, None)
+            }
+        },
+    )?;
+    if let Some((_, violation)) = first_violation
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take()
+    {
+        return Err(BatchError::Violation(violation));
+    }
+    let mut solved = Vec::with_capacity(report.shards.len());
+    for shard in report.shards {
+        match shard.output {
+            Some(output) => solved.push(ShardReport {
+                shard: shard.shard,
+                output,
+                metrics: shard.metrics,
+            }),
+            // Unreachable: every `None` output records a violation above,
+            // and the violation path returns before this loop.
+            None => panic!(
+                "bedom-core: shard {} has no output and no violation",
+                shard.shard
+            ),
+        }
+    }
+    Ok(ScenarioReport { shards: solved })
 }
 
 /// Scratch-reusing distance-`r` domination check: multi-source BFS from the

@@ -42,6 +42,7 @@
 pub mod engine;
 pub mod fault;
 pub mod ids;
+pub mod journal;
 pub mod local;
 pub mod message;
 pub mod model;
@@ -58,13 +59,19 @@ pub use engine::{
 };
 pub use fault::{CrashWindow, FaultPlan};
 pub use ids::IdAssignment;
+pub use journal::{BatchJournal, DurabilityMode, JournalError, ShardRecord};
 pub use local::{build_view, run_local, run_local_with, LocalView};
 pub use message::{MessageSize, WireId};
 pub use model::{id_bits, log2_ceil, Model, ModelViolation};
 pub use network::{Network, NetworkSnapshot};
 pub use node::{Inbox, Incoming, NodeAlgorithm, NodeContext, Outgoing};
-pub use scenario::{ScenarioReport, ScenarioRunner, ShardFailure, ShardMetrics, ShardReport};
-pub use snapshot_codec::{decode_snapshot, encode_snapshot, ByteCodec, CodecError};
+pub use scenario::{
+    MetricsDigest, ReportSink, ScenarioReport, ScenarioRunner, ShardFailure, ShardMetrics,
+    ShardReport,
+};
+pub use snapshot_codec::{
+    decode_snapshot, encode_frame, encode_snapshot, ByteCodec, CodecError, FrameError, FrameReader,
+};
 pub use trace::{RoundStats, RunStats};
 
 #[cfg(test)]

@@ -7,21 +7,29 @@
 //! packages that shape once:
 //!
 //! * [`ScenarioRunner::run`] executes `N` independent shards across the
-//!   workers of a [`bedom_par::ExecutionStrategy`]
-//!   (via [`ExecutionStrategy::chunk_collect_with`]): each worker claims a
-//!   contiguous shard range and reuses **one scratch value** (a
-//!   `BfsScratch`, a buffer pool, whatever the job needs) across all of its
-//!   shards, so a thousand-shard batch allocates `O(workers)` scratches.
+//!   workers of a [`bedom_par::ExecutionStrategy`]: static strategies claim
+//!   contiguous shard ranges (via [`ExecutionStrategy::chunk_collect_with`]),
+//!   [`ExecutionStrategy::Pooled`] claims shards one at a time off a dynamic
+//!   work queue (via [`ExecutionStrategy::queue_collect_with`]) so an
+//!   imbalanced batch keeps every worker busy. Either way each worker reuses
+//!   **one scratch value** (a `BfsScratch`, a buffer pool, whatever the job
+//!   needs) across all of its shards, so a thousand-shard batch allocates
+//!   `O(workers)` scratches.
 //! * Results come back as a [`ScenarioReport`] with **one
-//!   [`ShardReport`] per shard, in shard order** — chunk ranges are
-//!   ascending and concatenation preserves them, so the report layout is
-//!   independent of the execution strategy, and because each shard runs
-//!   entirely on one worker thread its outputs and metrics are bit-identical
-//!   across [`ExecutionStrategy::Sequential`] and
-//!   [`ExecutionStrategy::Parallel`] (asserted in `tests/determinism.rs`).
+//!   [`ShardReport`] per shard, in shard order** — because each shard runs
+//!   entirely on one worker thread and results are placed by shard index,
+//!   the report is bit-identical across **every** strategy, static or
+//!   pooled (asserted in `tests/determinism.rs`).
 //! * [`ShardMetrics`] is the per-shard measurement record (rounds, message
 //!   bits, ball sweeps) that the aggregate accessors of [`ScenarioReport`]
-//!   fold over.
+//!   fold over — skipping failed, metric-less shards and surfacing them via
+//!   [`ScenarioReport::failed_shards`] instead of panicking through the
+//!   containment that [`ScenarioRunner::try_run`] bought.
+//! * [`ScenarioRunner::run_streaming`] folds reports into a [`ReportSink`]
+//!   in shard order as they finish (nothing is retained but the sink), and
+//!   [`ScenarioRunner::run_resumable`] checkpoints every completed shard
+//!   into a [`BatchJournal`] so an interrupted batch resumes where it died —
+//!   bit-identically to an uninterrupted run.
 //!
 //! The runner is deliberately generic over the job: `bedom-distsim` sits
 //! below the algorithm crates, so the concrete "solve a domination instance"
@@ -32,10 +40,21 @@
 //! [`ExecutionStrategy::nested`] strategy — a parallel batch that also forked
 //! per shard would oversubscribe the machine.
 
+use crate::journal::{BatchJournal, DurabilityMode, JournalError, ShardRecord};
 use crate::model::ModelViolation;
+use crate::snapshot_codec::ByteCodec;
 use crate::trace::RunStats;
 use bedom_par::ExecutionStrategy;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a runner-internal mutex, ignoring poison: the only way these
+/// mutexes poison is a job panic, which the surrounding combinator re-raises
+/// anyway, and the guarded values (journal, first-error slot) stay valid.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Why a shard failed without producing an output.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -166,42 +185,55 @@ impl<T> ScenarioReport<T> {
             .collect()
     }
 
-    /// Sum of all shards' communication rounds.
-    ///
-    /// # Panics
-    /// Panics if any shard reported no metrics — an aggregate over a
-    /// partially-failed batch would silently understate the totals (use
-    /// [`ScenarioReport::missing_metrics`] to inspect first).
-    pub fn total_rounds(&self) -> usize {
-        self.shards.iter().map(|s| s.expect_metrics().rounds).sum()
+    /// Number of shards that reported no metrics — the count behind
+    /// [`ScenarioReport::missing_metrics`]. Always check (or display) this
+    /// next to the aggregate accessors: they fold over **measured shards
+    /// only**, so a non-zero `failed_shards` means the totals understate the
+    /// full batch.
+    pub fn failed_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.metrics.is_none()).count()
     }
 
-    /// Sum of all shards' wire bits. Panics on missing per-shard metrics
+    /// The metrics of every measured shard, in shard order — the common
+    /// iterator behind the aggregate accessors. Failed (metric-less) shards
+    /// are skipped; [`ScenarioReport::failed_shards`] says how many.
+    fn measured(&self) -> impl Iterator<Item = &ShardMetrics> + '_ {
+        self.shards.iter().filter_map(|s| s.metrics.as_ref())
+    }
+
+    /// Sum of the measured shards' communication rounds.
+    ///
+    /// Shards that failed before measuring are **skipped**, not counted as
+    /// zero successes: [`ScenarioRunner::try_run`] contains a panicking shard
+    /// precisely so the rest of the batch stays reportable, and an aggregate
+    /// that panicked on the survivor totals would defeat that containment
+    /// one call later. Callers that cannot tolerate a partial batch should
+    /// use [`ScenarioReport::failed_shards`] /
+    /// [`ScenarioReport::missing_metrics`], or the strict
+    /// [`ShardReport::expect_metrics`] per shard.
+    pub fn total_rounds(&self) -> usize {
+        self.measured().map(|m| m.rounds).sum()
+    }
+
+    /// Sum of the measured shards' wire bits; failed shards are skipped
     /// (see [`ScenarioReport::total_rounds`]).
     pub fn total_message_bits(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.expect_metrics().total_bits)
-            .sum()
+        self.measured().map(|m| m.total_bits).sum()
     }
 
-    /// Largest single message across all shards, in bits. Panics on missing
-    /// per-shard metrics (see [`ScenarioReport::total_rounds`]).
+    /// Largest single message across the measured shards, in bits; failed
+    /// shards are skipped (see [`ScenarioReport::total_rounds`]).
     pub fn max_message_bits(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.expect_metrics().max_message_bits)
+        self.measured()
+            .map(|m| m.max_message_bits)
             .max()
             .unwrap_or(0)
     }
 
-    /// Sum of all shards' ball sweeps. Panics on missing per-shard metrics
+    /// Sum of the measured shards' ball sweeps; failed shards are skipped
     /// (see [`ScenarioReport::total_rounds`]).
     pub fn total_ball_sweeps(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.expect_metrics().ball_sweeps)
-            .sum()
+        self.measured().map(|m| m.ball_sweeps).sum()
     }
 
     /// Maps every shard output, keeping shard order and metrics.
@@ -276,6 +308,79 @@ impl<T, E> ScenarioReport<Result<T, E>> {
     }
 }
 
+/// A streaming fold over shard results — the "millions of instances" answer
+/// to [`ScenarioReport`]'s keep-everything `Vec`.
+///
+/// [`ScenarioRunner::run_streaming`] hands each [`ShardReport`] to the sink
+/// **in shard order** (a reorder buffer sits between the workers and the
+/// sink), as soon as it and all lower-indexed shards have finished. The sink
+/// therefore observes exactly the same sequence under every
+/// [`ExecutionStrategy`], so any deterministic fold is itself
+/// strategy-independent — asserted in `tests/determinism.rs`.
+pub trait ReportSink<T> {
+    /// Folds one shard's report into the sink. Called once per shard, in
+    /// ascending shard order.
+    fn absorb(&mut self, report: ShardReport<T>);
+}
+
+/// The keep-everything sink: streaming into a [`ScenarioReport`] reproduces
+/// [`ScenarioRunner::run`] exactly.
+impl<T> ReportSink<T> for ScenarioReport<T> {
+    fn absorb(&mut self, report: ShardReport<T>) {
+        self.shards.push(report);
+    }
+}
+
+/// A constant-space [`ReportSink`]: the aggregate numbers of a
+/// [`ScenarioReport`] without retaining any output — what a million-instance
+/// batch streams into.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsDigest {
+    /// Shards absorbed so far.
+    pub num_shards: usize,
+    /// Shards that reported no metrics (failed before measuring), mirroring
+    /// [`ScenarioReport::failed_shards`].
+    pub failed_shards: usize,
+    /// Sum of the measured shards' rounds.
+    pub total_rounds: usize,
+    /// Sum of the measured shards' wire bits.
+    pub total_message_bits: usize,
+    /// Largest single message across the measured shards, in bits.
+    pub max_message_bits: usize,
+    /// Sum of the measured shards' ball sweeps.
+    pub total_ball_sweeps: u64,
+}
+
+impl MetricsDigest {
+    /// The digest a fully-collected report folds down to — the bridge used
+    /// by tests to assert streaming ≡ collecting.
+    pub fn of<T>(report: &ScenarioReport<T>) -> Self {
+        MetricsDigest {
+            num_shards: report.num_shards(),
+            failed_shards: report.failed_shards(),
+            total_rounds: report.total_rounds(),
+            total_message_bits: report.total_message_bits(),
+            max_message_bits: report.max_message_bits(),
+            total_ball_sweeps: report.total_ball_sweeps(),
+        }
+    }
+}
+
+impl<T> ReportSink<T> for MetricsDigest {
+    fn absorb(&mut self, report: ShardReport<T>) {
+        self.num_shards += 1;
+        match report.metrics {
+            Some(m) => {
+                self.total_rounds += m.rounds;
+                self.total_message_bits += m.total_bits;
+                self.max_message_bits = self.max_message_bits.max(m.max_message_bits);
+                self.total_ball_sweeps += m.ball_sweeps;
+            }
+            None => self.failed_shards += 1,
+        }
+    }
+}
+
 /// Executes independent shards across the workers of an
 /// [`ExecutionStrategy`]. See the module docs for the contract.
 #[derive(Clone, Copy, Debug)]
@@ -292,6 +397,38 @@ impl ScenarioRunner {
     /// The strategy shards are spread with.
     pub fn strategy(&self) -> ExecutionStrategy {
         self.strategy
+    }
+
+    /// Runs `per_shard` for every shard index and returns the reports in
+    /// shard order, routing to the strategy's natural combinator:
+    /// [`ExecutionStrategy::Pooled`] claims shards off the dynamic work
+    /// queue ([`ExecutionStrategy::queue_collect_with`]), everything else
+    /// keeps the static contiguous chunks
+    /// ([`ExecutionStrategy::chunk_collect_with`]). Either way a shard runs
+    /// entirely on one worker with a per-worker scratch, so the reports are
+    /// bit-identical across all strategies.
+    fn collect_shards<Sc, T>(
+        &self,
+        n: usize,
+        init: impl Fn() -> Sc + Sync,
+        per_shard: impl Fn(&mut Sc, usize) -> ShardReport<T> + Sync,
+    ) -> Vec<ShardReport<T>>
+    where
+        T: Send,
+    {
+        if matches!(self.strategy, ExecutionStrategy::Pooled(_)) {
+            self.strategy.queue_collect_with(n, init, per_shard)
+        } else {
+            self.strategy
+                .chunk_collect_with(n, init, |scratch, range| {
+                    range
+                        .map(|shard| per_shard(scratch, shard))
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+        }
     }
 
     /// Runs `job` once per input shard and collects the reports in shard
@@ -312,23 +449,15 @@ impl ScenarioRunner {
         In: Sync,
         T: Send,
     {
-        let chunks = self
-            .strategy
-            .chunk_collect_with(inputs.len(), init, |scratch, range| {
-                range
-                    .map(|shard| {
-                        let (output, metrics) = job(scratch, shard, &inputs[shard]);
-                        ShardReport {
-                            shard,
-                            output,
-                            metrics,
-                        }
-                    })
-                    .collect::<Vec<_>>()
-            });
-        ScenarioReport {
-            shards: chunks.into_iter().flatten().collect(),
-        }
+        let shards = self.collect_shards(inputs.len(), init, |scratch, shard| {
+            let (output, metrics) = job(scratch, shard, &inputs[shard]);
+            ShardReport {
+                shard,
+                output,
+                metrics,
+            }
+        });
+        ScenarioReport { shards }
     }
 
     /// Like [`ScenarioRunner::run`], but a panicking shard no longer poisons
@@ -347,39 +476,30 @@ impl ScenarioRunner {
         In: Sync,
         T: Send,
     {
-        let chunks = self
-            .strategy
-            .chunk_collect_with(inputs.len(), &init, |scratch, range| {
-                range
-                    .map(|shard| {
-                        // AssertUnwindSafe: on unwind the scratch is replaced
-                        // wholesale below, and `inputs`/`job` are only shared
-                        // immutably, so no broken invariant can leak.
-                        let attempt =
-                            catch_unwind(AssertUnwindSafe(|| job(scratch, shard, &inputs[shard])));
-                        match attempt {
-                            Ok((output, metrics)) => ShardReport {
-                                shard,
-                                output: Ok(output),
-                                metrics,
-                            },
-                            Err(payload) => {
-                                *scratch = init();
-                                ShardReport {
-                                    shard,
-                                    output: Err(ShardFailure::Panicked {
-                                        message: panic_message(payload),
-                                    }),
-                                    metrics: None,
-                                }
-                            }
-                        }
-                    })
-                    .collect::<Vec<_>>()
-            });
-        ScenarioReport {
-            shards: chunks.into_iter().flatten().collect(),
-        }
+        let shards = self.collect_shards(inputs.len(), &init, |scratch, shard| {
+            // AssertUnwindSafe: on unwind the scratch is replaced wholesale
+            // below, and `inputs`/`job` are only shared immutably, so no
+            // broken invariant can leak.
+            let attempt = catch_unwind(AssertUnwindSafe(|| job(scratch, shard, &inputs[shard])));
+            match attempt {
+                Ok((output, metrics)) => ShardReport {
+                    shard,
+                    output: Ok(output),
+                    metrics,
+                },
+                Err(payload) => {
+                    *scratch = init();
+                    ShardReport {
+                        shard,
+                        output: Err(ShardFailure::Panicked {
+                            message: panic_message(payload),
+                        }),
+                        metrics: None,
+                    }
+                }
+            }
+        });
+        ScenarioReport { shards }
     }
 
     /// Per-shard retry on typed violations: runs `job` up to
@@ -432,6 +552,132 @@ impl ScenarioRunner {
                 .collect(),
         }
     }
+
+    /// Like [`ScenarioRunner::run`], but each [`ShardReport`] is handed to
+    /// `sink` **in shard order as soon as it is ready** instead of being
+    /// collected — a million-instance batch holds at most the reorder
+    /// window, not the whole result set. Streaming into a fresh
+    /// [`ScenarioReport`] sink reproduces [`ScenarioRunner::run`] exactly;
+    /// a [`MetricsDigest`] sink keeps only the aggregate numbers.
+    pub fn run_streaming<In, Sc, T>(
+        &self,
+        inputs: &[In],
+        init: impl Fn() -> Sc + Sync,
+        job: impl Fn(&mut Sc, usize, &In) -> (T, Option<ShardMetrics>) + Sync,
+        sink: &mut impl ReportSink<T>,
+    ) where
+        In: Sync,
+        T: Send,
+    {
+        self.strategy.queue_stream_with(
+            inputs.len(),
+            init,
+            |scratch, shard| {
+                let (output, metrics) = job(scratch, shard, &inputs[shard]);
+                ShardReport {
+                    shard,
+                    output,
+                    metrics,
+                }
+            },
+            |_, report| sink.absorb(report),
+        );
+    }
+
+    /// Like [`ScenarioRunner::run`], but checkpointed through a
+    /// [`BatchJournal`] at `journal_path`: every completed shard is appended
+    /// as a durable record (per `durability`), shards the journal already
+    /// holds are **skipped** and their recorded outputs reused, and the
+    /// assembled report is bit-identical to an uninterrupted run — the
+    /// journal stores the job's actual outputs, and a shard's result never
+    /// depends on which strategy or worker ran it.
+    ///
+    /// Start-to-finish on a fresh path behaves like [`ScenarioRunner::run`]
+    /// plus a journal file; after a crash, rerunning with the same inputs
+    /// and path resumes where the journal ends. Delete the journal (or use
+    /// [`ScenarioRunner::run`]) to recompute from scratch.
+    ///
+    /// A shard whose job reports `None` metrics — the runner-wide "failed
+    /// before measuring" signal — is **not** checkpointed: its (presumably
+    /// degenerate) output still appears in this run's report, but a resume
+    /// re-attempts the shard instead of trusting a failure recorded forever.
+    pub fn run_resumable<In, Sc, T>(
+        &self,
+        inputs: &[In],
+        journal_path: &Path,
+        durability: DurabilityMode,
+        init: impl Fn() -> Sc + Sync,
+        job: impl Fn(&mut Sc, usize, &In) -> (T, Option<ShardMetrics>) + Sync,
+    ) -> Result<ScenarioReport<T>, JournalError>
+    where
+        In: Sync,
+        T: Send + ByteCodec,
+    {
+        let mut journal =
+            BatchJournal::<T>::open_or_create(journal_path, inputs.len(), durability)?;
+        let recovered = journal.take_recovered();
+        let pending = journal.pending();
+        let journal = Mutex::new(journal);
+        // Append failures must not tear down workers mid-shard; the first
+        // one is parked here and fails the batch after the joins.
+        let append_error: Mutex<Option<JournalError>> = Mutex::new(None);
+
+        let fresh = self.collect_shards(pending.len(), init, |scratch, k| {
+            let shard = pending[k];
+            let (output, metrics) = job(scratch, shard, &inputs[shard]);
+            let record = ShardRecord {
+                shard: shard as u64,
+                metrics,
+                output,
+            };
+            if record.metrics.is_some() {
+                if let Err(e) = lock(&journal).append(&record) {
+                    let mut slot = lock(&append_error);
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                }
+            }
+            ShardReport {
+                shard,
+                output: record.output,
+                metrics: record.metrics,
+            }
+        });
+
+        if let Some(e) = lock(&append_error).take() {
+            return Err(e);
+        }
+        journal
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .finish()?;
+
+        let mut slots: Vec<Option<ShardReport<T>>> = recovered
+            .into_iter()
+            .map(|rec| {
+                rec.map(|r| ShardReport {
+                    shard: r.shard as usize,
+                    output: r.output,
+                    metrics: r.metrics,
+                })
+            })
+            .collect();
+        for report in fresh {
+            let shard = report.shard;
+            slots[shard] = Some(report);
+        }
+        let mut shards = Vec::with_capacity(slots.len());
+        for (shard, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(report) => shards.push(report),
+                // `pending` is exactly the complement of the recovered set,
+                // so every slot is filled by one of the two loops above.
+                None => panic!("bedom-distsim: shard {shard} neither recovered nor run"),
+            }
+        }
+        Ok(ScenarioReport { shards })
+    }
 }
 
 #[cfg(test)]
@@ -448,9 +694,13 @@ mod tests {
     }
 
     #[test]
-    fn reports_come_back_in_shard_order_under_both_strategies() {
+    fn reports_come_back_in_shard_order_under_every_strategy() {
         let inputs: Vec<usize> = (0..37).collect();
-        for strategy in [ExecutionStrategy::Sequential, ExecutionStrategy::Parallel] {
+        for strategy in [
+            ExecutionStrategy::Sequential,
+            ExecutionStrategy::Parallel,
+            ExecutionStrategy::Pooled(42),
+        ] {
             let report = ScenarioRunner::new(strategy).run(
                 &inputs,
                 || (),
@@ -557,12 +807,12 @@ mod tests {
         assert_eq!(report.total_rounds(), 0);
     }
 
-    /// A shard without metrics must poison every aggregate loudly instead of
-    /// contributing "0 rounds, 0 bits" — the regression for the silently
-    /// zeroed per-shard metric.
+    /// A shard without metrics is **skipped** by the aggregates and counted
+    /// in `failed_shards` — it must neither masquerade as a "0 rounds"
+    /// success nor panic the aggregate (which would defeat `try_run`'s
+    /// containment one call later).
     #[test]
-    #[should_panic(expected = "shard 2 reported no metrics")]
-    fn aggregates_over_missing_metrics_panic() {
+    fn aggregates_skip_metricless_shards_and_count_them() {
         let inputs: Vec<usize> = (0..4).collect();
         let report = ScenarioRunner::new(ExecutionStrategy::Sequential).run(
             &inputs,
@@ -573,7 +823,40 @@ mod tests {
             },
         );
         assert_eq!(report.missing_metrics(), vec![2]);
-        let _ = report.total_rounds();
+        assert_eq!(report.failed_shards(), 1);
+        assert_eq!(report.total_rounds(), 3);
+        assert_eq!(report.total_message_bits(), 30);
+        assert_eq!(report.max_message_bits(), 10);
+        assert_eq!(report.total_ball_sweeps(), 3);
+    }
+
+    /// The headline regression: a batch with one panicking shard must
+    /// aggregate its surviving shards without panicking, and report the
+    /// failure count alongside.
+    #[test]
+    fn a_batch_with_one_panicking_shard_aggregates_without_panicking() {
+        let inputs: Vec<usize> = (0..8).collect();
+        for strategy in [
+            ExecutionStrategy::Sequential,
+            ExecutionStrategy::Parallel,
+            ExecutionStrategy::Pooled(11),
+        ] {
+            let report = ScenarioRunner::new(strategy).try_run(
+                &inputs,
+                || (),
+                |(), shard, &input| {
+                    assert!(shard != 5, "shard 5 exploded");
+                    (input, Some(metrics(2, 100, 40, 3)))
+                },
+            );
+            assert_eq!(report.failed_shards(), 1, "{strategy:?}");
+            assert_eq!(report.failures().len(), 1, "{strategy:?}");
+            // Aggregates fold the 7 survivors — no panic.
+            assert_eq!(report.total_rounds(), 14, "{strategy:?}");
+            assert_eq!(report.total_message_bits(), 700, "{strategy:?}");
+            assert_eq!(report.max_message_bits(), 40, "{strategy:?}");
+            assert_eq!(report.total_ball_sweeps(), 21, "{strategy:?}");
+        }
     }
 
     #[test]
@@ -710,5 +993,129 @@ mod tests {
             metrics: None,
         };
         let _ = report.expect_metrics();
+    }
+
+    #[test]
+    fn streaming_into_a_report_sink_reproduces_run_exactly() {
+        let inputs: Vec<usize> = (0..53).collect();
+        let job = |_: &mut (), shard: usize, &input: &usize| {
+            (input * 3, Some(metrics(shard, input * 8, input, 1)))
+        };
+        let baseline = ScenarioRunner::new(ExecutionStrategy::Sequential).run(&inputs, || (), job);
+        for strategy in [
+            ExecutionStrategy::Sequential,
+            ExecutionStrategy::Parallel,
+            ExecutionStrategy::Perturbed(9),
+            ExecutionStrategy::Pooled(9),
+        ] {
+            let mut collected = ScenarioReport::default();
+            let mut digest = MetricsDigest::default();
+            ScenarioRunner::new(strategy).run_streaming(&inputs, || (), job, &mut collected);
+            ScenarioRunner::new(strategy).run_streaming(&inputs, || (), job, &mut digest);
+            assert_eq!(collected, baseline, "{strategy:?}");
+            assert_eq!(digest, MetricsDigest::of(&baseline), "{strategy:?}");
+        }
+    }
+
+    /// A collision-free scratch path (no wall clock: pid + counter).
+    fn temp_journal(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "bedom-scenario-{}-{}-{}.bin",
+            std::process::id(),
+            tag,
+            n
+        ))
+    }
+
+    #[test]
+    fn run_resumable_matches_run_and_skips_journaled_shards() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inputs: Vec<u64> = (0..16).collect();
+        let job = |_: &mut (), shard: usize, &input: &u64| {
+            (
+                input * input,
+                Some(metrics(shard + 1, shard * 10, shard, 2)),
+            )
+        };
+        let baseline = ScenarioRunner::new(ExecutionStrategy::Sequential).run(&inputs, || (), job);
+        for (mode, strategy) in [
+            (DurabilityMode::Sync, ExecutionStrategy::Sequential),
+            (DurabilityMode::Deferred, ExecutionStrategy::Parallel),
+            (DurabilityMode::Sync, ExecutionStrategy::Pooled(3)),
+        ] {
+            let path = temp_journal("resumable");
+            let report = ScenarioRunner::new(strategy)
+                .run_resumable(&inputs, &path, mode, || (), job)
+                .unwrap();
+            assert_eq!(report, baseline, "{strategy:?}");
+
+            // A second run against the completed journal recomputes nothing.
+            let executed = AtomicUsize::new(0);
+            let resumed = ScenarioRunner::new(strategy)
+                .run_resumable(
+                    &inputs,
+                    &path,
+                    mode,
+                    || (),
+                    |scratch, shard, input| {
+                        executed.fetch_add(1, Ordering::Relaxed);
+                        job(scratch, shard, input)
+                    },
+                )
+                .unwrap();
+            assert_eq!(executed.load(Ordering::Relaxed), 0, "{strategy:?}");
+            assert_eq!(resumed, baseline, "{strategy:?}");
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn run_resumable_reattempts_shards_that_failed_before_measuring() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inputs: Vec<u64> = (0..6).collect();
+        let path = temp_journal("reattempt");
+        let runner = ScenarioRunner::new(ExecutionStrategy::Sequential);
+        // First run: shard 4 fails before measuring (None metrics) — its
+        // degenerate output must not be checkpointed.
+        let report = runner
+            .run_resumable(
+                &inputs,
+                &path,
+                DurabilityMode::Sync,
+                || (),
+                |(), shard, &input| {
+                    if shard == 4 {
+                        (u64::MAX, None)
+                    } else {
+                        (input + 1, Some(metrics(1, 1, 1, 1)))
+                    }
+                },
+            )
+            .unwrap();
+        assert_eq!(report.failed_shards(), 1);
+        assert_eq!(report.shards[4].output, u64::MAX);
+
+        // Resume: exactly the failed shard reruns, now succeeding.
+        let executed = AtomicUsize::new(0);
+        let resumed = runner
+            .run_resumable(
+                &inputs,
+                &path,
+                DurabilityMode::Sync,
+                || (),
+                |(), shard, &input| {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    assert_eq!(shard, 4);
+                    (input + 1, Some(metrics(1, 1, 1, 1)))
+                },
+            )
+            .unwrap();
+        assert_eq!(executed.load(Ordering::Relaxed), 1);
+        assert_eq!(resumed.failed_shards(), 0);
+        assert_eq!(resumed.shards[4].output, 5);
+        std::fs::remove_file(&path).unwrap();
     }
 }

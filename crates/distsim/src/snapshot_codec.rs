@@ -18,6 +18,18 @@
 //! Decoding is strict: wrong magic, unknown version, short input, checksum
 //! mismatch, unknown enum tags and leftover bytes each fail with a distinct
 //! [`CodecError`] instead of producing a half-read snapshot.
+//!
+//! Two framing entry points sit on top of the same format:
+//!
+//! * [`decode_snapshot`] reads exactly **one** frame and rejects leftover
+//!   bytes with [`CodecError::TrailingBytes`] — the right contract for a
+//!   single checkpoint file.
+//! * [`FrameReader`] iterates over **concatenated** frames in one buffer —
+//!   the contract of an append-only journal ([`crate::journal`]), where each
+//!   append is a self-contained frame. Errors stay typed per frame, and a
+//!   partial trailing frame (a crash mid-append) surfaces as
+//!   [`CodecError::Truncated`] inside a [`FrameError`] carrying the byte
+//!   offset of the broken frame, so a journal can salvage the valid prefix.
 
 use crate::network::NetworkSnapshot;
 use crate::node::{NodeAlgorithm, Outgoing};
@@ -142,6 +154,25 @@ impl ByteCodec for bool {
     }
 }
 
+impl<T: ByteCodec> ByteCodec for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(value) => {
+                out.push(1);
+                value.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match take(input, 1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(input)?)),
+            _ => Err(CodecError::Malformed("option tag out of range")),
+        }
+    }
+}
+
 impl<T: ByteCodec> ByteCodec for Vec<T> {
     fn encode(&self, out: &mut Vec<u8>) {
         self.len().encode(out);
@@ -247,18 +278,39 @@ impl ByteCodec for RunStats {
     }
 }
 
-/// Serialises a snapshot into a self-contained, checksummed byte frame.
-pub fn encode_snapshot<A>(snapshot: &NetworkSnapshot<A>) -> Vec<u8>
+impl<A> ByteCodec for NetworkSnapshot<A>
 where
     A: NodeAlgorithm + ByteCodec,
     A::Message: ByteCodec,
 {
-    let mut payload = Vec::new();
-    snapshot.nodes.encode(&mut payload);
-    snapshot.outboxes.encode(&mut payload);
-    snapshot.stats.encode(&mut payload);
-    snapshot.initialized.encode(&mut payload);
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.nodes.encode(out);
+        self.outboxes.encode(out);
+        self.stats.encode(out);
+        self.initialized.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let nodes: Vec<A> = Vec::decode(input)?;
+        let outboxes: Vec<Outgoing<A::Message>> = Vec::decode(input)?;
+        let stats = RunStats::decode(input)?;
+        let initialized = bool::decode(input)?;
+        if nodes.len() != outboxes.len() {
+            return Err(CodecError::Malformed("node and outbox counts disagree"));
+        }
+        Ok(NetworkSnapshot {
+            nodes,
+            outboxes,
+            stats,
+            initialized,
+        })
+    }
+}
 
+/// Wraps one [`ByteCodec`] value in a self-contained, checksummed frame —
+/// the unit [`FrameReader`] iterates over and [`crate::journal`] appends.
+pub fn encode_frame<T: ByteCodec>(value: &T) -> Vec<u8> {
+    let mut payload = Vec::new();
+    value.encode(&mut payload);
     let mut out = Vec::with_capacity(payload.len() + FRAME_BYTES);
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
@@ -267,9 +319,22 @@ where
     out
 }
 
+/// Serialises a snapshot into a self-contained, checksummed byte frame.
+pub fn encode_snapshot<A>(snapshot: &NetworkSnapshot<A>) -> Vec<u8>
+where
+    A: NodeAlgorithm + ByteCodec,
+    A::Message: ByteCodec,
+{
+    encode_frame(snapshot)
+}
+
 /// Deserialises a frame produced by [`encode_snapshot`]. The returned
 /// snapshot restores into an identically-constructed [`crate::Network`]
 /// exactly like an in-memory one — resumes are bit-identical.
+///
+/// This is the **strict single-frame** API: exactly one frame, nothing after
+/// it (leftover bytes fail with [`CodecError::TrailingBytes`]). For a buffer
+/// of concatenated frames — an append-only journal — use [`FrameReader`].
 pub fn decode_snapshot<A>(bytes: &[u8]) -> Result<NetworkSnapshot<A>, CodecError>
 where
     A: NodeAlgorithm + ByteCodec,
@@ -300,22 +365,126 @@ where
     }
 
     let mut input = payload;
-    let nodes: Vec<A> = Vec::decode(&mut input)?;
-    let outboxes: Vec<Outgoing<A::Message>> = Vec::decode(&mut input)?;
-    let stats = RunStats::decode(&mut input)?;
-    let initialized = bool::decode(&mut input)?;
+    let snapshot = NetworkSnapshot::decode(&mut input)?;
     if !input.is_empty() {
         return Err(CodecError::TrailingBytes);
     }
-    if nodes.len() != outboxes.len() {
-        return Err(CodecError::Malformed("node and outbox counts disagree"));
+    Ok(snapshot)
+}
+
+/// A typed decode failure at a known position in a multi-frame buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameError {
+    /// Byte offset (into the buffer handed to [`FrameReader::new`]) of the
+    /// start of the frame that failed — for a partial trailing frame this is
+    /// where a salvaging writer should truncate and resume appending.
+    pub offset: usize,
+    /// Why the frame failed.
+    pub error: CodecError,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame at byte {}: {}", self.offset, self.error)
     }
-    Ok(NetworkSnapshot {
-        nodes,
-        outboxes,
-        stats,
-        initialized,
-    })
+}
+
+impl std::error::Error for FrameError {}
+
+/// Iterator over **concatenated** frames in one buffer — the read side of an
+/// append-only journal, where [`decode_snapshot`]'s strict single-frame
+/// contract would reject everything after the first frame as
+/// [`CodecError::TrailingBytes`].
+///
+/// Each `next()` decodes one frame's value. Errors are typed per frame
+/// (yielded as a [`FrameError`] with the frame's byte offset) and **fuse**
+/// the iterator: the frame format carries no length word, so nothing after a
+/// broken frame can be located reliably. A partial trailing frame — the
+/// signature of a crash mid-append — surfaces as [`CodecError::Truncated`]
+/// at the offset where the valid prefix ends ([`FrameReader::offset`] stays
+/// at that position, so a writer can truncate there and continue).
+///
+/// The frame checksum is verified *after* the payload parse here (the
+/// payload's extent is only known once it is decoded), so a corrupted byte
+/// may surface as `Malformed`/`Truncated` instead of `Checksum` — still
+/// typed, still at the right frame.
+#[derive(Debug)]
+pub struct FrameReader<'a, T> {
+    bytes: &'a [u8],
+    offset: usize,
+    fused: bool,
+    _value: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<'a, T: ByteCodec> FrameReader<'a, T> {
+    /// A reader over `bytes`, positioned at the first frame.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        FrameReader {
+            bytes,
+            offset: 0,
+            fused: false,
+            _value: std::marker::PhantomData,
+        }
+    }
+
+    /// Byte offset of the next unread frame — after the iterator ends, the
+    /// end of the last successfully decoded frame (the salvage point).
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Decodes the frame at `self.offset`, advancing past it on success.
+    fn decode_next(&mut self) -> Result<T, CodecError> {
+        let rem = &self.bytes[self.offset..];
+        if rem.len() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        if &rem[..4] != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        if rem.len() < 6 {
+            return Err(CodecError::Truncated);
+        }
+        let version = u16::from_le_bytes([rem[4], rem[5]]);
+        if version != VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let mut input = &rem[6..];
+        let before = input.len();
+        let value = T::decode(&mut input)?;
+        let consumed = before - input.len();
+        let payload = &rem[6..6 + consumed];
+        let Some(checksum_bytes) = input.first_chunk::<8>() else {
+            return Err(CodecError::Truncated);
+        };
+        let stored = u64::from_le_bytes(*checksum_bytes);
+        if fnv1a(payload) != stored {
+            return Err(CodecError::Checksum);
+        }
+        self.offset += 6 + consumed + 8;
+        Ok(value)
+    }
+}
+
+impl<T: ByteCodec> Iterator for FrameReader<'_, T> {
+    type Item = Result<T, FrameError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.fused || self.offset == self.bytes.len() {
+            return None;
+        }
+        let frame_start = self.offset;
+        match self.decode_next() {
+            Ok(value) => Some(Ok(value)),
+            Err(error) => {
+                self.fused = true;
+                Some(Err(FrameError {
+                    offset: frame_start,
+                    error,
+                }))
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -491,5 +660,112 @@ mod tests {
             decode_snapshot::<Summer>(&framed).unwrap_err(),
             CodecError::TrailingBytes
         );
+    }
+
+    #[test]
+    fn option_codec_round_trips_and_rejects_bad_tags() {
+        for value in [None, Some(42u64)] {
+            let mut bytes = Vec::new();
+            value.encode(&mut bytes);
+            let mut input = bytes.as_slice();
+            assert_eq!(Option::<u64>::decode(&mut input).unwrap(), value);
+            assert!(input.is_empty());
+        }
+        let mut input: &[u8] = &[2u8];
+        assert_eq!(
+            Option::<u64>::decode(&mut input).unwrap_err(),
+            CodecError::Malformed("option tag out of range")
+        );
+    }
+
+    #[test]
+    fn frame_reader_decodes_concatenated_frames_in_order() {
+        let values: Vec<u64> = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let mut buf = Vec::new();
+        for v in &values {
+            buf.extend_from_slice(&encode_frame(v));
+        }
+        // The strict single-frame path must still reject the concatenation.
+        let mut reader = FrameReader::<u64>::new(&buf);
+        let decoded: Vec<u64> = reader.by_ref().map(|r| r.unwrap()).collect();
+        assert_eq!(decoded, values);
+        assert_eq!(reader.offset(), buf.len());
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn frame_reader_reports_partial_trailing_frame_as_truncated_at_its_offset() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&encode_frame(&7u64));
+        buf.extend_from_slice(&encode_frame(&8u64));
+        let salvage_point = buf.len();
+        let partial = encode_frame(&9u64);
+        for cut in 1..partial.len() {
+            let mut journal = buf.clone();
+            journal.extend_from_slice(&partial[..cut]);
+            let mut reader = FrameReader::<u64>::new(&journal);
+            assert_eq!(reader.next().unwrap().unwrap(), 7);
+            assert_eq!(reader.next().unwrap().unwrap(), 8);
+            let err = reader.next().unwrap().unwrap_err();
+            assert_eq!(err.offset, salvage_point, "cut at {cut}");
+            assert!(
+                matches!(err.error, CodecError::Truncated | CodecError::Checksum),
+                "cut at {cut} gave {err:?}"
+            );
+            assert_eq!(reader.offset(), salvage_point);
+            assert!(reader.next().is_none(), "errors fuse the reader");
+        }
+    }
+
+    #[test]
+    fn frame_reader_surfaces_mid_stream_corruption_typed_and_fuses() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&encode_frame(&1u64));
+        let second_start = buf.len();
+        buf.extend_from_slice(&encode_frame(&2u64));
+        buf.extend_from_slice(&encode_frame(&3u64));
+
+        let mut bad_magic = buf.clone();
+        bad_magic[second_start] = b'X';
+        let mut reader = FrameReader::<u64>::new(&bad_magic);
+        assert_eq!(reader.next().unwrap().unwrap(), 1);
+        let err = reader.next().unwrap().unwrap_err();
+        assert_eq!(err.offset, second_start);
+        assert_eq!(err.error, CodecError::BadMagic);
+        assert!(reader.next().is_none());
+
+        let mut bad_sum = buf;
+        // Flip a payload byte of the second frame; the u64 still parses, so
+        // the checksum is what catches it.
+        bad_sum[second_start + 6] ^= 0xff;
+        let mut reader = FrameReader::<u64>::new(&bad_sum);
+        assert_eq!(reader.next().unwrap().unwrap(), 1);
+        let err = reader.next().unwrap().unwrap_err();
+        assert_eq!(err.offset, second_start);
+        assert_eq!(err.error, CodecError::Checksum);
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn frame_reader_round_trips_snapshots() {
+        let g = grid(4, 4);
+        let first = encoded_midrun_snapshot(&g);
+        let mut net = summer_net(&g);
+        net.init().unwrap();
+        let second = encode_snapshot(&net.snapshot());
+        let mut buf = first.clone();
+        buf.extend_from_slice(&second);
+
+        assert_eq!(
+            decode_snapshot::<Summer>(&buf).unwrap_err(),
+            CodecError::Checksum,
+            "the strict single-frame API must keep rejecting concatenations"
+        );
+        let mut reader = FrameReader::<NetworkSnapshot<Summer>>::new(&buf);
+        let a = reader.next().unwrap().unwrap();
+        let b = reader.next().unwrap().unwrap();
+        assert!(reader.next().is_none());
+        assert_eq!(encode_snapshot(&a), first);
+        assert_eq!(encode_snapshot(&b), second);
     }
 }

@@ -13,10 +13,18 @@
 //! sequential and parallel execution are bit-identical by construction — a
 //! property the determinism test suite asserts end to end.
 //!
-//! No work-stealing, no task queues: every combinator splits its index range
-//! into `threads()` contiguous chunks up front. For the uniform per-element
-//! costs of superstep simulation this static split is within noise of a
-//! work-stealing scheduler and keeps the crate dependency-free.
+//! Two scheduling shapes, both bit-identical by construction:
+//!
+//! * The **static split** (`map_collect`, `chunk_collect_with`, …): every
+//!   combinator splits its index range into `threads()` contiguous chunks up
+//!   front. For the uniform per-element costs of superstep simulation this
+//!   is within noise of a work-stealing scheduler.
+//! * The **work queue** (`queue_collect_with`, `queue_stream_with`): a pool
+//!   of persistent workers claims indices dynamically off one shared atomic
+//!   counter — the shape for *imbalanced* loops like multi-graph scenario
+//!   batches, where one heavy shard must not serialise a whole chunk behind
+//!   it. Results are still placed (or streamed) strictly by index, so the
+//!   claim order never leaks into the output.
 
 use std::num::NonZeroUsize;
 
@@ -46,6 +54,16 @@ pub enum ExecutionStrategy {
     /// scheduling, which is exactly the bug class the determinism suite runs
     /// this mode to flush out.
     Perturbed(u64),
+    /// A persistent worker pool with a **dynamic work queue**: in the
+    /// `queue_*` combinators, workers claim indices one at a time off a
+    /// shared counter instead of receiving a static contiguous chunk, so a
+    /// batch with one heavy element keeps every core busy. The seed
+    /// perturbs worker start-up and join order exactly like
+    /// [`ExecutionStrategy::Perturbed`] (which this mode degrades to in the
+    /// chunk-based combinators, whose contract is a static split), varying
+    /// the *claim schedule* across seeds; results are placed by index, so
+    /// the output is bit-identical to `Sequential` for any seed.
+    Pooled(u64),
 }
 
 impl ExecutionStrategy {
@@ -68,6 +86,13 @@ impl ExecutionStrategy {
         }
     }
 
+    /// The pooled work-queue strategy with the given schedule seed — see
+    /// [`ExecutionStrategy::Pooled`]. Seed 0 is a fine default; the
+    /// determinism suite sweeps several.
+    pub fn pooled(seed: u64) -> Self {
+        ExecutionStrategy::Pooled(seed)
+    }
+
     /// Converts the legacy `parallel: bool` knob.
     pub fn from_flag(parallel: bool) -> Self {
         if parallel {
@@ -81,7 +106,10 @@ impl ExecutionStrategy {
     pub fn is_parallel(self) -> bool {
         matches!(
             self,
-            ExecutionStrategy::Parallel | ExecutionStrategy::Auto | ExecutionStrategy::Perturbed(_)
+            ExecutionStrategy::Parallel
+                | ExecutionStrategy::Auto
+                | ExecutionStrategy::Perturbed(_)
+                | ExecutionStrategy::Pooled(_)
         )
     }
 
@@ -99,7 +127,7 @@ impl ExecutionStrategy {
     /// The perturbation seed, if this strategy carries one.
     fn perturb_seed(self) -> Option<u64> {
         match self {
-            ExecutionStrategy::Perturbed(seed) => Some(seed),
+            ExecutionStrategy::Perturbed(seed) | ExecutionStrategy::Pooled(seed) => Some(seed),
             _ => None,
         }
     }
@@ -137,9 +165,9 @@ impl ExecutionStrategy {
     pub fn threads_for(self, n: usize) -> usize {
         match self {
             ExecutionStrategy::Sequential => 1,
-            ExecutionStrategy::Parallel | ExecutionStrategy::Perturbed(_) => {
-                available_threads().max(2).min(n.max(1))
-            }
+            ExecutionStrategy::Parallel
+            | ExecutionStrategy::Perturbed(_)
+            | ExecutionStrategy::Pooled(_) => available_threads().max(2).min(n.max(1)),
             ExecutionStrategy::Auto => {
                 if n > 4096 {
                     available_threads().min(n)
@@ -267,6 +295,161 @@ impl ExecutionStrategy {
         self.chunk_collect_with(num_batches, init, |scratch, batches| {
             f(scratch, batches.start * batch..(batches.end * batch).min(n))
         })
+    }
+
+    /// `(0..n).map(f).collect()` through a **dynamic work queue**: a pool of
+    /// persistent workers (one scratch each, built by `init`) claims indices
+    /// one at a time off a shared counter, so imbalanced per-index costs
+    /// spread across the pool instead of serialising behind a static chunk
+    /// boundary. Results are placed by index after the joins — the claim
+    /// order (which *does* vary with scheduling and with a
+    /// [`ExecutionStrategy::Pooled`] seed) never reaches the output, so
+    /// every strategy is bit-identical to `Sequential` as long as `f`'s
+    /// result for an index does not depend on residual scratch state.
+    pub fn queue_collect_with<S, T, I, F>(self, n: usize, init: I, f: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        let threads = self.threads_for(n);
+        if threads <= 1 || n == 0 {
+            let mut scratch = init();
+            #[cfg(debug_assertions)]
+            let _guard = sanitizer::ScratchGuard::acquire(&scratch);
+            return (0..n).map(|i| f(&mut scratch, i)).collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            // Each worker hands back its claimed `(index, result)` pairs.
+            let mut handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let init = &init;
+                    let f = &f;
+                    let next = &next;
+                    Some(scope.spawn(move || {
+                        self.stagger(worker);
+                        let mut scratch = init();
+                        #[cfg(debug_assertions)]
+                        let _guard = sanitizer::ScratchGuard::acquire(&scratch);
+                        let mut claimed = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            claimed.push((i, f(&mut scratch, i)));
+                        }
+                        claimed
+                    }))
+                })
+                .collect();
+            // Harvest in (possibly seed-shuffled) order, but place by index:
+            // neither claim order nor completion order may leak.
+            for idx in join_permutation(self.perturb_seed(), handles.len()) {
+                if let Some(handle) = handles[idx].take() {
+                    for (i, value) in join_worker(handle) {
+                        slots[i] = Some(value);
+                    }
+                }
+            }
+        });
+        let out: Vec<T> = slots.into_iter().flatten().collect();
+        assert_eq!(out.len(), n, "bedom-par: the work queue lost a result");
+        out
+    }
+
+    /// The streaming variant of [`ExecutionStrategy::queue_collect_with`]:
+    /// instead of materialising a `Vec<T>` of all `n` results, each result is
+    /// handed to `consume(i, result)` on the **calling thread** and can be
+    /// folded away immediately — the combinator behind streaming report
+    /// sinks, where a million-element batch must never hold a million
+    /// results at once.
+    ///
+    /// `consume` is invoked **strictly in index order** (a reorder buffer
+    /// holds out-of-order completions, so its worst-case footprint is the
+    /// pool's completion skew, not `n`), which makes any fold — even an
+    /// order-sensitive one — strategy-independent by construction.
+    pub fn queue_stream_with<S, T, I, F, C>(self, n: usize, init: I, f: F, mut consume: C)
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+        C: FnMut(usize, T),
+    {
+        let threads = self.threads_for(n);
+        if threads <= 1 || n == 0 {
+            let mut scratch = init();
+            #[cfg(debug_assertions)]
+            let _guard = sanitizer::ScratchGuard::acquire(&scratch);
+            for i in 0..n {
+                let value = f(&mut scratch, i);
+                consume(i, value);
+            }
+            return;
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+            let mut handles: Vec<Option<std::thread::ScopedJoinHandle<'_, ()>>> = (0..threads)
+                .map(|worker| {
+                    let init = &init;
+                    let f = &f;
+                    let next = &next;
+                    let tx = tx.clone();
+                    Some(scope.spawn(move || {
+                        self.stagger(worker);
+                        let mut scratch = init();
+                        #[cfg(debug_assertions)]
+                        let _guard = sanitizer::ScratchGuard::acquire(&scratch);
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let value = f(&mut scratch, i);
+                            if tx.send((i, value)).is_err() {
+                                break;
+                            }
+                        }
+                    }))
+                })
+                .collect();
+            drop(tx);
+            // Reorder buffer: completions arrive in schedule order but are
+            // released strictly by index.
+            let mut buffered: std::collections::BTreeMap<usize, T> =
+                std::collections::BTreeMap::new();
+            let mut release = 0usize;
+            let mut received = 0usize;
+            while received < n {
+                match rx.recv() {
+                    Ok((i, value)) => {
+                        received += 1;
+                        buffered.insert(i, value);
+                        while let Some(value) = buffered.remove(&release) {
+                            consume(release, value);
+                            release += 1;
+                        }
+                    }
+                    // Every sender hung up early: a worker died mid-queue.
+                    // Fall through to the joins, which re-raise its panic
+                    // with the original payload.
+                    Err(_) => break,
+                }
+            }
+            for idx in join_permutation(self.perturb_seed(), handles.len()) {
+                if let Some(handle) = handles[idx].take() {
+                    join_worker(handle);
+                }
+            }
+            assert!(
+                buffered.is_empty() && release == n,
+                "bedom-par: the stream queue lost a result"
+            );
+        });
     }
 
     /// Calls `f(i, &mut out[i])` for every index, possibly in parallel
@@ -591,9 +774,141 @@ mod tests {
             ExecutionStrategy::Parallel,
             ExecutionStrategy::Auto,
             ExecutionStrategy::Perturbed(7),
+            ExecutionStrategy::Pooled(7),
         ] {
             assert_eq!(strategy.nested(), ExecutionStrategy::Sequential);
         }
+    }
+
+    #[test]
+    fn queue_collect_with_agrees_with_sequential_for_every_strategy_and_seed() {
+        // Imbalanced per-index cost (quadratic in i % 97) so dynamic claims
+        // genuinely interleave across workers.
+        let f = |scratch: &mut Vec<u64>, i: usize| {
+            scratch.clear();
+            scratch.extend((0..(i % 97) as u64).map(|x| x * x));
+            scratch.iter().sum::<u64>() + i as u64
+        };
+        for n in [0usize, 1, 2, 13, 1000, 4099] {
+            let seq = ExecutionStrategy::Sequential.queue_collect_with(n, Vec::new, f);
+            assert_eq!(seq.len(), n);
+            for strategy in [
+                ExecutionStrategy::Parallel,
+                ExecutionStrategy::Auto,
+                ExecutionStrategy::Pooled(0),
+                ExecutionStrategy::Pooled(0xDEAD_BEEF),
+                ExecutionStrategy::Perturbed(42),
+            ] {
+                let got = strategy.queue_collect_with(n, Vec::new, f);
+                assert_eq!(seq, got, "{strategy:?}, n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn queue_collect_with_runs_each_index_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for strategy in [
+            ExecutionStrategy::Sequential,
+            ExecutionStrategy::Pooled(3),
+            ExecutionStrategy::Parallel,
+        ] {
+            let n = 4099;
+            let calls = AtomicUsize::new(0);
+            let out = strategy.queue_collect_with(
+                n,
+                || (),
+                |(), i| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    i
+                },
+            );
+            assert_eq!(out, (0..n).collect::<Vec<_>>(), "{strategy:?}");
+            assert_eq!(calls.load(Ordering::Relaxed), n, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn queue_collect_with_builds_one_scratch_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let builds = AtomicUsize::new(0);
+        let n = 5000;
+        let strategy = ExecutionStrategy::Pooled(1);
+        let out =
+            strategy.queue_collect_with(n, || builds.fetch_add(1, Ordering::Relaxed), |_, i| i);
+        assert_eq!(out.len(), n);
+        assert!(builds.load(Ordering::Relaxed) <= strategy.threads_for(n));
+    }
+
+    #[test]
+    fn queue_stream_with_consumes_in_index_order_under_every_strategy() {
+        for strategy in [
+            ExecutionStrategy::Sequential,
+            ExecutionStrategy::Parallel,
+            ExecutionStrategy::Pooled(0),
+            ExecutionStrategy::Pooled(99),
+            ExecutionStrategy::Perturbed(5),
+        ] {
+            for n in [0usize, 1, 7, 1000] {
+                let mut seen = Vec::new();
+                strategy.queue_stream_with(
+                    n,
+                    || (),
+                    |(), i| i * 3 + 1,
+                    |i, value| seen.push((i, value)),
+                );
+                let expected: Vec<(usize, usize)> = (0..n).map(|i| (i, i * 3 + 1)).collect();
+                assert_eq!(seen, expected, "{strategy:?}, n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn queue_worker_panics_propagate_with_their_payload() {
+        for strategy in [ExecutionStrategy::Pooled(0), ExecutionStrategy::Parallel] {
+            let collected = std::panic::catch_unwind(|| {
+                strategy.queue_collect_with(
+                    5000,
+                    || (),
+                    |(), i| {
+                        assert!(i != 2500, "queue boom at {i}");
+                        i
+                    },
+                );
+            });
+            assert!(collected.is_err(), "{strategy:?}");
+            let streamed = std::panic::catch_unwind(|| {
+                let mut sink = 0usize;
+                strategy.queue_stream_with(
+                    5000,
+                    || (),
+                    |(), i| {
+                        assert!(i != 2500, "stream boom at {i}");
+                        i
+                    },
+                    |_, v| sink += v,
+                );
+            });
+            assert!(streamed.is_err(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn pooled_agrees_with_sequential_on_the_chunk_combinators_too() {
+        // In the chunk-based combinators Pooled degrades to a perturbed
+        // static split; outputs stay bit-identical.
+        let n = 4099;
+        let pooled = ExecutionStrategy::pooled(0xfeed);
+        assert!(pooled.is_parallel());
+        assert!(pooled.threads_for(n) >= 2);
+        let seq_map = ExecutionStrategy::Sequential.map_collect(n, |i| i * 31 + 7);
+        assert_eq!(seq_map, pooled.map_collect(n, |i| i * 31 + 7));
+        let apply = |strategy: ExecutionStrategy| {
+            let mut out = vec![0usize; n];
+            strategy.apply(&mut out, |i, slot| *slot = i ^ 0x5555);
+            out
+        };
+        assert_eq!(apply(ExecutionStrategy::Sequential), apply(pooled));
     }
 
     #[test]

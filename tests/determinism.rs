@@ -422,6 +422,70 @@ fn scenario_batch_is_strategy_independent_and_in_shard_order() {
     assert_eq!(a[3].1.len(), 3);
 }
 
+/// The pooled worker queue and the streaming sinks against the collected
+/// sequential baseline: seeded dynamic shard claiming must never reach the
+/// output (bit-identical reports for every pool seed), streaming into a
+/// keep-everything [`ScenarioReport`] must reproduce the collected run
+/// exactly, and the constant-space [`MetricsDigest`] must fold to the
+/// collected report's aggregates — under every strategy.
+#[test]
+fn pooled_and_streaming_scenario_paths_match_the_collected_run() {
+    use bedom::core::{
+        solve_scenario, solve_scenario_streaming, Algorithm, DominationPipeline, Mode,
+    };
+    use bedom::distsim::{MetricsDigest, ScenarioReport};
+
+    let shards: Vec<(Graph, DominationPipeline)> = vec![
+        (
+            Family::PlanarTriangulation.generate(200, 4),
+            DominationPipeline::new(1).algorithm(Algorithm::KsvConstantRound),
+        ),
+        (
+            Family::Grid.generate(150, 1),
+            DominationPipeline::new(2).algorithm(Algorithm::KsvConstantRound),
+        ),
+        (
+            Family::Grid.generate(100, 2),
+            DominationPipeline::new(1).mode(Mode::Distributed),
+        ),
+        (
+            Graph::empty(1),
+            DominationPipeline::new(2).algorithm(Algorithm::KsvConstantRound),
+        ),
+        (
+            Family::RandomTree.generate(180, 6),
+            DominationPipeline::new(2),
+        ),
+    ];
+
+    let reference = solve_scenario(&shards, ExecutionStrategy::Sequential).unwrap();
+    for strategy in [
+        ExecutionStrategy::Parallel,
+        ExecutionStrategy::Pooled(0),
+        ExecutionStrategy::Pooled(0xDEAD_BEEF),
+        ExecutionStrategy::Perturbed(12),
+    ] {
+        assert_eq!(
+            solve_scenario(&shards, strategy).unwrap(),
+            reference,
+            "{strategy:?}: collected batch diverged from sequential"
+        );
+        let mut collected = ScenarioReport { shards: Vec::new() };
+        solve_scenario_streaming(&shards, strategy, &mut collected).unwrap();
+        assert_eq!(
+            collected, reference,
+            "{strategy:?}: streaming into a report diverged from collecting"
+        );
+        let mut digest = MetricsDigest::default();
+        solve_scenario_streaming(&shards, strategy, &mut digest).unwrap();
+        assert_eq!(
+            digest,
+            MetricsDigest::of(&reference),
+            "{strategy:?}: the streamed digest diverged from the collected aggregates"
+        );
+    }
+}
+
 /// Scenario jobs that attach engine observers: the observer streams inside
 /// each shard must be identical whether shards run sequentially or across
 /// workers.
